@@ -1,0 +1,370 @@
+//! `srr` — command-line front end for the tsan11rec reproduction.
+//!
+//! ```text
+//! srr list
+//! srr run     <workload> [--tool TOOL] [--seed N]
+//! srr record  <workload> [--tool queue|random] [--seed N] [--sparse SET] --out DIR
+//! srr replay  <workload> --demo DIR
+//! srr explore <litmus> [--runs N]      # race hunting across seeds
+//! ```
+//!
+//! Tools: native, tsan11, rr, tsan11+rr, rnd, queue, pct, delay.
+//! Sparse sets: default, games, none, comprehensive.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use srr_apps::harness::Tool;
+use srr_apps::{client, game, httpd, litmus, pbzip, ptrmap};
+use tsan11rec::vos::Vos;
+use tsan11rec::{Config, Demo, Execution, SparseConfig};
+
+/// A named workload: world setup + program body.
+struct Workload {
+    name: &'static str,
+    describe: &'static str,
+    setup: fn(&Vos),
+    program: fn(),
+}
+
+fn workloads() -> Vec<Workload> {
+    fn no_setup(_: &Vos) {}
+    let mut list = vec![
+        Workload {
+            name: "client",
+            describe: "Figure 2 client: poll/recv/send loop ended by a signal",
+            setup: |vos| (client::world(client::ClientParams::default()))(vos),
+            program: || (client::client(client::ClientParams::default()))(),
+        },
+        Workload {
+            name: "httpd",
+            describe: "httpd-sim: worker-pool server under an ab-like swarm",
+            setup: |vos| (httpd::world(httpd::HttpdParams::default()))(vos),
+            program: || (httpd::server(httpd::HttpdParams::default()))(),
+        },
+        Workload {
+            name: "pbzip",
+            describe: "pbzip-sim: parallel block compression",
+            setup: |vos| (pbzip::world(pbzip::PbzipParams::default()))(vos),
+            program: || (pbzip::pbzip(pbzip::PbzipParams::default()))(),
+        },
+        Workload {
+            name: "game",
+            describe: "game-sim: frame loop with GPU ioctl and an audio thread",
+            setup: |vos| (game::world(game::GameParams::default()))(vos),
+            program: || (game::game(game::GameParams::default()))(),
+        },
+        Workload {
+            name: "netplay",
+            describe: "multiplayer client with the Zandronum-style map-change bug",
+            setup: no_setup,
+            program: || {
+                (game::netplay::netplay_client(game::netplay::NetPlayParams::default()))()
+            },
+        },
+        Workload {
+            name: "ptrmap",
+            describe: "pointer-order workload (the S5.5 limitation)",
+            setup: no_setup,
+            program: || (ptrmap::ptrmap(ptrmap::PtrMapParams::default()))(),
+        },
+    ];
+    for l in litmus::table1_suite() {
+        list.push(Workload {
+            name: l.name,
+            describe: "CDSchecker litmus benchmark",
+            setup: no_setup,
+            program: l.run,
+        });
+    }
+    list
+}
+
+fn find_workload(name: &str) -> Result<Workload, String> {
+    workloads()
+        .into_iter()
+        .find(|w| w.name == name)
+        .ok_or_else(|| format!("unknown workload `{name}` (try `srr list`)"))
+}
+
+fn parse_tool(s: &str) -> Result<Tool, String> {
+    Ok(match s {
+        "native" => Tool::Native,
+        "tsan11" => Tool::Tsan11,
+        "rr" => Tool::Rr,
+        "tsan11+rr" => Tool::Tsan11Rr,
+        "rnd" | "random" => Tool::Rnd,
+        "queue" => Tool::Queue,
+        "pct" => Tool::Pct,
+        "delay" => Tool::Delay,
+        other => return Err(format!("unknown tool `{other}`")),
+    })
+}
+
+fn parse_sparse(s: &str) -> Result<SparseConfig, String> {
+    Ok(match s {
+        "default" | "paper" => SparseConfig::paper_default(),
+        "games" => SparseConfig::games(),
+        "none" => SparseConfig::none(),
+        "comprehensive" | "full" => SparseConfig::comprehensive(),
+        other => return Err(format!("unknown sparse set `{other}`")),
+    })
+}
+
+#[derive(Default)]
+struct Args {
+    positional: Vec<String>,
+    tool: Option<String>,
+    seed: Option<u64>,
+    out: Option<PathBuf>,
+    demo: Option<PathBuf>,
+    sparse: Option<String>,
+    runs: Option<u64>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut flag = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--tool" => args.tool = Some(flag("--tool")?),
+            "--seed" => {
+                args.seed =
+                    Some(flag("--seed")?.parse().map_err(|_| "bad --seed".to_owned())?);
+            }
+            "--out" => args.out = Some(PathBuf::from(flag("--out")?)),
+            "--demo" => args.demo = Some(PathBuf::from(flag("--demo")?)),
+            "--sparse" => args.sparse = Some(flag("--sparse")?),
+            "--runs" => {
+                args.runs =
+                    Some(flag("--runs")?.parse().map_err(|_| "bad --runs".to_owned())?);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            other => args.positional.push(other.to_owned()),
+        }
+    }
+    Ok(args)
+}
+
+fn config_for(args: &Args, default_tool: Tool) -> Result<(Tool, Config), String> {
+    let tool = match &args.tool {
+        Some(t) => parse_tool(t)?,
+        None => default_tool,
+    };
+    let seed = args.seed.unwrap_or(1);
+    let mut config = tool.config([seed, seed.wrapping_mul(0x9E37) + 1]);
+    if let Some(s) = &args.sparse {
+        config = config.with_sparse(parse_sparse(s)?);
+    }
+    Ok((tool, config))
+}
+
+fn print_report(report: &tsan11rec::ExecReport) {
+    println!("--- console ---");
+    print!("{}", report.console_text());
+    println!("--- report ----");
+    println!("outcome:      {:?}", report.outcome);
+    println!("races:        {}", report.races);
+    for r in report.race_reports.iter().take(5) {
+        println!("  {r}");
+    }
+    println!("critical sections: {}", report.ticks);
+    println!("syscalls:     {}", report.syscalls);
+    println!("wall time:    {:.1} ms", report.duration.as_secs_f64() * 1e3);
+}
+
+fn run_command(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("usage: srr <list|run|record|replay|explore> ...".to_owned());
+    };
+    let args = parse_args(&argv[1..])?;
+    match cmd.as_str() {
+        "list" => {
+            println!("{:<18} description", "workload");
+            println!("{}", "-".repeat(64));
+            for w in workloads() {
+                println!("{:<18} {}", w.name, w.describe);
+            }
+            Ok(())
+        }
+        "run" => {
+            let name = args.positional.first().ok_or("run needs a workload")?;
+            let w = find_workload(name)?;
+            let (tool, config) = config_for(&args, Tool::Queue)?;
+            println!("running `{}` under {tool}", w.name);
+            let setup = w.setup;
+            let report = Execution::new(config).setup(move |vos| setup(vos)).run(w.program);
+            print_report(&report);
+            Ok(())
+        }
+        "record" => {
+            let name = args.positional.first().ok_or("record needs a workload")?;
+            let out = args.demo.clone().or(args.out.clone()).ok_or("record needs --out DIR")?;
+            let w = find_workload(name)?;
+            let (tool, config) = config_for(&args, Tool::QueueRec)?;
+            let tool = match tool {
+                Tool::Rnd => Tool::RndRec,
+                Tool::Queue => Tool::QueueRec,
+                t if t.records() => t,
+                t => return Err(format!("{t} cannot record; use rnd, queue, rr or tsan11+rr")),
+            };
+            let mut config = config;
+            config.mode = tool.config([1, 1]).mode;
+            println!("recording `{}` under {tool}", w.name);
+            let setup = w.setup;
+            let (report, demo) = Execution::new(config)
+                .setup(move |vos| setup(vos))
+                .record(w.program);
+            print_report(&report);
+            demo.save_dir(&out).map_err(|e| format!("saving demo: {e}"))?;
+            println!("demo:         {} -> {}", demo.stats(), out.display());
+            Ok(())
+        }
+        "replay" => {
+            let name = args.positional.first().ok_or("replay needs a workload")?;
+            let dir = args.demo.clone().ok_or("replay needs --demo DIR")?;
+            let w = find_workload(name)?;
+            let demo = Demo::load_dir(&dir).map_err(|e| format!("loading demo: {e}"))?;
+            let strategy = demo.header.strategy.clone();
+            let tool = match strategy.as_str() {
+                "random" => Tool::RndRec,
+                "queue" => Tool::QueueRec,
+                "slice" => Tool::Rr,
+                other => return Err(format!("demo has unknown strategy `{other}`")),
+            };
+            let mut config = tool.config(demo.header.seeds);
+            if let Some(s) = &args.sparse {
+                config = config.with_sparse(parse_sparse(s)?);
+            }
+            println!("replaying `{}` ({} demo, {} bytes)", w.name, strategy, demo.size_bytes());
+            let setup = w.setup;
+            let report = Execution::new(config)
+                .setup(move |vos| setup(vos))
+                .replay(&demo, w.program);
+            print_report(&report);
+            Ok(())
+        }
+        "explore" => {
+            let name = args.positional.first().ok_or("explore needs a workload")?;
+            let w = find_workload(name)?;
+            let runs = args.runs.unwrap_or(200);
+            let (tool, _) = config_for(&args, Tool::Rnd)?;
+            println!("exploring `{}` under {tool}: {runs} seeds", w.name);
+            let mut racy = 0u64;
+            let mut first_seed = None;
+            for seed in 0..runs {
+                let config = tool.config([seed, seed.wrapping_mul(0x9E37) + 1]);
+                let setup = w.setup;
+                let report = Execution::new(config)
+                    .setup(move |vos| setup(vos))
+                    .run(w.program);
+                if report.races > 0 {
+                    racy += 1;
+                    first_seed.get_or_insert(seed);
+                }
+            }
+            println!(
+                "races in {racy}/{runs} runs ({:.1}%)",
+                100.0 * racy as f64 / runs as f64
+            );
+            if let Some(seed) = first_seed {
+                println!("first racy seed: {seed}  (re-run: srr run {} --tool {} --seed {seed})",
+                    w.name, tool.label());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parse_args_flags_and_positionals() {
+        let a = parse_args(&argv(&[
+            "client", "--tool", "queue", "--seed", "7", "--out", "/tmp/x", "--runs", "9",
+        ]))
+        .unwrap();
+        assert_eq!(a.positional, vec!["client"]);
+        assert_eq!(a.tool.as_deref(), Some("queue"));
+        assert_eq!(a.seed, Some(7));
+        assert_eq!(a.runs, Some(9));
+        assert!(a.out.is_some());
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown_flag_and_missing_value() {
+        assert!(parse_args(&argv(&["--nope"])).is_err());
+        assert!(parse_args(&argv(&["--seed"])).is_err());
+        assert!(parse_args(&argv(&["--seed", "xyz"])).is_err());
+    }
+
+    #[test]
+    fn tool_and_sparse_parsers() {
+        assert!(parse_tool("queue").is_ok());
+        assert!(parse_tool("tsan11+rr").is_ok());
+        assert!(parse_tool("bogus").is_err());
+        assert!(parse_sparse("games").is_ok());
+        assert!(parse_sparse("bogus").is_err());
+    }
+
+    #[test]
+    fn workload_registry_is_complete() {
+        let names: Vec<&str> = workloads().iter().map(|w| w.name).collect();
+        for expected in ["client", "httpd", "pbzip", "game", "netplay", "ptrmap", "ms-queue"] {
+            assert!(names.contains(&expected), "{expected} missing from {names:?}");
+        }
+        assert!(find_workload("client").is_ok());
+        assert!(find_workload("nope").is_err());
+    }
+
+    #[test]
+    fn run_command_errors_are_usable() {
+        assert!(run_command(&[]).is_err());
+        assert!(run_command(&argv(&["frobnicate"])).is_err());
+        assert!(run_command(&argv(&["run"])).is_err(), "missing workload");
+        assert!(run_command(&argv(&["record", "client"])).is_err(), "missing --out");
+        assert!(run_command(&argv(&["replay", "client"])).is_err(), "missing --demo");
+    }
+
+    #[test]
+    fn record_and_replay_through_the_cli_paths() {
+        let dir = std::env::temp_dir().join(format!("srr-cli-test-{}", std::process::id()));
+        run_command(&argv(&[
+            "record",
+            "barrier",
+            "--tool",
+            "queue",
+            "--seed",
+            "3",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .expect("record");
+        run_command(&argv(&["replay", "barrier", "--demo", dir.to_str().unwrap()]))
+            .expect("replay");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run_command(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("srr: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

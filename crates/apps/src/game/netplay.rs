@@ -1,0 +1,257 @@
+//! Internet multiplayer and the historical map-change bug (§5.4).
+//!
+//! The paper records a real Zandronum bug (tracker #2380): *incorrect
+//! game state information sent from the server to the client during a
+//! map change*, in internet multiplayer mode. Here the game server is a
+//! peer state machine with the same flaw: every state update carries a
+//! checksum over `(sequence, player_count)`, but when another client
+//! joins close to a map change, the server computes the map-change
+//! snapshot with the *stale* player count — the client's validation then
+//! fails and it logs the desync.
+//!
+//! The bug depends on the (environmental) timing of the other client's
+//! join, so it appears only occasionally during recording — and then
+//! replays deterministically from the demo, which is the §5.4 result.
+
+use tsan11rec::vos::{Peer, PeerCtx, PollFd};
+
+/// Multiplayer session parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NetPlayParams {
+    /// State updates the server sends.
+    pub updates: u32,
+    /// A map change happens every this many updates.
+    pub map_change_every: u32,
+    /// Probability (per map change, in percent) that another client's
+    /// join hits the buggy window.
+    pub join_race_pct: u64,
+}
+
+impl Default for NetPlayParams {
+    fn default() -> Self {
+        NetPlayParams { updates: 40, map_change_every: 8, join_race_pct: 20 }
+    }
+}
+
+/// The state checksum both sides compute.
+#[must_use]
+fn checksum(seq: u32, players: u32) -> u32 {
+    (seq.wrapping_mul(0x9E37) ^ players.wrapping_mul(0x85EB)).wrapping_add(0xBEEF)
+}
+
+/// The buggy game server.
+pub struct GameServer {
+    params: NetPlayParams,
+    seq: u32,
+    players: u32,
+    joined: bool,
+    next_at: u64,
+}
+
+impl GameServer {
+    /// A fresh server for one client session.
+    #[must_use]
+    pub fn new(params: NetPlayParams) -> Self {
+        GameServer { params, seq: 0, players: 1, joined: false, next_at: 0 }
+    }
+}
+
+impl Peer for GameServer {
+    fn on_data(&mut self, ctx: &mut PeerCtx<'_>, data: &[u8]) {
+        if data.starts_with(b"JOIN") && !self.joined {
+            self.joined = true;
+            self.next_at = ctx.now();
+            ctx.send(format!("WELCOME players={}\n", self.players).into_bytes());
+        }
+    }
+
+    fn on_poll(&mut self, ctx: &mut PeerCtx<'_>) {
+        if !self.joined {
+            return;
+        }
+        while self.seq < self.params.updates && self.next_at <= ctx.now() {
+            self.seq += 1;
+            let seq = self.seq;
+            if seq % self.params.map_change_every == 0 {
+                // Map change. THE BUG: the snapshot checksum is computed
+                // *before* processing the pending join...
+                let stale_players = self.players;
+                let raced = ctx.rng().chance(self.params.join_race_pct, 100);
+                if raced {
+                    // ...but the join is applied first, and the update
+                    // that announces the new player count goes out with
+                    // the stale snapshot.
+                    self.players += 1;
+                }
+                ctx.send(
+                    format!(
+                        "MAPCHANGE seq={} players={} csum={}\n",
+                        seq,
+                        self.players,
+                        checksum(seq, stale_players)
+                    )
+                    .into_bytes(),
+                );
+            } else {
+                ctx.send(
+                    format!(
+                        "STATE seq={} players={} csum={}\n",
+                        seq,
+                        self.players,
+                        checksum(seq, self.players)
+                    )
+                    .into_bytes(),
+                );
+            }
+            self.next_at += 2_000;
+        }
+        if self.seq >= self.params.updates {
+            ctx.close();
+        }
+    }
+}
+
+/// The client program: joins, consumes updates, validates checksums, and
+/// logs `DESYNC BUG seq=N` when the server's map-change snapshot is
+/// inconsistent.
+pub fn netplay_client(params: NetPlayParams) -> impl FnOnce() + Send + 'static {
+    move || {
+        let server = tsan11rec::sys::connect(Box::new(GameServer::new(params)));
+        let _ = tsan11rec::sys::send(server, b"JOIN zandronum-client\n");
+        let mut line_buf: Vec<u8> = Vec::new();
+        let mut updates_seen = 0u32;
+        let mut bug_seen = false;
+        loop {
+            let mut fds = [PollFd::readable(server)];
+            match tsan11rec::sys::poll(&mut fds) {
+                Ok(n) if n > 0 && fds[0].revents.readable => {
+                    let mut buf = [0u8; 256];
+                    match tsan11rec::sys::recv(server, &mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => {
+                            line_buf.extend_from_slice(&buf[..n as usize]);
+                            while let Some(pos) = line_buf.iter().position(|&b| b == b'\n') {
+                                let line: Vec<u8> = line_buf.drain(..=pos).collect();
+                                let line = String::from_utf8_lossy(&line);
+                                if let Some((seq, players, csum)) = parse_update(&line) {
+                                    updates_seen += 1;
+                                    if checksum(seq, players) != csum {
+                                        bug_seen = true;
+                                        tsan11rec::sys::println(&format!(
+                                            "DESYNC BUG seq={seq}"
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(_) if fds[0].revents.hup => break,
+                _ => {}
+            }
+        }
+        tsan11rec::sys::println(&format!(
+            "session over: {updates_seen} updates, bug={bug_seen}"
+        ));
+    }
+}
+
+fn parse_update(line: &str) -> Option<(u32, u32, u32)> {
+    if !(line.starts_with("STATE") || line.starts_with("MAPCHANGE")) {
+        return None;
+    }
+    let mut seq = None;
+    let mut players = None;
+    let mut csum = None;
+    for field in line.split_whitespace() {
+        if let Some(v) = field.strip_prefix("seq=") {
+            seq = v.parse().ok();
+        } else if let Some(v) = field.strip_prefix("players=") {
+            players = v.parse().ok();
+        } else if let Some(v) = field.strip_prefix("csum=") {
+            csum = v.parse().ok();
+        }
+    }
+    Some((seq?, players?, csum?))
+}
+
+/// Records sessions with increasing environment seeds until the bug
+/// manifests; returns `(env_seed, demo, console)`.
+///
+/// # Panics
+///
+/// Panics if the bug does not appear within `max_attempts` sessions.
+pub fn record_until_bug(
+    params: NetPlayParams,
+    config: impl Fn() -> tsan11rec::Config,
+    max_attempts: u64,
+) -> (u64, tsan11rec::Demo, Vec<u8>) {
+    for env_seed in 0..max_attempts {
+        let (report, demo) = tsan11rec::Execution::new(config())
+            .with_vos(tsan11rec::vos::VosConfig::deterministic(env_seed))
+            .record(netplay_client(params));
+        assert!(report.outcome.is_ok(), "{:?}", report.outcome);
+        if report.console_text().contains("DESYNC BUG") {
+            return (env_seed, demo, report.console);
+        }
+    }
+    panic!("bug did not manifest within {max_attempts} recording sessions");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Tool;
+    use tsan11rec::SparseConfig;
+
+    #[test]
+    fn checksum_mismatch_is_exactly_the_stale_count() {
+        assert_eq!(checksum(8, 1), checksum(8, 1));
+        assert_ne!(checksum(8, 1), checksum(8, 2));
+    }
+
+    #[test]
+    fn parse_update_handles_both_kinds() {
+        assert_eq!(parse_update("STATE seq=3 players=2 csum=99\n"), Some((3, 2, 99)));
+        assert_eq!(parse_update("MAPCHANGE seq=8 players=2 csum=1\n"), Some((8, 2, 1)));
+        assert_eq!(parse_update("WELCOME players=1\n"), None);
+    }
+
+    #[test]
+    fn clean_session_has_no_bug() {
+        let params = NetPlayParams { join_race_pct: 0, ..Default::default() };
+        let r = crate::harness::run_tool(
+            Tool::Queue,
+            [1, 2],
+            |_| {},
+            netplay_client(params),
+        );
+        assert!(r.report.outcome.is_ok(), "{:?}", r.report.outcome);
+        let text = r.report.console_text();
+        assert!(text.contains("bug=false"), "{text}");
+        assert!(text.contains("40 updates"), "{text}");
+    }
+
+    #[test]
+    fn bug_records_and_replays() {
+        // The §5.4 case study: play sessions until the bug appears, then
+        // replay the demo — the bug must reappear identically.
+        let params = NetPlayParams::default();
+        let config =
+            || Tool::QueueRec.config([7, 9]).with_sparse(SparseConfig::games());
+        let (env_seed, demo, rec_console) = record_until_bug(params, config, 64);
+        // Replay into a FRESH world with a different env seed: the bug
+        // must come from the demo, not the live server.
+        let rep = tsan11rec::Execution::new(config())
+            .with_vos(tsan11rec::vos::VosConfig::deterministic(env_seed + 1_000))
+            .replay(&demo, netplay_client(params));
+        assert!(rep.outcome.is_ok(), "{:?}", rep.outcome);
+        assert!(
+            rep.console_text().contains("DESYNC BUG"),
+            "replayed session must reproduce the bug:\n{}",
+            rep.console_text()
+        );
+        assert_eq!(rep.console, rec_console, "bit-identical session log");
+    }
+}

@@ -1,0 +1,31 @@
+//! Workloads for the tsan11rec reproduction.
+//!
+//! Every application the paper evaluates (§5) has a counterpart here,
+//! written against the `tsan11rec` instrumentation API and the `srr-vos`
+//! virtual kernel:
+//!
+//! | Paper workload | Module |
+//! |---|---|
+//! | CDSchecker litmus tests (§5.1, Table 1) | [`litmus`] |
+//! | Apache httpd + `ab` (§5.2, Table 2) | [`httpd`] |
+//! | PARSEC benchmarks (§5.3, Tables 3–4) | [`parsec`] |
+//! | pbzip (§5.3) | [`pbzip`] |
+//! | Zandronum / QuakeSpasm (§5.4, Table 5) | [`game`] |
+//! | SQLite / SpiderMonkey limitation (§5.5) | [`ptrmap`] |
+//! | Figure 2's generic client | [`client`] |
+//!
+//! The [`harness`] module names the paper's tool configurations
+//! (`native`, `tsan11`, `rr`, `tsan11 + rr`, `rnd`, `queue`, `± rec`) and
+//! provides the statistics helpers the benchmark tables are built from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod game;
+pub mod harness;
+pub mod httpd;
+pub mod litmus;
+pub mod parsec;
+pub mod pbzip;
+pub mod ptrmap;

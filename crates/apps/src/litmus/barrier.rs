@@ -1,0 +1,87 @@
+//! `barrier`: a sense-reversing spinning barrier implemented with
+//! insufficient orderings (relaxed operations), after the CDSchecker
+//! benchmark of the same name.
+//!
+//! Two threads write to their own slot, cross the barrier, then read the
+//! *other* thread's slot. The barrier's relaxed operations create no
+//! happens-before edge, so the cross-barrier reads race with the writes
+//! under schedules where the barrier "works" only by accident.
+
+use std::sync::Arc;
+
+use tsan11rec::{Atomic, MemOrder, Shared};
+
+struct SpinBarrier {
+    count: Atomic<u32>,
+    generation: Atomic<u32>,
+    total: u32,
+}
+
+impl SpinBarrier {
+    fn new(total: u32) -> Self {
+        SpinBarrier {
+            count: Atomic::new(0),
+            generation: Atomic::new(0),
+            total,
+        }
+    }
+
+    /// The buggy wait: all operations relaxed, as in the benchmark.
+    /// Returns `true` if the barrier was observed to complete, `false` if
+    /// the (bounded) spin escaped early — under orderly schedules the
+    /// escape almost never happens, which is what makes the race
+    /// schedule-dependent (the paper's tsan11/queue rates are ~0%).
+    fn wait(&self) -> bool {
+        let gen = self.generation.load(MemOrder::Relaxed);
+        let arrived = self.count.fetch_add(1, MemOrder::Relaxed) + 1;
+        if arrived == self.total {
+            // Last arrival resets and releases the others — with a
+            // relaxed store, so no synchronization is transferred.
+            self.count.store(0, MemOrder::Relaxed);
+            self.generation.store(gen + 1, MemOrder::Relaxed);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(MemOrder::Relaxed) == gen {
+                spins += 1;
+                if spins > 6 {
+                    return false; // bounded spin keeps the litmus terminating
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Runs the benchmark body.
+pub fn barrier() {
+    let barrier = Arc::new(SpinBarrier::new(2));
+    let slots = Arc::new([Shared::new("slot0", 0u64), Shared::new("slot1", 0u64)]);
+
+    let handles: Vec<_> = (0..2usize)
+        .map(|me| {
+            let barrier = Arc::clone(&barrier);
+            let slots = Arc::clone(&slots);
+            tsan11rec::thread::spawn(move || {
+                // Several barrier phases, as in the benchmark's loop.
+                for phase in 0..3u64 {
+                    slots[me].write(me as u64 + phase);
+                    // A thread that escapes the bounded spin proceeds into
+                    // the next phase while its partner may still be in the
+                    // previous one — the cross-slot read then races. Under
+                    // orderly schedules the escape (an under-scheduled
+                    // partner, or a run of stale generation reads) is
+                    // rare, which is what makes this benchmark
+                    // schedule-sensitive.
+                    if !barrier.wait() {
+                        let other = slots[1 - me].read();
+                        std::hint::black_box(other);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+}

@@ -1,0 +1,114 @@
+//! `chase-lev-deque`: the Chase–Lev work-stealing deque as published in
+//! "Correct and Efficient Work-Stealing for Weak Memory Models" — with
+//! the known bug of the original C11 port (a relaxed store where a
+//! release is required), after the CDSchecker benchmark.
+//!
+//! The owner pushes and takes at the bottom; a thief steals from the top.
+//! Elements live in plain (race-checked) storage: when the synchronization
+//! is too weak, the thief's element read races with the owner's write.
+//!
+//! The paper notes (§5.1) that this benchmark's race needs a long
+//! specific prefix by the owner before the thief runs, which uniform
+//! random scheduling rarely produces — its Table 1 rate is *lower* for
+//! `rnd` than for plain tsan11.
+
+use std::sync::Arc;
+
+use tsan11rec::{Atomic, MemOrder, SharedArray};
+
+const CAP: usize = 8;
+
+struct Deque {
+    top: Atomic<u64>,
+    bottom: Atomic<u64>,
+    items: SharedArray<u64>,
+}
+
+impl Deque {
+    fn new() -> Self {
+        Deque {
+            top: Atomic::new(0),
+            bottom: Atomic::new(0),
+            items: SharedArray::new("deque", CAP, 0),
+        }
+    }
+
+    fn push(&self, value: u64) {
+        let b = self.bottom.load(MemOrder::Relaxed);
+        self.items.write((b as usize) % CAP, value);
+        // BUG (the published port's flaw): relaxed instead of release, so
+        // the element write is not ordered before the bottom publication.
+        self.bottom.store(b + 1, MemOrder::Relaxed);
+    }
+
+    fn take(&self) -> Option<u64> {
+        let b = self.bottom.load(MemOrder::Relaxed).wrapping_sub(1);
+        self.bottom.store(b, MemOrder::Relaxed);
+        tsan11rec::fence(MemOrder::SeqCst);
+        let t = self.top.load(MemOrder::Relaxed);
+        if t as i64 > b as i64 {
+            self.bottom.store(b + 1, MemOrder::Relaxed);
+            return None;
+        }
+        let value = self.items.read((b as usize) % CAP);
+        if t == b {
+            if self
+                .top
+                .compare_exchange(t, t + 1, MemOrder::SeqCst, MemOrder::Relaxed)
+                .is_err()
+            {
+                self.bottom.store(b + 1, MemOrder::Relaxed);
+                return None;
+            }
+            self.bottom.store(b + 1, MemOrder::Relaxed);
+        }
+        Some(value)
+    }
+
+    fn steal(&self) -> Option<u64> {
+        let t = self.top.load(MemOrder::Acquire);
+        tsan11rec::fence(MemOrder::SeqCst);
+        let b = self.bottom.load(MemOrder::Acquire);
+        if t as i64 >= b as i64 {
+            return None;
+        }
+        // Reading the element here races with the owner's write when the
+        // relaxed bottom-store let the publication overtake it.
+        let value = self.items.read((t as usize) % CAP);
+        if self
+            .top
+            .compare_exchange(t, t + 1, MemOrder::SeqCst, MemOrder::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        Some(value)
+    }
+}
+
+/// Runs the benchmark body.
+pub fn chase_lev_deque() {
+    let deque = Arc::new(Deque::new());
+    let thief = {
+        let deque = Arc::clone(&deque);
+        tsan11rec::thread::spawn(move || {
+            let mut got = 0u32;
+            for _ in 0..6 {
+                if deque.steal().is_some() {
+                    got += 1;
+                }
+            }
+            got
+        })
+    };
+    // Owner: a burst of pushes and takes. The racy window needs the thief
+    // to observe a freshly pushed bottom before the element write is
+    // visible.
+    for i in 0..4 {
+        deque.push(i + 1);
+    }
+    let _ = deque.take();
+    deque.push(99);
+    let _ = deque.take();
+    let _ = thief.join();
+}

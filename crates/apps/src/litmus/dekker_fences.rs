@@ -1,0 +1,80 @@
+//! `dekker-fences`: Dekker's mutual-exclusion algorithm with relaxed
+//! accesses and sequentially-consistent fences, after the CDSchecker
+//! benchmark.
+//!
+//! The critical section contains a plain shared variable. The fence
+//! placement is the *published* (buggy) variant: the fence protecting the
+//! `turn`-based wait path is missing, so under some interleavings both
+//! threads enter the critical section and the plain accesses race — the
+//! benchmark's Table 1 race rate is around 50%.
+
+use std::sync::Arc;
+
+use tsan11rec::{fence, Atomic, MemOrder, Shared};
+
+struct DekkerState {
+    flag: [Atomic<bool>; 2],
+    turn: Atomic<u32>,
+    critical: Shared<u64>,
+}
+
+fn enter(state: &DekkerState, me: usize) {
+    let other = 1 - me;
+    state.flag[me].store(true, MemOrder::Relaxed);
+    fence(MemOrder::SeqCst);
+    let mut spins = 0u32;
+    while state.flag[other].load(MemOrder::Relaxed) {
+        if state.turn.load(MemOrder::Relaxed) != me as u32 {
+            state.flag[me].store(false, MemOrder::Relaxed);
+            // BUG (as in the benchmark): no fence before re-raising the
+            // flag on the wait path.
+            let mut inner = 0u32;
+            while state.turn.load(MemOrder::Relaxed) != me as u32 {
+                inner += 1;
+                if inner > 64 {
+                    break;
+                }
+            }
+            state.flag[me].store(true, MemOrder::Relaxed);
+            fence(MemOrder::SeqCst);
+        }
+        spins += 1;
+        if spins > 64 {
+            break; // bounded for termination; the break is itself unsafe
+        }
+    }
+}
+
+fn exit(state: &DekkerState, me: usize) {
+    let other = 1 - me;
+    state.turn.store(other as u32, MemOrder::Relaxed);
+    fence(MemOrder::SeqCst);
+    state.flag[me].store(false, MemOrder::Relaxed);
+}
+
+/// Runs the benchmark body.
+pub fn dekker_fences() {
+    let state = Arc::new(DekkerState {
+        flag: [Atomic::new(false), Atomic::new(false)],
+        turn: Atomic::new(0),
+        critical: Shared::new("critical", 0),
+    });
+    let handles: Vec<_> = (0..2usize)
+        .map(|me| {
+            let state = Arc::clone(&state);
+            tsan11rec::thread::spawn(move || {
+                for _ in 0..2 {
+                    enter(&state, me);
+                    // The critical section: plain increment, racy if
+                    // mutual exclusion is violated.
+                    let v = state.critical.read();
+                    state.critical.write(v + 1);
+                    exit(&state, me);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+}

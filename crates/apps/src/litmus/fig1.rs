@@ -1,0 +1,54 @@
+//! Figure 1 of the paper: the canonical weak-memory race that tsan11
+//! finds and plain tsan cannot, here as a litmus program.
+//!
+//! ```text
+//! T1: nax = 1; x.store(1, release) /*A*/; y.store(1, release) /*B*/;
+//! T2: if (y.load(relaxed) == 1 /*C*/ && x.load(relaxed) == 0 /*D*/)
+//!         x.store(2, relaxed);
+//! T3: if (x.load(acquire) > 0 /*E*/) print(nax);
+//! ```
+//!
+//! For C to read 1 both stores have happened, yet D may still read the
+//! *stale* 0 under C++11 — impossible under sequential consistency. T2's
+//! relaxed store then lets E pass without synchronizing with T1, so T3's
+//! read of `nax` races with T1's write.
+
+use std::sync::Arc;
+
+use tsan11rec::{Atomic, MemOrder, Shared};
+
+/// Runs the Figure 1 program.
+pub fn fig1_racy() {
+    let nax = Arc::new(Shared::new("nax", 0u64));
+    let x = Arc::new(Atomic::new(0u32));
+    let y = Arc::new(Atomic::new(0u32));
+
+    let t1 = {
+        let (nax, x, y) = (Arc::clone(&nax), Arc::clone(&x), Arc::clone(&y));
+        tsan11rec::thread::spawn(move || {
+            nax.write(1);
+            x.store(1, MemOrder::Release); // A
+            y.store(1, MemOrder::Release); // B
+        })
+    };
+    let t2 = {
+        let (x, y) = (Arc::clone(&x), Arc::clone(&y));
+        tsan11rec::thread::spawn(move || {
+            if y.load(MemOrder::Relaxed) == 1 && x.load(MemOrder::Relaxed) == 0 {
+                x.store(2, MemOrder::Relaxed);
+            }
+        })
+    };
+    let t3 = {
+        let (nax, x) = (Arc::clone(&nax), Arc::clone(&x));
+        tsan11rec::thread::spawn(move || {
+            if x.load(MemOrder::Acquire) > 0 {
+                // E
+                std::hint::black_box(nax.read()); // print(nax)
+            }
+        })
+    };
+    t1.join();
+    t2.join();
+    t3.join();
+}

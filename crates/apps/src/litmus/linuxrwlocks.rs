@@ -1,0 +1,88 @@
+//! `linuxrwlocks`: the Linux-kernel-style reader/writer lock over a
+//! single counter, after the CDSchecker benchmark — with the benchmark's
+//! deliberately weakened orderings (relaxed where acquire/release is
+//! needed), so lock acquisitions do not synchronize and the protected
+//! data races.
+
+use std::sync::Arc;
+
+use tsan11rec::{Atomic, MemOrder, Shared};
+
+const WRITE_BIAS: u64 = 0x0100_0000;
+
+struct RwLock {
+    /// `counter` = WRITE_BIAS − readers; a writer CASes the whole bias.
+    counter: Atomic<u64>,
+}
+
+impl RwLock {
+    fn new() -> Self {
+        RwLock { counter: Atomic::new(WRITE_BIAS) }
+    }
+
+    fn read_trylock(&self) -> bool {
+        // BUG: relaxed RMW — a successful read lock acquires nothing.
+        let prev = self.counter.fetch_sub(1, MemOrder::Relaxed);
+        if prev == 0 || prev > WRITE_BIAS {
+            // Writer holds it (counter was 0) or underflow: undo.
+            self.counter.fetch_add(1, MemOrder::Relaxed);
+            false
+        } else {
+            true
+        }
+    }
+
+    fn read_unlock(&self) {
+        // BUG: relaxed release path.
+        self.counter.fetch_add(1, MemOrder::Relaxed);
+    }
+
+    fn write_trylock(&self) -> bool {
+        self.counter
+            .compare_exchange(WRITE_BIAS, 0, MemOrder::Relaxed, MemOrder::Relaxed)
+            .is_ok()
+    }
+
+    fn write_unlock(&self) {
+        // BUG: relaxed store — the writer's data writes are unpublished.
+        self.counter.store(WRITE_BIAS, MemOrder::Relaxed);
+    }
+}
+
+/// Runs the benchmark body.
+pub fn linuxrwlocks() {
+    let lock = Arc::new(RwLock::new());
+    let data = Arc::new(Shared::new("rwdata", 0u64));
+
+    let writer = {
+        let lock = Arc::clone(&lock);
+        let data = Arc::clone(&data);
+        tsan11rec::thread::spawn(move || {
+            for i in 0..3 {
+                if lock.write_trylock() {
+                    data.write(i);
+                    lock.write_unlock();
+                }
+            }
+        })
+    };
+    let reader = {
+        let lock = Arc::clone(&lock);
+        let data = Arc::clone(&data);
+        tsan11rec::thread::spawn(move || {
+            let mut sum = 0u64;
+            for _ in 0..3 {
+                if lock.read_trylock() {
+                    // Even when mutual exclusion holds, the relaxed
+                    // orderings create no happens-before edge, so this
+                    // read races with the writer's write.
+                    sum += data.read();
+                    lock.read_unlock();
+                }
+            }
+            sum
+        })
+    };
+    writer.join();
+    let _ = reader.join();
+}

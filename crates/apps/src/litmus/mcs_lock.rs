@@ -1,0 +1,97 @@
+//! `mcs-lock`: a simplified MCS queue lock, after the CDSchecker
+//! benchmark. The queue is modelled with per-thread "locked" flags and a
+//! tail pointer; the hand-off uses relaxed operations (the benchmark's
+//! weakened variant), so the critical-section data races across hand-offs.
+
+use std::sync::Arc;
+
+use tsan11rec::{Atomic, MemOrder, Shared};
+
+const NTHREADS: usize = 2;
+
+struct McsLock {
+    /// Index+1 of the queue tail's owner (0 = free).
+    tail: Atomic<u64>,
+    /// Spin flags, one per thread.
+    locked: [Atomic<bool>; NTHREADS],
+    /// Successor links (owner index+1; 0 = none).
+    next: [Atomic<u64>; NTHREADS],
+}
+
+impl McsLock {
+    fn new() -> Self {
+        McsLock {
+            tail: Atomic::new(0),
+            locked: [Atomic::new(false), Atomic::new(false)],
+            next: [Atomic::new(0), Atomic::new(0)],
+        }
+    }
+
+    fn lock(&self, me: usize) {
+        self.next[me].store(0, MemOrder::Relaxed);
+        self.locked[me].store(true, MemOrder::Relaxed);
+        // Swap ourselves in as the tail. (AcqRel in the correct version;
+        // the benchmark's weak variant relaxes it.)
+        let prev = self.tail.swap(me as u64 + 1, MemOrder::Relaxed);
+        if prev != 0 {
+            let prev = (prev - 1) as usize;
+            self.next[prev].store(me as u64 + 1, MemOrder::Relaxed);
+            let mut spins = 0u32;
+            while self.locked[me].load(MemOrder::Relaxed) {
+                spins += 1;
+                if spins > 200 {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn unlock(&self, me: usize) {
+        let succ = self.next[me].load(MemOrder::Relaxed);
+        if succ == 0 {
+            if self
+                .tail
+                .compare_exchange(me as u64 + 1, 0, MemOrder::Relaxed, MemOrder::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            // A successor is linking itself; wait briefly for the link.
+            let mut spins = 0u32;
+            while self.next[me].load(MemOrder::Relaxed) == 0 {
+                spins += 1;
+                if spins > 200 {
+                    return;
+                }
+            }
+        }
+        let succ = self.next[me].load(MemOrder::Relaxed);
+        if succ != 0 {
+            // BUG: relaxed hand-off publishes nothing.
+            self.locked[(succ - 1) as usize].store(false, MemOrder::Relaxed);
+        }
+    }
+}
+
+/// Runs the benchmark body.
+pub fn mcs_lock() {
+    let lock = Arc::new(McsLock::new());
+    let data = Arc::new(Shared::new("mcsdata", 0u64));
+    let handles: Vec<_> = (0..NTHREADS)
+        .map(|me| {
+            let lock = Arc::clone(&lock);
+            let data = Arc::clone(&data);
+            tsan11rec::thread::spawn(move || {
+                for _ in 0..2 {
+                    lock.lock(me);
+                    let v = data.read();
+                    data.write(v + 1);
+                    lock.unlock(me);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+}

@@ -1,0 +1,97 @@
+//! `mpmc-queue`: a bounded multi-producer/multi-consumer ring buffer,
+//! after the CDSchecker benchmark. Ticket acquisition uses RMWs; the
+//! element hand-off is relaxed (the benchmark's weak variant), so element
+//! reads race with writes.
+
+use std::sync::Arc;
+
+use tsan11rec::{Atomic, MemOrder, SharedArray};
+
+const CAP: usize = 4;
+
+struct MpmcQueue {
+    write_ticket: Atomic<u64>,
+    read_ticket: Atomic<u64>,
+    /// Per-slot ready flags (sequence numbers in the real algorithm).
+    ready: [Atomic<bool>; CAP],
+    items: SharedArray<u64>,
+}
+
+impl MpmcQueue {
+    fn new() -> Self {
+        MpmcQueue {
+            write_ticket: Atomic::new(0),
+            read_ticket: Atomic::new(0),
+            ready: [
+                Atomic::new(false),
+                Atomic::new(false),
+                Atomic::new(false),
+                Atomic::new(false),
+            ],
+            items: SharedArray::new("mpmc", CAP, 0),
+        }
+    }
+
+    fn push(&self, value: u64) {
+        let t = self.write_ticket.fetch_add(1, MemOrder::Relaxed);
+        let slot = (t as usize) % CAP;
+        self.items.write(slot, value);
+        // BUG: relaxed ready-flag publication.
+        self.ready[slot].store(true, MemOrder::Relaxed);
+    }
+
+    fn pop(&self) -> Option<u64> {
+        let t = self.read_ticket.load(MemOrder::Relaxed);
+        let slot = (t as usize) % CAP;
+        if !self.ready[slot].load(MemOrder::Relaxed) {
+            return None;
+        }
+        if self
+            .read_ticket
+            .compare_exchange(t, t + 1, MemOrder::Relaxed, MemOrder::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        // Relaxed flag gave no hb edge: this read races with the
+        // producer's element write.
+        let v = self.items.read(slot);
+        self.ready[slot].store(false, MemOrder::Relaxed);
+        Some(v)
+    }
+}
+
+/// Runs the benchmark body.
+pub fn mpmc_queue() {
+    let q = Arc::new(MpmcQueue::new());
+    let producers: Vec<_> = (0..2)
+        .map(|p| {
+            let q = Arc::clone(&q);
+            tsan11rec::thread::spawn(move || {
+                for i in 0..2 {
+                    q.push(p * 10 + i);
+                }
+            })
+        })
+        .collect();
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            tsan11rec::thread::spawn(move || {
+                let mut got = 0u32;
+                for _ in 0..4 {
+                    if q.pop().is_some() {
+                        got += 1;
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    for h in producers {
+        h.join();
+    }
+    for h in consumers {
+        let _ = h.join();
+    }
+}

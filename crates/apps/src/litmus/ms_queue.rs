@@ -1,0 +1,137 @@
+//! `ms-queue`: the Michael–Scott non-blocking queue over a preallocated
+//! node arena, after the CDSchecker benchmark. Node payloads are plain
+//! (race-checked); the benchmark's weak variant uses relaxed CAS/loads on
+//! the `next` pointers, so payload reads race with payload writes on
+//! essentially every schedule (the paper's Table 1 shows a 100% rate).
+//!
+//! This is also the longest-running litmus (most visible operations per
+//! run), which is why Table 1's timing column is dominated by it.
+
+use std::sync::Arc;
+
+use tsan11rec::{Atomic, MemOrder, SharedArray};
+
+const ARENA: usize = 32;
+
+struct MsQueue {
+    /// Node arena: `next[i]` holds index+1 of the successor (0 = null).
+    next: Vec<Atomic<u64>>,
+    /// Payload per node (plain storage: the racy part).
+    payload: SharedArray<u64>,
+    head: Atomic<u64>,
+    tail: Atomic<u64>,
+    /// Bump allocator over the arena.
+    alloc: Atomic<u64>,
+}
+
+impl MsQueue {
+    fn new() -> Self {
+        let next = (0..ARENA).map(|_| Atomic::new(0)).collect();
+        let q = MsQueue {
+            next,
+            payload: SharedArray::new("msq", ARENA, 0),
+            // Node 1 is the initial dummy.
+            head: Atomic::new(1),
+            tail: Atomic::new(1),
+            alloc: Atomic::new(1),
+        };
+        q
+    }
+
+    fn alloc_node(&self) -> Option<u64> {
+        let n = self.alloc.fetch_add(1, MemOrder::Relaxed) + 1;
+        (n as usize <= ARENA).then_some(n)
+    }
+
+    fn enqueue(&self, value: u64) {
+        let Some(node) = self.alloc_node() else { return };
+        self.payload.write((node - 1) as usize, value);
+        self.next[(node - 1) as usize].store(0, MemOrder::Relaxed);
+        let mut spins = 0u32;
+        loop {
+            let tail = self.tail.load(MemOrder::Relaxed);
+            let nxt = self.next[(tail - 1) as usize].load(MemOrder::Relaxed);
+            if nxt == 0 {
+                // BUG: relaxed link CAS — the payload write above is not
+                // published to dequeuers.
+                if self.next[(tail - 1) as usize]
+                    .compare_exchange(0, node, MemOrder::Relaxed, MemOrder::Relaxed)
+                    .is_ok()
+                {
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        node,
+                        MemOrder::Relaxed,
+                        MemOrder::Relaxed,
+                    );
+                    return;
+                }
+            } else {
+                let _ =
+                    self.tail
+                        .compare_exchange(tail, nxt, MemOrder::Relaxed, MemOrder::Relaxed);
+            }
+            spins += 1;
+            if spins > 64 {
+                return;
+            }
+        }
+    }
+
+    fn dequeue(&self) -> Option<u64> {
+        let mut spins = 0u32;
+        loop {
+            let head = self.head.load(MemOrder::Relaxed);
+            let tail = self.tail.load(MemOrder::Relaxed);
+            let nxt = self.next[(head - 1) as usize].load(MemOrder::Relaxed);
+            if head == tail {
+                if nxt == 0 {
+                    return None;
+                }
+                let _ =
+                    self.tail
+                        .compare_exchange(tail, nxt, MemOrder::Relaxed, MemOrder::Relaxed);
+            } else if nxt != 0 {
+                // Racy payload read: the relaxed link CAS gave no edge.
+                let value = self.payload.read((nxt - 1) as usize);
+                if self
+                    .head
+                    .compare_exchange(head, nxt, MemOrder::Relaxed, MemOrder::Relaxed)
+                    .is_ok()
+                {
+                    return Some(value);
+                }
+            }
+            spins += 1;
+            if spins > 64 {
+                return None;
+            }
+        }
+    }
+}
+
+/// Runs the benchmark body.
+pub fn ms_queue() {
+    let q = Arc::new(MsQueue::new());
+    let handles: Vec<_> = (0..2u64)
+        .map(|t| {
+            let q = Arc::clone(&q);
+            tsan11rec::thread::spawn(move || {
+                // Each thread interleaves enqueues and dequeues — the
+                // benchmark's mixed workload, long enough to dominate the
+                // suite's runtime.
+                let mut got = 0u64;
+                for i in 0..6 {
+                    q.enqueue(t * 100 + i);
+                    if let Some(v) = q.dequeue() {
+                        got = got.wrapping_add(v);
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+}

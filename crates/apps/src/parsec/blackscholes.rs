@@ -1,0 +1,97 @@
+//! `blackscholes`: embarrassingly parallel option pricing.
+//!
+//! Work is distributed between threads once at startup; each thread then
+//! prices its slice with pure floating-point compute (invisible
+//! operations) and writes results to its own region. The paper found this
+//! shape is *bad for rr* (sequentialization wastes the parallelism) and
+//! good for tsan11rec, whose invisible operations run concurrently.
+
+use std::sync::Arc;
+
+use tsan11rec::{Shared, SharedArray};
+
+use super::ParsecParams;
+
+/// Cumulative normal distribution (Abramowitz–Stegun approximation), as
+/// in the real kernel.
+fn cnd(x: f64) -> f64 {
+    let l = x.abs();
+    let k = 1.0 / (1.0 + 0.2316419 * l);
+    let poly = k
+        * (0.319381530
+            + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+    let w = 1.0 - 1.0 / (2.0 * std::f64::consts::PI).sqrt() * (-l * l / 2.0).exp() * poly;
+    if x < 0.0 {
+        1.0 - w
+    } else {
+        w
+    }
+}
+
+/// One Black–Scholes call price.
+fn price(spot: f64, strike: f64, rate: f64, vol: f64, time: f64) -> f64 {
+    let d1 = ((spot / strike).ln() + (rate + vol * vol / 2.0) * time) / (vol * time.sqrt());
+    let d2 = d1 - vol * time.sqrt();
+    spot * cnd(d1) - strike * (-rate * time).exp() * cnd(d2)
+}
+
+/// Runs the kernel: `params.size` options per thread.
+pub fn blackscholes(params: ParsecParams) {
+    let n = params.size * params.threads;
+    let results = Arc::new(SharedArray::new("bs_out", n, 0.0f64));
+    let done_count = Arc::new(Shared::new("bs_done", 0u64));
+
+    let handles: Vec<_> = (0..params.threads)
+        .map(|t| {
+            let results = Arc::clone(&results);
+            let _done = Arc::clone(&done_count);
+            tsan11rec::thread::spawn(move || {
+                let lo = t * params.size;
+                let hi = lo + params.size;
+                for i in lo..hi {
+                    // Derive option parameters from the index (the real
+                    // kernel reads an input file; the values only need to
+                    // drive the same compute).
+                    let spot = 40.0 + (i % 60) as f64;
+                    let strike = 35.0 + (i % 50) as f64;
+                    let vol = 0.15 + (i % 10) as f64 / 40.0;
+                    let time = 0.25 + (i % 8) as f64 / 8.0;
+                    // Price repeatedly (the kernel's NUM_RUNS loop) —
+                    // pure invisible compute.
+                    let mut v = 0.0;
+                    for _ in 0..12 {
+                        v = price(spot, strike, 0.02, vol, time);
+                    }
+                    results.write(i, v);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    // Spot-check a value so the compute cannot be optimized away.
+    let sample = results.read(0);
+    assert!(sample.is_finite() && sample > 0.0, "priced {sample}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnd_is_a_distribution() {
+        assert!((cnd(0.0) - 0.5).abs() < 1e-6);
+        assert!(cnd(5.0) > 0.999);
+        assert!(cnd(-5.0) < 0.001);
+        assert!((cnd(1.0) + cnd(-1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn price_is_monotone_in_spot() {
+        let lo = price(40.0, 40.0, 0.02, 0.2, 0.5);
+        let hi = price(45.0, 40.0, 0.02, 0.2, 0.5);
+        assert!(hi > lo);
+        assert!(lo > 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! `bodytrack`: a work-queue of "particle evaluation" items dispatched to
+//! a thread pool through a mutex/condvar queue, frame after frame — the
+//! suite's condvar-heavy member. A main thread enqueues items and waits
+//! for the pool to drain them before the next frame.
+
+use std::sync::Arc;
+
+use tsan11rec::{Atomic, Condvar, MemOrder, Mutex};
+
+use super::ParsecParams;
+
+struct Pool {
+    queue: Mutex<Vec<u64>>,
+    work_cv: Condvar,
+    completed: Mutex<u64>,
+    done_cv: Condvar,
+    completed_snapshot: Atomic<u64>,
+    shutdown: Atomic<bool>,
+}
+
+fn evaluate(item: u64) -> f64 {
+    // Particle likelihood stand-in: some genuine arithmetic.
+    let mut acc = item as f64;
+    for k in 1..24 {
+        acc = (acc * 1.000_3 + k as f64).sqrt() + (acc * 0.01).cos().abs();
+    }
+    acc
+}
+
+/// Runs the kernel: 3 frames of `size` items each over a worker pool.
+pub fn bodytrack(params: ParsecParams) {
+    let pool = Arc::new(Pool {
+        queue: Mutex::new(Vec::new()),
+        work_cv: Condvar::new(),
+        completed: Mutex::new(0),
+        done_cv: Condvar::new(),
+        completed_snapshot: Atomic::new(0),
+        shutdown: Atomic::new(false),
+    });
+
+    let workers: Vec<_> = (0..params.threads)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            tsan11rec::thread::spawn(move || {
+                let mut local = 0.0f64;
+                loop {
+                    let item = {
+                        let mut q = pool.queue.lock();
+                        loop {
+                            if let Some(item) = q.pop() {
+                                break Some(item);
+                            }
+                            if pool.shutdown.load(MemOrder::SeqCst) {
+                                break None;
+                            }
+                            let (q2, _signaled) = pool.work_cv.wait_timeout(q, 1);
+                            q = q2;
+                        }
+                    };
+                    let Some(item) = item else { break };
+                    local += evaluate(item);
+                    {
+                        let mut done = pool.completed.lock();
+                        *done += 1;
+                        pool.completed_snapshot.store(*done, MemOrder::Release);
+                    }
+                    pool.done_cv.notify_all();
+                }
+                local
+            })
+        })
+        .collect();
+
+    const FRAMES: u64 = 3;
+    let items_per_frame = params.size as u64;
+    for frame in 0..FRAMES {
+        {
+            let mut q = pool.queue.lock();
+            for i in 0..items_per_frame {
+                q.push(frame * 1_000 + i);
+            }
+        }
+        pool.work_cv.notify_all();
+        // Wait for the frame to drain (condition variable, as in the real
+        // kernel — blocking, not spinning).
+        let mut done = pool.completed.lock();
+        while *done < (frame + 1) * items_per_frame {
+            done = pool.done_cv.wait(done);
+        }
+        drop(done);
+    }
+    pool.shutdown.store(true, MemOrder::SeqCst);
+    pool.work_cv.notify_all();
+    for w in workers {
+        let _ = w.join();
+    }
+    assert_eq!(
+        pool.completed_snapshot.load(MemOrder::Acquire),
+        FRAMES * items_per_frame
+    );
+}

@@ -1,0 +1,104 @@
+//! `ferret`: a four-stage similarity-search pipeline (segment → extract →
+//! index → rank), each stage a thread connected by bounded queues — the
+//! suite's pipeline member. Moderate visible-op density with steady
+//! cross-stage traffic.
+
+use std::sync::Arc;
+
+use tsan11rec::{Condvar, Mutex};
+
+use super::ParsecParams;
+
+struct Channel {
+    queue: Mutex<Vec<Option<u64>>>,
+    cv: Condvar,
+}
+
+impl Channel {
+    fn new() -> Arc<Self> {
+        Arc::new(Channel { queue: Mutex::new(Vec::new()), cv: Condvar::new() })
+    }
+
+    /// Sends an item (`None` = end-of-stream).
+    fn send(&self, item: Option<u64>) {
+        self.queue.lock().insert(0, item);
+        self.cv.notify_one();
+    }
+
+    /// Receives the next item, spinning via timed waits.
+    fn recv(&self) -> Option<u64> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(item) = q.pop() {
+                return item;
+            }
+            let (q2, _signaled) = self.cv.wait_timeout(q, 1);
+            q = q2;
+        }
+    }
+}
+
+fn stage_work(x: u64, rounds: u32) -> u64 {
+    let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for _ in 0..rounds {
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 32;
+    }
+    h
+}
+
+/// Runs the pipeline: `size` queries through 4 stages.
+///
+/// `params.threads` is interpreted as pipeline width ≥ 2: with fewer than
+/// 4 threads the later stages are fused, mirroring ferret's configurable
+/// stage pool.
+pub fn ferret(params: ParsecParams) {
+    let queries = params.size as u64;
+    let c1 = Channel::new();
+    let c2 = Channel::new();
+    let c3 = Channel::new();
+    let results = Arc::new(Mutex::new(Vec::<u64>::new()));
+
+    // Stage 2: extract.
+    let s2 = {
+        let (c1, c2) = (Arc::clone(&c1), Arc::clone(&c2));
+        tsan11rec::thread::spawn(move || {
+            while let Some(x) = c1.recv() {
+                c2.send(Some(stage_work(x, 16)));
+            }
+            c2.send(None);
+        })
+    };
+    // Stage 3: index.
+    let s3 = {
+        let (c2, c3) = (Arc::clone(&c2), Arc::clone(&c3));
+        tsan11rec::thread::spawn(move || {
+            while let Some(x) = c2.recv() {
+                c3.send(Some(stage_work(x, 24)));
+            }
+            c3.send(None);
+        })
+    };
+    // Stage 4: rank.
+    let s4 = {
+        let (c3, results) = (Arc::clone(&c3), Arc::clone(&results));
+        tsan11rec::thread::spawn(move || {
+            while let Some(x) = c3.recv() {
+                results.lock().push(stage_work(x, 8));
+            }
+        })
+    };
+
+    // Stage 1 (this thread): segment.
+    for q in 0..queries {
+        c1.send(Some(stage_work(q, 8)));
+    }
+    c1.send(None);
+
+    s2.join();
+    s3.join();
+    s4.join();
+    let results = results.lock();
+    assert_eq!(results.len(), queries as usize);
+}

@@ -1,0 +1,163 @@
+//! `parsec-sim`: kernels with the communication patterns of the PARSEC
+//! benchmarks the paper measures (§5.3, Tables 3–4).
+//!
+//! The paper's Tables 3–4 story is about *which communication pattern
+//! favours which tool*:
+//!
+//! * [`blackscholes`] — embarrassingly parallel, work distributed once at
+//!   startup, threads then compute with almost no visible operations.
+//!   This "high parallelism / low communication" shape is where
+//!   tsan11rec beats rr (whose sequentialization wastes the cores).
+//! * [`fluidanimate`] — a particle grid with *fine-grained per-cell
+//!   mutexes*: enormous visible-operation density, the worst case for
+//!   any tool that serializes visible operations (the paper measures
+//!   ~50× there for every controlled configuration).
+//! * [`streamcluster`] — iterative with a *barrier between phases*:
+//!   synchronization-heavy but coarse.
+//! * [`bodytrack`] — a work-queue with condition variables.
+//! * [`ferret`] — a four-stage pipeline, queue after queue.
+//!
+//! Plus [`crate::pbzip`], the parallel block compressor.
+
+mod blackscholes;
+mod bodytrack;
+mod ferret;
+mod fluidanimate;
+mod streamcluster;
+
+pub use blackscholes::blackscholes;
+pub use bodytrack::bodytrack;
+pub use ferret::ferret;
+pub use fluidanimate::fluidanimate;
+pub use streamcluster::streamcluster;
+
+use std::sync::Arc;
+
+/// Common kernel parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ParsecParams {
+    /// Worker threads (the paper uses 4).
+    pub threads: usize,
+    /// Problem size (kernel-specific meaning; scaled to `simlarge`-like
+    /// ratios in the benches, much smaller in tests).
+    pub size: usize,
+}
+
+impl Default for ParsecParams {
+    fn default() -> Self {
+        ParsecParams { threads: 4, size: 64 }
+    }
+}
+
+/// The blocking barrier the kernels synchronize phases with — the core
+/// crate's instrumented [`tsan11rec::Barrier`] (mutex + condvar, like
+/// `pthread_barrier`). Blocking matters doubly here: the real kernels
+/// park rather than spin, and on a single-core host a spinning barrier
+/// would dominate every measurement with wasted cycles.
+pub type KernelBarrier = tsan11rec::Barrier;
+
+/// Creates a shared [`KernelBarrier`] for `total` participants.
+#[must_use]
+pub fn shared_barrier(total: u32) -> Arc<KernelBarrier> {
+    Arc::new(KernelBarrier::new(total))
+}
+
+/// A named kernel for the Table 3 harness.
+#[derive(Clone, Copy)]
+pub struct Kernel {
+    /// Benchmark name as in Table 3.
+    pub name: &'static str,
+    /// Runs the kernel with the given parameters.
+    pub run: fn(ParsecParams),
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Kernel({})", self.name)
+    }
+}
+
+/// The Table 3 suite (PARSEC rows; pbzip is separate).
+#[must_use]
+pub fn table3_suite() -> Vec<Kernel> {
+    vec![
+        Kernel { name: "blackscholes", run: blackscholes },
+        Kernel { name: "fluidanimate", run: fluidanimate },
+        Kernel { name: "streamcluster", run: streamcluster },
+        Kernel { name: "bodytrack", run: bodytrack },
+        Kernel { name: "ferret", run: ferret },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_tool, Tool};
+
+    #[test]
+    fn suite_rows() {
+        let names: Vec<_> = table3_suite().iter().map(|k| k.name).collect();
+        assert_eq!(
+            names,
+            vec!["blackscholes", "fluidanimate", "streamcluster", "bodytrack", "ferret"]
+        );
+    }
+
+    #[test]
+    fn kernels_complete_under_native_and_queue() {
+        let params = ParsecParams { threads: 3, size: 12 };
+        for kernel in table3_suite() {
+            for tool in [Tool::Native, Tool::Queue] {
+                let r = run_tool(tool, [2, 4], |_| {}, move || (kernel.run)(params));
+                assert!(
+                    r.report.outcome.is_ok(),
+                    "{} under {tool}: {:?}",
+                    kernel.name,
+                    r.report.outcome
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_complete_under_rnd_and_rr() {
+        let params = ParsecParams { threads: 2, size: 8 };
+        for kernel in table3_suite() {
+            for tool in [Tool::Rnd, Tool::Rr] {
+                let r = run_tool(tool, [6, 10], |_| {}, move || (kernel.run)(params));
+                assert!(
+                    r.report.outcome.is_ok(),
+                    "{} under {tool}: {:?}",
+                    kernel.name,
+                    r.report.outcome
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_barrier_synchronizes() {
+        // The correct barrier must produce race-free phase handoffs.
+        let r = run_tool(Tool::Queue, [1, 2], |_| {}, || {
+            let b = shared_barrier(3);
+            let data = Arc::new(tsan11rec::Shared::new("phase_data", 0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    let data = Arc::clone(&data);
+                    tsan11rec::thread::spawn(move || {
+                        b.wait();
+                        let _ = data.read();
+                    })
+                })
+                .collect();
+            data.write(42); // before the barrier: ordered
+            b.wait();
+            for h in handles {
+                h.join();
+            }
+        });
+        assert!(r.report.outcome.is_ok(), "{:?}", r.report.outcome);
+        assert_eq!(r.report.races, 0, "correct barrier ⇒ no races");
+    }
+}

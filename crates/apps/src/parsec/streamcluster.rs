@@ -1,0 +1,58 @@
+//! `streamcluster`: iterative clustering with a barrier after every
+//! phase — the suite's barrier-heavy member. Each iteration computes
+//! assignment costs in parallel (invisible compute over shared read-only
+//! data), reduces into a shared accumulator under a mutex, and crosses a
+//! barrier before the next phase.
+
+use std::sync::Arc;
+
+use tsan11rec::{Mutex, SharedArray};
+
+use super::{shared_barrier, ParsecParams};
+
+/// Runs the kernel: `size` points per thread, 6 phases.
+pub fn streamcluster(params: ParsecParams) {
+    let per = params.size.max(1);
+    let n = per * params.threads;
+    let points = Arc::new(SharedArray::new("sc_points", n, 0.0f64));
+    // Deterministic synthetic input.
+    for i in 0..n {
+        points.write(i, ((i * 37 + 11) % 101) as f64 / 10.0);
+    }
+    let total_cost = Arc::new(Mutex::new(0.0f64));
+    let barrier = shared_barrier(params.threads as u32);
+
+    const PHASES: usize = 6;
+    let handles: Vec<_> = (0..params.threads)
+        .map(|t| {
+            let points = Arc::clone(&points);
+            let total_cost = Arc::clone(&total_cost);
+            let barrier = Arc::clone(&barrier);
+            tsan11rec::thread::spawn(move || {
+                let lo = t * per;
+                let hi = lo + per;
+                for phase in 0..PHASES {
+                    // Candidate centre for this phase.
+                    let centre = (phase * 13 % 100) as f64 / 10.0;
+                    // Invisible compute: assignment cost of this slice.
+                    let mut local = 0.0;
+                    for i in lo..hi {
+                        let p = points.read(i);
+                        let d = p - centre;
+                        // Some genuine arithmetic per point.
+                        local += (d * d).sqrt().mul_add(1.5, (p * 0.01).sin().abs());
+                    }
+                    // Reduce under the shared mutex.
+                    *total_cost.lock() += local;
+                    // Phase barrier.
+                    barrier.wait();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    let cost = *total_cost.lock();
+    assert!(cost.is_finite() && cost > 0.0);
+}

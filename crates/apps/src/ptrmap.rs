@@ -1,0 +1,153 @@
+//! `ptrmap-sim`: the §5.5 limitation workload (SQLite / SpiderMonkey).
+//!
+//! The program allocates objects, keeps them in a container *ordered by
+//! pointer value*, and takes different actions depending on the iteration
+//! order — exactly the pattern ("iterating over an ordered container that
+//! holds pointers") the paper names as the reason tsan11rec
+//! desynchronises on SQLite and SpiderMonkey.
+//!
+//! Under an ASLR-like allocator the pointer values differ between record
+//! and replay, the conditional on the pointer takes different branches,
+//! the syscall stream stops matching, and replay **hard-desynchronises**.
+//! The two remedies the paper discusses both work here:
+//!
+//! * the rr baseline records the allocator stream, so pointer values
+//!   reproduce;
+//! * swapping in a deterministic allocator (the paper's suggested
+//!   application-side mitigation) removes the nondeterminism.
+
+use std::collections::BTreeMap;
+
+use tsan11rec::vos::{EchoPeer, Fd};
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PtrMapParams {
+    /// Objects to allocate and index by address.
+    pub objects: usize,
+}
+
+impl Default for PtrMapParams {
+    fn default() -> Self {
+        PtrMapParams { objects: 12 }
+    }
+}
+
+/// The program: allocation order is fixed, *iteration* order follows the
+/// pointer values; each visited object triggers a recorded syscall whose
+/// kind depends on the pointer's low bits.
+pub fn ptrmap(params: PtrMapParams) -> impl FnOnce() + Send + 'static {
+    move || {
+        let conn = tsan11rec::sys::connect(Box::new(EchoPeer::new(0)));
+        // An ordered container of "pointers" (virtual addresses).
+        let mut by_addr: BTreeMap<u64, u64> = BTreeMap::new();
+        for i in 0..params.objects {
+            // Vary the sizes so the address stream has texture.
+            let addr = tsan11rec::sys::valloc(16 + (i as u64 % 7) * 24);
+            by_addr.insert(addr, i as u64);
+        }
+        // Iterate in pointer order; branch on the pointer value.
+        for (&addr, &value) in &by_addr {
+            if (addr >> 4) & 1 == 0 {
+                let _ = tsan11rec::sys::send(conn, &value.to_le_bytes());
+            } else {
+                let _ = tsan11rec::sys::clock_gettime();
+            }
+        }
+        let _ = tsan11rec::sys::close(conn);
+        tsan11rec::sys::println("ptrmap done");
+    }
+}
+
+/// Convenience: a vOS config with ASLR-like allocation for the given
+/// per-run entropy (record and replay runs pass different entropy to
+/// model two separate process launches).
+#[must_use]
+pub fn aslr_world(entropy: u64) -> tsan11rec::vos::VosConfig {
+    tsan11rec::vos::VosConfig::deterministic(0x5eed)
+        .with_alloc(tsan11rec::vos::AllocMode::Randomized { entropy })
+}
+
+/// The mitigation: a deterministic allocator.
+#[must_use]
+pub fn deterministic_world() -> tsan11rec::vos::VosConfig {
+    tsan11rec::vos::VosConfig::deterministic(0x5eed)
+        .with_alloc(tsan11rec::vos::AllocMode::Deterministic)
+}
+
+/// Guard so `Fd` stays referenced even on platforms that inline it away.
+#[allow(dead_code)]
+fn _types(_: Fd) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Tool;
+    use srr_rr::{rr_config, RrOptions};
+    use tsan11rec::{Execution, Outcome};
+
+    #[test]
+    fn sparse_replay_hard_desyncs_under_aslr() {
+        let params = PtrMapParams::default();
+        let (rec, demo) = Execution::new(Tool::QueueRec.config([2, 3]))
+            .with_vos(aslr_world(111))
+            .record(ptrmap(params));
+        assert!(rec.outcome.is_ok(), "{:?}", rec.outcome);
+        // Replay in a "new process": different ASLR entropy.
+        let rep = Execution::new(Tool::QueueRec.config([2, 3]))
+            .with_vos(aslr_world(999))
+            .replay(&demo, ptrmap(params));
+        match rep.outcome {
+            Outcome::HardDesync(d) => {
+                assert!(
+                    d.constraint == "syscall-kind" || d.constraint == "syscall-underrun",
+                    "desync via the syscall stream: {d:?}"
+                );
+            }
+            other => panic!("§5.5 demands a hard desync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rr_baseline_replays_fine_under_aslr() {
+        let params = PtrMapParams::default();
+        let (rec, demo) = Execution::new(rr_config(RrOptions::default()))
+            .with_vos(aslr_world(111))
+            .record(ptrmap(params));
+        assert!(rec.outcome.is_ok(), "{:?}", rec.outcome);
+        assert!(!demo.alloc.is_empty());
+        let rep = Execution::new(rr_config(RrOptions::default()))
+            .with_vos(aslr_world(999))
+            .replay(&demo, ptrmap(params));
+        assert!(rep.outcome.is_ok(), "rr handles layout nondeterminism: {:?}", rep.outcome);
+        assert_eq!(rep.console, rec.console);
+    }
+
+    #[test]
+    fn deterministic_allocator_mitigation_works() {
+        let params = PtrMapParams::default();
+        let (rec, demo) = Execution::new(Tool::QueueRec.config([2, 3]))
+            .with_vos(deterministic_world())
+            .record(ptrmap(params));
+        let rep = Execution::new(Tool::QueueRec.config([2, 3]))
+            .with_vos(deterministic_world())
+            .replay(&demo, ptrmap(params));
+        assert!(rep.outcome.is_ok(), "{:?}", rep.outcome);
+        assert_eq!(rep.console, rec.console);
+    }
+
+    #[test]
+    fn same_entropy_replays_fine_even_sparse() {
+        // Control: when the "ASLR" happens to match (same process image),
+        // sparse replay works — the failure is *specifically* layout
+        // nondeterminism.
+        let params = PtrMapParams::default();
+        let (_, demo) = Execution::new(Tool::QueueRec.config([2, 3]))
+            .with_vos(aslr_world(111))
+            .record(ptrmap(params));
+        let rep = Execution::new(Tool::QueueRec.config([2, 3]))
+            .with_vos(aslr_world(111))
+            .replay(&demo, ptrmap(params));
+        assert!(rep.outcome.is_ok(), "{:?}", rep.outcome);
+    }
+}

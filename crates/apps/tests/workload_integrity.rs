@@ -1,0 +1,125 @@
+//! Cross-workload integrity tests: outputs must be *correct*, not just
+//! produced, under every tool configuration — and faithful under replay.
+
+use srr_apps::harness::{run_tool, Tool};
+use srr_apps::pbzip::{compress_block, decompress_block, pbzip, world as pbzip_world, PbzipParams};
+use srr_apps::{game, httpd, parsec};
+use tsan11rec::Execution;
+
+#[test]
+fn pbzip_compression_is_schedule_independent() {
+    // The compressed byte count printed at exit is a function of the
+    // input alone: any schedule (and any tool) must agree.
+    let params = PbzipParams { threads: 4, blocks: 6, block_size: 1024 };
+    let mut consoles = Vec::new();
+    for (tool, seed) in [
+        (Tool::Native, 1u64),
+        (Tool::Tsan11, 2),
+        (Tool::Rnd, 3),
+        (Tool::Rnd, 4),
+        (Tool::Queue, 5),
+        (Tool::Rr, 6),
+    ] {
+        let r = run_tool(tool, [seed, seed + 7], pbzip_world(params), pbzip(params));
+        assert!(r.report.outcome.is_ok(), "{tool}: {:?}", r.report.outcome);
+        consoles.push(r.report.console);
+    }
+    for w in consoles.windows(2) {
+        assert_eq!(w[0], w[1], "deterministic output across tools/schedules");
+    }
+}
+
+#[test]
+fn pbzip_blocks_roundtrip_through_the_real_codec() {
+    // The same codec the workload uses must be reversible on its own
+    // synthetic input (the workload's world generator).
+    let params = PbzipParams { threads: 1, blocks: 2, block_size: 2048 };
+    // Regenerate the world's input deterministically.
+    let vos = tsan11rec::vos::Vos::new(tsan11rec::vos::VosConfig::deterministic(1));
+    (pbzip_world(params))(&vos);
+    let fd = tsan11rec::vos::Fd(vos.open("/data/input.bin", false).unwrap() as i32);
+    let mut input = vec![0u8; params.blocks * params.block_size];
+    let n = vos.read(fd, &mut input).unwrap() as usize;
+    input.truncate(n);
+    for chunk in input.chunks(params.block_size) {
+        assert_eq!(decompress_block(&compress_block(chunk)), chunk);
+    }
+}
+
+#[test]
+fn game_records_and_replays_under_random_strategy_too() {
+    // §5.4 emphasises queue for playability, but the random strategy must
+    // also record/replay correctly (it is just slow for games).
+    let params = game::GameParams { frames: 12, capped: false, frame_work: 15, aux_threads: 1, aux_period_ms: 2 };
+    let config = || {
+        Tool::RndRec
+            .config([31, 64])
+            .with_sparse(tsan11rec::SparseConfig::games())
+    };
+    let (rec, demo) = Execution::new(config())
+        .setup(game::world(params))
+        .record(game::game(params));
+    assert!(rec.outcome.is_ok(), "{:?}", rec.outcome);
+    let rep = Execution::new(config())
+        .setup(|vos: &tsan11rec::vos::Vos| vos.install_gpu())
+        .replay(&demo, game::game(params));
+    assert!(rep.outcome.is_ok(), "{:?}", rep.outcome);
+    assert_eq!(rep.console, rec.console);
+}
+
+#[test]
+fn httpd_serves_exactly_once_per_query_under_contention() {
+    // The served counter is exact (atomic), the stats counter racy
+    // (plain): under heavy contention the atomic one must still be exact.
+    let params = httpd::HttpdParams {
+        workers: 6,
+        clients: 6,
+        total_queries: 60,
+        response_bytes: 8,
+        service_latency_us: 0,
+    };
+    for seed in [3u64, 11, 42] {
+        let r = run_tool(
+            Tool::Rnd,
+            [seed, seed * 3],
+            httpd::world(params),
+            httpd::server(params),
+        );
+        assert!(r.report.outcome.is_ok(), "{:?}", r.report.outcome);
+        assert!(
+            r.report.console_text().contains("served 60 requests"),
+            "exact count under contention: {}",
+            r.report.console_text()
+        );
+    }
+}
+
+#[test]
+fn parsec_kernels_record_and_replay() {
+    let params = parsec::ParsecParams { threads: 2, size: 6 };
+    for kernel in parsec::table3_suite() {
+        let run = kernel.run;
+        let (rec, demo) = Execution::new(Tool::QueueRec.config([13, 17]))
+            .record(move || run(params));
+        assert!(rec.outcome.is_ok(), "{}: {:?}", kernel.name, rec.outcome);
+        let rep = Execution::new(Tool::QueueRec.config([13, 17]))
+            .replay(&demo, move || run(params));
+        assert!(rep.outcome.is_ok(), "{} replay: {:?}", kernel.name, rep.outcome);
+        assert_eq!(rep.races, rec.races, "{}", kernel.name);
+    }
+}
+
+#[test]
+fn netplay_bug_rate_tracks_probability() {
+    // With join_race_pct = 0 the bug never appears; at 100 it appears on
+    // the first map change of every session.
+    use srr_apps::game::netplay::{netplay_client, NetPlayParams};
+    let clean = NetPlayParams { join_race_pct: 0, ..Default::default() };
+    let hot = NetPlayParams { join_race_pct: 100, ..Default::default() };
+    for seed in 0..3u64 {
+        let r = run_tool(Tool::Queue, [seed, seed + 5], |_| {}, netplay_client(clean));
+        assert!(!r.report.console_text().contains("DESYNC BUG"));
+        let r = run_tool(Tool::Queue, [seed, seed + 5], |_| {}, netplay_client(hot));
+        assert!(r.report.console_text().contains("DESYNC BUG"));
+    }
+}

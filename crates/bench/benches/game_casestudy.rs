@@ -1,0 +1,74 @@
+//! **§5.4 case study**: Zandronum-style playability and the networked
+//! map-change bug.
+//!
+//! Part 1 — playability at the 60 fps cap: under the queue strategy the
+//! capped game keeps its frame budget; under the random strategy the
+//! main thread is starved by the audio thread's visible operations and
+//! the frame rate collapses (the paper: "below 1 fps", "unplayable").
+//!
+//! Part 2 — the bug: record multiplayer sessions until the map-change
+//! state desync appears, then replay the demo into a fresh world and
+//! show the bug reproduces bit-identically.
+
+use srr_apps::game::netplay::{netplay_client, record_until_bug, NetPlayParams};
+use srr_apps::game::{game, parse_frame_stats, world, GameParams};
+use srr_apps::harness::Tool;
+use srr_bench::{banner, bench_scale, seeds_for, TablePrinter};
+use tsan11rec::{Execution, SparseConfig};
+
+fn main() {
+    let scale = bench_scale();
+
+    banner("S5.4 part 1: capped-game playability (60 fps budget)");
+    let params = GameParams {
+        frames: (120 * scale) as u32,
+        capped: true,
+        frame_work: 150,
+        aux_threads: 3,
+        aux_period_ms: 6,
+    };
+    let table = TablePrinter::new(&["setup", "fps", "verdict"], &[10, 10, 24]);
+    for tool in [Tool::Native, Tool::Queue, Tool::Rnd] {
+        let report = Execution::new(tool.config(seeds_for(1)))
+            .setup(world(params))
+            .run(game(params));
+        assert!(report.outcome.is_ok(), "{tool}: {:?}", report.outcome);
+        let (frames, _) = parse_frame_stats(&report.console_text()).expect("stats");
+        let fps = f64::from(frames) / report.duration.as_secs_f64();
+        let verdict = if fps >= 55.0 {
+            "playable (full rate)"
+        } else if fps >= 25.0 {
+            "degraded"
+        } else {
+            "unplayable"
+        };
+        table.row(&[tool.label(), &format!("{fps:.0}"), verdict]);
+    }
+    println!();
+    println!("(The paper: queue maintains 60 fps with recording enabled; random");
+    println!(" drops below 1 fps by starving the main thread. Our audio thread is");
+    println!(" cheaper than Zandronum's, so 'unplayable' here means missing the");
+    println!(" frame budget rather than a total collapse.)");
+
+    banner("S5.4 part 2: the map-change network bug — record until it bites, then replay");
+    let np = NetPlayParams::default();
+    let config = || Tool::QueueRec.config([7, 9]).with_sparse(SparseConfig::games());
+    let (env_seed, demo, rec_console) = record_until_bug(np, config, 64);
+    println!("bug manifested in recording session #{env_seed}");
+    println!("demo size: {} bytes ({} syscall bytes)", demo.size_bytes(), demo.syscall_bytes());
+
+    let rep = Execution::new(config())
+        .with_vos(tsan11rec::vos::VosConfig::deterministic(env_seed + 1_000))
+        .replay(&demo, netplay_client(np));
+    assert!(rep.outcome.is_ok(), "replay failed: {:?}", rep.outcome);
+    let reproduced = rep.console_text().contains("DESYNC BUG");
+    println!(
+        "replay into a fresh world: bug reproduced = {reproduced}, log identical = {}",
+        rep.console == rec_console
+    );
+    assert!(reproduced, "the case study's claim");
+    println!();
+    println!("(The paper: a Zandronum client/server map-change bug recorded after ~12");
+    println!(" minutes of play, 43MB demo, reproduced on replay. Same shape: rare");
+    println!(" environmental race captured once, replayed deterministically.)");
+}

@@ -1,0 +1,123 @@
+//! Shared helpers for the table-regenerating benchmark harnesses.
+//!
+//! Each `[[bench]]` target in this crate regenerates one table or figure
+//! of the paper (see `DESIGN.md`'s per-experiment index) and prints rows
+//! in the paper's format. Absolute numbers differ from the paper's
+//! i7-4770 testbed — the substrate is a virtual OS, not their hardware —
+//! but the *shape* (who wins, rough factors, crossovers) is the claim
+//! being reproduced; `EXPERIMENTS.md` records both sides.
+//!
+//! Scaling: set `SRR_BENCH_RUNS` to override the per-cell repetition
+//! count and `SRR_BENCH_SCALE` to scale workload sizes (both default to
+//! quick-run values so `cargo bench` completes in minutes).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+pub use srr_apps::harness::{ms, run_tool, Stats, Tool};
+
+/// Per-cell repetitions (default 10; the paper uses 1000 for Table 1 and
+/// 10 for the application tables).
+#[must_use]
+pub fn bench_runs(default: usize) -> usize {
+    std::env::var("SRR_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Workload scale multiplier (default 1).
+#[must_use]
+pub fn bench_scale() -> usize {
+    std::env::var("SRR_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Seeds for repetition `i` (distinct streams per repetition, stable
+/// across invocations so tables are comparable run to run).
+#[must_use]
+pub fn seeds_for(i: usize) -> [u64; 2] {
+    let i = i as u64;
+    [i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1), i.wrapping_mul(31) ^ 0x5eed]
+}
+
+/// A fixed-width table printer.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Creates a printer and prints the header row.
+    #[must_use]
+    pub fn new(headers: &[&str], widths: &[usize]) -> Self {
+        assert_eq!(headers.len(), widths.len());
+        let p = TablePrinter { widths: widths.to_vec() };
+        p.row(headers);
+        let rule: String = widths.iter().map(|w| "-".repeat(w + 2)).collect();
+        println!("{rule}");
+        p
+    }
+
+    /// Prints one row.
+    pub fn row(&self, cells: &[&str]) {
+        let mut line = String::new();
+        for (cell, width) in cells.iter().zip(&self.widths) {
+            let _ = write!(line, "{cell:>width$}  ", width = width);
+        }
+        println!("{}", line.trim_end());
+    }
+}
+
+/// Formats `mean (stddev)` in the paper's Table 1 style.
+#[must_use]
+pub fn mean_sd(s: &Stats) -> String {
+    format!("{:.1} ({:.2})", s.mean, s.stddev)
+}
+
+/// Formats an overhead multiple (`12.3x`).
+#[must_use]
+pub fn overhead(native_mean: f64, mean: f64) -> String {
+    if native_mean <= 0.0 {
+        return "-".into();
+    }
+    format!("{:.1}x", mean / native_mean)
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("==== {title} ====");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_per_repetition() {
+        assert_ne!(seeds_for(0), seeds_for(1));
+        assert_eq!(seeds_for(3), seeds_for(3));
+    }
+
+    #[test]
+    fn overhead_formats() {
+        assert_eq!(overhead(2.0, 6.0), "3.0x");
+        assert_eq!(overhead(0.0, 6.0), "-");
+    }
+
+    #[test]
+    fn mean_sd_formats() {
+        let s = Stats::of(&[1.0, 3.0]);
+        assert_eq!(mean_sd(&s), "2.0 (1.00)");
+    }
+
+    #[test]
+    fn bench_knobs_have_defaults() {
+        assert!(bench_runs(7) >= 1);
+        assert!(bench_scale() >= 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Identifier newtypes used across the runtime.
+
+use std::fmt;
+
+/// A logical thread id handed out by the scheduler, dense from 0
+/// (the main thread).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tid(pub u32);
+
+impl Tid {
+    /// The main thread.
+    pub const MAIN: Tid = Tid(0);
+
+    /// Dense index for vector-clock components and tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of an instrumented mutex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MutexId(pub u32);
+
+/// Identifier of an instrumented condition variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CondId(pub u32);
+
+/// Identifier of an instrumented atomic location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AtomicId(pub u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_display_and_index() {
+        assert_eq!(Tid(3).to_string(), "T3");
+        assert_eq!(Tid(3).index(), 3);
+        assert_eq!(Tid::MAIN, Tid(0));
+    }
+}

@@ -1,0 +1,158 @@
+//! Execution reports.
+
+use std::time::Duration;
+
+use srr_racedet::RaceReport;
+use srr_replay::HardDesync;
+
+/// How an execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The program ran to completion.
+    Completed,
+    /// All live threads were disabled: a program deadlock (preserved, not
+    /// masked — §3.2).
+    Deadlock,
+    /// Replay could not enforce a demo constraint (§4).
+    HardDesync(HardDesync),
+    /// A program thread panicked.
+    Panicked(String),
+}
+
+impl Outcome {
+    /// Whether the run completed normally.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Outcome::Completed)
+    }
+}
+
+/// Everything measured about one execution.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// How the execution ended.
+    pub outcome: Outcome,
+    /// Distinct data races detected.
+    pub races: u64,
+    /// Materialized race reports (empty when reporting was disabled).
+    pub race_reports: Vec<RaceReport>,
+    /// Critical sections executed (0 in uncontrolled modes — see
+    /// `visible_ops`).
+    pub ticks: u64,
+    /// Visible operations (ticks in controlled modes).
+    pub visible_ops: u64,
+    /// Virtual syscalls issued.
+    pub syscalls: u64,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// Raw console output (fd 1/2) — the observable surface compared for
+    /// soft desynchronisation.
+    pub console: Vec<u8>,
+    /// Serialized demo size in bytes, when the run recorded one.
+    pub demo_bytes: Option<usize>,
+    /// Replay-only: SYSCALL entries left unconsumed at exit (a nonzero
+    /// value usually accompanies soft desynchronisation).
+    pub replay_leftover_syscalls: usize,
+    /// Full schedule trace (only when `Config::with_schedule_trace` was
+    /// set). Entries are `(tid, tick, prng_draws)`; a tid with the high
+    /// bit set (`0x8000_0000`) marks a `Wait()` success, a plain tid a
+    /// completed `Tick()`. See [`ExecReport::tick_trace`].
+    pub schedule_trace: Vec<(u32, u64, u64)>,
+    /// vOS strace log (only when the vOS was configured with strace).
+    pub strace: Vec<String>,
+}
+
+impl ExecReport {
+    /// Console contents as UTF-8 (lossy).
+    #[must_use]
+    pub fn console_text(&self) -> String {
+        String::from_utf8_lossy(&self.console).into_owned()
+    }
+
+    /// The completed-`Tick()` entries of the schedule trace as
+    /// `(tid, tick)` pairs, with `Wait()`-success markers filtered out.
+    #[must_use]
+    pub fn tick_trace(&self) -> Vec<(u32, u64)> {
+        self.schedule_trace
+            .iter()
+            .filter(|&&(tid, _, _)| tid & 0x8000_0000 == 0)
+            .map(|&(tid, tick, _)| (tid, tick))
+            .collect()
+    }
+
+    /// Whether any data race was detected.
+    #[must_use]
+    pub fn racy(&self) -> bool {
+        self.races > 0
+    }
+
+    /// The hard desynchronisation, if the outcome was one.
+    #[must_use]
+    pub fn desync(&self) -> Option<&HardDesync> {
+        match &self.outcome {
+            Outcome::HardDesync(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Classifies observable divergence between two runs — the paper's *soft
+/// desynchronisation*: no constraint was violated, but console output
+/// differs.
+#[must_use]
+pub fn soft_desync(recorded: &ExecReport, replayed: &ExecReport) -> bool {
+    recorded.console != replayed.console
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(outcome: Outcome, console: &[u8]) -> ExecReport {
+        ExecReport {
+            outcome,
+            races: 0,
+            race_reports: vec![],
+            ticks: 0,
+            visible_ops: 0,
+            syscalls: 0,
+            duration: Duration::ZERO,
+            console: console.to_vec(),
+            demo_bytes: None,
+            replay_leftover_syscalls: 0,
+            schedule_trace: Vec::new(),
+            strace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn outcome_classification() {
+        assert!(Outcome::Completed.is_ok());
+        assert!(!Outcome::Deadlock.is_ok());
+        let r = report(Outcome::Completed, b"hi");
+        assert!(!r.racy());
+        assert!(r.desync().is_none());
+        assert_eq!(r.console_text(), "hi");
+    }
+
+    #[test]
+    fn desync_accessor() {
+        let d = HardDesync {
+            tick: 1,
+            constraint: "c".into(),
+            expected: "e".into(),
+            actual: "a".into(),
+        };
+        let r = report(Outcome::HardDesync(d.clone()), b"");
+        assert_eq!(r.desync(), Some(&d));
+    }
+
+    #[test]
+    fn soft_desync_compares_consoles() {
+        let a = report(Outcome::Completed, b"one");
+        let b = report(Outcome::Completed, b"two");
+        let c = report(Outcome::Completed, b"one");
+        assert!(soft_desync(&a, &b));
+        assert!(!soft_desync(&a, &c));
+    }
+}

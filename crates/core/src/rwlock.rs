@@ -1,0 +1,262 @@
+//! An instrumented reader/writer lock.
+//!
+//! Built entirely from the instrumented [`Mutex`](crate::Mutex) and
+//! [`Condvar`](crate::Condvar), so the §3.2 protocols (Figure 4's trylock
+//! loop, Figure 5's conditional wait) govern every blocking step in
+//! controlled modes — and record/replay works with no extra machinery.
+//! Writer-preference is implemented the classic way (writers register as
+//! waiting, readers defer to them), matching the behaviour of glibc's
+//! default `pthread_rwlock` closely enough for workload modelling.
+
+use crate::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct RwState {
+    readers: u32,
+    writer: bool,
+    waiting_writers: u32,
+}
+
+/// An instrumented reader/writer lock.
+pub struct RwLock<T> {
+    state: Mutex<RwState>,
+    cond: Condvar,
+    data: parking_lot::RwLock<T>,
+}
+
+/// Shared (read) guard.
+pub struct RwLockReadGuard<'a, T> {
+    native: Option<parking_lot::RwLockReadGuard<'a, T>>,
+    lock: &'a RwLock<T>,
+}
+
+/// Exclusive (write) guard.
+pub struct RwLockWriteGuard<'a, T> {
+    native: Option<parking_lot::RwLockWriteGuard<'a, T>>,
+    lock: &'a RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a reader/writer lock protecting `value`.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        RwLock {
+            state: Mutex::new(RwState::default()),
+            cond: Condvar::new(),
+            data: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared access. Readers defer to waiting writers
+    /// (writer preference).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let mut g = self.state.lock();
+        while g.writer || g.waiting_writers > 0 {
+            let (g2, _signaled) = self.cond.wait_timeout(g, 1);
+            g = g2;
+        }
+        g.readers += 1;
+        drop(g);
+        let native = self
+            .data
+            .try_read()
+            .expect("logical reader grant guarantees no writer holds the data");
+        RwLockReadGuard { native: Some(native), lock: self }
+    }
+
+    /// Attempts shared access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let mut g = self.state.lock();
+        if g.writer || g.waiting_writers > 0 {
+            return None;
+        }
+        g.readers += 1;
+        drop(g);
+        let native = self.data.try_read().expect("logical grant");
+        Some(RwLockReadGuard { native: Some(native), lock: self })
+    }
+
+    /// Acquires exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let mut g = self.state.lock();
+        g.waiting_writers += 1;
+        while g.writer || g.readers > 0 {
+            let (g2, _signaled) = self.cond.wait_timeout(g, 1);
+            g = g2;
+        }
+        g.waiting_writers -= 1;
+        g.writer = true;
+        drop(g);
+        let native = self
+            .data
+            .try_write()
+            .expect("logical writer grant guarantees exclusivity");
+        RwLockWriteGuard { native: Some(native), lock: self }
+    }
+
+    /// Attempts exclusive access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let mut g = self.state.lock();
+        if g.writer || g.readers > 0 {
+            return None;
+        }
+        g.writer = true;
+        drop(g);
+        let native = self.data.try_write().expect("logical grant");
+        Some(RwLockWriteGuard { native: Some(native), lock: self })
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.native.as_ref().expect("guard is live")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.native.take();
+        if std::thread::panicking() {
+            return;
+        }
+        let mut g = self.lock.state.lock();
+        g.readers -= 1;
+        let empty = g.readers == 0;
+        drop(g);
+        if empty {
+            self.lock.cond.notify_all();
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.native.as_ref().expect("guard is live")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.native.as_mut().expect("guard is live")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.native.take();
+        if std::thread::panicking() {
+            return;
+        }
+        let mut g = self.lock.state.lock();
+        g.writer = false;
+        drop(g);
+        self.lock.cond.notify_all();
+    }
+}
+
+/// A blocking barrier (the `pthread_barrier` analogue), composed from the
+/// instrumented mutex and condition variable so it behaves correctly
+/// under every tool mode, including record/replay.
+pub struct Barrier {
+    state: Mutex<(u32, u32)>, // (arrived, generation)
+    cond: Condvar,
+    total: u32,
+}
+
+impl Barrier {
+    /// A barrier for `total` participants (≥ 1).
+    #[must_use]
+    pub fn new(total: u32) -> Self {
+        assert!(total >= 1, "a barrier needs at least one participant");
+        Barrier { state: Mutex::new((0, 0)), cond: Condvar::new(), total }
+    }
+
+    /// Blocks until all participants arrive. Returns `true` for exactly
+    /// one participant per generation (the "leader", as in
+    /// `pthread_barrier`'s serial thread).
+    pub fn wait(&self) -> bool {
+        let mut g = self.state.lock();
+        let gen = g.1;
+        g.0 += 1;
+        if g.0 == self.total {
+            g.0 = 0;
+            g.1 += 1;
+            drop(g);
+            self.cond.notify_all();
+            true
+        } else {
+            while g.1 == gen {
+                g = self.cond.wait(g);
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_rwlock_basic() {
+        let l = RwLock::new(5);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!((*r1, *r2), (5, 5));
+            assert!(l.try_write().is_none(), "readers block writers");
+        }
+        {
+            let mut w = l.write();
+            *w = 9;
+            assert!(l.try_read().is_none(), "writer blocks readers");
+        }
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn native_rwlock_try_paths() {
+        let l = RwLock::new(0);
+        let r = l.try_read().expect("free lock");
+        assert!(l.try_read().is_some(), "shared");
+        assert!(l.try_write().is_none());
+        drop(r);
+        let w = l.try_write().expect("free lock");
+        assert!(l.try_read().is_none());
+        drop(w);
+    }
+
+    #[test]
+    fn native_barrier_releases_all() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let b = Arc::new(Barrier::new(3));
+        let leaders = Arc::new(AtomicU32::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let leaders = Arc::clone(&leaders);
+                std::thread::spawn(move || {
+                    if b.wait() {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        if b.wait() {
+            leaders.fetch_add(1, Ordering::SeqCst);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 1, "exactly one leader");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_barrier_rejected() {
+        let _ = Barrier::new(0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Signal-handler registration (§3.2, §4.3).
+//!
+//! The `signal` function that binds a handler is itself a visible
+//! operation; the *entry* into a handler is likewise a visible operation,
+//! managed by the runtime's `enter` (a pending signal is consumed at a
+//! `Wait()` boundary and its handler runs in its own critical section,
+//! which on replay makes the asynchronous signal synchronous — Figure 6).
+
+use std::sync::Arc;
+
+use crate::runtime::{current_rt, with_ctx};
+
+/// Installs `handler` for `signo` (the `signal(2)` analogue).
+///
+/// Inside a handler, only atomic operations interact with the rest of the
+/// process (§4.3) — the handler body may freely use [`crate::Atomic`].
+pub fn set_handler(signo: i32, handler: impl Fn() + Send + Sync + 'static) {
+    let Some((rt, tid)) = current_rt() else {
+        panic!("signals::set_handler outside an execution");
+    };
+    rt.enter(tid);
+    with_ctx(|ctx| ctx.view.tick());
+    rt.set_handler(signo, Arc::new(handler));
+    rt.exit(tid);
+}
+
+/// Raises `signo` synchronously on the current thread: the handler runs
+/// at the next visible-operation boundary.
+pub fn raise(signo: i32) {
+    let Some((rt, tid)) = current_rt() else {
+        panic!("signals::raise outside an execution");
+    };
+    if rt.mode().is_controlled() {
+        rt.sched().deliver_signal(tid, signo, false);
+    } else {
+        rt.free_pending.lock().entry(tid.0).or_default().push(signo);
+    }
+}

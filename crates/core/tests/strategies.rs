@@ -1,0 +1,162 @@
+//! End-to-end behavioural contracts of each scheduling strategy.
+
+use std::sync::Arc;
+
+use tsan11rec::{Atomic, Config, Execution, MemOrder, Mode, Mutex, Strategy};
+
+/// Three threads tag a shared log with their id *inside instrumented
+/// lock sections*, so the tag order is a pure function of the schedule
+/// (an uninstrumented log would be an invisible operation, whose order
+/// between critical sections is legitimately nondeterministic —
+/// Figure 3's parallelism).
+fn tagged_program(log: &Arc<Mutex<Vec<u8>>>) -> impl FnOnce() + Send + 'static {
+    let log = Arc::clone(log);
+    move || {
+        let handles: Vec<_> = (0..3u8)
+            .map(|id| {
+                let log = Arc::clone(&log);
+                tsan11rec::thread::spawn(move || {
+                    let a = Atomic::new(0u32);
+                    for _ in 0..8 {
+                        a.fetch_add(1, MemOrder::SeqCst);
+                        log.lock().push(id);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+    }
+}
+
+fn run_strategy(strategy: Strategy, seeds: [u64; 2]) -> Vec<u8> {
+    let out = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let out2 = Arc::clone(&out);
+    let report = Execution::new(
+        Config::new(Mode::Tsan11Rec(strategy))
+            .with_seeds(seeds)
+            .without_liveness(),
+    )
+    .run({
+        move || {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            (tagged_program(&log))();
+            *out2.lock().unwrap() = log.lock().clone();
+        }
+    });
+    assert!(report.outcome.is_ok(), "{strategy:?}: {:?}", report.outcome);
+    let v = out.lock().unwrap().clone();
+    v
+}
+
+fn switches(order: &[u8]) -> usize {
+    order.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+#[test]
+fn random_interleaves_finely() {
+    let order = run_strategy(Strategy::Random, [1, 2]);
+    assert_eq!(order.len(), 24);
+    assert!(
+        switches(&order) >= 8,
+        "uniform random should context-switch often: {order:?}"
+    );
+}
+
+#[test]
+fn pct_runs_in_streaks() {
+    let order = run_strategy(Strategy::Pct { switch_denom: 64 }, [1, 2]);
+    assert_eq!(order.len(), 24);
+    assert!(
+        switches(&order) <= 8,
+        "a hot-thread strategy should produce long runs: {order:?}"
+    );
+}
+
+#[test]
+fn delay_is_nearly_sequential() {
+    let order = run_strategy(Strategy::Delay { budget: 2, denom: 32 }, [1, 2]);
+    assert_eq!(order.len(), 24);
+    assert!(
+        switches(&order) <= 6,
+        "non-preemptive baseline + 2 delays: {order:?}"
+    );
+}
+
+#[test]
+fn slice_rotates_in_quanta() {
+    let order = run_strategy(Strategy::Slice { quantum: 6 }, [1, 2]);
+    assert_eq!(order.len(), 24);
+    let s = switches(&order);
+    assert!(
+        (2..=12).contains(&s),
+        "slices rotate but not per-op: {s} switches in {order:?}"
+    );
+}
+
+#[test]
+fn every_strategy_is_seed_deterministic() {
+    for strategy in [
+        Strategy::Random,
+        Strategy::Pct { switch_denom: 8 },
+        Strategy::Delay { budget: 3, denom: 8 },
+        Strategy::Slice { quantum: 4 },
+        Strategy::Queue,
+    ] {
+        let a = run_strategy(strategy, [9, 9]);
+        let b = run_strategy(strategy, [9, 9]);
+        if matches!(strategy, Strategy::Queue | Strategy::Slice { .. }) {
+            // Physically-timed strategies need a recording to reproduce;
+            // only the lengths are guaranteed here.
+            assert_eq!(a.len(), b.len(), "{strategy:?}");
+        } else {
+            // Seed-derived strategies must reproduce the exact order —
+            // except where the OS's physical timing affected thread
+            // *creation*... which it cannot: tids are assigned inside
+            // critical sections. The order is fully deterministic.
+            assert_eq!(a, b, "{strategy:?}");
+        }
+    }
+}
+
+#[test]
+fn strategies_explore_different_interleavings() {
+    let rnd = run_strategy(Strategy::Random, [1, 2]);
+    let pct = run_strategy(Strategy::Pct { switch_denom: 64 }, [1, 2]);
+    let delay = run_strategy(Strategy::Delay { budget: 2, denom: 32 }, [1, 2]);
+    assert_ne!(rnd, pct);
+    assert_ne!(rnd, delay);
+}
+
+#[test]
+fn delay_strategy_records_and_replays() {
+    let program = || {
+        let a = Arc::new(Atomic::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let a = Arc::clone(&a);
+                tsan11rec::thread::spawn(move || {
+                    for _ in 0..6 {
+                        let v = a.load(MemOrder::Relaxed);
+                        a.store(v * 3 + i, MemOrder::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        tsan11rec::sys::println(&format!("v={}", a.load(MemOrder::SeqCst)));
+    };
+    let make_config = || {
+        Config::new(Mode::Tsan11Rec(Strategy::Delay { budget: 3, denom: 8 }))
+            .with_seeds([4, 2])
+            .without_liveness()
+    };
+    let (rec, demo) = Execution::new(make_config()).record(program);
+    assert!(rec.outcome.is_ok(), "{:?}", rec.outcome);
+    let rep = Execution::new(make_config()).replay(&demo, program);
+    assert!(rep.outcome.is_ok(), "{:?}", rep.outcome);
+    assert_eq!(rep.console, rec.console, "delay demos replay like random ones");
+}

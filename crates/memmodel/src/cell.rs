@@ -1,0 +1,565 @@
+//! Per-location store histories and the load/store/RMW semantics.
+
+use srr_vclock::{Epoch, TidIndex, VectorClock};
+
+use crate::choice::Chooser;
+use crate::order::MemOrder;
+use crate::view::ThreadView;
+
+/// Default bound on a location's store history.
+///
+/// tsan11 keeps a fixed-size ring of store elements per atomic location;
+/// 128 is its default and is comfortably larger than the reorder windows
+/// real hardware exhibits.
+pub const DEFAULT_HISTORY_CAP: usize = 128;
+
+/// One entry in a location's modification order.
+#[derive(Debug, Clone)]
+pub struct StoreElem {
+    /// Position in modification order (0 = the initialization write).
+    pub pos: u64,
+    /// The stored value (all atomics are modelled as `u64`).
+    pub value: u64,
+    /// The memory order of the store.
+    pub order: MemOrder,
+    /// The storing thread.
+    pub writer: TidIndex,
+    /// The store event's epoch in the writer's history, used for the
+    /// happens-before hiding rule.
+    pub epoch: Epoch,
+    /// The clock an acquire load of this store obtains (release store,
+    /// release-fence publication, or release-sequence continuation);
+    /// `None` when the store publishes nothing.
+    pub sync_clock: Option<VectorClock>,
+    /// Whether the store was a read-modify-write (continues any release
+    /// sequence regardless of thread).
+    pub rmw: bool,
+}
+
+/// The modification-order history of one atomic location.
+///
+/// The history is bounded: old stores are pruned from the front once
+/// capacity is exceeded. The newest store is never pruned, so the readable
+/// set is always non-empty.
+#[derive(Debug, Clone)]
+pub struct AtomicCell {
+    history: Vec<StoreElem>,
+    /// Modification-order position of the latest `SeqCst` store (0 if none).
+    last_sc_pos: u64,
+    /// Per-thread floor on readable positions (read-read / write-read
+    /// coherence).
+    last_seen: Vec<u64>,
+    /// Total stores ever applied (= pos of the newest store).
+    next_pos: u64,
+    cap: usize,
+}
+
+impl AtomicCell {
+    /// Creates a location holding `init`, attributed to the creating
+    /// thread described by `creator`.
+    ///
+    /// The initialization write is *not* a release operation (matching
+    /// C++11, where `std::atomic` initialization is unsynchronized), but its
+    /// epoch participates in hiding: threads that observe the location's
+    /// creation cannot read "before" it.
+    #[must_use]
+    pub fn new(init: u64, creator: &ThreadView) -> Self {
+        AtomicCell::with_capacity(init, creator, DEFAULT_HISTORY_CAP)
+    }
+
+    /// As [`AtomicCell::new`] with an explicit history bound (≥ 1).
+    #[must_use]
+    pub fn with_capacity(init: u64, creator: &ThreadView, cap: usize) -> Self {
+        assert!(cap >= 1, "history capacity must be at least 1");
+        let init_elem = StoreElem {
+            pos: 0,
+            value: init,
+            order: MemOrder::Relaxed,
+            writer: creator.tid,
+            epoch: creator.clock.epoch(creator.tid),
+            sync_clock: None,
+            rmw: false,
+        };
+        AtomicCell {
+            history: vec![init_elem],
+            last_sc_pos: 0,
+            last_seen: Vec::new(),
+            next_pos: 0,
+            cap,
+        }
+    }
+
+    /// The newest value in modification order.
+    #[must_use]
+    pub fn latest(&self) -> u64 {
+        self.history.last().expect("history is never empty").value
+    }
+
+    /// Number of stores currently retained in the history.
+    #[must_use]
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Performs an atomic store.
+    pub fn store(&mut self, view: &mut ThreadView, value: u64, order: MemOrder) {
+        let sync = self.continuation_clock(view, order, false);
+        self.push(view, value, order, sync, false);
+    }
+
+    /// Performs an atomic load, returning the chosen value.
+    ///
+    /// `chooser` selects among the readable stores; route it through the
+    /// replayable PRNG to make weak behaviour reproducible.
+    pub fn load(&mut self, view: &mut ThreadView, order: MemOrder, chooser: &mut dyn Chooser) -> u64 {
+        let lo = self.readable_floor(view, order);
+        let candidates: Vec<usize> = self
+            .history
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.pos >= lo)
+            .map(|(i, _)| i)
+            .collect();
+        debug_assert!(!candidates.is_empty(), "newest store is always readable");
+        let idx = candidates[chooser.choose(candidates.len())];
+        self.observe(view, idx, order)
+    }
+
+    /// Performs an atomic read-modify-write with `f`, returning the value
+    /// *read* (the previous value).
+    ///
+    /// Per C++11, an RMW always reads the newest store in modification
+    /// order; the chooser is therefore not consulted.
+    pub fn rmw(&mut self, view: &mut ThreadView, f: impl FnOnce(u64) -> u64, order: MemOrder) -> u64 {
+        let idx = self.history.len() - 1;
+        let old = self.observe(view, idx, order);
+        let new = f(old);
+        let sync = self.continuation_clock(view, order, true);
+        self.push(view, new, order, sync, true);
+        old
+    }
+
+    /// Performs a strong compare-and-swap.
+    ///
+    /// On success stores `new` with `success` ordering and returns
+    /// `Ok(previous)`; on failure behaves as a load of the newest store with
+    /// `failure` ordering and returns `Err(actual)`.
+    pub fn compare_exchange(
+        &mut self,
+        view: &mut ThreadView,
+        expected: u64,
+        new: u64,
+        success: MemOrder,
+        failure: MemOrder,
+    ) -> Result<u64, u64> {
+        let idx = self.history.len() - 1;
+        let current = self.history[idx].value;
+        if current == expected {
+            let old = self.observe(view, idx, success);
+            let sync = self.continuation_clock(view, success, true);
+            self.push(view, new, success, sync, true);
+            Ok(old)
+        } else {
+            Err(self.observe(view, idx, failure))
+        }
+    }
+
+    /// The modification-order position of the newest store.
+    #[must_use]
+    pub fn latest_pos(&self) -> u64 {
+        self.next_pos
+    }
+
+    /// Lowest modification-order position thread `view.tid` may read at
+    /// `order`, combining all three coherence rules.
+    fn readable_floor(&self, view: &ThreadView, order: MemOrder) -> u64 {
+        // Per-thread coherence floor.
+        let mut lo = view_floor(&self.last_seen, view.tid);
+        // Happens-before hiding: latest store whose event is in the
+        // reader's past hides everything older.
+        for s in &self.history {
+            if s.pos > lo && view.clock.hb_contains(s.epoch) {
+                lo = s.pos;
+            }
+        }
+        // SC restriction.
+        if order.is_seq_cst() && self.last_sc_pos > lo {
+            lo = self.last_sc_pos;
+        }
+        lo
+    }
+
+    /// Marks store `idx` as observed by `view`: applies synchronization and
+    /// advances the thread's coherence floor. Returns the value.
+    fn observe(&mut self, view: &mut ThreadView, idx: usize, order: MemOrder) -> u64 {
+        let (pos, value, sync) = {
+            let s = &self.history[idx];
+            (s.pos, s.value, s.sync_clock.clone())
+        };
+        if let Some(sync) = sync {
+            view.absorb(&sync, order.is_acquire());
+        }
+        bump_floor(&mut self.last_seen, view.tid, pos);
+        value
+    }
+
+    /// The clock the new store should publish, including release-sequence
+    /// continuation from the store it immediately follows.
+    ///
+    /// C++11 release sequences: a sequence headed by a release store A
+    /// continues through subsequent stores by A's thread and through RMWs by
+    /// any thread. We approximate by accumulating: if the new store extends
+    /// the previous head (same thread, or the new store is an RMW), the
+    /// previous head's published clock is folded into the new one.
+    fn continuation_clock(
+        &self,
+        view: &ThreadView,
+        order: MemOrder,
+        is_rmw: bool,
+    ) -> Option<VectorClock> {
+        let own = view.publish_clock(order.is_release());
+        let prev = self.history.last().expect("history is never empty");
+        let continues = is_rmw || prev.writer == view.tid;
+        match (own, continues.then(|| prev.sync_clock.clone()).flatten()) {
+            (Some(mut c), Some(prev_c)) => {
+                c.join(&prev_c);
+                Some(c)
+            }
+            (Some(c), None) => Some(c),
+            (None, Some(prev_c)) => Some(prev_c),
+            (None, None) => None,
+        }
+    }
+
+    fn push(
+        &mut self,
+        view: &mut ThreadView,
+        value: u64,
+        order: MemOrder,
+        sync_clock: Option<VectorClock>,
+        rmw: bool,
+    ) {
+        self.next_pos += 1;
+        let pos = self.next_pos;
+        if order.is_seq_cst() {
+            self.last_sc_pos = pos;
+        }
+        self.history.push(StoreElem {
+            pos,
+            value,
+            order,
+            writer: view.tid,
+            epoch: view.clock.epoch(view.tid),
+            sync_clock,
+            rmw,
+        });
+        if self.history.len() > self.cap {
+            self.history.remove(0);
+        }
+        // A writer may never subsequently read older than its own store
+        // (write-read coherence).
+        bump_floor(&mut self.last_seen, view.tid, pos);
+    }
+}
+
+fn view_floor(floors: &[u64], tid: TidIndex) -> u64 {
+    floors.get(tid).copied().unwrap_or(0)
+}
+
+fn bump_floor(floors: &mut Vec<u64>, tid: TidIndex, pos: u64) {
+    if floors.len() <= tid {
+        floors.resize(tid + 1, 0);
+    }
+    if floors[tid] < pos {
+        floors[tid] = pos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choice::CounterChooser;
+
+    fn fresh(tid: TidIndex) -> ThreadView {
+        ThreadView::new(tid)
+    }
+
+    /// A chooser that records how many candidates each call saw.
+    struct Probe {
+        seen: Vec<usize>,
+        pick: usize,
+    }
+    impl Chooser for Probe {
+        fn choose(&mut self, n: usize) -> usize {
+            self.seen.push(n);
+            self.pick.min(n - 1)
+        }
+    }
+
+    #[test]
+    fn init_value_is_readable() {
+        let t0 = fresh(0);
+        let mut t1 = fresh(1);
+        let mut cell = AtomicCell::new(42, &t0);
+        let mut c = CounterChooser::always_latest();
+        assert_eq!(cell.load(&mut t1, MemOrder::SeqCst, &mut c), 42);
+    }
+
+    #[test]
+    fn relaxed_load_may_read_stale_store() {
+        let mut t0 = fresh(0);
+        let mut t1 = fresh(1);
+        let mut cell = AtomicCell::new(0, &t0);
+        t0.tick();
+        cell.store(&mut t0, 1, MemOrder::Relaxed);
+
+        // t1 has no hb knowledge of the store: both 0 and 1 readable.
+        let mut probe = Probe { seen: vec![], pick: 0 };
+        let v = cell.load(&mut t1, MemOrder::Relaxed, &mut probe);
+        assert_eq!(probe.seen, vec![2], "two candidates");
+        assert_eq!(v, 0, "picked the stale store");
+    }
+
+    #[test]
+    fn hb_hiding_forbids_stale_read() {
+        let mut t0 = fresh(0);
+        let mut t1 = fresh(1);
+        let mut cell = AtomicCell::new(0, &t0);
+        t0.tick();
+        cell.store(&mut t0, 1, MemOrder::Release);
+
+        // Simulate synchronization: t1 learns t0's full clock.
+        t1.clock.join(&t0.clock);
+
+        let mut probe = Probe { seen: vec![], pick: 0 };
+        let v = cell.load(&mut t1, MemOrder::Relaxed, &mut probe);
+        assert_eq!(probe.seen, vec![1], "stale store hidden by hb");
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn read_read_coherence_is_monotone() {
+        let mut t0 = fresh(0);
+        let mut t1 = fresh(1);
+        let mut cell = AtomicCell::new(0, &t0);
+        t0.tick();
+        cell.store(&mut t0, 1, MemOrder::Relaxed);
+        t0.tick();
+        cell.store(&mut t0, 2, MemOrder::Relaxed);
+
+        // t1 reads the newest store...
+        let mut latest = CounterChooser::always_latest();
+        assert_eq!(cell.load(&mut t1, MemOrder::Relaxed, &mut latest), 2);
+        // ...then can never go back, even when asking for the oldest.
+        let mut probe = Probe { seen: vec![], pick: 0 };
+        assert_eq!(cell.load(&mut t1, MemOrder::Relaxed, &mut probe), 2);
+        assert_eq!(probe.seen, vec![1]);
+    }
+
+    #[test]
+    fn writer_cannot_read_before_own_store() {
+        let mut t0 = fresh(0);
+        let mut cell = AtomicCell::new(0, &t0);
+        t0.tick();
+        cell.store(&mut t0, 7, MemOrder::Relaxed);
+        let mut probe = Probe { seen: vec![], pick: 0 };
+        assert_eq!(cell.load(&mut t0, MemOrder::Relaxed, &mut probe), 7);
+        assert_eq!(probe.seen, vec![1]);
+    }
+
+    #[test]
+    fn acquire_of_release_synchronizes() {
+        let mut t0 = fresh(0);
+        let mut t1 = fresh(1);
+        let mut cell = AtomicCell::new(0, &t0);
+        t0.tick();
+        cell.store(&mut t0, 1, MemOrder::Release);
+        let t0_epoch = t0.clock.get(0);
+
+        let mut latest = CounterChooser::always_latest();
+        cell.load(&mut t1, MemOrder::Acquire, &mut latest);
+        assert_eq!(t1.clock.get(0), t0_epoch);
+    }
+
+    #[test]
+    fn relaxed_load_of_release_does_not_synchronize_immediately() {
+        let mut t0 = fresh(0);
+        let mut t1 = fresh(1);
+        let mut cell = AtomicCell::new(0, &t0);
+        t0.tick();
+        cell.store(&mut t0, 1, MemOrder::Release);
+
+        let mut latest = CounterChooser::always_latest();
+        cell.load(&mut t1, MemOrder::Relaxed, &mut latest);
+        assert_eq!(t1.clock.get(0), 0, "no sw edge for relaxed load");
+        t1.acquire_fence();
+        assert!(t1.clock.get(0) >= 2, "acquire fence completes the edge");
+    }
+
+    #[test]
+    fn release_fence_then_relaxed_store_publishes() {
+        let mut t0 = fresh(0);
+        let mut t1 = fresh(1);
+        let mut cell = AtomicCell::new(0, &t0);
+        t0.tick();
+        t0.release_fence();
+        t0.tick();
+        cell.store(&mut t0, 1, MemOrder::Relaxed);
+
+        let mut latest = CounterChooser::always_latest();
+        cell.load(&mut t1, MemOrder::Acquire, &mut latest);
+        assert!(t1.clock.get(0) >= 2, "fence clock transferred");
+    }
+
+    #[test]
+    fn rmw_reads_latest_and_continues_release_sequence() {
+        let mut t0 = fresh(0);
+        let mut t1 = fresh(1);
+        let mut t2 = fresh(2);
+        let mut cell = AtomicCell::new(0, &t0);
+        t0.tick();
+        cell.store(&mut t0, 1, MemOrder::Release);
+        let head_clock = t0.clock.get(0);
+
+        // t1 extends the sequence with a relaxed RMW.
+        t1.tick();
+        let old = cell.rmw(&mut t1, |v| v + 1, MemOrder::Relaxed);
+        assert_eq!(old, 1, "RMW reads newest");
+        assert_eq!(cell.latest(), 2);
+
+        // t2 acquire-loads the RMW's store and must still synchronize with
+        // t0 (release sequence headed by t0's release store).
+        let mut latest = CounterChooser::always_latest();
+        cell.load(&mut t2, MemOrder::Acquire, &mut latest);
+        assert_eq!(t2.clock.get(0), head_clock);
+    }
+
+    #[test]
+    fn same_thread_relaxed_store_continues_release_sequence() {
+        let mut t0 = fresh(0);
+        let mut t1 = fresh(1);
+        let mut cell = AtomicCell::new(0, &t0);
+        t0.tick();
+        cell.store(&mut t0, 1, MemOrder::Release);
+        let head_clock = t0.clock.get(0);
+        t0.tick();
+        cell.store(&mut t0, 2, MemOrder::Relaxed); // same thread: continues
+
+        let mut latest = CounterChooser::always_latest();
+        cell.load(&mut t1, MemOrder::Acquire, &mut latest);
+        assert!(t1.clock.get(0) >= head_clock);
+    }
+
+    #[test]
+    fn other_thread_relaxed_store_breaks_release_sequence() {
+        let mut t0 = fresh(0);
+        let mut t1 = fresh(1);
+        let mut t2 = fresh(2);
+        let mut cell = AtomicCell::new(0, &t0);
+        t0.tick();
+        cell.store(&mut t0, 1, MemOrder::Release);
+        t1.tick();
+        cell.store(&mut t1, 2, MemOrder::Relaxed); // different thread: breaks
+
+        let mut latest = CounterChooser::always_latest();
+        cell.load(&mut t2, MemOrder::Acquire, &mut latest);
+        assert_eq!(t2.clock.get(0), 0, "no sync with t0 through broken sequence");
+    }
+
+    #[test]
+    fn sc_load_cannot_read_before_last_sc_store() {
+        let mut t0 = fresh(0);
+        let mut t1 = fresh(1);
+        let mut cell = AtomicCell::new(0, &t0);
+        t0.tick();
+        cell.store(&mut t0, 1, MemOrder::SeqCst);
+
+        let mut probe = Probe { seen: vec![], pick: 0 };
+        let v = cell.load(&mut t1, MemOrder::SeqCst, &mut probe);
+        assert_eq!(probe.seen, vec![1], "init store hidden from SC load");
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn non_sc_load_may_still_read_before_sc_store() {
+        let mut t0 = fresh(0);
+        let mut t1 = fresh(1);
+        let mut cell = AtomicCell::new(0, &t0);
+        t0.tick();
+        cell.store(&mut t0, 1, MemOrder::SeqCst);
+
+        let mut probe = Probe { seen: vec![], pick: 0 };
+        let v = cell.load(&mut t1, MemOrder::Relaxed, &mut probe);
+        assert_eq!(probe.seen, vec![2]);
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn compare_exchange_success_and_failure() {
+        let mut t0 = fresh(0);
+        let mut cell = AtomicCell::new(5, &t0);
+        t0.tick();
+        assert_eq!(
+            cell.compare_exchange(&mut t0, 5, 6, MemOrder::AcqRel, MemOrder::Relaxed),
+            Ok(5)
+        );
+        assert_eq!(cell.latest(), 6);
+        t0.tick();
+        assert_eq!(
+            cell.compare_exchange(&mut t0, 5, 9, MemOrder::AcqRel, MemOrder::Relaxed),
+            Err(6)
+        );
+        assert_eq!(cell.latest(), 6);
+    }
+
+    #[test]
+    fn failed_cas_acquires_at_failure_order() {
+        let mut t0 = fresh(0);
+        let mut t1 = fresh(1);
+        let mut cell = AtomicCell::new(0, &t0);
+        t0.tick();
+        cell.store(&mut t0, 3, MemOrder::Release);
+        let t0_epoch = t0.clock.get(0);
+
+        t1.tick();
+        let r = cell.compare_exchange(&mut t1, 0, 1, MemOrder::AcqRel, MemOrder::Acquire);
+        assert_eq!(r, Err(3));
+        assert_eq!(t1.clock.get(0), t0_epoch, "failure path still acquires");
+    }
+
+    #[test]
+    fn history_is_bounded_and_latest_survives() {
+        let mut t0 = fresh(0);
+        let mut cell = AtomicCell::with_capacity(0, &t0, 4);
+        for i in 1..=100 {
+            t0.tick();
+            cell.store(&mut t0, i, MemOrder::Relaxed);
+        }
+        assert_eq!(cell.history_len(), 4);
+        assert_eq!(cell.latest(), 100);
+        assert_eq!(cell.latest_pos(), 100);
+    }
+
+    #[test]
+    fn figure1_weak_behaviour_is_producible() {
+        // The racy program of Figure 1 (paper §2): T2 reads y==1 (B) then a
+        // stale x==0 (D), both relaxed, despite T1 storing x (A) before
+        // y (B) with release ordering.
+        let mut t1 = fresh(0);
+        let mut t2 = fresh(1);
+        let mut x = AtomicCell::new(0, &t1);
+        let mut y = AtomicCell::new(0, &t1);
+
+        t1.tick();
+        x.store(&mut t1, 1, MemOrder::Release); // A
+        t1.tick();
+        y.store(&mut t1, 1, MemOrder::Release); // B
+
+        let mut latest = CounterChooser::always_latest();
+        let c = y.load(&mut t2, MemOrder::Relaxed, &mut latest); // C
+        assert_eq!(c, 1);
+        let mut oldest = CounterChooser::always_oldest();
+        let d = x.load(&mut t2, MemOrder::Relaxed, &mut oldest); // D
+        assert_eq!(d, 0, "stale read allowed: relaxed load of y gave no sw edge");
+    }
+}

@@ -1,0 +1,106 @@
+//! The nondeterministic-choice interface.
+//!
+//! Every weak-memory choice (which readable store a load observes) is routed
+//! through [`Chooser`] so the embedding tool can make it *replayable*: in
+//! tsan11rec the chooser is the scheduler's seeded PRNG, whose seeds are
+//! stored in the demo header (§4 of the paper), so recording the seeds alone
+//! reproduces every load choice on replay.
+
+/// A source of bounded nondeterministic choices.
+pub trait Chooser {
+    /// Returns a value in `0..n`. `n` is always ≥ 1.
+    fn choose(&mut self, n: usize) -> usize;
+}
+
+impl<T: Chooser + ?Sized> Chooser for &mut T {
+    fn choose(&mut self, n: usize) -> usize {
+        (**self).choose(n)
+    }
+}
+
+/// A deterministic [`Chooser`] for tests: cycles through a fixed script,
+/// or always picks the newest candidate.
+#[derive(Debug, Clone)]
+pub struct CounterChooser {
+    script: Vec<usize>,
+    at: usize,
+    always_latest: bool,
+}
+
+impl CounterChooser {
+    /// A chooser that always selects the last (newest) candidate — i.e.
+    /// sequentially-consistent-looking behaviour.
+    #[must_use]
+    pub fn always_latest() -> Self {
+        CounterChooser { script: Vec::new(), at: 0, always_latest: true }
+    }
+
+    /// A chooser that always selects the first (oldest readable) candidate.
+    #[must_use]
+    pub fn always_oldest() -> Self {
+        CounterChooser::from_script(vec![0])
+    }
+
+    /// A chooser that replays `script` cyclically; each entry is clamped
+    /// to the candidate count at the point of use.
+    #[must_use]
+    pub fn from_script(script: Vec<usize>) -> Self {
+        assert!(!script.is_empty(), "chooser script must be non-empty");
+        CounterChooser { script, at: 0, always_latest: false }
+    }
+}
+
+impl Chooser for CounterChooser {
+    fn choose(&mut self, n: usize) -> usize {
+        debug_assert!(n >= 1);
+        if self.always_latest {
+            return n - 1;
+        }
+        let raw = self.script[self.at % self.script.len()];
+        self.at += 1;
+        raw.min(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_latest_picks_last() {
+        let mut c = CounterChooser::always_latest();
+        assert_eq!(c.choose(1), 0);
+        assert_eq!(c.choose(5), 4);
+    }
+
+    #[test]
+    fn always_oldest_picks_first() {
+        let mut c = CounterChooser::always_oldest();
+        assert_eq!(c.choose(3), 0);
+        assert_eq!(c.choose(1), 0);
+    }
+
+    #[test]
+    fn script_cycles_and_clamps() {
+        let mut c = CounterChooser::from_script(vec![0, 9, 1]);
+        assert_eq!(c.choose(4), 0);
+        assert_eq!(c.choose(4), 3); // 9 clamped to 3
+        assert_eq!(c.choose(4), 1);
+        assert_eq!(c.choose(4), 0); // wraps
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_script_panics() {
+        let _ = CounterChooser::from_script(vec![]);
+    }
+
+    #[test]
+    fn mut_ref_is_a_chooser() {
+        fn takes_chooser(c: &mut impl Chooser) -> usize {
+            c.choose(2)
+        }
+        let mut c = CounterChooser::always_latest();
+        assert_eq!(takes_chooser(&mut &mut c), 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Sequentially-consistent fence support.
+
+use srr_vclock::VectorClock;
+
+use crate::view::ThreadView;
+
+/// The global clock through which `SeqCst` fences synchronize.
+///
+/// tsan11 models an SC fence as a bidirectional join with one global clock:
+/// the fencing thread first absorbs the global clock, then publishes its own
+/// into it. This totally orders SC fences and gives the cumulative
+/// visibility guarantees programs like Dekker's algorithm rely on.
+#[derive(Debug, Clone, Default)]
+pub struct ScFenceClock {
+    clock: VectorClock,
+}
+
+impl ScFenceClock {
+    /// Creates the fence clock (all zeros).
+    #[must_use]
+    pub fn new() -> Self {
+        ScFenceClock::default()
+    }
+
+    /// Executes a `SeqCst` fence for `view`: acquire side, release side,
+    /// and the bidirectional global join.
+    pub fn sc_fence(&mut self, view: &mut ThreadView) {
+        view.acquire_fence();
+        view.clock.join(&self.clock);
+        self.clock.join(&view.clock);
+        view.release_fence();
+    }
+
+    /// Read-only access to the accumulated global clock.
+    #[must_use]
+    pub fn clock(&self) -> &VectorClock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sc_fences_transfer_clocks_transitively() {
+        let mut global = ScFenceClock::new();
+        let mut a = ThreadView::new(0);
+        let mut b = ThreadView::new(1);
+        let mut c = ThreadView::new(2);
+
+        a.tick(); // a's clock[0] = 2
+        global.sc_fence(&mut a);
+        global.sc_fence(&mut b);
+        assert_eq!(b.clock.get(0), 2, "b sees a through the fence order");
+
+        global.sc_fence(&mut c);
+        assert_eq!(c.clock.get(0), 2);
+        assert!(c.clock.get(1) >= 1, "c sees b as well");
+    }
+
+    #[test]
+    fn sc_fence_acts_as_release_fence_too() {
+        let mut global = ScFenceClock::new();
+        let mut a = ThreadView::new(0);
+        a.tick();
+        global.sc_fence(&mut a);
+        assert!(a.release_fence.is_some(), "subsequent relaxed stores publish");
+    }
+
+    #[test]
+    fn global_clock_accumulates() {
+        let mut global = ScFenceClock::new();
+        let mut a = ThreadView::new(0);
+        let mut b = ThreadView::new(1);
+        global.sc_fence(&mut a);
+        global.sc_fence(&mut b);
+        assert!(global.clock().get(0) >= 1);
+        assert!(global.clock().get(1) >= 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Operational C++11-style weak memory model with per-location store
+//! histories, following the tsan11 semantics (Lidbury & Donaldson,
+//! POPL 2017) that the tsan11rec tool (PLDI 2019) builds on.
+//!
+//! The model is *operational*: every atomic store appends a
+//! [`StoreElem`] to the location's bounded modification-order history, and
+//! every atomic load selects one of the *readable* stores — possibly a stale
+//! one — subject to the C++11 coherence rules:
+//!
+//! * **happens-before hiding**: a load may not read a store `S` if a
+//!   modification-order-later store to the same location happens-before the
+//!   load;
+//! * **per-thread coherence**: a thread may never read modification-order
+//!   backwards relative to what it has already read or written;
+//! * **SC restriction**: a `SeqCst` load may not read a store that is
+//!   modification-order-earlier than the latest `SeqCst` store to the
+//!   location.
+//!
+//! Synchronizes-with edges (release/acquire, release sequences, fences) are
+//! transferred as vector clocks. The *choice* among readable stores is made
+//! through the [`Chooser`] trait so that the embedding tool can route it
+//! through its replayable PRNG — this is what makes weak-memory behaviour
+//! recordable and replayable in tsan11rec.
+//!
+//! # Example: the message-passing idiom
+//!
+//! ```
+//! use srr_memmodel::{AtomicCell, CounterChooser, MemOrder, ThreadView};
+//!
+//! let mut t0 = ThreadView::new(0);
+//! let mut t1 = ThreadView::new(1);
+//! let mut data_published = false;
+//!
+//! let mut flag = AtomicCell::new(0, &t0);
+//! // T0: publish with a release store.
+//! data_published = true;
+//! t0.clock.tick(0);
+//! flag.store(&mut t0, 1, MemOrder::Release);
+//!
+//! // T1: acquire-load sees the flag and synchronizes.
+//! let mut pick_latest = CounterChooser::always_latest();
+//! t1.clock.tick(1);
+//! let v = flag.load(&mut t1, MemOrder::Acquire, &mut pick_latest);
+//! assert_eq!(v, 1);
+//! // T0's release clock is now in T1's past:
+//! assert!(t1.clock.get(0) >= 1);
+//! # let _ = data_published;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod choice;
+mod fence;
+mod order;
+mod view;
+
+pub use cell::{AtomicCell, StoreElem, DEFAULT_HISTORY_CAP};
+pub use choice::{Chooser, CounterChooser};
+pub use fence::ScFenceClock;
+pub use order::MemOrder;
+pub use view::ThreadView;

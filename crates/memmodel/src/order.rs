@@ -1,0 +1,102 @@
+//! C++11 memory orders.
+
+use core::fmt;
+
+/// A C++11 memory order.
+///
+/// `memory_order_consume` is treated as [`MemOrder::Acquire`], exactly as
+/// tsan11 (and every mainstream compiler) does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemOrder {
+    /// `memory_order_relaxed`: atomicity only, no synchronization.
+    Relaxed,
+    /// `memory_order_acquire`: loads synchronize with release stores read.
+    Acquire,
+    /// `memory_order_release`: stores publish the writer's clock.
+    Release,
+    /// `memory_order_acq_rel`: both (meaningful for read-modify-writes).
+    AcqRel,
+    /// `memory_order_seq_cst`: acquire+release plus the SC total order.
+    SeqCst,
+}
+
+impl MemOrder {
+    /// Whether a load at this order acquires the store's release clock.
+    #[must_use]
+    pub fn is_acquire(self) -> bool {
+        matches!(self, MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst)
+    }
+
+    /// Whether a store at this order publishes the writer's clock.
+    #[must_use]
+    pub fn is_release(self) -> bool {
+        matches!(self, MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst)
+    }
+
+    /// Whether this order participates in the sequential-consistency
+    /// total order.
+    #[must_use]
+    pub fn is_seq_cst(self) -> bool {
+        matches!(self, MemOrder::SeqCst)
+    }
+
+    /// A short lowercase name matching the C++ spelling suffix
+    /// (`relaxed`, `acquire`, ...). Useful in logs and demo files.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MemOrder::Relaxed => "relaxed",
+            MemOrder::Acquire => "acquire",
+            MemOrder::Release => "release",
+            MemOrder::AcqRel => "acq_rel",
+            MemOrder::SeqCst => "seq_cst",
+        }
+    }
+}
+
+impl fmt::Display for MemOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Default for MemOrder {
+    /// `SeqCst`, matching the default of `std::atomic` operations in C++.
+    fn default() -> Self {
+        MemOrder::SeqCst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_classification() {
+        assert!(!MemOrder::Relaxed.is_acquire());
+        assert!(!MemOrder::Relaxed.is_release());
+        assert!(MemOrder::Acquire.is_acquire());
+        assert!(!MemOrder::Acquire.is_release());
+        assert!(!MemOrder::Release.is_acquire());
+        assert!(MemOrder::Release.is_release());
+        assert!(MemOrder::AcqRel.is_acquire());
+        assert!(MemOrder::AcqRel.is_release());
+        assert!(MemOrder::SeqCst.is_acquire());
+        assert!(MemOrder::SeqCst.is_release());
+    }
+
+    #[test]
+    fn only_seq_cst_is_sc() {
+        assert!(MemOrder::SeqCst.is_seq_cst());
+        for o in [MemOrder::Relaxed, MemOrder::Acquire, MemOrder::Release, MemOrder::AcqRel] {
+            assert!(!o.is_seq_cst());
+        }
+    }
+
+    #[test]
+    fn names_match_cpp_spellings() {
+        assert_eq!(MemOrder::Relaxed.to_string(), "relaxed");
+        assert_eq!(MemOrder::AcqRel.to_string(), "acq_rel");
+        assert_eq!(MemOrder::default(), MemOrder::SeqCst);
+    }
+}

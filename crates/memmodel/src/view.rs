@@ -1,0 +1,161 @@
+//! Per-thread memory-model state.
+
+use srr_vclock::{TidIndex, VectorClock};
+
+/// A thread's view of the memory model: its happens-before clock plus the
+/// fence bookkeeping tsan11 keeps per thread.
+///
+/// * `clock` — the thread's vector clock; grows on synchronizes-with edges.
+/// * `release_fence` — snapshot of `clock` taken at the thread's most recent
+///   release fence. A *relaxed* store that follows a release fence publishes
+///   this snapshot instead of nothing (C++11 §32.9: fence-store
+///   synchronization).
+/// * `acquire_pending` — release clocks observed by *relaxed* loads since
+///   the last acquire fence. An acquire fence folds this into `clock`
+///   (C++11 fence-load synchronization).
+#[derive(Debug, Clone)]
+pub struct ThreadView {
+    /// The thread's dense index (vector-clock component).
+    pub tid: TidIndex,
+    /// The thread's happens-before clock.
+    pub clock: VectorClock,
+    /// Clock snapshot at the most recent release fence, if any.
+    pub release_fence: Option<VectorClock>,
+    /// Accumulated release clocks from relaxed loads, pending an
+    /// acquire fence.
+    pub acquire_pending: VectorClock,
+}
+
+impl ThreadView {
+    /// Creates a fresh view for thread `tid` with an all-zero clock.
+    ///
+    /// The embedding runtime normally follows this with a join of the
+    /// parent's clock (thread creation synchronizes parent → child).
+    #[must_use]
+    pub fn new(tid: TidIndex) -> Self {
+        let mut clock = VectorClock::new();
+        // A thread's own component starts at 1 so that its first event is
+        // distinguishable from "never ran" (epoch 0).
+        clock.set(tid, 1);
+        ThreadView {
+            tid,
+            clock,
+            release_fence: None,
+            acquire_pending: VectorClock::new(),
+        }
+    }
+
+    /// Advances the thread's own clock component; call once per
+    /// happens-before-relevant event.
+    pub fn tick(&mut self) {
+        self.clock.tick(self.tid);
+    }
+
+    /// The clock a store by this thread publishes, given whether the store
+    /// itself is a release operation.
+    ///
+    /// Release store → the full current clock. Relaxed store after a release
+    /// fence → the fence snapshot. Otherwise → `None` (nothing published).
+    #[must_use]
+    pub fn publish_clock(&self, releasing: bool) -> Option<VectorClock> {
+        if releasing {
+            Some(self.clock.clone())
+        } else {
+            self.release_fence.clone()
+        }
+    }
+
+    /// Applies a synchronizes-with edge obtained by a load.
+    ///
+    /// `acquiring` says whether the *load* had acquire semantics. If it did,
+    /// the clock is joined immediately; if not, it is parked in
+    /// `acquire_pending` for a future acquire fence.
+    pub fn absorb(&mut self, sync: &VectorClock, acquiring: bool) {
+        if acquiring {
+            self.clock.join(sync);
+        } else {
+            self.acquire_pending.join(sync);
+        }
+    }
+
+    /// Executes a release fence: snapshots the current clock.
+    pub fn release_fence(&mut self) {
+        self.release_fence = Some(self.clock.clone());
+    }
+
+    /// Executes an acquire fence: folds pending release clocks into the
+    /// thread clock.
+    pub fn acquire_fence(&mut self) {
+        // Move out to satisfy the borrow checker without cloning.
+        let pending = std::mem::take(&mut self.acquire_pending);
+        self.clock.join(&pending);
+        // Keep the pending set joined-forward: clocks are monotone, and an
+        // already-absorbed edge is harmless to re-absorb.
+        self.acquire_pending = pending;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_view_starts_at_one() {
+        let v = ThreadView::new(3);
+        assert_eq!(v.clock.get(3), 1);
+        assert_eq!(v.clock.get(0), 0);
+    }
+
+    #[test]
+    fn tick_advances_own_component_only() {
+        let mut v = ThreadView::new(1);
+        v.tick();
+        v.tick();
+        assert_eq!(v.clock.get(1), 3);
+        assert_eq!(v.clock.get(0), 0);
+    }
+
+    #[test]
+    fn release_store_publishes_full_clock() {
+        let mut v = ThreadView::new(0);
+        v.tick();
+        let c = v.publish_clock(true).expect("release publishes");
+        assert_eq!(c.get(0), 2);
+    }
+
+    #[test]
+    fn relaxed_store_publishes_nothing_without_fence() {
+        let v = ThreadView::new(0);
+        assert!(v.publish_clock(false).is_none());
+    }
+
+    #[test]
+    fn relaxed_store_after_release_fence_publishes_fence_clock() {
+        let mut v = ThreadView::new(0);
+        v.tick(); // clock[0] = 2
+        v.release_fence();
+        v.tick(); // clock[0] = 3, after the fence
+        let c = v.publish_clock(false).expect("fence publishes");
+        assert_eq!(c.get(0), 2, "publishes the snapshot, not the live clock");
+    }
+
+    #[test]
+    fn relaxed_load_parks_clock_until_acquire_fence() {
+        let mut v = ThreadView::new(1);
+        let mut sync = VectorClock::new();
+        sync.set(0, 7);
+        v.absorb(&sync, false);
+        assert_eq!(v.clock.get(0), 0, "not yet visible");
+        v.acquire_fence();
+        assert_eq!(v.clock.get(0), 7, "visible after acquire fence");
+    }
+
+    #[test]
+    fn acquire_load_joins_immediately() {
+        let mut v = ThreadView::new(1);
+        let mut sync = VectorClock::new();
+        sync.set(0, 7);
+        v.absorb(&sync, true);
+        assert_eq!(v.clock.get(0), 7);
+    }
+}

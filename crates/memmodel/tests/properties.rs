@@ -1,0 +1,191 @@
+//! Property-based tests for the coherence invariants of [`AtomicCell`].
+//!
+//! These drive random sequences of stores/loads/RMWs from a small set of
+//! threads and check the C++11 coherence axioms on the observed trace.
+
+use proptest::prelude::*;
+use srr_memmodel::{AtomicCell, Chooser, MemOrder, ThreadView};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Store { tid: usize, #[allow(dead_code)] value: u64, order: MemOrder },
+    Load { tid: usize, order: MemOrder, pick: usize },
+    Rmw { tid: usize, order: MemOrder },
+}
+
+fn order_strategy() -> impl Strategy<Value = MemOrder> {
+    prop_oneof![
+        Just(MemOrder::Relaxed),
+        Just(MemOrder::Acquire),
+        Just(MemOrder::Release),
+        Just(MemOrder::AcqRel),
+        Just(MemOrder::SeqCst),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..3, 1u64..100, order_strategy())
+            .prop_map(|(tid, value, order)| Op::Store { tid, value, order }),
+        (0usize..3, order_strategy(), 0usize..16)
+            .prop_map(|(tid, order, pick)| Op::Load { tid, order, pick }),
+        (0usize..3, order_strategy()).prop_map(|(tid, order)| Op::Rmw { tid, order }),
+    ]
+}
+
+struct FixedPick(usize);
+impl Chooser for FixedPick {
+    fn choose(&mut self, n: usize) -> usize {
+        self.0.min(n - 1)
+    }
+}
+
+/// Runs `ops` against one cell; returns, per thread, the sequence of
+/// modification-order positions that thread observed (via the value: we
+/// store each position as the value so reads reveal positions).
+fn run(ops: &[Op]) -> Vec<Vec<u64>> {
+    let mut views: Vec<ThreadView> = (0..3).map(ThreadView::new).collect();
+    let mut cell = AtomicCell::new(0, &views[0]);
+    let mut observed: Vec<Vec<u64>> = vec![Vec::new(); 3];
+    let mut next_value = 1u64;
+
+    for op in ops {
+        match *op {
+            Op::Store { tid, order, .. } => {
+                views[tid].tick();
+                // Store the modification-order position as the value so the
+                // trace is reconstructible: pos == value for every store.
+                cell.store(&mut views[tid], next_value, order);
+                next_value += 1;
+            }
+            Op::Load { tid, order, pick } => {
+                views[tid].tick();
+                let v = cell.load(&mut views[tid], order, &mut FixedPick(pick));
+                observed[tid].push(v);
+            }
+            Op::Rmw { tid, order } => {
+                views[tid].tick();
+                let old = cell.rmw(&mut views[tid], |_| next_value, order);
+                next_value += 1;
+                observed[tid].push(old);
+            }
+        }
+    }
+    observed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Read-read coherence: each thread's observed positions never go
+    /// backwards (values are assigned in modification order).
+    #[test]
+    fn per_thread_reads_are_monotone(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        for seq in run(&ops) {
+            for w in seq.windows(2) {
+                prop_assert!(w[0] <= w[1], "observed {:?}", seq);
+            }
+        }
+    }
+
+    /// RMWs always read the newest store: after any op sequence the cell's
+    /// latest value equals the last store/RMW value applied.
+    #[test]
+    fn latest_tracks_last_write(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut views: Vec<ThreadView> = (0..3).map(ThreadView::new).collect();
+        let mut cell = AtomicCell::new(0, &views[0]);
+        let mut last_written = 0u64;
+        let mut next_value = 1u64;
+        for op in &ops {
+            match *op {
+                Op::Store { tid, order, .. } => {
+                    views[tid].tick();
+                    cell.store(&mut views[tid], next_value, order);
+                    last_written = next_value;
+                    next_value += 1;
+                }
+                Op::Load { tid, order, pick } => {
+                    views[tid].tick();
+                    let _ = cell.load(&mut views[tid], order, &mut FixedPick(pick));
+                }
+                Op::Rmw { tid, order } => {
+                    views[tid].tick();
+                    let old = cell.rmw(&mut views[tid], |_| next_value, order);
+                    prop_assert_eq!(old, last_written, "RMW must read newest");
+                    last_written = next_value;
+                    next_value += 1;
+                }
+            }
+        }
+        prop_assert_eq!(cell.latest(), last_written);
+    }
+
+    /// SC loads never observe a value older than the latest SC store.
+    #[test]
+    fn sc_loads_respect_sc_floor(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut views: Vec<ThreadView> = (0..3).map(ThreadView::new).collect();
+        let mut cell = AtomicCell::new(0, &views[0]);
+        let mut last_sc_value = 0u64;
+        let mut have_sc_store = false;
+        let mut next_value = 1u64;
+        for op in &ops {
+            match *op {
+                Op::Store { tid, order, .. } => {
+                    views[tid].tick();
+                    cell.store(&mut views[tid], next_value, order);
+                    if order.is_seq_cst() {
+                        last_sc_value = next_value;
+                        have_sc_store = true;
+                    }
+                    next_value += 1;
+                }
+                Op::Load { tid, order, pick } => {
+                    views[tid].tick();
+                    let v = cell.load(&mut views[tid], order, &mut FixedPick(pick));
+                    if order.is_seq_cst() && have_sc_store {
+                        prop_assert!(v >= last_sc_value,
+                            "SC load saw {v} but last SC store was {last_sc_value}");
+                    }
+                }
+                Op::Rmw { tid, order } => {
+                    views[tid].tick();
+                    let _ = cell.rmw(&mut views[tid], |_| next_value, order);
+                    if order.is_seq_cst() {
+                        last_sc_value = next_value;
+                        have_sc_store = true;
+                    }
+                    next_value += 1;
+                }
+            }
+        }
+    }
+
+    /// Thread clocks only ever grow (monotone happens-before).
+    #[test]
+    fn thread_clocks_are_monotone(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut views: Vec<ThreadView> = (0..3).map(ThreadView::new).collect();
+        let mut cell = AtomicCell::new(0, &views[0]);
+        let mut next_value = 1u64;
+        for op in &ops {
+            let tid = match *op { Op::Store { tid, .. } | Op::Load { tid, .. } | Op::Rmw { tid, .. } => tid };
+            let before = views[tid].clock.clone();
+            match *op {
+                Op::Store { tid, order, .. } => {
+                    views[tid].tick();
+                    cell.store(&mut views[tid], next_value, order);
+                    next_value += 1;
+                }
+                Op::Load { tid, order, pick } => {
+                    views[tid].tick();
+                    let _ = cell.load(&mut views[tid], order, &mut FixedPick(pick));
+                }
+                Op::Rmw { tid, order } => {
+                    views[tid].tick();
+                    let _ = cell.rmw(&mut views[tid], |_| next_value, order);
+                    next_value += 1;
+                }
+            }
+            prop_assert!(before.le(&views[tid].clock));
+        }
+    }
+}

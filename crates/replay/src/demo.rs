@@ -1,0 +1,438 @@
+//! The demo container: header plus the five streams, with directory and
+//! in-memory serialization.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::rle;
+use crate::streams::{parse_syscalls, AsyncEvent, QueueStream, SignalEvent, SyscallRecord};
+
+/// Demo format version understood by this crate.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Metadata identifying how a demo was recorded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DemoHeader {
+    /// Format version.
+    pub version: u32,
+    /// Recording tool (`tsan11rec` or `rr-baseline`).
+    pub tool: String,
+    /// Scheduling strategy (`random`, `queue`, `pct`, `slice`).
+    pub strategy: String,
+    /// The two PRNG seeds (§4: "seeded by two calls to rdtsc()").
+    pub seeds: [u64; 2],
+}
+
+impl DemoHeader {
+    /// Creates a v1 header.
+    #[must_use]
+    pub fn new(tool: impl Into<String>, strategy: impl Into<String>, seeds: [u64; 2]) -> Self {
+        DemoHeader {
+            version: FORMAT_VERSION,
+            tool: tool.into(),
+            strategy: strategy.into(),
+            seeds,
+        }
+    }
+
+    fn to_text(&self) -> String {
+        format!(
+            "tsan11rec-demo v{}\ntool {}\nstrategy {}\nseed {} {}\n",
+            self.version, self.tool, self.strategy, self.seeds[0], self.seeds[1]
+        )
+    }
+
+    fn from_text(text: &str) -> Result<Self, String> {
+        let mut version = None;
+        let mut tool = None;
+        let mut strategy = None;
+        let mut seeds = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(v) = line.strip_prefix("tsan11rec-demo v") {
+                version = Some(v.parse().map_err(|_| format!("bad version `{v}`"))?);
+            } else if let Some(t) = line.strip_prefix("tool ") {
+                tool = Some(t.to_owned());
+            } else if let Some(s) = line.strip_prefix("strategy ") {
+                strategy = Some(s.to_owned());
+            } else if let Some(s) = line.strip_prefix("seed ") {
+                let mut it = s.split_whitespace();
+                let a = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| format!("bad seed line `{line}`"))?;
+                let b = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| format!("bad seed line `{line}`"))?;
+                seeds = Some([a, b]);
+            } else {
+                return Err(format!("unknown HEADER line `{line}`"));
+            }
+        }
+        let version = version.ok_or("missing version line")?;
+        if version != FORMAT_VERSION {
+            return Err(format!("unsupported demo version {version}"));
+        }
+        Ok(DemoHeader {
+            version,
+            tool: tool.ok_or("missing tool line")?,
+            strategy: strategy.ok_or("missing strategy line")?,
+            seeds: seeds.ok_or("missing seed line")?,
+        })
+    }
+}
+
+/// A recorded execution: the constraints replay must satisfy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Demo {
+    /// Recording metadata.
+    pub header: DemoHeader,
+    /// Queue-strategy interleaving (empty for the random strategy, whose
+    /// interleaving is fully captured by the seeds).
+    pub queue: QueueStream,
+    /// Asynchronous signals.
+    pub signals: Vec<SignalEvent>,
+    /// Recorded syscalls, in global order.
+    pub syscalls: Vec<SyscallRecord>,
+    /// Asynchronous events (reschedules, signal wakeups).
+    pub async_events: Vec<AsyncEvent>,
+    /// Allocator address stream (comprehensive recorders only).
+    pub alloc: Vec<u64>,
+}
+
+impl Demo {
+    /// An empty demo under the given header.
+    #[must_use]
+    pub fn new(header: DemoHeader) -> Self {
+        Demo {
+            header,
+            queue: QueueStream::default(),
+            signals: Vec::new(),
+            syscalls: Vec::new(),
+            async_events: Vec::new(),
+            alloc: Vec::new(),
+        }
+    }
+
+    /// Serializes into the per-file text map (`HEADER`, `QUEUE`, ...).
+    #[must_use]
+    pub fn to_string_map(&self) -> BTreeMap<String, String> {
+        let mut map = BTreeMap::new();
+        map.insert("HEADER".to_owned(), self.header.to_text());
+        map.insert("QUEUE".to_owned(), self.queue.to_text());
+        map.insert(
+            "SIGNAL".to_owned(),
+            self.signals.iter().map(|s| s.to_line() + "\n").collect(),
+        );
+        map.insert(
+            "SYSCALL".to_owned(),
+            self.syscalls.iter().map(SyscallRecord::to_lines).collect(),
+        );
+        map.insert(
+            "ASYNC".to_owned(),
+            self.async_events.iter().map(|e| e.to_line() + "\n").collect(),
+        );
+        map.insert("ALLOC".to_owned(), rle::encode_u64s(&self.alloc) + "\n");
+        map
+    }
+
+    /// Parses the per-file text map produced by [`Demo::to_string_map`].
+    ///
+    /// Missing stream files are treated as empty (sparsity: a recording
+    /// that captured no signals simply has no `SIGNAL` content).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DemoLoadError::Malformed`] naming the offending file.
+    pub fn from_string_map(map: &BTreeMap<String, String>) -> Result<Self, DemoLoadError> {
+        let text = |name: &str| map.get(name).map(String::as_str).unwrap_or("");
+        let bad = |file: &str, err: String| DemoLoadError::Malformed { file: file.into(), err };
+
+        let header = DemoHeader::from_text(
+            map.get("HEADER").ok_or(DemoLoadError::MissingHeader)?,
+        )
+        .map_err(|e| bad("HEADER", e))?;
+        let queue = QueueStream::from_text(text("QUEUE")).map_err(|e| bad("QUEUE", e))?;
+        let signals = text("SIGNAL")
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(SignalEvent::from_line)
+            .collect::<Result<_, _>>()
+            .map_err(|e| bad("SIGNAL", e))?;
+        let syscalls = parse_syscalls(text("SYSCALL")).map_err(|e| bad("SYSCALL", e))?;
+        let async_events = text("ASYNC")
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(AsyncEvent::from_line)
+            .collect::<Result<_, _>>()
+            .map_err(|e| bad("ASYNC", e))?;
+        let alloc = rle::decode_u64s(text("ALLOC")).map_err(|e| bad("ALLOC", e))?;
+        Ok(Demo { header, queue, signals, syscalls, async_events, alloc })
+    }
+
+    /// Writes the demo as a directory of stream files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_dir(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        for (name, text) in self.to_string_map() {
+            fs::write(dir.join(name), text)?;
+        }
+        Ok(())
+    }
+
+    /// Loads a demo from a directory written by [`Demo::save_dir`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DemoLoadError`] on IO failure or malformed content.
+    pub fn load_dir(dir: &Path) -> Result<Self, DemoLoadError> {
+        let mut map = BTreeMap::new();
+        for name in ["HEADER", "QUEUE", "SIGNAL", "SYSCALL", "ASYNC", "ALLOC"] {
+            match fs::read_to_string(dir.join(name)) {
+                Ok(text) => {
+                    map.insert(name.to_owned(), text);
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(DemoLoadError::Io { file: name.into(), source: e }),
+            }
+        }
+        Demo::from_string_map(&map)
+    }
+
+    /// Total serialized size in bytes — the paper's "demo file size"
+    /// metric (§5.2).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.to_string_map().values().map(String::len).sum()
+    }
+
+    /// Size in bytes of the `SYSCALL` stream alone (§5.4 reports the
+    /// syscall share of the game demos).
+    #[must_use]
+    pub fn syscall_bytes(&self) -> usize {
+        self.syscalls.iter().map(SyscallRecord::encoded_size).sum()
+    }
+
+    /// Per-stream summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> DemoStats {
+        DemoStats {
+            strategy: self.header.strategy.clone(),
+            queue_entries: self.queue.next_ticks.len(),
+            signals: self.signals.len(),
+            syscalls: self.syscalls.len(),
+            async_events: self.async_events.len(),
+            alloc_entries: self.alloc.len(),
+            total_bytes: self.size_bytes(),
+            syscall_bytes: self.syscall_bytes(),
+        }
+    }
+}
+
+/// Summary of a demo's contents (what each stream captured and how much
+/// it costs on disk) — the §5 discussions quote exactly these numbers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DemoStats {
+    /// Recording strategy.
+    pub strategy: String,
+    /// QUEUE next-tick entries (0 for the random strategy).
+    pub queue_entries: usize,
+    /// SIGNAL events.
+    pub signals: usize,
+    /// SYSCALL records.
+    pub syscalls: usize,
+    /// ASYNC events.
+    pub async_events: usize,
+    /// ALLOC addresses (comprehensive recorders only).
+    pub alloc_entries: usize,
+    /// Total serialized bytes.
+    pub total_bytes: usize,
+    /// Bytes of the SYSCALL stream.
+    pub syscall_bytes: usize,
+}
+
+impl fmt::Display for DemoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} demo: {} bytes ({} syscall bytes); {} syscalls, {} signals, \
+             {} async events, {} queue entries, {} alloc entries",
+            self.strategy,
+            self.total_bytes,
+            self.syscall_bytes,
+            self.syscalls,
+            self.signals,
+            self.async_events,
+            self.queue_entries,
+            self.alloc_entries
+        )
+    }
+}
+
+/// Failure to load a demo.
+#[derive(Debug)]
+pub enum DemoLoadError {
+    /// The `HEADER` file is absent.
+    MissingHeader,
+    /// A stream file exists but cannot be parsed.
+    Malformed {
+        /// The stream file name.
+        file: String,
+        /// Parse error description.
+        err: String,
+    },
+    /// Filesystem error.
+    Io {
+        /// The stream file name.
+        file: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for DemoLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DemoLoadError::MissingHeader => write!(f, "demo has no HEADER file"),
+            DemoLoadError::Malformed { file, err } => write!(f, "malformed {file}: {err}"),
+            DemoLoadError::Io { file, source } => write!(f, "cannot read {file}: {source}"),
+        }
+    }
+}
+
+impl Error for DemoLoadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DemoLoadError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_demo() -> Demo {
+        let mut d = Demo::new(DemoHeader::new("tsan11rec", "queue", [7, 9]));
+        d.queue = QueueStream { first_tick: vec![1, 2], next_ticks: vec![3, 4, 0, 0] };
+        d.signals.push(SignalEvent { tid: 2, tick: 5, signo: 15 });
+        d.syscalls.push(SyscallRecord {
+            seq: 0,
+            tid: 1,
+            tick: 3,
+            kind: "recv".into(),
+            ret: 10,
+            errno: 0,
+            bufs: vec![b"helloworld".to_vec()],
+        });
+        d.async_events.push(AsyncEvent::Reschedule { tick: 2 });
+        d.async_events.push(AsyncEvent::SignalWakeup { tid: 0, tick: 4 });
+        d.alloc = vec![4096, 8192, 12288];
+        d
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let h = DemoHeader::new("tsan11rec", "random", [123, 456]);
+        assert_eq!(DemoHeader::from_text(&h.to_text()).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_wrong_version() {
+        let text = "tsan11rec-demo v99\ntool t\nstrategy s\nseed 0 0\n";
+        assert!(DemoHeader::from_text(text).is_err());
+    }
+
+    #[test]
+    fn header_rejects_missing_fields() {
+        assert!(DemoHeader::from_text("tsan11rec-demo v1\n").is_err());
+        assert!(DemoHeader::from_text("tool t\nstrategy s\nseed 0 0\n").is_err());
+    }
+
+    #[test]
+    fn string_map_roundtrips() {
+        let d = sample_demo();
+        let map = d.to_string_map();
+        let back = Demo::from_string_map(&map).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn missing_stream_files_mean_empty_streams() {
+        let d = Demo::new(DemoHeader::new("tsan11rec", "random", [1, 2]));
+        let mut map = d.to_string_map();
+        map.remove("SIGNAL");
+        map.remove("QUEUE");
+        map.remove("ASYNC");
+        map.remove("SYSCALL");
+        map.remove("ALLOC");
+        let back = Demo::from_string_map(&map).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let map = BTreeMap::new();
+        assert!(matches!(
+            Demo::from_string_map(&map),
+            Err(DemoLoadError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn malformed_stream_names_the_file() {
+        let d = sample_demo();
+        let mut map = d.to_string_map();
+        map.insert("SIGNAL".into(), "not a signal line\n".into());
+        match Demo::from_string_map(&map) {
+            Err(DemoLoadError::Malformed { file, .. }) => assert_eq!(file, "SIGNAL"),
+            other => panic!("expected malformed SIGNAL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dir_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("srr-demo-test-{}", std::process::id()));
+        let d = sample_demo();
+        d.save_dir(&dir).unwrap();
+        let back = Demo::load_dir(&dir).unwrap();
+        assert_eq!(back, d);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_dir_missing_header_errors() {
+        let dir = std::env::temp_dir().join(format!("srr-demo-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(Demo::load_dir(&dir), Err(DemoLoadError::MissingHeader)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn size_bytes_reflects_content() {
+        let empty = Demo::new(DemoHeader::new("tsan11rec", "random", [1, 2]));
+        let full = sample_demo();
+        assert!(full.size_bytes() > empty.size_bytes());
+        assert!(full.syscall_bytes() > 0);
+        assert!(full.syscall_bytes() < full.size_bytes());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DemoLoadError::Malformed { file: "QUEUE".into(), err: "boom".into() };
+        assert_eq!(e.to_string(), "malformed QUEUE: boom");
+        assert!(DemoLoadError::MissingHeader.to_string().contains("HEADER"));
+    }
+}

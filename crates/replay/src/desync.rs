@@ -1,0 +1,136 @@
+//! The desynchronisation taxonomy (§4 of the paper).
+//!
+//! A demo is a set of constraints. If the replayer cannot *enforce* a
+//! constraint, the replay has **hard desynchronised** and the tool aborts.
+//! If all constraints hold but observable behaviour (e.g. console output)
+//! diverges, the replay has merely **soft desynchronised** — the paper's
+//! example being that the empty demo is trivially synchronised everywhere
+//! while soft-desynchronising almost everywhere.
+
+use std::error::Error;
+use std::fmt;
+
+/// A constraint the replayer failed to enforce; replay must abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HardDesync {
+    /// The tick at which enforcement failed.
+    pub tick: u64,
+    /// Which constraint failed (e.g. `syscall-kind`, `queue-schedule`).
+    pub constraint: String,
+    /// What the demo requires.
+    pub expected: String,
+    /// What the execution produced.
+    pub actual: String,
+}
+
+impl fmt::Display for HardDesync {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hard desynchronisation at tick {}: constraint `{}` expected {}, got {}",
+            self.tick, self.constraint, self.expected, self.actual
+        )
+    }
+}
+
+impl Error for HardDesync {}
+
+/// An observable divergence that violates no constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoftDesync {
+    /// The tick at which the divergence was noticed.
+    pub tick: u64,
+    /// A description of the divergence (e.g. differing console output).
+    pub detail: String,
+}
+
+impl fmt::Display for SoftDesync {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "soft desynchronisation at tick {}: {}", self.tick, self.detail)
+    }
+}
+
+/// Either flavour of desynchronisation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DesyncKind {
+    /// Enforcement failure: abort.
+    Hard(HardDesync),
+    /// Observable divergence: note and continue.
+    Soft(SoftDesync),
+}
+
+impl DesyncKind {
+    /// Whether replay must abort.
+    #[must_use]
+    pub fn is_hard(&self) -> bool {
+        matches!(self, DesyncKind::Hard(_))
+    }
+}
+
+impl fmt::Display for DesyncKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesyncKind::Hard(h) => h.fmt(f),
+            DesyncKind::Soft(s) => s.fmt(f),
+        }
+    }
+}
+
+impl From<HardDesync> for DesyncKind {
+    fn from(h: HardDesync) -> Self {
+        DesyncKind::Hard(h)
+    }
+}
+
+impl From<SoftDesync> for DesyncKind {
+    fn from(s: SoftDesync) -> Self {
+        DesyncKind::Soft(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hard_desync_displays_all_fields() {
+        let h = HardDesync {
+            tick: 42,
+            constraint: "syscall-kind".into(),
+            expected: "recv".into(),
+            actual: "send".into(),
+        };
+        let s = h.to_string();
+        assert!(s.contains("tick 42"));
+        assert!(s.contains("syscall-kind"));
+        assert!(s.contains("recv"));
+        assert!(s.contains("send"));
+    }
+
+    #[test]
+    fn kind_classification() {
+        let h: DesyncKind = HardDesync {
+            tick: 1,
+            constraint: "c".into(),
+            expected: "e".into(),
+            actual: "a".into(),
+        }
+        .into();
+        let s: DesyncKind = SoftDesync { tick: 2, detail: "output order".into() }.into();
+        assert!(h.is_hard());
+        assert!(!s.is_hard());
+        assert!(s.to_string().contains("soft"));
+    }
+
+    #[test]
+    fn hard_desync_is_an_error() {
+        fn takes_error(_: &dyn Error) {}
+        let h = HardDesync {
+            tick: 0,
+            constraint: "c".into(),
+            expected: "e".into(),
+            actual: "a".into(),
+        };
+        takes_error(&h);
+    }
+}

@@ -1,0 +1,45 @@
+//! The demo model for sparse record and replay.
+//!
+//! A *demo* (§4 of the paper) is the recording of one execution: a set of
+//! constraints the replay must satisfy. It is stored as a directory of
+//! line-oriented text files mirroring the paper's streams:
+//!
+//! | File      | Contents |
+//! |-----------|----------|
+//! | `HEADER`  | tool, strategy, PRNG seeds, format version |
+//! | `QUEUE`   | queue-strategy interleaving: first tick per thread + RLE-compressed next-tick list |
+//! | `SIGNAL`  | `tid tick signo` per asynchronous signal |
+//! | `SYSCALL` | per recorded syscall: kind, return value, errno, RLE-compressed output buffers |
+//! | `ASYNC`   | reschedule / signal-wakeup events floated to their tick |
+//! | `ALLOC`   | (comprehensive tools only) the allocator's address stream |
+//!
+//! The crate provides the typed event model ([`SignalEvent`],
+//! [`SyscallRecord`], [`AsyncEvent`], [`QueueStream`]), the run-length
+//! codecs ([`rle`]), serialization ([`Demo::save_dir`] / [`Demo::load_dir`]
+//! and an in-memory string form), and the desynchronisation taxonomy
+//! ([`HardDesync`], [`SoftDesync`]).
+//!
+//! # Example
+//!
+//! ```
+//! use srr_replay::{Demo, DemoHeader, SignalEvent};
+//!
+//! let mut demo = Demo::new(DemoHeader::new("tsan11rec", "random", [1, 2]));
+//! demo.signals.push(SignalEvent { tid: 2, tick: 5, signo: 15 });
+//! let text = demo.to_string_map();
+//! assert!(text["SIGNAL"].contains("2 5 15")); // the paper's own example line
+//! let back = Demo::from_string_map(&text).unwrap();
+//! assert_eq!(back.signals, demo.signals);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod demo;
+mod desync;
+pub mod rle;
+mod streams;
+
+pub use demo::{Demo, DemoHeader, DemoLoadError, DemoStats};
+pub use desync::{DesyncKind, HardDesync, SoftDesync};
+pub use streams::{AsyncEvent, QueueStream, SignalEvent, SyscallRecord};

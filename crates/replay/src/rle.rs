@@ -1,0 +1,274 @@
+//! Run-length codecs for demo streams.
+//!
+//! Two codecs cover the paper's two compression needs:
+//!
+//! * [`encode_u64s`] / [`decode_u64s`] — integer sequences (the QUEUE
+//!   next-tick list, the ALLOC address stream). The dominant pattern is a
+//!   thread scheduled many times in succession, which produces arithmetic
+//!   runs with step 1 (`k, k+1, k+2, …`); repeated constants also occur
+//!   (`0 0 0 …` for "never scheduled again"). Tokens:
+//!   - `N` — a literal value;
+//!   - `N+K` — the run `N, N+1, …, N+K` (K ≥ 1);
+//!   - `N*K` — the value `N` repeated `K` times (K ≥ 2).
+//! * [`encode_bytes`] / [`decode_bytes`] — byte buffers (SYSCALL output
+//!   data). "A simple run length encoding" (§4.4): alternating literal and
+//!   run chunks, serialized as lowercase hex.
+
+use std::fmt::Write as _;
+
+/// Encodes an integer sequence into the token text form.
+#[must_use]
+pub fn encode_u64s(values: &[u64]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < values.len() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        let v = values[i];
+        // Longest arithmetic(+1) run from i.
+        let mut inc = 1;
+        while i + inc < values.len() && values[i + inc] == v + inc as u64 {
+            inc += 1;
+        }
+        // Longest constant run from i.
+        let mut rep = 1;
+        while i + rep < values.len() && values[i + rep] == v {
+            rep += 1;
+        }
+        if inc >= rep && inc > 1 {
+            let _ = write!(out, "{v}+{}", inc - 1);
+            i += inc;
+        } else if rep > 1 {
+            let _ = write!(out, "{v}*{rep}");
+            i += rep;
+        } else {
+            let _ = write!(out, "{v}");
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decodes the token text form produced by [`encode_u64s`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed token.
+pub fn decode_u64s(text: &str) -> Result<Vec<u64>, String> {
+    let mut out = Vec::new();
+    for tok in text.split_whitespace() {
+        if let Some((base, k)) = tok.split_once('+') {
+            let base: u64 = base.parse().map_err(|_| format!("bad run base in `{tok}`"))?;
+            let k: u64 = k.parse().map_err(|_| format!("bad run length in `{tok}`"))?;
+            out.extend((0..=k).map(|d| base + d));
+        } else if let Some((base, k)) = tok.split_once('*') {
+            let base: u64 = base.parse().map_err(|_| format!("bad repeat base in `{tok}`"))?;
+            let k: usize = k.parse().map_err(|_| format!("bad repeat count in `{tok}`"))?;
+            if k < 2 {
+                return Err(format!("repeat count must be >= 2 in `{tok}`"));
+            }
+            out.extend(std::iter::repeat(base).take(k));
+        } else {
+            out.push(tok.parse().map_err(|_| format!("bad literal `{tok}`"))?);
+        }
+    }
+    Ok(out)
+}
+
+/// Minimum run length worth a run chunk in the byte codec.
+const BYTE_RUN_MIN: usize = 4;
+
+/// Encodes a byte buffer: RLE chunks serialized as hex.
+///
+/// Chunk grammar (binary, before hexing): `0x00 len byte` is a run of
+/// `len` (1–255) copies of `byte`; `0x01 len b…` is `len` literal bytes.
+#[must_use]
+pub fn encode_bytes(data: &[u8]) -> String {
+    let mut chunks: Vec<u8> = Vec::new();
+    let mut i = 0;
+    let mut lit_start = 0;
+    let flush_literal = |chunks: &mut Vec<u8>, lit: &[u8]| {
+        for part in lit.chunks(255) {
+            chunks.push(0x01);
+            chunks.push(part.len() as u8);
+            chunks.extend_from_slice(part);
+        }
+    };
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1;
+        while i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        if run >= BYTE_RUN_MIN {
+            flush_literal(&mut chunks, &data[lit_start..i]);
+            let mut remaining = run;
+            while remaining > 0 {
+                let n = remaining.min(255);
+                chunks.push(0x00);
+                chunks.push(n as u8);
+                chunks.push(b);
+                remaining -= n;
+            }
+            i += run;
+            lit_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literal(&mut chunks, &data[lit_start..]);
+    to_hex(&chunks)
+}
+
+/// Decodes the output of [`encode_bytes`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed chunk.
+pub fn decode_bytes(text: &str) -> Result<Vec<u8>, String> {
+    let chunks = from_hex(text)?;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chunks.len() {
+        match chunks[i] {
+            0x00 => {
+                let [len, b] = chunks
+                    .get(i + 1..i + 3)
+                    .and_then(|s| <[u8; 2]>::try_from(s).ok())
+                    .ok_or("truncated run chunk")?;
+                out.extend(std::iter::repeat(b).take(len as usize));
+                i += 3;
+            }
+            0x01 => {
+                let len = *chunks.get(i + 1).ok_or("truncated literal header")? as usize;
+                let lit = chunks.get(i + 2..i + 2 + len).ok_or("truncated literal chunk")?;
+                out.extend_from_slice(lit);
+                i += 2 + len;
+            }
+            tag => return Err(format!("unknown chunk tag {tag:#x}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Lowercase hex of `data`.
+#[must_use]
+pub fn to_hex(data: &[u8]) -> String {
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+/// Inverse of [`to_hex`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed digit pair.
+pub fn from_hex(text: &str) -> Result<Vec<u8>, String> {
+    let text = text.trim();
+    if text.len() % 2 != 0 {
+        return Err("odd-length hex string".into());
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&text[i..i + 2], 16).map_err(|_| format!("bad hex at byte {i}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_empty() {
+        assert_eq!(encode_u64s(&[]), "");
+        assert_eq!(decode_u64s("").unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn u64_arithmetic_run_compresses() {
+        let vals: Vec<u64> = (10..30).collect();
+        let enc = encode_u64s(&vals);
+        assert_eq!(enc, "10+19");
+        assert_eq!(decode_u64s(&enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn u64_constant_run_compresses() {
+        let vals = vec![0; 7];
+        let enc = encode_u64s(&vals);
+        assert_eq!(enc, "0*7");
+        assert_eq!(decode_u64s(&enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn u64_mixed_sequence_roundtrips() {
+        let vals = vec![5, 6, 7, 3, 3, 3, 9, 100, 101, 0];
+        let enc = encode_u64s(&vals);
+        assert_eq!(decode_u64s(&enc).unwrap(), vals);
+        assert_eq!(enc, "5+2 3*3 9 100+1 0");
+    }
+
+    #[test]
+    fn u64_decode_rejects_garbage() {
+        assert!(decode_u64s("abc").is_err());
+        assert!(decode_u64s("5+x").is_err());
+        assert!(decode_u64s("5*1").is_err());
+    }
+
+    #[test]
+    fn bytes_roundtrip_empty_and_small() {
+        for data in [&b""[..], b"a", b"abc", b"\x00\xff"] {
+            let enc = encode_bytes(data);
+            assert_eq!(decode_bytes(&enc).unwrap(), data, "data {data:?}");
+        }
+    }
+
+    #[test]
+    fn bytes_runs_compress() {
+        let data = vec![7u8; 1000];
+        let enc = encode_bytes(&data);
+        assert!(enc.len() < 50, "1000 bytes should compress, got {} chars", enc.len());
+        assert_eq!(decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn bytes_mixed_content_roundtrips() {
+        let mut data = Vec::new();
+        data.extend_from_slice(b"HTTP/1.1 200 OK\r\n");
+        data.extend(std::iter::repeat(b' ').take(300));
+        data.extend_from_slice(b"payload");
+        data.extend(std::iter::repeat(0u8).take(3)); // short run stays literal
+        let enc = encode_bytes(&data);
+        assert_eq!(decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn bytes_literal_longer_than_255_chunks() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(700).collect();
+        let enc = encode_bytes(&data);
+        assert_eq!(decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn bytes_decode_rejects_garbage() {
+        assert!(decode_bytes("zz").is_err());
+        assert!(decode_bytes("00").is_err(), "truncated run");
+        assert!(decode_bytes("0105aa").is_err(), "literal shorter than header");
+        assert!(decode_bytes("ff").is_err(), "unknown tag");
+        assert!(decode_bytes("abc").is_err(), "odd length");
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = vec![0x00, 0x7f, 0xff, 0x10];
+        assert_eq!(to_hex(&data), "007fff10");
+        assert_eq!(from_hex("007fff10").unwrap(), data);
+        assert_eq!(from_hex("  007fff10\n").unwrap(), data, "whitespace tolerated");
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests: every codec and stream roundtrips on arbitrary input.
+
+use proptest::prelude::*;
+use srr_replay::rle;
+use srr_replay::{AsyncEvent, Demo, DemoHeader, QueueStream, SignalEvent, SyscallRecord};
+
+proptest! {
+    #[test]
+    fn u64_codec_roundtrips(values in proptest::collection::vec(0u64..10_000, 0..200)) {
+        let enc = rle::encode_u64s(&values);
+        prop_assert_eq!(rle::decode_u64s(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn u64_codec_roundtrips_extremes(values in proptest::collection::vec(0u64..=u64::MAX / 2, 0..50)) {
+        let enc = rle::encode_u64s(&values);
+        prop_assert_eq!(rle::decode_u64s(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn byte_codec_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let enc = rle::encode_bytes(&data);
+        prop_assert_eq!(rle::decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn byte_codec_roundtrips_runs(byte in any::<u8>(), n in 0usize..2000) {
+        let data = vec![byte; n];
+        let enc = rle::encode_bytes(&data);
+        prop_assert_eq!(rle::decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn byte_codec_compresses_runs(byte in any::<u8>(), n in 256usize..2000) {
+        let data = vec![byte; n];
+        let enc = rle::encode_bytes(&data);
+        // 3 bytes (6 hex chars) per 255-run.
+        prop_assert!(enc.len() <= (n / 255 + 1) * 6 + 8);
+    }
+
+    #[test]
+    fn hex_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(rle::from_hex(&rle::to_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn demo_roundtrips(
+        seeds in (any::<u64>(), any::<u64>()),
+        first in proptest::collection::vec(0u64..1000, 0..8),
+        ticks in proptest::collection::vec(0u64..1000, 0..64),
+        signals in proptest::collection::vec((0u32..8, 0u64..1000, 1i32..32), 0..10),
+        alloc in proptest::collection::vec(0u64..1_000_000, 0..32),
+        bufs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..4),
+    ) {
+        let mut demo = Demo::new(DemoHeader::new("tsan11rec", "queue", [seeds.0, seeds.1]));
+        demo.queue = QueueStream { first_tick: first, next_ticks: ticks };
+        demo.signals = signals
+            .into_iter()
+            .map(|(tid, tick, signo)| SignalEvent { tid, tick, signo })
+            .collect();
+        demo.alloc = alloc;
+        demo.async_events = vec![
+            AsyncEvent::Reschedule { tick: 3 },
+            AsyncEvent::SignalWakeup { tid: 1, tick: 9 },
+        ];
+        demo.syscalls = vec![SyscallRecord {
+            seq: 0,
+            tid: 2,
+            tick: 17,
+            kind: "recvmsg".into(),
+            ret: -1,
+            errno: 11,
+            bufs,
+        }];
+        let map = demo.to_string_map();
+        prop_assert_eq!(Demo::from_string_map(&map).unwrap(), demo);
+    }
+}

@@ -1,0 +1,403 @@
+//! Vector clocks and epochs for happens-before tracking.
+//!
+//! This crate is the foundational substrate shared by the race detector
+//! (`srr-racedet`) and the operational memory model (`srr-memmodel`).
+//! It provides:
+//!
+//! * [`VectorClock`] — a growable Lamport vector clock over thread ids,
+//!   with join, comparison and per-component access;
+//! * [`Epoch`] — a FastTrack-style `(thread, clock)` pair, the compressed
+//!   representation of "the last access by a single thread".
+//!
+//! The representation is a dense `Vec<u64>` indexed by thread id. Thread ids
+//! in this project are small consecutive integers handed out by the
+//! scheduler, so a dense representation is both the simplest and the fastest
+//! choice (the paper's tsan11 substrate makes the same choice).
+//!
+//! # Examples
+//!
+//! ```
+//! use srr_vclock::{Epoch, VectorClock};
+//!
+//! let mut a = VectorClock::new();
+//! let mut b = VectorClock::new();
+//! a.tick(0); // thread 0 performs an operation
+//! b.tick(1); // thread 1 performs an operation
+//! assert!(!a.le(&b) && !b.le(&a)); // concurrent
+//!
+//! b.join(&a); // thread 1 synchronizes with thread 0
+//! assert!(a.le(&b));
+//! assert!(b.hb_contains(Epoch::new(0, 1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::cmp::Ordering as CmpOrdering;
+use core::fmt;
+
+/// A logical clock value for a single thread component.
+pub type Clock = u64;
+
+/// A thread identifier used as a vector-clock index.
+///
+/// The scheduler hands out consecutive small ids, so `usize` indexing is
+/// appropriate here. This is deliberately *not* the scheduler's rich thread
+/// id type: the clock substrate stays dependency-free.
+pub type TidIndex = usize;
+
+/// A FastTrack-style epoch: the clock of one thread at one instant.
+///
+/// Epochs compress the common case in race detection where a location's
+/// access history is dominated by a single thread, avoiding a full
+/// vector-clock comparison (`O(1)` instead of `O(n)`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Epoch {
+    tid: TidIndex,
+    clock: Clock,
+}
+
+impl Epoch {
+    /// The epoch that precedes every access: thread 0 at clock 0.
+    ///
+    /// Every thread's component starts at 0 and `tick` is called before the
+    /// first tracked access, so `ZERO` is ≤ every real access epoch.
+    pub const ZERO: Epoch = Epoch { tid: 0, clock: 0 };
+
+    /// Creates an epoch for thread `tid` at clock value `clock`.
+    #[must_use]
+    pub const fn new(tid: TidIndex, clock: Clock) -> Self {
+        Epoch { tid, clock }
+    }
+
+    /// The thread component of this epoch.
+    #[must_use]
+    pub const fn tid(self) -> TidIndex {
+        self.tid
+    }
+
+    /// The clock component of this epoch.
+    #[must_use]
+    pub const fn clock(self) -> Clock {
+        self.clock
+    }
+
+    /// Returns `true` if this epoch happens-before (or equals) the point
+    /// described by `clock`, i.e. `clock[self.tid] >= self.clock`.
+    #[must_use]
+    pub fn le(self, clock: &VectorClock) -> bool {
+        clock.get(self.tid) >= self.clock
+    }
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.clock, self.tid)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.clock, self.tid)
+    }
+}
+
+/// A growable vector clock over dense thread ids.
+///
+/// Missing components are implicitly zero, so clocks over different numbers
+/// of threads compare correctly.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    components: Vec<Clock>,
+}
+
+impl VectorClock {
+    /// Creates an empty clock (all components implicitly zero).
+    #[must_use]
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// Creates a clock with capacity for `n` threads pre-allocated.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        VectorClock { components: Vec::with_capacity(n) }
+    }
+
+    /// The component for thread `tid` (zero if never set).
+    #[must_use]
+    pub fn get(&self, tid: TidIndex) -> Clock {
+        self.components.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for thread `tid`, growing the clock as needed.
+    pub fn set(&mut self, tid: TidIndex, value: Clock) {
+        if self.components.len() <= tid {
+            self.components.resize(tid + 1, 0);
+        }
+        self.components[tid] = value;
+    }
+
+    /// Increments thread `tid`'s own component and returns the new value.
+    ///
+    /// This is the operation a thread performs on each tracked event.
+    pub fn tick(&mut self, tid: TidIndex) -> Clock {
+        let next = self.get(tid) + 1;
+        self.set(tid, next);
+        next
+    }
+
+    /// The epoch of thread `tid` as recorded in this clock.
+    #[must_use]
+    pub fn epoch(&self, tid: TidIndex) -> Epoch {
+        Epoch::new(tid, self.get(tid))
+    }
+
+    /// Joins `other` into `self` (componentwise maximum).
+    ///
+    /// This is the synchronizes-with / acquire operation.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.components.len() < other.components.len() {
+            self.components.resize(other.components.len(), 0);
+        }
+        for (mine, theirs) in self.components.iter_mut().zip(&other.components) {
+            if *theirs > *mine {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    /// Returns a new clock that is the join of `self` and `other`.
+    #[must_use]
+    pub fn joined(&self, other: &VectorClock) -> VectorClock {
+        let mut out = self.clone();
+        out.join(other);
+        out
+    }
+
+    /// Returns `true` if every component of `self` is ≤ the corresponding
+    /// component of `other` — i.e. `self` happens-before-or-equals `other`.
+    #[must_use]
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.components
+            .iter()
+            .enumerate()
+            .all(|(tid, &c)| c <= other.get(tid))
+    }
+
+    /// Returns `true` if the epoch `e` is contained in this clock's
+    /// happens-before past, i.e. `e.clock <= self[e.tid]`.
+    #[must_use]
+    pub fn hb_contains(&self, e: Epoch) -> bool {
+        e.le(self)
+    }
+
+    /// Compares two clocks under the happens-before partial order.
+    ///
+    /// Returns `None` for concurrent (incomparable) clocks.
+    #[must_use]
+    pub fn partial_cmp_hb(&self, other: &VectorClock) -> Option<CmpOrdering> {
+        let le = self.le(other);
+        let ge = other.le(self);
+        match (le, ge) {
+            (true, true) => Some(CmpOrdering::Equal),
+            (true, false) => Some(CmpOrdering::Less),
+            (false, true) => Some(CmpOrdering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    /// Returns `true` if the clocks are incomparable (concurrent).
+    #[must_use]
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        self.partial_cmp_hb(other).is_none()
+    }
+
+    /// Resets every component to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.components.clear();
+    }
+
+    /// Number of explicitly stored components (threads seen so far).
+    ///
+    /// Components beyond this length are implicitly zero.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if no component has ever been set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Iterates over `(tid, clock)` pairs with non-zero clocks.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (TidIndex, Clock)> + '_ {
+        self.components
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, c)| c != 0)
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.components.iter()).finish()
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<Clock> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = Clock>>(iter: I) -> Self {
+        VectorClock { components: iter.into_iter().collect() }
+    }
+}
+
+impl From<Vec<Clock>> for VectorClock {
+    fn from(components: Vec<Clock>) -> Self {
+        VectorClock { components }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clock_is_zero_everywhere() {
+        let c = VectorClock::new();
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.get(100), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn tick_increments_own_component() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.tick(2), 1);
+        assert_eq!(c.tick(2), 2);
+        assert_eq!(c.get(2), 2);
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn join_takes_componentwise_max() {
+        let a: VectorClock = vec![3, 0, 5].into();
+        let mut b: VectorClock = vec![1, 4].into();
+        b.join(&a);
+        assert_eq!(b, vec![3, 4, 5].into());
+    }
+
+    #[test]
+    fn join_with_shorter_clock_preserves_tail() {
+        let a: VectorClock = vec![1].into();
+        let mut b: VectorClock = vec![0, 7].into();
+        b.join(&a);
+        assert_eq!(b, vec![1, 7].into());
+    }
+
+    #[test]
+    fn le_handles_length_mismatch_both_ways() {
+        let short: VectorClock = vec![1].into();
+        let long: VectorClock = vec![1, 0, 0].into();
+        assert!(short.le(&long));
+        assert!(long.le(&short));
+        assert_eq!(short.partial_cmp_hb(&long), Some(CmpOrdering::Equal));
+    }
+
+    #[test]
+    fn concurrent_clocks_are_incomparable() {
+        let a: VectorClock = vec![1, 0].into();
+        let b: VectorClock = vec![0, 1].into();
+        assert!(a.concurrent_with(&b));
+        assert_eq!(a.partial_cmp_hb(&b), None);
+    }
+
+    #[test]
+    fn ordering_is_detected() {
+        let a: VectorClock = vec![1, 2].into();
+        let b: VectorClock = vec![1, 3].into();
+        assert_eq!(a.partial_cmp_hb(&b), Some(CmpOrdering::Less));
+        assert_eq!(b.partial_cmp_hb(&a), Some(CmpOrdering::Greater));
+    }
+
+    #[test]
+    fn epoch_le_matches_component() {
+        let c: VectorClock = vec![0, 5].into();
+        assert!(Epoch::new(1, 5).le(&c));
+        assert!(Epoch::new(1, 4).le(&c));
+        assert!(!Epoch::new(1, 6).le(&c));
+        assert!(c.hb_contains(Epoch::new(0, 0)));
+    }
+
+    #[test]
+    fn epoch_zero_precedes_everything() {
+        let c = VectorClock::new();
+        assert!(Epoch::ZERO.le(&c));
+    }
+
+    #[test]
+    fn epoch_accessors_and_display() {
+        let e = Epoch::new(3, 17);
+        assert_eq!(e.tid(), 3);
+        assert_eq!(e.clock(), 17);
+        assert_eq!(e.to_string(), "17@3");
+        assert_eq!(format!("{e:?}"), "17@3");
+    }
+
+    #[test]
+    fn clear_resets_but_reuses() {
+        let mut c: VectorClock = vec![1, 2, 3].into();
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(1), 0);
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeros() {
+        let c: VectorClock = vec![0, 2, 0, 4].into();
+        let pairs: Vec<_> = c.iter_nonzero().collect();
+        assert_eq!(pairs, vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn joined_does_not_mutate_operands() {
+        let a: VectorClock = vec![1, 0].into();
+        let b: VectorClock = vec![0, 1].into();
+        let j = a.joined(&b);
+        assert_eq!(j, vec![1, 1].into());
+        assert_eq!(a, vec![1, 0].into());
+        assert_eq!(b, vec![0, 1].into());
+    }
+
+    #[test]
+    fn epoch_of_clock() {
+        let mut c = VectorClock::new();
+        c.tick(4);
+        c.tick(4);
+        assert_eq!(c.epoch(4), Epoch::new(4, 2));
+        assert_eq!(c.epoch(0), Epoch::new(0, 0));
+    }
+
+    #[test]
+    fn display_format() {
+        let c: VectorClock = vec![1, 2].into();
+        assert_eq!(c.to_string(), "[1 2]");
+        assert_eq!(VectorClock::new().to_string(), "[]");
+    }
+}

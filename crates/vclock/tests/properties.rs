@@ -1,0 +1,95 @@
+//! Property-based tests for the vector-clock lattice laws.
+
+use proptest::prelude::*;
+use srr_vclock::{Epoch, VectorClock};
+
+fn clock_strategy() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u64..32, 0..8).prop_map(VectorClock::from)
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative(a in clock_strategy(), b in clock_strategy()) {
+        prop_assert_eq!(a.joined(&b), b.joined(&a));
+    }
+
+    #[test]
+    fn join_is_associative(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
+        prop_assert_eq!(a.joined(&b).joined(&c), a.joined(&b.joined(&c)));
+    }
+
+    #[test]
+    fn join_is_idempotent(a in clock_strategy()) {
+        prop_assert_eq!(a.joined(&a), a);
+    }
+
+    #[test]
+    fn join_is_upper_bound(a in clock_strategy(), b in clock_strategy()) {
+        let j = a.joined(&b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(a in clock_strategy(), b in clock_strategy(), extra in clock_strategy()) {
+        // Construct a c that dominates both a and b; it must dominate the join.
+        let c = a.joined(&b).joined(&extra);
+        prop_assert!(a.le(&c) && b.le(&c));
+        prop_assert!(a.joined(&b).le(&c));
+    }
+
+    #[test]
+    fn le_is_reflexive(a in clock_strategy()) {
+        prop_assert!(a.le(&a));
+    }
+
+    #[test]
+    fn le_is_transitive(a in clock_strategy(), d1 in clock_strategy(), d2 in clock_strategy()) {
+        // Construct an ascending chain a <= b <= c by joining increments.
+        let b = a.joined(&d1);
+        let c = b.joined(&d2);
+        prop_assert!(a.le(&b) && b.le(&c));
+        prop_assert!(a.le(&c));
+    }
+
+    #[test]
+    fn le_is_antisymmetric_up_to_implicit_zeros(a in clock_strategy(), pad in 0usize..4) {
+        // b is a with extra explicit trailing zeros: mutually <=, and equal
+        // as functions TidIndex -> Clock.
+        let mut components: Vec<u64> = (0..a.len()).map(|t| a.get(t)).collect();
+        components.extend(std::iter::repeat(0).take(pad));
+        let b = VectorClock::from(components);
+        prop_assert!(a.le(&b) && b.le(&a));
+        let n = a.len().max(b.len());
+        for tid in 0..n {
+            prop_assert_eq!(a.get(tid), b.get(tid));
+        }
+    }
+
+    #[test]
+    fn tick_strictly_increases(mut a in clock_strategy(), tid in 0usize..8) {
+        let before = a.clone();
+        a.tick(tid);
+        prop_assert!(before.le(&a));
+        prop_assert!(!a.le(&before));
+    }
+
+    #[test]
+    fn epoch_le_agrees_with_component(a in clock_strategy(), tid in 0usize..8, k in 0u64..40) {
+        let e = Epoch::new(tid, k);
+        prop_assert_eq!(e.le(&a), k <= a.get(tid));
+    }
+
+    #[test]
+    fn hb_containment_is_monotone_under_join(
+        a in clock_strategy(),
+        b in clock_strategy(),
+        tid in 0usize..8,
+        k in 0u64..40,
+    ) {
+        let e = Epoch::new(tid, k);
+        if e.le(&a) {
+            prop_assert!(e.le(&a.joined(&b)));
+        }
+    }
+}

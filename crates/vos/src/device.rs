@@ -1,0 +1,183 @@
+//! Virtual devices driven through `ioctl`.
+//!
+//! The §5.4 case studies hinge on the NVIDIA OpenGL module: a closed,
+//! proprietary device whose `ioctl` traffic neither rr nor tsan11rec can
+//! meaningfully record. tsan11rec's sparse answer is to *ignore* these
+//! ioctls during recording and let them run natively during replay; rr has
+//! no such option and simply cannot handle the games.
+//!
+//! [`DeviceKind::OpaqueGpu`] reproduces that device: its responses depend
+//! on per-run entropy (so recording them would be required for faithful
+//! replay) and it is flagged `opaque`, which the comprehensive rr-baseline
+//! recorder treats as "unsupported — abort recording", matching rr's real
+//! behaviour.
+
+use crate::rng::EnvRng;
+
+/// `ioctl` request: submit a rendered frame to the GPU.
+pub const GPU_SUBMIT_FRAME: u64 = 0x4701;
+/// `ioctl` request: query whether vsync has occurred.
+pub const GPU_GET_VSYNC: u64 = 0x4702;
+/// `ioctl` request: query free device memory.
+pub const GPU_QUERY_MEM: u64 = 0x4703;
+/// `ioctl` request understood by the terminal device: window size.
+pub const TERM_GET_WINSZ: u64 = 0x5413; // TIOCGWINSZ
+
+/// What kind of device an fd points at.
+#[derive(Debug)]
+pub enum DeviceKind {
+    /// A proprietary GPU: stateful, entropy-dependent, *opaque* —
+    /// comprehensive recorders must refuse it.
+    OpaqueGpu {
+        /// Frames submitted so far.
+        frames: u64,
+        /// Device-private entropy stream.
+        rng: EnvRng,
+    },
+    /// A terminal: answers window-size queries deterministically.
+    Terminal,
+}
+
+impl DeviceKind {
+    /// Whether a comprehensive (rr-style) recorder can capture this
+    /// device's ioctl traffic.
+    #[must_use]
+    pub fn is_opaque(&self) -> bool {
+        matches!(self, DeviceKind::OpaqueGpu { .. })
+    }
+
+    /// Handles an ioctl request, filling `arg` and returning the outcome.
+    pub fn ioctl(&mut self, request: u64, arg: &mut [u8]) -> IoctlOutcome {
+        match self {
+            DeviceKind::OpaqueGpu { frames, rng } => match request {
+                GPU_SUBMIT_FRAME => {
+                    *frames += 1;
+                    // The device returns an opaque fence id the driver
+                    // would wait on; it depends on device-private state.
+                    let fence = rng.next_u64() ^ *frames;
+                    write_u64(arg, fence);
+                    IoctlOutcome::Ok(0)
+                }
+                GPU_GET_VSYNC => {
+                    // Vsync arrival is genuinely nondeterministic.
+                    let ready = rng.chance(3, 4);
+                    write_u64(arg, ready as u64);
+                    IoctlOutcome::Ok(0)
+                }
+                GPU_QUERY_MEM => {
+                    let free = 512 * 1024 * 1024 - rng.below(1024 * 1024);
+                    write_u64(arg, free);
+                    IoctlOutcome::Ok(0)
+                }
+                _ => IoctlOutcome::UnknownRequest,
+            },
+            DeviceKind::Terminal => match request {
+                TERM_GET_WINSZ => {
+                    if arg.len() >= 4 {
+                        arg[0] = 80; // cols
+                        arg[1] = 0;
+                        arg[2] = 24; // rows
+                        arg[3] = 0;
+                    }
+                    IoctlOutcome::Ok(0)
+                }
+                _ => IoctlOutcome::UnknownRequest,
+            },
+        }
+    }
+
+    /// Frames submitted (GPU only; 0 otherwise). Used by the game workload
+    /// to compute frame rates.
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        match self {
+            DeviceKind::OpaqueGpu { frames, .. } => *frames,
+            DeviceKind::Terminal => 0,
+        }
+    }
+}
+
+/// Result of a device ioctl.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoctlOutcome {
+    /// Success with a return value.
+    Ok(i64),
+    /// The device does not understand the request (`ENOTTY`).
+    UnknownRequest,
+}
+
+fn write_u64(arg: &mut [u8], v: u64) {
+    let bytes = v.to_le_bytes();
+    let n = arg.len().min(8);
+    arg[..n].copy_from_slice(&bytes[..n]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu(seed: u64) -> DeviceKind {
+        DeviceKind::OpaqueGpu { frames: 0, rng: EnvRng::new(seed) }
+    }
+
+    #[test]
+    fn gpu_is_opaque_terminal_is_not() {
+        assert!(gpu(1).is_opaque());
+        assert!(!DeviceKind::Terminal.is_opaque());
+    }
+
+    #[test]
+    fn submit_frame_counts_and_returns_fence() {
+        let mut g = gpu(1);
+        let mut arg = [0u8; 8];
+        assert_eq!(g.ioctl(GPU_SUBMIT_FRAME, &mut arg), IoctlOutcome::Ok(0));
+        assert_eq!(g.frames(), 1);
+        let fence1 = u64::from_le_bytes(arg);
+        g.ioctl(GPU_SUBMIT_FRAME, &mut arg);
+        let fence2 = u64::from_le_bytes(arg);
+        assert_ne!(fence1, fence2);
+        assert_eq!(g.frames(), 2);
+    }
+
+    #[test]
+    fn gpu_responses_depend_on_entropy() {
+        let mut a = gpu(1);
+        let mut b = gpu(2);
+        let mut arg_a = [0u8; 8];
+        let mut arg_b = [0u8; 8];
+        a.ioctl(GPU_SUBMIT_FRAME, &mut arg_a);
+        b.ioctl(GPU_SUBMIT_FRAME, &mut arg_b);
+        assert_ne!(arg_a, arg_b, "device state is per-run entropy");
+    }
+
+    #[test]
+    fn vsync_fills_flag() {
+        let mut g = gpu(3);
+        let mut arg = [0u8; 8];
+        assert_eq!(g.ioctl(GPU_GET_VSYNC, &mut arg), IoctlOutcome::Ok(0));
+        assert!(arg[0] <= 1);
+    }
+
+    #[test]
+    fn unknown_request_is_rejected() {
+        let mut g = gpu(1);
+        assert_eq!(g.ioctl(0xdead, &mut []), IoctlOutcome::UnknownRequest);
+        let mut t = DeviceKind::Terminal;
+        assert_eq!(t.ioctl(0xdead, &mut []), IoctlOutcome::UnknownRequest);
+    }
+
+    #[test]
+    fn terminal_winsize() {
+        let mut t = DeviceKind::Terminal;
+        let mut arg = [0u8; 4];
+        assert_eq!(t.ioctl(TERM_GET_WINSZ, &mut arg), IoctlOutcome::Ok(0));
+        assert_eq!(arg, [80, 0, 24, 0]);
+    }
+
+    #[test]
+    fn short_arg_buffers_are_tolerated() {
+        let mut g = gpu(1);
+        let mut arg = [0u8; 3];
+        assert_eq!(g.ioctl(GPU_SUBMIT_FRAME, &mut arg), IoctlOutcome::Ok(0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Errno values for the virtual OS.
+
+use std::fmt;
+
+/// Result type of every virtual syscall: a non-negative return value or an
+/// [`Errno`]. The embedding tool converts this into the C convention
+/// (`-1` + `errno`) when recording, matching the paper's SYSCALL stream.
+pub type SysResult = Result<i64, Errno>;
+
+/// A subset of Linux errno values, numerically compatible with x86-64.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(i32)]
+pub enum Errno {
+    /// Interrupted system call.
+    EINTR = 4,
+    /// Bad file descriptor.
+    EBADF = 9,
+    /// Resource temporarily unavailable (`EWOULDBLOCK`).
+    EAGAIN = 11,
+    /// Device or resource busy.
+    EBUSY = 16,
+    /// No such file or directory.
+    ENOENT = 2,
+    /// Invalid argument.
+    EINVAL = 22,
+    /// Broken pipe.
+    EPIPE = 32,
+    /// Operation not supported.
+    ENOTSUP = 95,
+    /// Connection reset by peer.
+    ECONNRESET = 104,
+    /// Address already in use.
+    EADDRINUSE = 98,
+    /// Inappropriate ioctl for device.
+    ENOTTY = 25,
+}
+
+impl Errno {
+    /// The numeric errno value.
+    #[must_use]
+    pub fn code(self) -> i32 {
+        self as i32
+    }
+
+    /// The symbolic name (`"EAGAIN"` etc.).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Errno::EINTR => "EINTR",
+            Errno::EBADF => "EBADF",
+            Errno::EAGAIN => "EAGAIN",
+            Errno::EBUSY => "EBUSY",
+            Errno::ENOENT => "ENOENT",
+            Errno::EINVAL => "EINVAL",
+            Errno::EPIPE => "EPIPE",
+            Errno::ENOTSUP => "ENOTSUP",
+            Errno::ECONNRESET => "ECONNRESET",
+            Errno::EADDRINUSE => "EADDRINUSE",
+            Errno::ENOTTY => "ENOTTY",
+        }
+    }
+
+    /// Reconstructs an errno from its numeric code, if known.
+    #[must_use]
+    pub fn from_code(code: i32) -> Option<Self> {
+        Some(match code {
+            4 => Errno::EINTR,
+            9 => Errno::EBADF,
+            11 => Errno::EAGAIN,
+            16 => Errno::EBUSY,
+            2 => Errno::ENOENT,
+            22 => Errno::EINVAL,
+            32 => Errno::EPIPE,
+            95 => Errno::ENOTSUP,
+            104 => Errno::ECONNRESET,
+            98 => Errno::EADDRINUSE,
+            25 => Errno::ENOTTY,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.code())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_linux() {
+        assert_eq!(Errno::EAGAIN.code(), 11);
+        assert_eq!(Errno::EINTR.code(), 4);
+        assert_eq!(Errno::EPIPE.code(), 32);
+        assert_eq!(Errno::ECONNRESET.code(), 104);
+    }
+
+    #[test]
+    fn from_code_roundtrips() {
+        for e in [
+            Errno::EINTR,
+            Errno::EBADF,
+            Errno::EAGAIN,
+            Errno::EBUSY,
+            Errno::ENOENT,
+            Errno::EINVAL,
+            Errno::EPIPE,
+            Errno::ENOTSUP,
+            Errno::ECONNRESET,
+            Errno::EADDRINUSE,
+            Errno::ENOTTY,
+        ] {
+            assert_eq!(Errno::from_code(e.code()), Some(e));
+        }
+        assert_eq!(Errno::from_code(9999), None);
+    }
+
+    #[test]
+    fn display_includes_name_and_code() {
+        assert_eq!(Errno::EAGAIN.to_string(), "EAGAIN (11)");
+    }
+}

@@ -1,0 +1,114 @@
+//! File descriptors and the poll interface types.
+
+use std::fmt;
+
+/// A virtual file descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub i32);
+
+impl Fd {
+    /// The raw descriptor number.
+    #[must_use]
+    pub fn raw(self) -> i32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+/// Poll event bits (a subset of POSIX `poll(2)`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PollEvents {
+    /// Data available to read / connection to accept.
+    pub readable: bool,
+    /// Write would not block.
+    pub writable: bool,
+    /// Hangup: peer closed.
+    pub hup: bool,
+    /// Error condition.
+    pub err: bool,
+}
+
+impl PollEvents {
+    /// Interest in readability only — the common case in the paper's
+    /// workloads.
+    pub const IN: PollEvents = PollEvents { readable: true, writable: false, hup: false, err: false };
+
+    /// Returns `true` if any bit is set.
+    #[must_use]
+    pub fn any(self) -> bool {
+        self.readable || self.writable || self.hup || self.err
+    }
+
+    /// Packs into the classic bitmask (POLLIN=1, POLLOUT=4, POLLERR=8,
+    /// POLLHUP=16) for recording in syscall buffers.
+    #[must_use]
+    pub fn to_bits(self) -> u8 {
+        (self.readable as u8)
+            | ((self.writable as u8) << 2)
+            | ((self.err as u8) << 3)
+            | ((self.hup as u8) << 4)
+    }
+
+    /// Inverse of [`PollEvents::to_bits`].
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Self {
+        PollEvents {
+            readable: bits & 1 != 0,
+            writable: bits & 4 != 0,
+            err: bits & 8 != 0,
+            hup: bits & 16 != 0,
+        }
+    }
+}
+
+/// One entry of a `poll` call: interest in, results out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PollFd {
+    /// The descriptor to query.
+    pub fd: Fd,
+    /// Requested events.
+    pub events: PollEvents,
+    /// Returned events (filled by `poll`).
+    pub revents: PollEvents,
+}
+
+impl PollFd {
+    /// Interest in readability of `fd`.
+    #[must_use]
+    pub fn readable(fd: Fd) -> Self {
+        PollFd { fd, events: PollEvents::IN, revents: PollEvents::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_events_bits_roundtrip() {
+        for bits in [0u8, 1, 4, 8, 16, 1 | 4, 1 | 16, 1 | 4 | 8 | 16] {
+            assert_eq!(PollEvents::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn any_detects_bits() {
+        assert!(!PollEvents::default().any());
+        assert!(PollEvents::IN.any());
+        assert!(PollEvents { hup: true, ..Default::default() }.any());
+    }
+
+    #[test]
+    fn pollfd_readable_constructor() {
+        let p = PollFd::readable(Fd(3));
+        assert_eq!(p.fd.raw(), 3);
+        assert!(p.events.readable);
+        assert!(!p.revents.any());
+        assert_eq!(p.fd.to_string(), "fd3");
+    }
+}

@@ -1,0 +1,56 @@
+//! Virtual OS substrate for the tsan11rec reproduction.
+//!
+//! The paper's tool intercepts the glibc wrappers of a real kernel; this
+//! crate plays the kernel's role, so that the same *shape* of environmental
+//! nondeterminism (network payloads, readiness timing, clock values, opaque
+//! device ioctls, allocator addresses, asynchronous signals) flows through
+//! the interception layer while remaining controllable enough to test.
+//!
+//! The root object is [`Vos`]: a thread-safe façade offering the syscall
+//! surface the paper's sparse recorder supports — `read`, `write`, `recv`,
+//! `send`, `recvmsg`, `sendmsg`, `accept`, `accept4`, `bind`,
+//! `clock_gettime`, `ioctl`, `select`, `poll` — plus files, pipes, a
+//! virtual address allocator, and asynchronous signal sources.
+//!
+//! Network nondeterminism comes from [`Peer`] state machines standing in
+//! for remote endpoints: an HTTP client swarm, the game server of §5.4, the
+//! request source of Figure 2. Peers run *lazily*: the world advances when
+//! the program issues syscalls, with message availability gated on the
+//! virtual clock, reproducing the readiness nondeterminism that makes
+//! `poll`/`recv` worth recording.
+//!
+//! # Example
+//!
+//! ```
+//! use srr_vos::{EchoPeer, Vos, VosConfig};
+//!
+//! let vos = Vos::new(VosConfig::deterministic(42));
+//! let fd = vos.connect(Box::new(EchoPeer::new(0)));
+//! vos.send(fd, b"ping").unwrap();
+//! let mut buf = [0u8; 16];
+//! let n = vos.recv(fd, &mut buf).unwrap();
+//! assert_eq!(&buf[..n as usize], b"ping");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod clock;
+mod device;
+mod errno;
+mod fd;
+mod net;
+mod rng;
+mod signalsrc;
+mod world;
+
+pub use alloc::{AllocMode, Allocator};
+pub use clock::{Clock, Nanos};
+pub use device::{DeviceKind, IoctlOutcome, GPU_GET_VSYNC, GPU_QUERY_MEM, GPU_SUBMIT_FRAME};
+pub use errno::{Errno, SysResult};
+pub use fd::{Fd, PollEvents, PollFd};
+pub use net::{EchoPeer, Peer, PeerCtx, PeerId, RequestSourcePeer, ScriptedPeer, SilentPeer};
+pub use rng::EnvRng;
+pub use signalsrc::SignalTrigger;
+pub use world::{Vos, VosConfig};

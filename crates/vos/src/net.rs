@@ -1,0 +1,391 @@
+//! The virtual network: connections and peer state machines.
+//!
+//! A [`Peer`] stands in for the remote endpoint of one connection — the
+//! HTTP client of §5.2, the game server of §5.4, the request source of
+//! Figure 2. Peers run *lazily*: the world pokes them when the program
+//! issues a syscall that could observe their traffic. Data they send is
+//! stamped with an availability time, so readiness (`poll` saying "not
+//! yet") reflects the virtual clock rather than the scheduler's whims —
+//! that is precisely the environmental nondeterminism the SYSCALL stream
+//! exists to record.
+
+use std::collections::VecDeque;
+
+use crate::clock::Nanos;
+use crate::rng::EnvRng;
+
+/// Identifier of a peer/connection within the world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PeerId(pub u32);
+
+/// What a peer may do when poked.
+pub struct PeerCtx<'a> {
+    now: Nanos,
+    rng: &'a mut EnvRng,
+    outgoing: &'a mut VecDeque<(Nanos, Vec<u8>)>,
+    close: &'a mut bool,
+}
+
+impl PeerCtx<'_> {
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// The environment's PRNG (independent of the tool's scheduling PRNG).
+    pub fn rng(&mut self) -> &mut EnvRng {
+        self.rng
+    }
+
+    /// Sends `data` to the program, available immediately.
+    pub fn send(&mut self, data: impl Into<Vec<u8>>) {
+        let now = self.now;
+        self.outgoing.push_back((now, data.into()));
+    }
+
+    /// Sends `data` to the program, available after `delay` nanoseconds.
+    pub fn send_after(&mut self, delay: Nanos, data: impl Into<Vec<u8>>) {
+        let at = self.now + delay;
+        self.outgoing.push_back((at, data.into()));
+    }
+
+    /// Closes the peer's side of the connection (program sees EOF once the
+    /// queued data drains).
+    pub fn close(&mut self) {
+        *self.close = true;
+    }
+}
+
+/// A remote endpoint's state machine.
+///
+/// All methods have empty defaults so a peer implements only what it needs.
+pub trait Peer: Send {
+    /// The connection has been established.
+    fn on_connect(&mut self, ctx: &mut PeerCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// The program sent `data`.
+    fn on_data(&mut self, ctx: &mut PeerCtx<'_>, data: &[u8]) {
+        let _ = (ctx, data);
+    }
+
+    /// Lazy heartbeat: the program issued a syscall that could observe
+    /// this connection. Called at most once per observing syscall.
+    fn on_poll(&mut self, ctx: &mut PeerCtx<'_>) {
+        let _ = ctx;
+    }
+}
+
+/// A peer that echoes everything back after a fixed latency.
+#[derive(Debug)]
+pub struct EchoPeer {
+    latency: Nanos,
+}
+
+impl EchoPeer {
+    /// Echo with the given latency in nanoseconds.
+    #[must_use]
+    pub fn new(latency: Nanos) -> Self {
+        EchoPeer { latency }
+    }
+}
+
+impl Peer for EchoPeer {
+    fn on_data(&mut self, ctx: &mut PeerCtx<'_>, data: &[u8]) {
+        ctx.send_after(self.latency, data.to_vec());
+    }
+}
+
+/// A peer that never speaks — dead-connection behaviour (`poll` timeouts,
+/// `EAGAIN` paths).
+#[derive(Debug, Default)]
+pub struct SilentPeer;
+
+impl Peer for SilentPeer {}
+
+/// The Figure 2 server: pushes `count` fixed-size request buffers at a
+/// fixed interval and counts the processed responses it receives back.
+#[derive(Debug)]
+pub struct RequestSourcePeer {
+    remaining: u32,
+    size: usize,
+    interval: Nanos,
+    next_at: Nanos,
+    responses: u32,
+    seq: u32,
+}
+
+impl RequestSourcePeer {
+    /// `count` requests of `size` bytes, one every `interval` nanoseconds.
+    #[must_use]
+    pub fn new(count: u32, size: usize, interval: Nanos) -> Self {
+        RequestSourcePeer { remaining: count, size, interval, next_at: 0, responses: 0, seq: 0 }
+    }
+
+    /// Responses received back so far.
+    #[must_use]
+    pub fn responses(&self) -> u32 {
+        self.responses
+    }
+}
+
+impl Peer for RequestSourcePeer {
+    fn on_connect(&mut self, ctx: &mut PeerCtx<'_>) {
+        self.next_at = ctx.now();
+    }
+
+    fn on_poll(&mut self, ctx: &mut PeerCtx<'_>) {
+        while self.remaining > 0 && self.next_at <= ctx.now() {
+            let mut buf = vec![0u8; self.size];
+            ctx.rng().fill_bytes(&mut buf);
+            // First 4 bytes are a sequence number so tests can check
+            // request identity through the program's processing.
+            let n = 4.min(buf.len());
+            buf[..n].copy_from_slice(&self.seq.to_le_bytes()[..n]);
+            self.seq += 1;
+            ctx.send(buf);
+            self.remaining -= 1;
+            self.next_at += self.interval;
+        }
+    }
+
+    fn on_data(&mut self, _ctx: &mut PeerCtx<'_>, _data: &[u8]) {
+        self.responses += 1;
+    }
+}
+
+/// A peer that plays a fixed script of delayed sends on connect, then
+/// closes if asked to.
+#[derive(Debug)]
+pub struct ScriptedPeer {
+    script: Vec<(Nanos, Vec<u8>)>,
+    close_after: bool,
+}
+
+impl ScriptedPeer {
+    /// Sends each `(delay, data)` pair relative to connection time.
+    #[must_use]
+    pub fn new(script: Vec<(Nanos, Vec<u8>)>) -> Self {
+        ScriptedPeer { script, close_after: false }
+    }
+
+    /// As [`ScriptedPeer::new`], closing the connection after the last send.
+    #[must_use]
+    pub fn closing(script: Vec<(Nanos, Vec<u8>)>) -> Self {
+        ScriptedPeer { script, close_after: true }
+    }
+}
+
+impl Peer for ScriptedPeer {
+    fn on_connect(&mut self, ctx: &mut PeerCtx<'_>) {
+        for (delay, data) in self.script.drain(..) {
+            ctx.send_after(delay, data);
+        }
+        if self.close_after {
+            ctx.close();
+        }
+    }
+}
+
+/// One live connection between the program and a peer.
+pub(crate) struct Connection {
+    peer: Box<dyn Peer>,
+    to_program: VecDeque<(Nanos, Vec<u8>)>,
+    peer_closed: bool,
+    pub(crate) program_closed: bool,
+    bytes_rx: u64,
+    bytes_tx: u64,
+}
+
+impl Connection {
+    pub(crate) fn new(mut peer: Box<dyn Peer>, now: Nanos, rng: &mut EnvRng) -> Self {
+        let mut to_program = VecDeque::new();
+        let mut close = false;
+        peer.on_connect(&mut PeerCtx { now, rng, outgoing: &mut to_program, close: &mut close });
+        Connection {
+            peer,
+            to_program,
+            peer_closed: close,
+            program_closed: false,
+            bytes_rx: 0,
+            bytes_tx: 0,
+        }
+    }
+
+    /// Pokes the peer (lazy world advancement).
+    pub(crate) fn drive(&mut self, now: Nanos, rng: &mut EnvRng) {
+        if self.peer_closed {
+            return;
+        }
+        let mut close = false;
+        self.peer
+            .on_poll(&mut PeerCtx { now, rng, outgoing: &mut self.to_program, close: &mut close });
+        self.peer_closed |= close;
+    }
+
+    /// The program sent `data` to the peer.
+    pub(crate) fn program_send(&mut self, now: Nanos, rng: &mut EnvRng, data: &[u8]) -> bool {
+        if self.peer_closed {
+            return false;
+        }
+        self.bytes_tx += data.len() as u64;
+        let mut close = false;
+        self.peer.on_data(
+            &mut PeerCtx { now, rng, outgoing: &mut self.to_program, close: &mut close },
+            data,
+        );
+        self.peer_closed |= close;
+        true
+    }
+
+    /// Is data available to the program at `now`?
+    pub(crate) fn readable(&self, now: Nanos) -> bool {
+        self.to_program.front().is_some_and(|(at, _)| *at <= now)
+    }
+
+    /// EOF: peer closed and nothing left to read.
+    pub(crate) fn at_eof(&self, now: Nanos) -> bool {
+        self.peer_closed && !self.readable(now)
+    }
+
+    /// Whether the peer has closed its side.
+    pub(crate) fn peer_closed(&self) -> bool {
+        self.peer_closed
+    }
+
+    /// Reads available bytes into `buf` (stream semantics: spans segments).
+    /// Returns bytes read; 0 means nothing available (caller maps to
+    /// `EAGAIN` or EOF).
+    pub(crate) fn read(&mut self, now: Nanos, buf: &mut [u8]) -> usize {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.to_program.front_mut() {
+                Some((at, data)) if *at <= now => {
+                    let n = (buf.len() - filled).min(data.len());
+                    buf[filled..filled + n].copy_from_slice(&data[..n]);
+                    filled += n;
+                    if n == data.len() {
+                        self.to_program.pop_front();
+                    } else {
+                        data.drain(..n);
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.bytes_rx += filled as u64;
+        filled
+    }
+
+    /// Total bytes the program received / sent on this connection.
+    pub(crate) fn traffic(&self) -> (u64, u64) {
+        (self.bytes_rx, self.bytes_tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> EnvRng {
+        EnvRng::new(1)
+    }
+
+    #[test]
+    fn echo_peer_roundtrips_with_latency() {
+        let mut r = rng();
+        let mut conn = Connection::new(Box::new(EchoPeer::new(100)), 0, &mut r);
+        assert!(conn.program_send(0, &mut r, b"hi"));
+        assert!(!conn.readable(50), "latency not yet elapsed");
+        assert!(conn.readable(100));
+        let mut buf = [0u8; 8];
+        assert_eq!(conn.read(100, &mut buf), 2);
+        assert_eq!(&buf[..2], b"hi");
+    }
+
+    #[test]
+    fn silent_peer_never_speaks() {
+        let mut r = rng();
+        let mut conn = Connection::new(Box::new(SilentPeer), 0, &mut r);
+        conn.drive(1_000_000_000, &mut r);
+        assert!(!conn.readable(1_000_000_000));
+        assert!(!conn.at_eof(1_000_000_000));
+    }
+
+    #[test]
+    fn request_source_emits_on_schedule() {
+        let mut r = rng();
+        let mut conn = Connection::new(Box::new(RequestSourcePeer::new(3, 10, 100)), 0, &mut r);
+        conn.drive(0, &mut r);
+        assert!(conn.readable(0), "first request immediate");
+        conn.drive(250, &mut r);
+        let mut buf = [0u8; 64];
+        let n = conn.read(250, &mut buf);
+        assert_eq!(n, 30, "three requests of 10 bytes by t=250");
+        conn.drive(10_000, &mut r);
+        assert!(!conn.readable(10_000), "only 3 requests total");
+    }
+
+    #[test]
+    fn request_source_sequence_numbers_are_consecutive() {
+        let mut r = rng();
+        let mut conn = Connection::new(Box::new(RequestSourcePeer::new(2, 8, 1)), 0, &mut r);
+        conn.drive(10, &mut r);
+        let mut buf = [0u8; 16];
+        assert_eq!(conn.read(10, &mut buf), 16);
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 0);
+        assert_eq!(u32::from_le_bytes(buf[8..12].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn scripted_peer_plays_and_closes() {
+        let mut r = rng();
+        let mut conn = Connection::new(
+            Box::new(ScriptedPeer::closing(vec![(0, b"a".to_vec()), (10, b"b".to_vec())])),
+            0,
+            &mut r,
+        );
+        assert!(conn.peer_closed());
+        assert!(!conn.at_eof(0), "data still queued");
+        let mut buf = [0u8; 4];
+        assert_eq!(conn.read(0, &mut buf), 1);
+        assert_eq!(conn.read(10, &mut buf), 1);
+        assert!(conn.at_eof(10), "drained and closed");
+    }
+
+    #[test]
+    fn send_to_closed_peer_fails() {
+        let mut r = rng();
+        let mut conn = Connection::new(Box::new(ScriptedPeer::closing(vec![])), 0, &mut r);
+        assert!(!conn.program_send(0, &mut r, b"x"));
+    }
+
+    #[test]
+    fn partial_reads_preserve_stream_order() {
+        let mut r = rng();
+        let mut conn = Connection::new(
+            Box::new(ScriptedPeer::new(vec![(0, b"hello".to_vec()), (0, b"world".to_vec())])),
+            0,
+            &mut r,
+        );
+        let mut buf = [0u8; 3];
+        assert_eq!(conn.read(0, &mut buf), 3);
+        assert_eq!(&buf, b"hel");
+        let mut rest = [0u8; 10];
+        let n = conn.read(0, &mut rest);
+        assert_eq!(&rest[..n], b"loworld");
+    }
+
+    #[test]
+    fn traffic_counters_track_bytes() {
+        let mut r = rng();
+        let mut conn = Connection::new(Box::new(EchoPeer::new(0)), 0, &mut r);
+        conn.program_send(0, &mut r, b"abcd");
+        let mut buf = [0u8; 16];
+        conn.read(0, &mut buf);
+        assert_eq!(conn.traffic(), (4, 4));
+    }
+}

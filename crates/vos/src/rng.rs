@@ -1,0 +1,122 @@
+//! The environment's own PRNG.
+//!
+//! Environmental nondeterminism (payload contents, latencies, device
+//! readings) must be *independent* of the tool's scheduling PRNG: the whole
+//! point of recording syscalls is that their outcomes are not derivable
+//! from the tool's seeds. A separate SplitMix64 stream keeps the virtual
+//! world deterministic per `VosConfig` seed while remaining opaque to the
+//! recorder.
+
+/// SplitMix64: tiny, fast, full-period, and stable across releases (we do
+/// not use an external RNG crate here because world determinism for a given
+/// seed is part of the crate's contract).
+#[derive(Debug, Clone)]
+pub struct EnvRng {
+    state: u64,
+}
+
+impl EnvRng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        EnvRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` ≥ 1).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n >= 1);
+        // Multiply-shift bounded generation; bias is negligible for the
+        // world-simulation purposes of this crate.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform value in `lo..=hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A boolean that is `true` with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Fills `buf` with pseudorandom bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = EnvRng::new(7);
+        let mut b = EnvRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = EnvRng::new(1);
+        let mut b = EnvRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = EnvRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+        assert_eq!(r.below(1), 0);
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let mut r = EnvRng::new(4);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.range(5, 7);
+            assert!((5..=7).contains(&v));
+            seen_lo |= v == 5;
+            seen_hi |= v == 7;
+        }
+        assert!(seen_lo && seen_hi, "both endpoints reachable");
+        assert_eq!(r.range(9, 9), 9);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = EnvRng::new(5);
+        for _ in 0..100 {
+            assert!(r.chance(1, 1));
+            assert!(!r.chance(0, 1));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = EnvRng::new(6);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0), "astronomically unlikely to be all zero");
+    }
+}

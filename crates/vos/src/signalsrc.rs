@@ -1,0 +1,91 @@
+//! Asynchronous signal sources.
+//!
+//! The paper's Figure 2 ends via an asynchronous signal (the handler sets
+//! `quit`). In the virtual OS, signals are *scheduled*: a trigger fires the
+//! signal once its condition is met, and the embedding tool collects due
+//! signals at its critical-section boundaries (the only points at which the
+//! paper's model lets a signal become visible anyway — §4.3: a signal
+//! floats to the end of the preceding `Tick()`).
+
+use crate::clock::Nanos;
+
+/// When a scheduled signal fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignalTrigger {
+    /// After the virtual clock passes this time.
+    AtTime(Nanos),
+    /// After the program has issued this many syscalls (deterministic
+    /// trigger for tests).
+    AfterSyscalls(u64),
+}
+
+#[derive(Debug)]
+pub(crate) struct PendingSignal {
+    pub signo: i32,
+    pub trigger: SignalTrigger,
+}
+
+/// The set of scheduled-but-not-yet-fired signals.
+#[derive(Debug, Default)]
+pub(crate) struct SignalSource {
+    pending: Vec<PendingSignal>,
+}
+
+impl SignalSource {
+    pub(crate) fn schedule(&mut self, signo: i32, trigger: SignalTrigger) {
+        self.pending.push(PendingSignal { signo, trigger });
+    }
+
+    /// Removes and returns all signals whose trigger has fired.
+    pub(crate) fn take_due(&mut self, now: Nanos, syscall_count: u64) -> Vec<i32> {
+        let mut due = Vec::new();
+        self.pending.retain(|p| {
+            let fired = match p.trigger {
+                SignalTrigger::AtTime(t) => now >= t,
+                SignalTrigger::AfterSyscalls(n) => syscall_count >= n,
+            };
+            if fired {
+                due.push(p.signo);
+            }
+            !fired
+        });
+        due
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_trigger_fires_at_time() {
+        let mut src = SignalSource::default();
+        src.schedule(15, SignalTrigger::AtTime(100));
+        assert!(src.take_due(99, 0).is_empty());
+        assert_eq!(src.take_due(100, 0), vec![15]);
+        assert!(src.take_due(1000, 0).is_empty(), "fires once");
+    }
+
+    #[test]
+    fn syscall_trigger_fires_on_count() {
+        let mut src = SignalSource::default();
+        src.schedule(2, SignalTrigger::AfterSyscalls(5));
+        assert!(src.take_due(0, 4).is_empty());
+        assert_eq!(src.take_due(0, 5), vec![2]);
+    }
+
+    #[test]
+    fn multiple_signals_fire_together() {
+        let mut src = SignalSource::default();
+        src.schedule(1, SignalTrigger::AtTime(10));
+        src.schedule(2, SignalTrigger::AtTime(10));
+        src.schedule(3, SignalTrigger::AtTime(99));
+        assert_eq!(src.take_due(10, 0), vec![1, 2]);
+        assert_eq!(src.pending_count(), 1);
+    }
+}

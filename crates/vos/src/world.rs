@@ -1,0 +1,1005 @@
+//! The [`Vos`] façade: fd table, syscall surface, and world state.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::alloc::{AllocMode, Allocator};
+use crate::clock::{Clock, Nanos};
+use crate::device::{DeviceKind, IoctlOutcome};
+use crate::errno::{Errno, SysResult};
+use crate::fd::{Fd, PollFd};
+use crate::net::{Connection, Peer};
+use crate::rng::EnvRng;
+use crate::signalsrc::{SignalSource, SignalTrigger};
+
+/// How to construct the virtual world.
+#[derive(Debug)]
+pub struct VosConfig {
+    /// Seed for the environment PRNG (payloads, latencies, device state).
+    pub env_seed: u64,
+    /// Time source.
+    pub clock: Clock,
+    /// Allocator policy.
+    pub alloc: AllocMode,
+    /// Capture an strace-style log of every syscall.
+    pub strace: bool,
+}
+
+impl VosConfig {
+    /// Fully deterministic world: scripted clock (1 µs per query),
+    /// deterministic allocator. Tests and replay-determinism checks.
+    #[must_use]
+    pub fn deterministic(env_seed: u64) -> Self {
+        VosConfig {
+            env_seed,
+            clock: Clock::scripted(1_000),
+            alloc: AllocMode::Deterministic,
+            strace: false,
+        }
+    }
+
+    /// Realistic world: wall clock, ASLR-like allocator with per-run
+    /// entropy. Record runs and benchmarks.
+    #[must_use]
+    pub fn realtime(env_seed: u64) -> Self {
+        let entropy = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0x5bd1_e995);
+        VosConfig {
+            env_seed,
+            clock: Clock::physical(),
+            alloc: AllocMode::Randomized { entropy },
+            strace: false,
+        }
+    }
+
+    /// Replaces the allocator policy.
+    #[must_use]
+    pub fn with_alloc(mut self, alloc: AllocMode) -> Self {
+        self.alloc = alloc;
+        self
+    }
+
+    /// Enables the strace-style syscall log.
+    #[must_use]
+    pub fn with_strace(mut self) -> Self {
+        self.strace = true;
+        self
+    }
+}
+
+/// Per-peer completion summary, for harness-side assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerSummary {
+    /// Bytes the program received from this peer.
+    pub bytes_rx: u64,
+    /// Bytes the program sent to this peer.
+    pub bytes_tx: u64,
+    /// Whether the peer has closed its side.
+    pub closed: bool,
+}
+
+enum FdEntry {
+    File { name: String, offset: usize },
+    PipeRead(usize),
+    PipeWrite(usize),
+    Conn(usize),
+    Listener(usize),
+    Device(usize),
+    Console,
+}
+
+struct Pipe {
+    buf: VecDeque<u8>,
+    read_open: bool,
+    write_open: bool,
+}
+
+type PeerFactory = Box<dyn FnMut(&mut EnvRng, u32) -> Box<dyn Peer> + Send>;
+
+struct Listener {
+    /// Arrival times of planned incoming connections.
+    plan: VecDeque<Nanos>,
+    factory: PeerFactory,
+    accepted: u32,
+    bound: bool,
+}
+
+struct VosInner {
+    clock: Clock,
+    rng: EnvRng,
+    allocator: Allocator,
+    fds: Vec<Option<FdEntry>>,
+    files: Vec<(String, Vec<u8>)>,
+    pipes: Vec<Pipe>,
+    conns: Vec<Connection>,
+    listeners: Vec<(u16, Listener)>,
+    devices: Vec<(String, DeviceKind)>,
+    signals: SignalSource,
+    syscall_count: u64,
+    strace: Option<Vec<String>>,
+    console: Vec<u8>,
+}
+
+/// The virtual OS. Thread-safe: every method takes `&self`.
+pub struct Vos {
+    inner: Mutex<VosInner>,
+}
+
+impl Vos {
+    /// Boots a world under `config`. Fds 0/1/2 are pre-opened as the
+    /// console.
+    #[must_use]
+    pub fn new(config: VosConfig) -> Self {
+        let inner = VosInner {
+            clock: config.clock,
+            rng: EnvRng::new(config.env_seed),
+            allocator: Allocator::new(config.alloc, config.env_seed),
+            fds: vec![
+                Some(FdEntry::Console),
+                Some(FdEntry::Console),
+                Some(FdEntry::Console),
+            ],
+            files: Vec::new(),
+            pipes: Vec::new(),
+            conns: Vec::new(),
+            listeners: Vec::new(),
+            devices: Vec::new(),
+            signals: SignalSource::default(),
+            syscall_count: 0,
+            strace: config.strace.then(Vec::new),
+            console: Vec::new(),
+        };
+        Vos { inner: Mutex::new(inner) }
+    }
+
+    // ------------------------------------------------------------------
+    // World setup (harness-facing, not syscalls)
+    // ------------------------------------------------------------------
+
+    /// Registers a listener on `port`: incoming connections arrive at the
+    /// given times, each backed by a peer from `factory` (which receives
+    /// the env RNG and the connection index).
+    pub fn install_listener(
+        &self,
+        port: u16,
+        arrivals: Vec<Nanos>,
+        factory: impl FnMut(&mut EnvRng, u32) -> Box<dyn Peer> + Send + 'static,
+    ) {
+        let mut g = self.inner.lock();
+        g.listeners.push((
+            port,
+            Listener {
+                plan: arrivals.into(),
+                factory: Box::new(factory),
+                accepted: 0,
+                bound: false,
+            },
+        ));
+    }
+
+    /// Registers a device under a path (e.g. `/dev/gpu`).
+    pub fn install_device(&self, path: impl Into<String>, kind: DeviceKind) {
+        self.inner.lock().devices.push((path.into(), kind));
+    }
+
+    /// Convenience: installs the opaque GPU device at `/dev/gpu`.
+    pub fn install_gpu(&self) {
+        let mut g = self.inner.lock();
+        let seed = g.rng.next_u64();
+        g.devices.push(("/dev/gpu".into(), DeviceKind::OpaqueGpu { frames: 0, rng: EnvRng::new(seed) }));
+    }
+
+    /// Creates (or replaces) a file with the given contents.
+    pub fn add_file(&self, path: impl Into<String>, contents: Vec<u8>) {
+        let path = path.into();
+        let mut g = self.inner.lock();
+        if let Some(f) = g.files.iter_mut().find(|(n, _)| *n == path) {
+            f.1 = contents;
+        } else {
+            g.files.push((path, contents));
+        }
+    }
+
+    /// Schedules an asynchronous signal.
+    pub fn schedule_signal(&self, signo: i32, trigger: SignalTrigger) {
+        self.inner.lock().signals.schedule(signo, trigger);
+    }
+
+    /// Collects signals whose trigger has fired (called by the embedding
+    /// tool at critical-section boundaries).
+    pub fn take_due_signals(&self) -> Vec<i32> {
+        let mut g = self.inner.lock();
+        let now = g.clock.now();
+        let count = g.syscall_count;
+        g.signals.take_due(now, count)
+    }
+
+    /// Opens a connection to `peer` directly (program-initiated connect).
+    pub fn connect(&self, peer: Box<dyn Peer>) -> Fd {
+        let mut g = self.inner.lock();
+        let now = g.clock.now();
+        let conn = {
+            let rng = &mut g.rng;
+            Connection::new(peer, now, rng)
+        };
+        g.conns.push(conn);
+        let idx = g.conns.len() - 1;
+        g.push_fd(FdEntry::Conn(idx))
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Total syscalls issued.
+    #[must_use]
+    pub fn syscall_count(&self) -> u64 {
+        self.inner.lock().syscall_count
+    }
+
+    /// Takes the strace log (empty if strace was not enabled).
+    #[must_use]
+    pub fn take_strace(&self) -> Vec<String> {
+        self.inner.lock().strace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// The console contents so far (fd 1/2 writes).
+    #[must_use]
+    pub fn console(&self) -> Vec<u8> {
+        self.inner.lock().console.clone()
+    }
+
+    /// Per-connection traffic summaries, in connection order.
+    #[must_use]
+    pub fn peer_summaries(&self) -> Vec<PeerSummary> {
+        let g = self.inner.lock();
+        g.conns
+            .iter()
+            .map(|c| {
+                let (bytes_rx, bytes_tx) = c.traffic();
+                PeerSummary { bytes_rx, bytes_tx, closed: c.peer_closed() }
+            })
+            .collect()
+    }
+
+    /// The allocator's address log (the ALLOC stream for comprehensive
+    /// recorders).
+    #[must_use]
+    pub fn alloc_log(&self) -> Vec<u64> {
+        self.inner.lock().allocator.log().to_vec()
+    }
+
+    /// Whether `fd` refers to a device a comprehensive recorder cannot
+    /// capture (the §5.4 NVIDIA situation).
+    #[must_use]
+    pub fn fd_is_opaque_device(&self, fd: Fd) -> bool {
+        let g = self.inner.lock();
+        match g.entry(fd) {
+            Some(FdEntry::Device(d)) => g.devices[*d].1.is_opaque(),
+            _ => false,
+        }
+    }
+
+    /// Whether `fd` refers to a pipe endpoint. The paper (§4.4) records
+    /// `read`/`write` on pipes but not on regular files; the sparse
+    /// configuration needs this classification.
+    #[must_use]
+    pub fn fd_is_pipe(&self, fd: Fd) -> bool {
+        matches!(
+            self.inner.lock().entry(fd),
+            Some(FdEntry::PipeRead(_) | FdEntry::PipeWrite(_))
+        )
+    }
+
+    /// Whether `fd` refers to a network connection or listener.
+    #[must_use]
+    pub fn fd_is_socket(&self, fd: Fd) -> bool {
+        matches!(
+            self.inner.lock().entry(fd),
+            Some(FdEntry::Conn(_) | FdEntry::Listener(_))
+        )
+    }
+
+    /// Frames submitted to the GPU device (0 if none installed).
+    #[must_use]
+    pub fn gpu_frames(&self) -> u64 {
+        let g = self.inner.lock();
+        g.devices.iter().map(|(_, d)| d.frames()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Syscall surface
+    // ------------------------------------------------------------------
+
+    /// `clock_gettime`: the current virtual time in nanoseconds.
+    pub fn clock_gettime(&self) -> SysResult {
+        let mut g = self.inner.lock();
+        g.count_syscall("clock_gettime", &[]);
+        Ok(g.clock.now() as i64)
+    }
+
+    /// Allocates virtual memory; returns the address (models `malloc`).
+    pub fn valloc(&self, size: u64) -> u64 {
+        let mut g = self.inner.lock();
+        let addr = g.allocator.alloc(size);
+        if let Some(log) = &mut g.strace {
+            log.push(format!("valloc({size}) = {addr:#x}"));
+        }
+        addr
+    }
+
+    /// `open`: opens a file or device path.
+    pub fn open(&self, path: &str, create: bool) -> SysResult {
+        let mut g = self.inner.lock();
+        g.count_syscall("open", &[path]);
+        if let Some(d) = g.devices.iter().position(|(n, _)| n == path) {
+            return Ok(g.push_fd(FdEntry::Device(d)).raw() as i64);
+        }
+        let exists = g.files.iter().any(|(n, _)| n == path);
+        if !exists {
+            if !create {
+                return Err(Errno::ENOENT);
+            }
+            g.files.push((path.to_owned(), Vec::new()));
+        }
+        let name = path.to_owned();
+        Ok(g.push_fd(FdEntry::File { name, offset: 0 }).raw() as i64)
+    }
+
+    /// `pipe`: creates a pipe, returning `(read_end, write_end)`.
+    pub fn pipe(&self) -> (Fd, Fd) {
+        let mut g = self.inner.lock();
+        g.count_syscall("pipe", &[]);
+        g.pipes.push(Pipe { buf: VecDeque::new(), read_open: true, write_open: true });
+        let idx = g.pipes.len() - 1;
+        let r = g.push_fd(FdEntry::PipeRead(idx));
+        let w = g.push_fd(FdEntry::PipeWrite(idx));
+        (r, w)
+    }
+
+    /// `close`.
+    pub fn close(&self, fd: Fd) -> SysResult {
+        let mut g = self.inner.lock();
+        g.count_syscall("close", &[&fd.to_string()]);
+        let entry = g.take_entry(fd).ok_or(Errno::EBADF)?;
+        match entry {
+            FdEntry::PipeRead(p) => g.pipes[p].read_open = false,
+            FdEntry::PipeWrite(p) => g.pipes[p].write_open = false,
+            FdEntry::Conn(c) => g.conns[c].program_closed = true,
+            _ => {}
+        }
+        Ok(0)
+    }
+
+    /// `read`: files, pipes, sockets, console (EOF).
+    pub fn read(&self, fd: Fd, buf: &mut [u8]) -> SysResult {
+        let mut g = self.inner.lock();
+        g.count_syscall("read", &[&fd.to_string(), &buf.len().to_string()]);
+        g.read_inner(fd, buf)
+    }
+
+    /// `write`: files, pipes, sockets, console.
+    pub fn write(&self, fd: Fd, data: &[u8]) -> SysResult {
+        let mut g = self.inner.lock();
+        g.count_syscall("write", &[&fd.to_string(), &data.len().to_string()]);
+        g.write_inner(fd, data)
+    }
+
+    /// `recv`: sockets only.
+    pub fn recv(&self, fd: Fd, buf: &mut [u8]) -> SysResult {
+        let mut g = self.inner.lock();
+        g.count_syscall("recv", &[&fd.to_string(), &buf.len().to_string()]);
+        let c = g.conn_of(fd)?;
+        let now = g.clock.now();
+        g.drive_conn(c, now);
+        let conn = &mut g.conns[c];
+        let n = conn.read(now, buf);
+        if n > 0 {
+            Ok(n as i64)
+        } else if conn.at_eof(now) {
+            Ok(0)
+        } else {
+            Err(Errno::EAGAIN)
+        }
+    }
+
+    /// `send`: sockets only.
+    pub fn send(&self, fd: Fd, data: &[u8]) -> SysResult {
+        let mut g = self.inner.lock();
+        g.count_syscall("send", &[&fd.to_string(), &data.len().to_string()]);
+        let c = g.conn_of(fd)?;
+        let now = g.clock.now();
+        let sent = {
+            let VosInner { conns, rng, .. } = &mut *g;
+            conns[c].program_send(now, rng, data)
+        };
+        if sent {
+            Ok(data.len() as i64)
+        } else {
+            Err(Errno::EPIPE)
+        }
+    }
+
+    /// `recvmsg`: like `recv` but also fills a 4-byte flags buffer
+    /// (always zero here); exists because the paper's supported-syscall
+    /// list includes it.
+    pub fn recvmsg(&self, fd: Fd, buf: &mut [u8], flags: &mut [u8; 4]) -> SysResult {
+        *flags = [0; 4];
+        let r = self.recv(fd, buf);
+        let mut g = self.inner.lock();
+        g.rename_last_strace("recvmsg");
+        r
+    }
+
+    /// `sendmsg`: alias of `send` at the wire level.
+    pub fn sendmsg(&self, fd: Fd, data: &[u8]) -> SysResult {
+        let r = self.send(fd, data);
+        let mut g = self.inner.lock();
+        g.rename_last_strace("sendmsg");
+        r
+    }
+
+    /// `bind`: binds the program to a pre-installed listener port.
+    pub fn bind(&self, port: u16) -> SysResult {
+        let mut g = self.inner.lock();
+        g.count_syscall("bind", &[&port.to_string()]);
+        let idx = g
+            .listeners
+            .iter()
+            .position(|(p, _)| *p == port)
+            .ok_or(Errno::EINVAL)?;
+        if g.listeners[idx].1.bound {
+            return Err(Errno::EADDRINUSE);
+        }
+        g.listeners[idx].1.bound = true;
+        Ok(g.push_fd(FdEntry::Listener(idx)).raw() as i64)
+    }
+
+    /// `accept`: accepts a pending connection, or `EAGAIN`.
+    pub fn accept(&self, fd: Fd) -> SysResult {
+        let mut g = self.inner.lock();
+        g.count_syscall("accept", &[&fd.to_string()]);
+        g.accept_inner(fd)
+    }
+
+    /// `accept4`: identical to [`Vos::accept`] in this world (the flags
+    /// argument of the real call only affects fd flags we do not model).
+    pub fn accept4(&self, fd: Fd) -> SysResult {
+        let mut g = self.inner.lock();
+        g.count_syscall("accept4", &[&fd.to_string()]);
+        g.accept_inner(fd)
+    }
+
+    /// `poll`: fills `revents`, returns the count of ready entries.
+    /// Never blocks — the instrumented layer loops (§3.2's trylock
+    /// pattern applies to blocking syscalls too).
+    pub fn poll(&self, fds: &mut [PollFd]) -> SysResult {
+        let mut g = self.inner.lock();
+        g.count_syscall("poll", &[&fds.len().to_string()]);
+        g.poll_inner(fds)
+    }
+
+    /// `select`: readability-only variant of [`Vos::poll`], present
+    /// because httpd's workaround (§5.2) switches from `epoll_wait` to
+    /// the simpler interface.
+    pub fn select(&self, fds: &mut [PollFd]) -> SysResult {
+        let mut g = self.inner.lock();
+        g.count_syscall("select", &[&fds.len().to_string()]);
+        g.poll_inner(fds)
+    }
+
+    /// `epoll_wait`: present so workloads can *attempt* it — it returns
+    /// `ENOTSUP`, modelling the paper's §5.2 situation where tsan11rec
+    /// cannot handle epoll's union-returning interface and httpd must be
+    /// switched to `poll`.
+    pub fn epoll_wait(&self) -> SysResult {
+        let mut g = self.inner.lock();
+        g.count_syscall("epoll_wait", &[]);
+        Err(Errno::ENOTSUP)
+    }
+
+    /// `ioctl` on a device fd.
+    pub fn ioctl(&self, fd: Fd, request: u64, arg: &mut [u8]) -> SysResult {
+        let mut g = self.inner.lock();
+        g.count_syscall("ioctl", &[&fd.to_string(), &format!("{request:#x}")]);
+        let d = match g.entry(fd) {
+            Some(FdEntry::Device(d)) => *d,
+            Some(_) => return Err(Errno::ENOTTY),
+            None => return Err(Errno::EBADF),
+        };
+        match g.devices[d].1.ioctl(request, arg) {
+            IoctlOutcome::Ok(v) => Ok(v),
+            IoctlOutcome::UnknownRequest => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Advances a scripted clock (models a sleep without a syscall).
+    pub fn advance_time(&self, delta: Nanos) {
+        self.inner.lock().clock.advance(delta);
+    }
+
+    /// The current virtual time without counting a syscall.
+    pub fn now(&self) -> Nanos {
+        self.inner.lock().clock.now()
+    }
+}
+
+impl VosInner {
+    fn push_fd(&mut self, entry: FdEntry) -> Fd {
+        if let Some(i) = self.fds.iter().position(Option::is_none) {
+            self.fds[i] = Some(entry);
+            return Fd(i as i32);
+        }
+        self.fds.push(Some(entry));
+        Fd((self.fds.len() - 1) as i32)
+    }
+
+    fn entry(&self, fd: Fd) -> Option<&FdEntry> {
+        self.fds.get(usize::try_from(fd.raw()).ok()?)?.as_ref()
+    }
+
+    fn take_entry(&mut self, fd: Fd) -> Option<FdEntry> {
+        self.fds.get_mut(usize::try_from(fd.raw()).ok()?)?.take()
+    }
+
+    fn conn_of(&self, fd: Fd) -> Result<usize, Errno> {
+        match self.entry(fd) {
+            Some(FdEntry::Conn(c)) => Ok(*c),
+            Some(_) => Err(Errno::EINVAL),
+            None => Err(Errno::EBADF),
+        }
+    }
+
+    fn drive_conn(&mut self, c: usize, now: Nanos) {
+        let VosInner { conns, rng, .. } = self;
+        conns[c].drive(now, rng);
+    }
+
+    fn count_syscall(&mut self, name: &str, args: &[&str]) {
+        self.syscall_count += 1;
+        if let Some(log) = &mut self.strace {
+            log.push(format!("{name}({})", args.join(", ")));
+        }
+    }
+
+    fn rename_last_strace(&mut self, name: &str) {
+        if let Some(log) = &mut self.strace {
+            if let Some(last) = log.last_mut() {
+                if let Some(paren) = last.find('(') {
+                    *last = format!("{name}{}", &last[paren..]);
+                }
+            }
+        }
+    }
+
+    fn read_inner(&mut self, fd: Fd, buf: &mut [u8]) -> SysResult {
+        let entry = self.fds.get(usize::try_from(fd.raw()).map_err(|_| Errno::EBADF)?);
+        match entry.and_then(Option::as_ref) {
+            None => Err(Errno::EBADF),
+            Some(FdEntry::Console) => Ok(0), // no stdin input modelled
+            Some(FdEntry::File { name, offset }) => {
+                let (name, offset) = (name.clone(), *offset);
+                let data = self
+                    .files
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, d)| d.clone())
+                    .unwrap_or_default();
+                let n = buf.len().min(data.len().saturating_sub(offset));
+                buf[..n].copy_from_slice(&data[offset..offset + n]);
+                if let Some(FdEntry::File { offset, .. }) =
+                    self.fds[fd.raw() as usize].as_mut()
+                {
+                    *offset += n;
+                }
+                Ok(n as i64)
+            }
+            Some(FdEntry::PipeRead(p)) => {
+                let p = *p;
+                let pipe = &mut self.pipes[p];
+                if pipe.buf.is_empty() {
+                    return if pipe.write_open { Err(Errno::EAGAIN) } else { Ok(0) };
+                }
+                let n = buf.len().min(pipe.buf.len());
+                for slot in buf.iter_mut().take(n) {
+                    *slot = pipe.buf.pop_front().expect("length checked");
+                }
+                Ok(n as i64)
+            }
+            Some(FdEntry::PipeWrite(_)) => Err(Errno::EINVAL),
+            Some(FdEntry::Conn(c)) => {
+                let c = *c;
+                let now = self.clock.now();
+                self.drive_conn(c, now);
+                let conn = &mut self.conns[c];
+                let n = conn.read(now, buf);
+                if n > 0 {
+                    Ok(n as i64)
+                } else if conn.at_eof(now) {
+                    Ok(0)
+                } else {
+                    Err(Errno::EAGAIN)
+                }
+            }
+            Some(FdEntry::Listener(_) | FdEntry::Device(_)) => Err(Errno::EINVAL),
+        }
+    }
+
+    fn write_inner(&mut self, fd: Fd, data: &[u8]) -> SysResult {
+        let entry = self.fds.get(usize::try_from(fd.raw()).map_err(|_| Errno::EBADF)?);
+        match entry.and_then(Option::as_ref) {
+            None => Err(Errno::EBADF),
+            Some(FdEntry::Console) => {
+                self.console.extend_from_slice(data);
+                Ok(data.len() as i64)
+            }
+            Some(FdEntry::File { name, offset }) => {
+                let (name, offset) = (name.clone(), *offset);
+                let file = self
+                    .files
+                    .iter_mut()
+                    .find(|(n, _)| *n == name)
+                    .ok_or(Errno::ENOENT)?;
+                if file.1.len() < offset + data.len() {
+                    file.1.resize(offset + data.len(), 0);
+                }
+                file.1[offset..offset + data.len()].copy_from_slice(data);
+                if let Some(FdEntry::File { offset, .. }) =
+                    self.fds[fd.raw() as usize].as_mut()
+                {
+                    *offset += data.len();
+                }
+                Ok(data.len() as i64)
+            }
+            Some(FdEntry::PipeWrite(p)) => {
+                let p = *p;
+                let pipe = &mut self.pipes[p];
+                if !pipe.read_open {
+                    return Err(Errno::EPIPE);
+                }
+                pipe.buf.extend(data.iter().copied());
+                Ok(data.len() as i64)
+            }
+            Some(FdEntry::PipeRead(_)) => Err(Errno::EINVAL),
+            Some(FdEntry::Conn(c)) => {
+                let c = *c;
+                let now = self.clock.now();
+                let VosInner { conns, rng, .. } = self;
+                if conns[c].program_send(now, rng, data) {
+                    Ok(data.len() as i64)
+                } else {
+                    Err(Errno::EPIPE)
+                }
+            }
+            Some(FdEntry::Listener(_) | FdEntry::Device(_)) => Err(Errno::EINVAL),
+        }
+    }
+
+    fn accept_inner(&mut self, fd: Fd) -> SysResult {
+        let l = match self.entry(fd) {
+            Some(FdEntry::Listener(l)) => *l,
+            Some(_) => return Err(Errno::EINVAL),
+            None => return Err(Errno::EBADF),
+        };
+        let now = self.clock.now();
+        let due = self.listeners[l].1.plan.front().is_some_and(|&at| at <= now);
+        if !due {
+            return Err(Errno::EAGAIN);
+        }
+        self.listeners[l].1.plan.pop_front();
+        let idx = self.listeners[l].1.accepted;
+        self.listeners[l].1.accepted += 1;
+        let conn = {
+            let VosInner { listeners, rng, .. } = self;
+            let peer = (listeners[l].1.factory)(rng, idx);
+            Connection::new(peer, now, rng)
+        };
+        self.conns.push(conn);
+        let c = self.conns.len() - 1;
+        Ok(self.push_fd(FdEntry::Conn(c)).raw() as i64)
+    }
+
+    fn poll_inner(&mut self, fds: &mut [PollFd]) -> SysResult {
+        let now = self.clock.now();
+        // Drive every polled connection first (lazy world advancement).
+        for i in 0..fds.len() {
+            if let Some(FdEntry::Conn(c)) = self.entry(fds[i].fd) {
+                let c = *c;
+                self.drive_conn(c, now);
+            }
+        }
+        let mut ready = 0i64;
+        for pfd in fds.iter_mut() {
+            pfd.revents = Default::default();
+            match self.entry(pfd.fd) {
+                None => pfd.revents.err = true,
+                Some(FdEntry::Conn(c)) => {
+                    let conn = &self.conns[*c];
+                    pfd.revents.readable = pfd.events.readable && conn.readable(now);
+                    pfd.revents.hup = conn.at_eof(now);
+                    pfd.revents.writable = pfd.events.writable && !conn.peer_closed();
+                }
+                Some(FdEntry::Listener(l)) => {
+                    pfd.revents.readable = pfd.events.readable
+                        && self.listeners[*l].1.plan.front().is_some_and(|&at| at <= now);
+                }
+                Some(FdEntry::PipeRead(p)) => {
+                    let pipe = &self.pipes[*p];
+                    pfd.revents.readable = pfd.events.readable && !pipe.buf.is_empty();
+                    pfd.revents.hup = !pipe.write_open && pipe.buf.is_empty();
+                }
+                Some(FdEntry::PipeWrite(p)) => {
+                    pfd.revents.writable = pfd.events.writable;
+                    pfd.revents.hup = !self.pipes[*p].read_open;
+                }
+                Some(FdEntry::File { .. } | FdEntry::Console | FdEntry::Device(_)) => {
+                    pfd.revents.readable = pfd.events.readable;
+                    pfd.revents.writable = pfd.events.writable;
+                }
+            }
+            if pfd.revents.any() {
+                ready += 1;
+            }
+        }
+        Ok(ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{EchoPeer, RequestSourcePeer, ScriptedPeer, SilentPeer};
+
+    fn det() -> Vos {
+        Vos::new(VosConfig::deterministic(7))
+    }
+
+    #[test]
+    fn console_fds_are_preopened() {
+        let vos = det();
+        assert_eq!(vos.write(Fd(1), b"hello "), Ok(6));
+        assert_eq!(vos.write(Fd(2), b"world"), Ok(5));
+        assert_eq!(vos.console(), b"hello world");
+        let mut buf = [0u8; 4];
+        assert_eq!(vos.read(Fd(0), &mut buf), Ok(0), "no stdin modelled");
+    }
+
+    #[test]
+    fn files_roundtrip_and_track_offsets() {
+        let vos = det();
+        vos.add_file("/etc/config", b"key=value".to_vec());
+        let fd = Fd(vos.open("/etc/config", false).unwrap() as i32);
+        let mut buf = [0u8; 4];
+        assert_eq!(vos.read(fd, &mut buf), Ok(4));
+        assert_eq!(&buf, b"key=");
+        assert_eq!(vos.read(fd, &mut buf), Ok(4));
+        assert_eq!(&buf, b"valu");
+        assert_eq!(vos.read(fd, &mut buf), Ok(1));
+        assert_eq!(vos.read(fd, &mut buf), Ok(0), "EOF");
+        assert_eq!(vos.close(fd), Ok(0));
+        assert_eq!(vos.read(fd, &mut buf), Err(Errno::EBADF));
+    }
+
+    #[test]
+    fn open_missing_file_fails_unless_create() {
+        let vos = det();
+        assert_eq!(vos.open("/no/such", false), Err(Errno::ENOENT));
+        let fd = Fd(vos.open("/new", true).unwrap() as i32);
+        assert_eq!(vos.write(fd, b"data"), Ok(4));
+    }
+
+    #[test]
+    fn pipes_deliver_fifo_and_signal_eof() {
+        let vos = det();
+        let (r, w) = vos.pipe();
+        let mut buf = [0u8; 8];
+        assert_eq!(vos.read(r, &mut buf), Err(Errno::EAGAIN));
+        assert_eq!(vos.write(w, b"abc"), Ok(3));
+        assert_eq!(vos.read(r, &mut buf), Ok(3));
+        assert_eq!(&buf[..3], b"abc");
+        vos.close(w).unwrap();
+        assert_eq!(vos.read(r, &mut buf), Ok(0), "EOF after writer closes");
+    }
+
+    #[test]
+    fn pipe_write_after_reader_close_is_epipe() {
+        let vos = det();
+        let (r, w) = vos.pipe();
+        vos.close(r).unwrap();
+        assert_eq!(vos.write(w, b"x"), Err(Errno::EPIPE));
+    }
+
+    #[test]
+    fn connect_send_recv_echo() {
+        let vos = det();
+        let fd = vos.connect(Box::new(EchoPeer::new(0)));
+        assert_eq!(vos.send(fd, b"ping"), Ok(4));
+        let mut buf = [0u8; 8];
+        assert_eq!(vos.recv(fd, &mut buf), Ok(4));
+        assert_eq!(&buf[..4], b"ping");
+        assert_eq!(vos.recv(fd, &mut buf), Err(Errno::EAGAIN));
+    }
+
+    #[test]
+    fn recv_on_latent_data_needs_time() {
+        // Scripted clock advances 1µs per query; 10ms latency needs many
+        // queries or an explicit advance.
+        let vos = det();
+        let fd = vos.connect(Box::new(EchoPeer::new(10_000_000)));
+        vos.send(fd, b"x").unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(vos.recv(fd, &mut buf), Err(Errno::EAGAIN));
+        vos.advance_time(20_000_000);
+        assert_eq!(vos.recv(fd, &mut buf), Ok(1));
+    }
+
+    #[test]
+    fn listener_accept_flow() {
+        let vos = det();
+        vos.install_listener(8080, vec![0, 0], |_rng, idx| {
+            Box::new(ScriptedPeer::new(vec![(0, format!("client{idx}").into_bytes())]))
+        });
+        let lfd = Fd(vos.bind(8080).unwrap() as i32);
+        let c1 = Fd(vos.accept(lfd).unwrap() as i32);
+        let c2 = Fd(vos.accept4(lfd).unwrap() as i32);
+        assert_eq!(vos.accept(lfd), Err(Errno::EAGAIN), "plan exhausted");
+        let mut buf = [0u8; 16];
+        let n = vos.recv(c1, &mut buf).unwrap() as usize;
+        assert_eq!(&buf[..n], b"client0");
+        let n = vos.recv(c2, &mut buf).unwrap() as usize;
+        assert_eq!(&buf[..n], b"client1");
+    }
+
+    #[test]
+    fn bind_unknown_port_fails_and_rebind_is_addrinuse() {
+        let vos = det();
+        vos.install_listener(80, vec![], |_, _| Box::new(SilentPeer));
+        assert_eq!(vos.bind(81), Err(Errno::EINVAL));
+        assert!(vos.bind(80).is_ok());
+        assert_eq!(vos.bind(80), Err(Errno::EADDRINUSE));
+    }
+
+    #[test]
+    fn poll_reports_readiness_and_hup() {
+        let vos = det();
+        let echo = vos.connect(Box::new(EchoPeer::new(0)));
+        let silent = vos.connect(Box::new(SilentPeer));
+        vos.send(echo, b"z").unwrap();
+        let mut fds = [PollFd::readable(echo), PollFd::readable(silent)];
+        assert_eq!(vos.poll(&mut fds), Ok(1));
+        assert!(fds[0].revents.readable);
+        assert!(!fds[1].revents.any());
+
+        let closing = vos.connect(Box::new(ScriptedPeer::closing(vec![])));
+        let mut fds = [PollFd::readable(closing)];
+        assert_eq!(vos.poll(&mut fds), Ok(1));
+        assert!(fds[0].revents.hup);
+    }
+
+    #[test]
+    fn poll_drives_lazy_peers() {
+        let vos = det();
+        let fd = vos.connect(Box::new(RequestSourcePeer::new(1, 5, 0)));
+        let mut fds = [PollFd::readable(fd)];
+        assert_eq!(vos.poll(&mut fds), Ok(1), "poll must drive the peer");
+        assert!(fds[0].revents.readable);
+    }
+
+    #[test]
+    fn select_mirrors_poll() {
+        let vos = det();
+        let fd = vos.connect(Box::new(EchoPeer::new(0)));
+        vos.send(fd, b"q").unwrap();
+        let mut fds = [PollFd::readable(fd)];
+        assert_eq!(vos.select(&mut fds), Ok(1));
+    }
+
+    #[test]
+    fn epoll_wait_is_unsupported() {
+        let vos = det();
+        assert_eq!(vos.epoll_wait(), Err(Errno::ENOTSUP));
+    }
+
+    #[test]
+    fn ioctl_gpu_device() {
+        let vos = det();
+        vos.install_gpu();
+        let fd = Fd(vos.open("/dev/gpu", false).unwrap() as i32);
+        assert!(vos.fd_is_opaque_device(fd));
+        let mut arg = [0u8; 8];
+        assert_eq!(vos.ioctl(fd, crate::device::GPU_SUBMIT_FRAME, &mut arg), Ok(0));
+        assert_eq!(vos.gpu_frames(), 1);
+        assert_eq!(vos.ioctl(fd, 0x9999, &mut arg), Err(Errno::EINVAL));
+        assert_eq!(vos.ioctl(Fd(1), 1, &mut arg), Err(Errno::ENOTTY));
+    }
+
+    #[test]
+    fn fd_classification() {
+        let vos = det();
+        let (r, w) = vos.pipe();
+        let s = vos.connect(Box::new(SilentPeer));
+        vos.add_file("/f", vec![]);
+        let f = Fd(vos.open("/f", false).unwrap() as i32);
+        assert!(vos.fd_is_pipe(r) && vos.fd_is_pipe(w));
+        assert!(vos.fd_is_socket(s));
+        assert!(!vos.fd_is_pipe(f) && !vos.fd_is_socket(f));
+        assert!(!vos.fd_is_opaque_device(f));
+    }
+
+    #[test]
+    fn signals_fire_on_schedule() {
+        let vos = det();
+        vos.schedule_signal(15, SignalTrigger::AfterSyscalls(2));
+        assert!(vos.take_due_signals().is_empty());
+        vos.clock_gettime().unwrap();
+        vos.clock_gettime().unwrap();
+        assert_eq!(vos.take_due_signals(), vec![15]);
+        assert!(vos.take_due_signals().is_empty());
+    }
+
+    #[test]
+    fn strace_logs_syscalls() {
+        let vos = Vos::new(VosConfig::deterministic(1).with_strace());
+        vos.clock_gettime().unwrap();
+        let fd = vos.connect(Box::new(EchoPeer::new(0)));
+        vos.send(fd, b"x").unwrap();
+        let log = vos.take_strace();
+        assert!(log.iter().any(|l| l.starts_with("clock_gettime(")));
+        assert!(log.iter().any(|l| l.starts_with("send(")));
+    }
+
+    #[test]
+    fn syscall_count_increments() {
+        let vos = det();
+        let before = vos.syscall_count();
+        vos.clock_gettime().unwrap();
+        vos.clock_gettime().unwrap();
+        assert_eq!(vos.syscall_count(), before + 2);
+    }
+
+    #[test]
+    fn valloc_allocates_and_logs() {
+        let vos = det();
+        let a = vos.valloc(64);
+        let b = vos.valloc(64);
+        assert_ne!(a, b);
+        assert_eq!(vos.alloc_log(), vec![a, b]);
+    }
+
+    #[test]
+    fn peer_summaries_track_traffic() {
+        let vos = det();
+        let fd = vos.connect(Box::new(EchoPeer::new(0)));
+        vos.send(fd, b"12345").unwrap();
+        let mut buf = [0u8; 8];
+        vos.recv(fd, &mut buf).unwrap();
+        let sums = vos.peer_summaries();
+        assert_eq!(sums.len(), 1);
+        assert_eq!(sums[0].bytes_tx, 5);
+        assert_eq!(sums[0].bytes_rx, 5);
+        assert!(!sums[0].closed);
+    }
+
+    #[test]
+    fn fd_numbers_are_reused_after_close() {
+        let vos = det();
+        let fd1 = Fd(vos.open("/a", true).unwrap() as i32);
+        vos.close(fd1).unwrap();
+        let fd2 = Fd(vos.open("/b", true).unwrap() as i32);
+        assert_eq!(fd1, fd2, "lowest free fd is reused, like a real kernel");
+    }
+
+    #[test]
+    fn recvmsg_fills_flags_and_matches_recv() {
+        let vos = det();
+        let fd = vos.connect(Box::new(EchoPeer::new(0)));
+        vos.sendmsg(fd, b"m").unwrap();
+        let mut buf = [0u8; 4];
+        let mut flags = [9u8; 4];
+        assert_eq!(vos.recvmsg(fd, &mut buf, &mut flags), Ok(1));
+        assert_eq!(flags, [0; 4]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the vOS primitives against simple oracles.
+
+use proptest::prelude::*;
+use srr_vos::{AllocMode, Allocator, EchoPeer, Errno, Fd, Vos, VosConfig};
+
+proptest! {
+    /// A pipe is a FIFO byte queue: any interleaving of writes and reads
+    /// observes exactly the written byte stream, in order.
+    #[test]
+    fn pipe_is_fifo(ops in proptest::collection::vec(
+        prop_oneof![
+            proptest::collection::vec(any::<u8>(), 1..20).prop_map(Some), // write chunk
+            Just(None),                                                   // read attempt
+        ],
+        0..60,
+    )) {
+        let vos = Vos::new(VosConfig::deterministic(1));
+        let (pr, pw) = vos.pipe();
+        let mut oracle: Vec<u8> = Vec::new();
+        let mut read_back: Vec<u8> = Vec::new();
+        let mut written: Vec<u8> = Vec::new();
+        for op in ops {
+            match op {
+                Some(chunk) => {
+                    prop_assert_eq!(vos.write(pw, &chunk), Ok(chunk.len() as i64));
+                    oracle.extend_from_slice(&chunk);
+                    written.extend_from_slice(&chunk);
+                }
+                None => {
+                    let mut buf = [0u8; 7];
+                    match vos.read(pr, &mut buf) {
+                        Ok(n) => read_back.extend_from_slice(&buf[..n as usize]),
+                        Err(Errno::EAGAIN) => prop_assert!(read_back.len() == oracle.len()),
+                        Err(e) => prop_assert!(false, "unexpected errno {e}"),
+                    }
+                }
+            }
+        }
+        // Drain what remains.
+        loop {
+            let mut buf = [0u8; 64];
+            match vos.read(pr, &mut buf) {
+                Ok(n) if n > 0 => read_back.extend_from_slice(&buf[..n as usize]),
+                _ => break,
+            }
+        }
+        prop_assert_eq!(read_back, written);
+    }
+
+    /// The allocator never hands out overlapping regions, in any mode.
+    #[test]
+    fn allocations_never_overlap(
+        sizes in proptest::collection::vec(1u64..512, 1..40),
+        entropy in any::<u64>(),
+        mode_pick in 0u8..2,
+    ) {
+        let mode = match mode_pick {
+            0 => AllocMode::Deterministic,
+            _ => AllocMode::Randomized { entropy },
+        };
+        let mut a = Allocator::new(mode, 42);
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for &size in &sizes {
+            let addr = a.alloc(size);
+            for &(start, len) in &regions {
+                let disjoint = addr + size <= start || start + len <= addr;
+                prop_assert!(disjoint, "{addr:#x}+{size} overlaps {start:#x}+{len}");
+            }
+            regions.push((addr, size));
+        }
+        prop_assert_eq!(a.log().len(), sizes.len());
+    }
+
+    /// Echoed traffic is identity: whatever the program sends on an echo
+    /// connection comes back byte-for-byte (after enough time).
+    #[test]
+    fn echo_roundtrip_identity(chunks in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..50),
+        1..12,
+    )) {
+        let vos = Vos::new(VosConfig::deterministic(5));
+        let fd = vos.connect(Box::new(EchoPeer::new(0)));
+        let mut sent = Vec::new();
+        for c in &chunks {
+            prop_assert!(vos.send(fd, c).is_ok());
+            sent.extend_from_slice(c);
+        }
+        let mut got = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            match vos.recv(fd, &mut buf) {
+                Ok(n) if n > 0 => got.extend_from_slice(&buf[..n as usize]),
+                _ => break,
+            }
+        }
+        prop_assert_eq!(got, sent);
+    }
+
+    /// File write-then-read at tracked offsets is consistent.
+    #[test]
+    fn file_offsets_are_sequential(chunks in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..30),
+        1..10,
+    )) {
+        let vos = Vos::new(VosConfig::deterministic(7));
+        let wfd = Fd(vos.open("/f", true).unwrap() as i32);
+        let mut all = Vec::new();
+        for c in &chunks {
+            vos.write(wfd, c).unwrap();
+            all.extend_from_slice(c);
+        }
+        let rfd = Fd(vos.open("/f", false).unwrap() as i32);
+        let mut got = vec![0u8; all.len()];
+        let mut at = 0;
+        while at < got.len() {
+            let n = vos.read(rfd, &mut got[at..]).unwrap() as usize;
+            prop_assert!(n > 0);
+            at += n;
+        }
+        prop_assert_eq!(got, all);
+    }
+}

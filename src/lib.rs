@@ -1,0 +1,59 @@
+//! **sparse-rr**: umbrella crate for the tsan11rec reproduction —
+//! *Sparse Record and Replay with Controlled Scheduling* (PLDI 2019).
+//!
+//! This crate re-exports the whole workspace so examples, integration
+//! tests and downstream users need a single dependency:
+//!
+//! * [`tsan11rec`] — the tool: controlled scheduling (`Wait()`/`Tick()`),
+//!   sparse record/replay, C++11-style race detection, and the
+//!   program-facing instrumentation API (`Atomic`, `Shared`, `Mutex`,
+//!   `Condvar`, `thread`, `sys`, `signals`).
+//! * [`vos`] — the virtual OS the programs under test run against.
+//! * [`rr`] — the comprehensive sequentialized baseline.
+//! * [`apps`] — every workload of the paper's evaluation.
+//! * [`substrates`] — the underlying vector-clock, memory-model,
+//!   race-detection and demo-format crates.
+//!
+//! # Quickstart
+//!
+//! Record an execution of the paper's Figure 2 client, then replay it
+//! without any live server:
+//!
+//! ```
+//! use sparse_rr::apps::client::{client, world, ClientParams};
+//! use sparse_rr::apps::harness::Tool;
+//! use sparse_rr::tsan11rec::Execution;
+//!
+//! let params = ClientParams::default();
+//! let (recorded, demo) = Execution::new(Tool::QueueRec.config([4, 8]))
+//!     .setup(world(params))
+//!     .record(client(params));
+//! assert!(recorded.outcome.is_ok());
+//!
+//! // Fresh world: no server, no signal source — the demo drives it.
+//! let replayed = Execution::new(Tool::QueueRec.config([4, 8]))
+//!     .replay(&demo, client(params));
+//! assert_eq!(replayed.console, recorded.console);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use srr_apps as apps;
+pub use srr_rr as rr;
+pub use srr_vos as vos;
+pub use tsan11rec;
+
+/// The lower-level substrates, re-exported for direct use.
+pub mod substrates {
+    pub use srr_memmodel as memmodel;
+    pub use srr_racedet as racedet;
+    pub use srr_replay as replay;
+    pub use srr_vclock as vclock;
+}
+
+// Convenience re-exports of the items nearly every user touches.
+pub use tsan11rec::{
+    Atomic, Condvar, Config, Demo, ExecReport, Execution, MemOrder, Mode, Mutex, Outcome,
+    Shared, SparseConfig, Strategy,
+};
