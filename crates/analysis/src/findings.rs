@@ -1,0 +1,91 @@
+//! Analysis findings: what the passes report.
+
+use std::fmt;
+
+/// The class of a finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// A cycle in the lock-order graph: a potential ABBA deadlock, even
+    /// when this run completed (§3.2 preserves deadlocks that *happen*;
+    /// this predicts ones that could).
+    PotentialDeadlock,
+    /// One location accessed both through an atomic cell and through
+    /// plain loads/stores.
+    MixedAtomicPlain,
+    /// A condvar wait returned and its guard mutex was released without
+    /// any predicate re-check in between.
+    CondvarNoRecheck,
+    /// A relaxed load observed another thread's store and its value fed
+    /// a visible-operation decision — the §6 hazard class a sparse demo
+    /// cannot see.
+    RelaxedLoadDecision,
+}
+
+impl FindingKind {
+    /// Stable kebab-case name (CLI output, filtering).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FindingKind::PotentialDeadlock => "potential-deadlock",
+            FindingKind::MixedAtomicPlain => "mixed-atomic-plain",
+            FindingKind::CondvarNoRecheck => "condvar-no-recheck",
+            FindingKind::RelaxedLoadDecision => "relaxed-load-decision",
+        }
+    }
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding from an analysis pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The finding's class.
+    pub kind: FindingKind,
+    /// One-line human-readable description (thread ids, labels, ticks).
+    pub message: String,
+    /// Participating threads.
+    pub threads: Vec<u32>,
+    /// Labels of the locks/locations involved.
+    pub labels: Vec<String>,
+    /// Tick timestamps of the participating events.
+    pub ticks: Vec<u64>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let fdg = Finding {
+            kind: FindingKind::PotentialDeadlock,
+            message: "cycle A -> B -> A".into(),
+            threads: vec![1, 2],
+            labels: vec!["A".into(), "B".into()],
+            ticks: vec![3, 5],
+        };
+        let s = fdg.to_string();
+        assert!(s.starts_with("[potential-deadlock]"));
+        assert!(s.contains("cycle A -> B -> A"));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(FindingKind::MixedAtomicPlain.name(), "mixed-atomic-plain");
+        assert_eq!(FindingKind::CondvarNoRecheck.name(), "condvar-no-recheck");
+        assert_eq!(
+            FindingKind::RelaxedLoadDecision.name(),
+            "relaxed-load-decision"
+        );
+    }
+}

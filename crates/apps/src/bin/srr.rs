@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! srr list
-//! srr run     <workload> [--tool TOOL] [--seed N]
-//! srr record  <workload> [--tool queue|random] [--seed N] [--sparse SET] --out DIR
-//! srr replay  <workload> --demo DIR
-//! srr explore <litmus> [--runs N]      # race hunting across seeds
+//! srr run       <workload> [--tool TOOL] [--seed N]
+//! srr record    <workload> [--tool queue|random] [--seed N] [--sparse SET] --out DIR
+//! srr replay    <workload> --demo DIR
+//! srr explore   <litmus> [--runs N]    # race hunting across seeds
+//! srr analyze   <workload> [--tool TOOL] [--seed N]   # offline sync analysis
+//! srr lint-demo --demo DIR             # validate a serialized demo
 //! ```
 //!
 //! Tools: native, tsan11, rr, tsan11+rr, rnd, queue, pct, delay.
@@ -15,7 +17,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use srr_apps::harness::Tool;
-use srr_apps::{client, game, httpd, litmus, pbzip, ptrmap};
+use srr_apps::{client, game, hazards, httpd, litmus, pbzip, ptrmap};
 use tsan11rec::vos::Vos;
 use tsan11rec::{Config, Demo, Execution, SparseConfig};
 
@@ -58,15 +60,37 @@ fn workloads() -> Vec<Workload> {
             name: "netplay",
             describe: "multiplayer client with the Zandronum-style map-change bug",
             setup: no_setup,
-            program: || {
-                (game::netplay::netplay_client(game::netplay::NetPlayParams::default()))()
-            },
+            program: || (game::netplay::netplay_client(game::netplay::NetPlayParams::default()))(),
         },
         Workload {
             name: "ptrmap",
             describe: "pointer-order workload (the S5.5 limitation)",
             setup: no_setup,
             program: || (ptrmap::ptrmap(ptrmap::PtrMapParams::default()))(),
+        },
+        Workload {
+            name: "ab_ba_locks",
+            describe: "ABBA lock-order inversion that completes (analyze flags it)",
+            setup: no_setup,
+            program: || (hazards::ab_ba_locks(hazards::AbBaParams::default()))(),
+        },
+        Workload {
+            name: "mixed_counter",
+            describe: "one location accessed both atomically and plainly",
+            setup: no_setup,
+            program: || (hazards::mixed_counter())(),
+        },
+        Workload {
+            name: "cond_no_recheck",
+            describe: "condvar wait with `if` instead of `while` around the predicate",
+            setup: no_setup,
+            program: || (hazards::cond_no_recheck())(),
+        },
+        Workload {
+            name: "relaxed_guard",
+            describe: "relaxed flag load deciding a lock acquisition (S6 hazard)",
+            setup: no_setup,
+            program: || (hazards::relaxed_guard())(),
         },
     ];
     for l in litmus::table1_suite() {
@@ -111,7 +135,7 @@ fn parse_sparse(s: &str) -> Result<SparseConfig, String> {
     })
 }
 
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct Args {
     positional: Vec<String>,
     tool: Option<String>,
@@ -134,17 +158,29 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match a.as_str() {
             "--tool" => args.tool = Some(flag("--tool")?),
             "--seed" => {
-                args.seed =
-                    Some(flag("--seed")?.parse().map_err(|_| "bad --seed".to_owned())?);
+                args.seed = Some(
+                    flag("--seed")?
+                        .parse()
+                        .map_err(|_| "bad --seed".to_owned())?,
+                );
             }
             "--out" => args.out = Some(PathBuf::from(flag("--out")?)),
             "--demo" => args.demo = Some(PathBuf::from(flag("--demo")?)),
             "--sparse" => args.sparse = Some(flag("--sparse")?),
             "--runs" => {
-                args.runs =
-                    Some(flag("--runs")?.parse().map_err(|_| "bad --runs".to_owned())?);
+                args.runs = Some(
+                    flag("--runs")?
+                        .parse()
+                        .map_err(|_| "bad --runs".to_owned())?,
+                );
             }
-            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            // Any dash-prefixed token is a (mis)spelled flag, never a
+            // workload name — `-seed` must not silently become a
+            // positional and mask the user's intent.
+            other if other.starts_with('-') => {
+                let valid = "--tool --seed --out --demo --sparse --runs";
+                return Err(format!("unknown flag `{other}` (valid flags: {valid})"));
+            }
             other => args.positional.push(other.to_owned()),
         }
     }
@@ -175,7 +211,10 @@ fn print_report(report: &tsan11rec::ExecReport) {
     }
     println!("critical sections: {}", report.ticks);
     println!("syscalls:     {}", report.syscalls);
-    println!("wall time:    {:.1} ms", report.duration.as_secs_f64() * 1e3);
+    println!(
+        "wall time:    {:.1} ms",
+        report.duration.as_secs_f64() * 1e3
+    );
 }
 
 fn run_command(argv: &[String]) -> Result<(), String> {
@@ -198,30 +237,37 @@ fn run_command(argv: &[String]) -> Result<(), String> {
             let (tool, config) = config_for(&args, Tool::Queue)?;
             println!("running `{}` under {tool}", w.name);
             let setup = w.setup;
-            let report = Execution::new(config).setup(move |vos| setup(vos)).run(w.program);
+            let report = Execution::new(config).setup(setup).run(w.program);
             print_report(&report);
             Ok(())
         }
         "record" => {
             let name = args.positional.first().ok_or("record needs a workload")?;
-            let out = args.demo.clone().or(args.out.clone()).ok_or("record needs --out DIR")?;
+            let out = args
+                .demo
+                .clone()
+                .or(args.out.clone())
+                .ok_or("record needs --out DIR")?;
             let w = find_workload(name)?;
             let (tool, config) = config_for(&args, Tool::QueueRec)?;
             let tool = match tool {
                 Tool::Rnd => Tool::RndRec,
                 Tool::Queue => Tool::QueueRec,
                 t if t.records() => t,
-                t => return Err(format!("{t} cannot record; use rnd, queue, rr or tsan11+rr")),
+                t => {
+                    return Err(format!(
+                        "{t} cannot record; use rnd, queue, rr or tsan11+rr"
+                    ))
+                }
             };
             let mut config = config;
             config.mode = tool.config([1, 1]).mode;
             println!("recording `{}` under {tool}", w.name);
             let setup = w.setup;
-            let (report, demo) = Execution::new(config)
-                .setup(move |vos| setup(vos))
-                .record(w.program);
+            let (report, demo) = Execution::new(config).setup(setup).record(w.program);
             print_report(&report);
-            demo.save_dir(&out).map_err(|e| format!("saving demo: {e}"))?;
+            demo.save_dir(&out)
+                .map_err(|e| format!("saving demo: {e}"))?;
             println!("demo:         {} -> {}", demo.stats(), out.display());
             Ok(())
         }
@@ -241,11 +287,14 @@ fn run_command(argv: &[String]) -> Result<(), String> {
             if let Some(s) = &args.sparse {
                 config = config.with_sparse(parse_sparse(s)?);
             }
-            println!("replaying `{}` ({} demo, {} bytes)", w.name, strategy, demo.size_bytes());
+            println!(
+                "replaying `{}` ({} demo, {} bytes)",
+                w.name,
+                strategy,
+                demo.size_bytes()
+            );
             let setup = w.setup;
-            let report = Execution::new(config)
-                .setup(move |vos| setup(vos))
-                .replay(&demo, w.program);
+            let report = Execution::new(config).setup(setup).replay(&demo, w.program);
             print_report(&report);
             Ok(())
         }
@@ -260,9 +309,7 @@ fn run_command(argv: &[String]) -> Result<(), String> {
             for seed in 0..runs {
                 let config = tool.config([seed, seed.wrapping_mul(0x9E37) + 1]);
                 let setup = w.setup;
-                let report = Execution::new(config)
-                    .setup(move |vos| setup(vos))
-                    .run(w.program);
+                let report = Execution::new(config).setup(setup).run(w.program);
                 if report.races > 0 {
                     racy += 1;
                     first_seed.get_or_insert(seed);
@@ -273,12 +320,65 @@ fn run_command(argv: &[String]) -> Result<(), String> {
                 100.0 * racy as f64 / runs as f64
             );
             if let Some(seed) = first_seed {
-                println!("first racy seed: {seed}  (re-run: srr run {} --tool {} --seed {seed})",
-                    w.name, tool.label());
+                println!(
+                    "first racy seed: {seed}  (re-run: srr run {} --tool {} --seed {seed})",
+                    w.name,
+                    tool.label()
+                );
             }
             Ok(())
         }
+        "analyze" => {
+            let name = args.positional.first().ok_or("analyze needs a workload")?;
+            let w = find_workload(name)?;
+            let (tool, config) = config_for(&args, Tool::Queue)?;
+            if !config.mode.is_controlled() {
+                return Err(format!(
+                    "{tool} is not a controlled mode; analysis needs one of rnd, queue, pct, delay"
+                ));
+            }
+            println!("analyzing `{}` under {tool}", w.name);
+            let setup = w.setup;
+            let report = Execution::new(config.with_sync_trace())
+                .setup(setup)
+                .run(w.program);
+            print_report(&report);
+            println!("--- analysis --");
+            println!("sync events:  {}", report.sync_trace.events.len());
+            if report.analysis.is_empty() {
+                println!("no findings");
+            }
+            for f in &report.analysis {
+                println!("[{}] {}", f.kind.name(), f.message);
+            }
+            Ok(())
+        }
+        "lint-demo" => {
+            let dir = args.demo.clone().ok_or("lint-demo needs --demo DIR")?;
+            let diags =
+                srr_analysis::lint_demo_dir(&dir).map_err(|e| format!("reading demo dir: {e}"))?;
+            if diags.is_empty() {
+                println!("{}: demo is well-formed", dir.display());
+                Ok(())
+            } else {
+                for d in &diags {
+                    eprintln!("{d}");
+                }
+                Err(format!("{} problem(s) in {}", diags.len(), dir.display()))
+            }
+        }
         other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run_command(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("srr: {msg}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -311,6 +411,20 @@ mod tests {
     }
 
     #[test]
+    fn parse_args_rejects_single_dash_flags_with_guidance() {
+        // `-seed` used to fall through to positionals and be (mis)read as
+        // a workload name; it must be rejected as a malformed flag.
+        let err = parse_args(&argv(&["client", "-seed", "7"])).unwrap_err();
+        assert!(err.contains("unknown flag `-seed`"), "{err}");
+        for valid in ["--tool", "--seed", "--out", "--demo", "--sparse", "--runs"] {
+            assert!(err.contains(valid), "`{valid}` missing from: {err}");
+        }
+        assert!(parse_args(&argv(&["-x"])).is_err());
+        // A plain `-` is also not a workload.
+        assert!(parse_args(&argv(&["-"])).is_err());
+    }
+
+    #[test]
     fn tool_and_sparse_parsers() {
         assert!(parse_tool("queue").is_ok());
         assert!(parse_tool("tsan11+rr").is_ok());
@@ -322,8 +436,13 @@ mod tests {
     #[test]
     fn workload_registry_is_complete() {
         let names: Vec<&str> = workloads().iter().map(|w| w.name).collect();
-        for expected in ["client", "httpd", "pbzip", "game", "netplay", "ptrmap", "ms-queue"] {
-            assert!(names.contains(&expected), "{expected} missing from {names:?}");
+        for expected in [
+            "client", "httpd", "pbzip", "game", "netplay", "ptrmap", "ms-queue",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "{expected} missing from {names:?}"
+            );
         }
         assert!(find_workload("client").is_ok());
         assert!(find_workload("nope").is_err());
@@ -334,8 +453,57 @@ mod tests {
         assert!(run_command(&[]).is_err());
         assert!(run_command(&argv(&["frobnicate"])).is_err());
         assert!(run_command(&argv(&["run"])).is_err(), "missing workload");
-        assert!(run_command(&argv(&["record", "client"])).is_err(), "missing --out");
-        assert!(run_command(&argv(&["replay", "client"])).is_err(), "missing --demo");
+        assert!(
+            run_command(&argv(&["record", "client"])).is_err(),
+            "missing --out"
+        );
+        assert!(
+            run_command(&argv(&["replay", "client"])).is_err(),
+            "missing --demo"
+        );
+    }
+
+    #[test]
+    fn analyze_command_runs_and_validates() {
+        run_command(&argv(&["analyze", "ab_ba_locks", "--seed", "7"])).expect("analyze");
+        assert!(
+            run_command(&argv(&["analyze"])).is_err(),
+            "missing workload"
+        );
+        let err = run_command(&argv(&["analyze", "ab_ba_locks", "--tool", "native"])).unwrap_err();
+        assert!(err.contains("controlled"), "{err}");
+    }
+
+    #[test]
+    fn lint_demo_command_accepts_recorded_and_rejects_corrupt() {
+        let dir = std::env::temp_dir().join(format!("srr-lint-test-{}", std::process::id()));
+        run_command(&argv(&[
+            "record",
+            "client",
+            "--tool",
+            "queue",
+            "--seed",
+            "5",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .expect("record");
+        run_command(&argv(&["lint-demo", "--demo", dir.to_str().unwrap()]))
+            .expect("recorded demo lints clean");
+        // Truncate the SYSCALL stream mid-record: the linter must object.
+        let syscall = dir.join("SYSCALL");
+        let text = std::fs::read_to_string(&syscall).expect("recorded syscalls");
+        if let Some(pos) = text.find("\nbuf ") {
+            std::fs::write(&syscall, &text[..pos + 1]).unwrap();
+            let err =
+                run_command(&argv(&["lint-demo", "--demo", dir.to_str().unwrap()])).unwrap_err();
+            assert!(err.contains("problem"), "{err}");
+        }
+        assert!(
+            run_command(&argv(&["lint-demo"])).is_err(),
+            "missing --demo"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -352,19 +520,13 @@ mod tests {
             dir.to_str().unwrap(),
         ]))
         .expect("record");
-        run_command(&argv(&["replay", "barrier", "--demo", dir.to_str().unwrap()]))
-            .expect("replay");
+        run_command(&argv(&[
+            "replay",
+            "barrier",
+            "--demo",
+            dir.to_str().unwrap(),
+        ]))
+        .expect("replay");
         let _ = std::fs::remove_dir_all(&dir);
-    }
-}
-
-fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    match run_command(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("srr: {msg}");
-            ExitCode::FAILURE
-        }
     }
 }

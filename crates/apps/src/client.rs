@@ -117,7 +117,13 @@ mod tests {
     #[test]
     fn client_completes_and_processes_under_all_tools() {
         let params = ClientParams::default();
-        for tool in [Tool::Native, Tool::Tsan11, Tool::Rnd, Tool::Queue, Tool::QueueRec] {
+        for tool in [
+            Tool::Native,
+            Tool::Tsan11,
+            Tool::Rnd,
+            Tool::Queue,
+            Tool::QueueRec,
+        ] {
             let r = run_tool(tool, [4, 8], world(params), client(params));
             assert!(r.report.outcome.is_ok(), "{tool}: {:?}", r.report.outcome);
             assert!(
@@ -132,8 +138,8 @@ mod tests {
         let params = ClientParams::default();
         let rec = run_tool(Tool::QueueRec, [4, 8], world(params), client(params));
         let demo = rec.demo.expect("recorded");
-        let rep = tsan11rec::Execution::new(Tool::QueueRec.config([4, 8]))
-            .replay(&demo, client(params));
+        let rep =
+            tsan11rec::Execution::new(Tool::QueueRec.config([4, 8])).replay(&demo, client(params));
         assert!(rep.outcome.is_ok(), "{:?}", rep.outcome);
         assert_eq!(rep.console, rec.report.console, "faithful replay");
     }

@@ -193,7 +193,13 @@ mod tests {
     use tsan11rec::{Execution, SparseConfig};
 
     fn small() -> GameParams {
-        GameParams { frames: 16, capped: false, frame_work: 20, aux_threads: 1, aux_period_ms: 2 }
+        GameParams {
+            frames: 16,
+            capped: false,
+            frame_work: 20,
+            aux_threads: 1,
+            aux_period_ms: 2,
+        }
     }
 
     #[test]
@@ -228,7 +234,9 @@ mod tests {
     fn games_config_records_and_replays() {
         let params = small();
         let config = || {
-            Tool::QueueRec.config([8, 2]).with_sparse(SparseConfig::games())
+            Tool::QueueRec
+                .config([8, 2])
+                .with_sparse(SparseConfig::games())
         };
         let (rec, demo) = Execution::new(config())
             .setup(world(params))

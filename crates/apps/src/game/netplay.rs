@@ -29,7 +29,11 @@ pub struct NetPlayParams {
 
 impl Default for NetPlayParams {
     fn default() -> Self {
-        NetPlayParams { updates: 40, map_change_every: 8, join_race_pct: 20 }
+        NetPlayParams {
+            updates: 40,
+            map_change_every: 8,
+            join_race_pct: 20,
+        }
     }
 }
 
@@ -52,7 +56,13 @@ impl GameServer {
     /// A fresh server for one client session.
     #[must_use]
     pub fn new(params: NetPlayParams) -> Self {
-        GameServer { params, seq: 0, players: 1, joined: false, next_at: 0 }
+        GameServer {
+            params,
+            seq: 0,
+            players: 1,
+            joined: false,
+            next_at: 0,
+        }
     }
 }
 
@@ -72,7 +82,7 @@ impl Peer for GameServer {
         while self.seq < self.params.updates && self.next_at <= ctx.now() {
             self.seq += 1;
             let seq = self.seq;
-            if seq % self.params.map_change_every == 0 {
+            if seq.rem_euclid(self.params.map_change_every) == 0 {
                 // Map change. THE BUG: the snapshot checksum is computed
                 // *before* processing the pending join...
                 let stale_players = self.players;
@@ -137,9 +147,7 @@ pub fn netplay_client(params: NetPlayParams) -> impl FnOnce() + Send + 'static {
                                     updates_seen += 1;
                                     if checksum(seq, players) != csum {
                                         bug_seen = true;
-                                        tsan11rec::sys::println(&format!(
-                                            "DESYNC BUG seq={seq}"
-                                        ));
+                                        tsan11rec::sys::println(&format!("DESYNC BUG seq={seq}"));
                                     }
                                 }
                             }
@@ -213,20 +221,24 @@ mod tests {
 
     #[test]
     fn parse_update_handles_both_kinds() {
-        assert_eq!(parse_update("STATE seq=3 players=2 csum=99\n"), Some((3, 2, 99)));
-        assert_eq!(parse_update("MAPCHANGE seq=8 players=2 csum=1\n"), Some((8, 2, 1)));
+        assert_eq!(
+            parse_update("STATE seq=3 players=2 csum=99\n"),
+            Some((3, 2, 99))
+        );
+        assert_eq!(
+            parse_update("MAPCHANGE seq=8 players=2 csum=1\n"),
+            Some((8, 2, 1))
+        );
         assert_eq!(parse_update("WELCOME players=1\n"), None);
     }
 
     #[test]
     fn clean_session_has_no_bug() {
-        let params = NetPlayParams { join_race_pct: 0, ..Default::default() };
-        let r = crate::harness::run_tool(
-            Tool::Queue,
-            [1, 2],
-            |_| {},
-            netplay_client(params),
-        );
+        let params = NetPlayParams {
+            join_race_pct: 0,
+            ..Default::default()
+        };
+        let r = crate::harness::run_tool(Tool::Queue, [1, 2], |_| {}, netplay_client(params));
         assert!(r.report.outcome.is_ok(), "{:?}", r.report.outcome);
         let text = r.report.console_text();
         assert!(text.contains("bug=false"), "{text}");
@@ -238,8 +250,11 @@ mod tests {
         // The §5.4 case study: play sessions until the bug appears, then
         // replay the demo — the bug must reappear identically.
         let params = NetPlayParams::default();
-        let config =
-            || Tool::QueueRec.config([7, 9]).with_sparse(SparseConfig::games());
+        let config = || {
+            Tool::QueueRec
+                .config([7, 9])
+                .with_sparse(SparseConfig::games())
+        };
         let (env_seed, demo, rec_console) = record_until_bug(params, config, 64);
         // Replay into a FRESH world with a different env seed: the bug
         // must come from the demo, not the live server.

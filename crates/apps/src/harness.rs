@@ -66,7 +66,10 @@ impl Tool {
     /// Whether this configuration records a demo.
     #[must_use]
     pub fn records(self) -> bool {
-        matches!(self, Tool::Rr | Tool::Tsan11Rr | Tool::RndRec | Tool::QueueRec)
+        matches!(
+            self,
+            Tool::Rr | Tool::Tsan11Rr | Tool::RndRec | Tool::QueueRec
+        )
     }
 
     /// The tool configuration for the given seeds.
@@ -91,8 +94,9 @@ impl Tool {
             Tool::Queue | Tool::QueueRec => {
                 Config::new(Mode::Tsan11Rec(Strategy::Queue)).with_seeds(seeds)
             }
-            Tool::Pct => Config::new(Mode::Tsan11Rec(Strategy::Pct { switch_denom: 8 }))
-                .with_seeds(seeds),
+            Tool::Pct => {
+                Config::new(Mode::Tsan11Rec(Strategy::Pct { switch_denom: 8 })).with_seeds(seeds)
+            }
             Tool::Delay => Config::new(Mode::Tsan11Rec(Strategy::Delay {
                 budget: 3,
                 denom: 16,
@@ -130,9 +134,15 @@ where
     let exec = Execution::new(tool.config(seeds)).setup(setup);
     if tool.records() {
         let (report, demo) = exec.record(program);
-        RunResult { report, demo: Some(demo) }
+        RunResult {
+            report,
+            demo: Some(demo),
+        }
     } else {
-        RunResult { report: exec.run(program), demo: None }
+        RunResult {
+            report: exec.run(program),
+            demo: None,
+        }
     }
 }
 
@@ -245,9 +255,14 @@ mod tests {
 
     #[test]
     fn run_tool_records_when_asked() {
-        let r = run_tool(Tool::QueueRec, [1, 2], |_| {}, || {
-            tsan11rec::sys::println("x");
-        });
+        let r = run_tool(
+            Tool::QueueRec,
+            [1, 2],
+            |_| {},
+            || {
+                tsan11rec::sys::println("x");
+            },
+        );
         assert!(r.demo.is_some());
         let r = run_tool(Tool::Queue, [1, 2], |_| {}, || {});
         assert!(r.demo.is_none());

@@ -1,0 +1,241 @@
+//! Hazard workloads: small programs that each exhibit one of the
+//! synchronisation defects the `srr-analysis` passes are built to find.
+//!
+//! * [`ab_ba_locks`] — the classic ABBA lock-order inversion. The
+//!   serialized variant always *completes* (the threads never overlap),
+//!   which is exactly the case predictive deadlock detection exists for:
+//!   the lock-order cycle is in the trace even though this run got lucky.
+//!   The forced variant rendezvouses both threads between their first and
+//!   second acquisitions, so the run genuinely deadlocks and the runtime's
+//!   §3.2 deadlock preservation reports the same cycle.
+//! * [`mixed_counter`] — one logical location touched through both an
+//!   [`Atomic`] and a plain [`Shared`] access.
+//! * [`cond_no_recheck`] — `if`-instead-of-`while` around a condition
+//!   wait, the textbook lost-wakeup/spurious-wake bug.
+//! * [`relaxed_guard`] — a relaxed load of another thread's store gating a
+//!   lock acquisition (the paper's §6 visible-operation hazard).
+
+use std::sync::Arc;
+
+use tsan11rec::{thread, Atomic, Condvar, MemOrder, Mutex, Shared};
+
+/// Parameters for the ABBA workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AbBaParams {
+    /// When set, the two threads rendezvous while each holds its first
+    /// lock, guaranteeing the deadlock actually fires.
+    pub force_deadlock: bool,
+}
+
+/// Two mutexes, two threads, opposite acquisition orders.
+pub fn ab_ba_locks(params: AbBaParams) -> impl FnOnce() + Send + 'static {
+    move || {
+        let lock_a = Arc::new(Mutex::labeled(0u64, "lock-a"));
+        let lock_b = Arc::new(Mutex::labeled(0u64, "lock-b"));
+        let a_held = Arc::new(Atomic::new(0u32));
+        let b_held = Arc::new(Atomic::new(0u32));
+
+        let (a2, b2) = (Arc::clone(&lock_a), Arc::clone(&lock_b));
+        let (ah2, bh2) = (Arc::clone(&a_held), Arc::clone(&b_held));
+        let force = params.force_deadlock;
+        let t = thread::spawn(move || {
+            let ga = a2.lock();
+            if force {
+                ah2.store(1, MemOrder::Release);
+                while bh2.load(MemOrder::Acquire) == 0 {}
+            }
+            let gb = b2.lock();
+            let _ = (*ga, *gb);
+        });
+
+        if params.force_deadlock {
+            let gb = lock_b.lock();
+            b_held.store(1, MemOrder::Release);
+            while a_held.load(MemOrder::Acquire) == 0 {}
+            let ga = lock_a.lock();
+            let _ = (*ga, *gb);
+            drop(ga);
+            drop(gb);
+        } else {
+            // Serialize: the inverse-order acquisitions never overlap, so
+            // the run completes — only the trace betrays the hazard.
+            t.join();
+            let gb = lock_b.lock();
+            let ga = lock_a.lock();
+            let _ = (*ga, *gb);
+            drop(ga);
+            drop(gb);
+            tsan11rec::sys::println("ab_ba done");
+            return;
+        }
+        t.join();
+        tsan11rec::sys::println("ab_ba done");
+    }
+}
+
+/// One location (`counter`) written through an atomic by one thread and
+/// read as a plain variable by another.
+pub fn mixed_counter() -> impl FnOnce() + Send + 'static {
+    move || {
+        let atomic = Arc::new(Atomic::labeled(0u64, "counter"));
+        let plain = Arc::new(Shared::new("counter", 0u64));
+        let (a2, p2) = (Arc::clone(&atomic), Arc::clone(&plain));
+        let t = thread::spawn(move || {
+            a2.store(1, MemOrder::Release);
+            let _ = p2.read();
+        });
+        atomic.store(2, MemOrder::Release);
+        t.join();
+        tsan11rec::sys::println("mixed done");
+    }
+}
+
+/// A condition wait whose predicate is checked with `if`, not `while`.
+pub fn cond_no_recheck() -> impl FnOnce() + Send + 'static {
+    move || {
+        let mutex = Arc::new(Mutex::labeled(0u64, "queue-lock"));
+        let cond = Arc::new(Condvar::new());
+        let waiting = Arc::new(Atomic::new(0u32));
+
+        let (m2, c2, w2) = (Arc::clone(&mutex), Arc::clone(&cond), Arc::clone(&waiting));
+        let t = thread::spawn(move || {
+            let g = m2.lock();
+            w2.store(1, MemOrder::Release);
+            // BUG: no `while !predicate` loop — a spurious or stolen
+            // wakeup proceeds on an unchecked predicate.
+            let g = c2.wait(g);
+            drop(g);
+        });
+
+        while waiting.load(MemOrder::Acquire) == 0 {}
+        let mut g = mutex.lock();
+        *g = 1;
+        drop(g);
+        cond.notify_one();
+        t.join();
+        tsan11rec::sys::println("cond done");
+    }
+}
+
+/// A relaxed load of a flag published by another thread deciding a lock
+/// acquisition (§6: relaxed accesses as visible operations).
+pub fn relaxed_guard() -> impl FnOnce() + Send + 'static {
+    move || {
+        let flag = Arc::new(Atomic::labeled(0u32, "ready-flag"));
+        let mutex = Arc::new(Mutex::labeled(0u64, "data-lock"));
+        let f2 = Arc::clone(&flag);
+        let t = thread::spawn(move || {
+            f2.store(1, MemOrder::Relaxed);
+        });
+        while flag.load(MemOrder::Relaxed) == 0 {}
+        let g = mutex.lock();
+        let _ = *g;
+        drop(g);
+        t.join();
+        tsan11rec::sys::println("relaxed done");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Tool;
+    use tsan11rec::{Execution, FindingKind, Outcome};
+
+    fn analyzed(program: impl FnOnce() + Send + 'static) -> tsan11rec::ExecReport {
+        Execution::new(Tool::Queue.config([7, 11]).with_sync_trace()).run(program)
+    }
+
+    #[test]
+    fn serialized_abba_completes_but_is_flagged() {
+        let report = analyzed(ab_ba_locks(AbBaParams::default()));
+        assert!(report.outcome.is_ok(), "{:?}", report.outcome);
+        let dl: Vec<_> = report
+            .analysis
+            .iter()
+            .filter(|f| f.kind == FindingKind::PotentialDeadlock)
+            .collect();
+        assert!(
+            !dl.is_empty(),
+            "lock-order cycle must be predicted: {:?}",
+            report.analysis
+        );
+        assert!(
+            dl[0].labels.iter().any(|l| l.contains("lock-a")),
+            "{:?}",
+            dl[0]
+        );
+        assert!(
+            dl[0].labels.iter().any(|l| l.contains("lock-b")),
+            "{:?}",
+            dl[0]
+        );
+    }
+
+    #[test]
+    fn forced_abba_deadlocks_with_same_cycle() {
+        let report = analyzed(ab_ba_locks(AbBaParams {
+            force_deadlock: true,
+        }));
+        assert_eq!(report.outcome, Outcome::Deadlock);
+        let dl: Vec<_> = report
+            .analysis
+            .iter()
+            .filter(|f| f.kind == FindingKind::PotentialDeadlock)
+            .collect();
+        assert!(
+            !dl.is_empty(),
+            "deadlocked run still yields the cycle: {:?}",
+            report.analysis
+        );
+    }
+
+    #[test]
+    fn mixed_counter_is_flagged() {
+        let report = analyzed(mixed_counter());
+        assert!(report.outcome.is_ok(), "{:?}", report.outcome);
+        assert!(
+            report
+                .analysis
+                .iter()
+                .any(|f| f.kind == FindingKind::MixedAtomicPlain),
+            "{:?}",
+            report.analysis
+        );
+    }
+
+    #[test]
+    fn cond_no_recheck_is_flagged() {
+        let report = analyzed(cond_no_recheck());
+        assert!(report.outcome.is_ok(), "{:?}", report.outcome);
+        assert!(
+            report
+                .analysis
+                .iter()
+                .any(|f| f.kind == FindingKind::CondvarNoRecheck),
+            "{:?}",
+            report.analysis
+        );
+    }
+
+    #[test]
+    fn relaxed_guard_is_flagged() {
+        let report = analyzed(relaxed_guard());
+        assert!(report.outcome.is_ok(), "{:?}", report.outcome);
+        assert!(
+            report
+                .analysis
+                .iter()
+                .any(|f| f.kind == FindingKind::RelaxedLoadDecision),
+            "{:?}",
+            report.analysis
+        );
+    }
+
+    #[test]
+    fn analysis_is_empty_without_sync_trace() {
+        let report = Execution::new(Tool::Queue.config([7, 11])).run(mixed_counter());
+        assert!(report.analysis.is_empty());
+        assert!(report.sync_trace.events.is_empty());
+    }
+}

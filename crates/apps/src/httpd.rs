@@ -63,7 +63,11 @@ struct AbClient {
 
 impl AbClient {
     fn new(quota: u32) -> Self {
-        AbClient { remaining: quota, awaiting_response: false, served: 0 }
+        AbClient {
+            remaining: quota,
+            awaiting_response: false,
+            served: 0,
+        }
     }
 
     fn maybe_send_next(&mut self, ctx: &mut PeerCtx<'_>) {
@@ -169,8 +173,7 @@ pub fn server(params: HttpdParams) -> impl FnOnce() + Send + 'static {
                                                 );
                                             }
                                             let body = vec![b'x'; params.response_bytes];
-                                            let mut resp =
-                                                b"HTTP/1.1 200 OK\ncontent: ".to_vec();
+                                            let mut resp = b"HTTP/1.1 200 OK\ncontent: ".to_vec();
                                             resp.extend_from_slice(&body);
                                             resp.push(b'\n');
                                             let _ = tsan11rec::sys::send(conn, &resp);
@@ -190,9 +193,7 @@ pub fn server(params: HttpdParams) -> impl FnOnce() + Send + 'static {
                                     // Idle connection: back off briefly
                                     // instead of burning the (possibly
                                     // single) core.
-                                    std::thread::sleep(
-                                        std::time::Duration::from_micros(200),
-                                    );
+                                    std::thread::sleep(std::time::Duration::from_micros(200));
                                 }
                             }
                         }
@@ -243,12 +244,24 @@ mod tests {
     use crate::harness::{run_tool, Tool};
 
     fn small() -> HttpdParams {
-        HttpdParams { workers: 3, clients: 4, total_queries: 24, response_bytes: 32, service_latency_us: 0 }
+        HttpdParams {
+            workers: 3,
+            clients: 4,
+            total_queries: 24,
+            response_bytes: 32,
+            service_latency_us: 0,
+        }
     }
 
     #[test]
     fn serves_all_queries_under_each_tool() {
-        for tool in [Tool::Native, Tool::Tsan11, Tool::Queue, Tool::QueueRec, Tool::Rr] {
+        for tool in [
+            Tool::Native,
+            Tool::Tsan11,
+            Tool::Queue,
+            Tool::QueueRec,
+            Tool::Rr,
+        ] {
             let params = small();
             let r = run_tool(tool, [9, 12], world(params), server(params));
             assert!(r.report.outcome.is_ok(), "{tool}: {:?}", r.report.outcome);
@@ -276,7 +289,12 @@ mod tests {
         };
         let mut racy = false;
         for seed in 0..12u64 {
-            let r = run_tool(Tool::Queue, [seed, seed + 99], world(params), server(params));
+            let r = run_tool(
+                Tool::Queue,
+                [seed, seed + 99],
+                world(params),
+                server(params),
+            );
             assert!(r.report.outcome.is_ok(), "{:?}", r.report.outcome);
             if r.report.races > 0 {
                 racy = true;
@@ -294,22 +312,38 @@ mod tests {
         let demo = rec.demo.expect("recorded");
         assert!(demo.syscalls.iter().any(|s| s.kind == "accept"));
         // Replay into an empty world (no ab swarm!).
-        let rep = tsan11rec::Execution::new(Tool::QueueRec.config([5, 6]))
-            .replay(&demo, server(params));
+        let rep =
+            tsan11rec::Execution::new(Tool::QueueRec.config([5, 6])).replay(&demo, server(params));
         assert!(rep.outcome.is_ok(), "{:?}", rep.outcome);
         assert_eq!(rep.console, rec.report.console);
     }
 
     #[test]
     fn demo_size_grows_with_query_count() {
-        let small_params = HttpdParams { total_queries: 12, ..small() };
-        let big_params = HttpdParams { total_queries: 48, ..small() };
-        let small_demo = run_tool(Tool::QueueRec, [7, 8], world(small_params), server(small_params))
-            .demo
-            .expect("recorded");
-        let big_demo = run_tool(Tool::QueueRec, [7, 8], world(big_params), server(big_params))
-            .demo
-            .expect("recorded");
+        let small_params = HttpdParams {
+            total_queries: 12,
+            ..small()
+        };
+        let big_params = HttpdParams {
+            total_queries: 48,
+            ..small()
+        };
+        let small_demo = run_tool(
+            Tool::QueueRec,
+            [7, 8],
+            world(small_params),
+            server(small_params),
+        )
+        .demo
+        .expect("recorded");
+        let big_demo = run_tool(
+            Tool::QueueRec,
+            [7, 8],
+            world(big_params),
+            server(big_params),
+        )
+        .demo
+        .expect("recorded");
         assert!(
             big_demo.size_bytes() > small_demo.size_bytes(),
             "per-request demo growth (§5.2): {} vs {}",

@@ -24,6 +24,7 @@
 pub mod client;
 pub mod game;
 pub mod harness;
+pub mod hazards;
 pub mod httpd;
 pub mod litmus;
 pub mod parsec;

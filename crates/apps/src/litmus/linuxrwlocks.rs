@@ -17,7 +17,9 @@ struct RwLock {
 
 impl RwLock {
     fn new() -> Self {
-        RwLock { counter: Atomic::new(WRITE_BIAS) }
+        RwLock {
+            counter: Atomic::new(WRITE_BIAS),
+        }
     }
 
     fn read_trylock(&self) -> bool {

@@ -45,13 +45,34 @@ impl std::fmt::Debug for Litmus {
 #[must_use]
 pub fn table1_suite() -> Vec<Litmus> {
     vec![
-        Litmus { name: "barrier", run: barrier },
-        Litmus { name: "chase-lev-deque", run: chase_lev_deque },
-        Litmus { name: "dekker-fences", run: dekker_fences },
-        Litmus { name: "linuxrwlocks", run: linuxrwlocks },
-        Litmus { name: "mcs-lock", run: mcs_lock },
-        Litmus { name: "mpmc-queue", run: mpmc_queue },
-        Litmus { name: "ms-queue", run: ms_queue },
+        Litmus {
+            name: "barrier",
+            run: barrier,
+        },
+        Litmus {
+            name: "chase-lev-deque",
+            run: chase_lev_deque,
+        },
+        Litmus {
+            name: "dekker-fences",
+            run: dekker_fences,
+        },
+        Litmus {
+            name: "linuxrwlocks",
+            run: linuxrwlocks,
+        },
+        Litmus {
+            name: "mcs-lock",
+            run: mcs_lock,
+        },
+        Litmus {
+            name: "mpmc-queue",
+            run: mpmc_queue,
+        },
+        Litmus {
+            name: "ms-queue",
+            run: ms_queue,
+        },
     ]
 }
 
@@ -103,7 +124,11 @@ mod tests {
                     break;
                 }
             }
-            assert!(found, "{}: no race found in 150 random-schedule seeds", litmus.name);
+            assert!(
+                found,
+                "{}: no race found in 150 random-schedule seeds",
+                litmus.name
+            );
         }
     }
 
@@ -132,7 +157,10 @@ mod tests {
             let config = strategy_tool.config([11, 13]);
             let rep = tsan11rec::Execution::new(config).replay(&demo, litmus.run);
             assert!(rep.outcome.is_ok(), "{strategy_tool}: {:?}", rep.outcome);
-            assert_eq!(rep.races, rec.report.races, "{strategy_tool}: race count reproduces");
+            assert_eq!(
+                rep.races, rec.report.races,
+                "{strategy_tool}: race count reproduces"
+            );
         }
     }
 }

@@ -27,15 +27,14 @@ struct MsQueue {
 impl MsQueue {
     fn new() -> Self {
         let next = (0..ARENA).map(|_| Atomic::new(0)).collect();
-        let q = MsQueue {
+        MsQueue {
             next,
             payload: SharedArray::new("msq", ARENA, 0),
             // Node 1 is the initial dummy.
             head: Atomic::new(1),
             tail: Atomic::new(1),
             alloc: Atomic::new(1),
-        };
-        q
+        }
     }
 
     fn alloc_node(&self) -> Option<u64> {
@@ -44,7 +43,9 @@ impl MsQueue {
     }
 
     fn enqueue(&self, value: u64) {
-        let Some(node) = self.alloc_node() else { return };
+        let Some(node) = self.alloc_node() else {
+            return;
+        };
         self.payload.write((node - 1) as usize, value);
         self.next[(node - 1) as usize].store(0, MemOrder::Relaxed);
         let mut spins = 0u32;
@@ -67,9 +68,9 @@ impl MsQueue {
                     return;
                 }
             } else {
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, nxt, MemOrder::Relaxed, MemOrder::Relaxed);
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, nxt, MemOrder::Relaxed, MemOrder::Relaxed);
             }
             spins += 1;
             if spins > 64 {
@@ -88,9 +89,9 @@ impl MsQueue {
                 if nxt == 0 {
                     return None;
                 }
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, nxt, MemOrder::Relaxed, MemOrder::Relaxed);
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, nxt, MemOrder::Relaxed, MemOrder::Relaxed);
             } else if nxt != 0 {
                 // Racy payload read: the relaxed link CAS gave no edge.
                 let value = self.payload.read((nxt - 1) as usize);

@@ -16,7 +16,10 @@ struct Channel {
 
 impl Channel {
     fn new() -> Arc<Self> {
-        Arc::new(Channel { queue: Mutex::new(Vec::new()), cv: Condvar::new() })
+        Arc::new(Channel {
+            queue: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+        })
     }
 
     /// Sends an item (`None` = end-of-stream).

@@ -45,7 +45,10 @@ pub struct ParsecParams {
 
 impl Default for ParsecParams {
     fn default() -> Self {
-        ParsecParams { threads: 4, size: 64 }
+        ParsecParams {
+            threads: 4,
+            size: 64,
+        }
     }
 }
 
@@ -81,11 +84,26 @@ impl std::fmt::Debug for Kernel {
 #[must_use]
 pub fn table3_suite() -> Vec<Kernel> {
     vec![
-        Kernel { name: "blackscholes", run: blackscholes },
-        Kernel { name: "fluidanimate", run: fluidanimate },
-        Kernel { name: "streamcluster", run: streamcluster },
-        Kernel { name: "bodytrack", run: bodytrack },
-        Kernel { name: "ferret", run: ferret },
+        Kernel {
+            name: "blackscholes",
+            run: blackscholes,
+        },
+        Kernel {
+            name: "fluidanimate",
+            run: fluidanimate,
+        },
+        Kernel {
+            name: "streamcluster",
+            run: streamcluster,
+        },
+        Kernel {
+            name: "bodytrack",
+            run: bodytrack,
+        },
+        Kernel {
+            name: "ferret",
+            run: ferret,
+        },
     ]
 }
 
@@ -99,13 +117,22 @@ mod tests {
         let names: Vec<_> = table3_suite().iter().map(|k| k.name).collect();
         assert_eq!(
             names,
-            vec!["blackscholes", "fluidanimate", "streamcluster", "bodytrack", "ferret"]
+            vec![
+                "blackscholes",
+                "fluidanimate",
+                "streamcluster",
+                "bodytrack",
+                "ferret"
+            ]
         );
     }
 
     #[test]
     fn kernels_complete_under_native_and_queue() {
-        let params = ParsecParams { threads: 3, size: 12 };
+        let params = ParsecParams {
+            threads: 3,
+            size: 12,
+        };
         for kernel in table3_suite() {
             for tool in [Tool::Native, Tool::Queue] {
                 let r = run_tool(tool, [2, 4], |_| {}, move || (kernel.run)(params));
@@ -121,7 +148,10 @@ mod tests {
 
     #[test]
     fn kernels_complete_under_rnd_and_rr() {
-        let params = ParsecParams { threads: 2, size: 8 };
+        let params = ParsecParams {
+            threads: 2,
+            size: 8,
+        };
         for kernel in table3_suite() {
             for tool in [Tool::Rnd, Tool::Rr] {
                 let r = run_tool(tool, [6, 10], |_| {}, move || (kernel.run)(params));
@@ -138,25 +168,30 @@ mod tests {
     #[test]
     fn kernel_barrier_synchronizes() {
         // The correct barrier must produce race-free phase handoffs.
-        let r = run_tool(Tool::Queue, [1, 2], |_| {}, || {
-            let b = shared_barrier(3);
-            let data = Arc::new(tsan11rec::Shared::new("phase_data", 0u64));
-            let handles: Vec<_> = (0..2)
-                .map(|_| {
-                    let b = Arc::clone(&b);
-                    let data = Arc::clone(&data);
-                    tsan11rec::thread::spawn(move || {
-                        b.wait();
-                        let _ = data.read();
+        let r = run_tool(
+            Tool::Queue,
+            [1, 2],
+            |_| {},
+            || {
+                let b = shared_barrier(3);
+                let data = Arc::new(tsan11rec::Shared::new("phase_data", 0u64));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let b = Arc::clone(&b);
+                        let data = Arc::clone(&data);
+                        tsan11rec::thread::spawn(move || {
+                            b.wait();
+                            let _ = data.read();
+                        })
                     })
-                })
-                .collect();
-            data.write(42); // before the barrier: ordered
-            b.wait();
-            for h in handles {
-                h.join();
-            }
-        });
+                    .collect();
+                data.write(42); // before the barrier: ordered
+                b.wait();
+                for h in handles {
+                    h.join();
+                }
+            },
+        );
         assert!(r.report.outcome.is_ok(), "{:?}", r.report.outcome);
         assert_eq!(r.report.races, 0, "correct barrier ⇒ no races");
     }

@@ -27,7 +27,11 @@ pub struct PbzipParams {
 
 impl Default for PbzipParams {
     fn default() -> Self {
-        PbzipParams { threads: 4, blocks: 8, block_size: 4096 }
+        PbzipParams {
+            threads: 4,
+            blocks: 8,
+            block_size: 4096,
+        }
     }
 }
 
@@ -120,7 +124,7 @@ pub fn decompress_block(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(orig_len);
     for pair in rle.chunks(2) {
         let (b, count) = (pair[0], pair[1] as usize);
-        out.extend(std::iter::repeat(b).take(count));
+        out.resize(out.len() + count, b);
     }
     assert_eq!(out.len(), orig_len, "length mismatch after decompression");
     out
@@ -263,7 +267,11 @@ mod tests {
 
     #[test]
     fn pbzip_completes_under_tools() {
-        let params = PbzipParams { threads: 3, blocks: 4, block_size: 512 };
+        let params = PbzipParams {
+            threads: 3,
+            blocks: 4,
+            block_size: 512,
+        };
         for tool in [Tool::Native, Tool::Queue, Tool::Rr] {
             let r = run_tool(tool, [3, 9], world(params), pbzip(params));
             assert!(r.report.outcome.is_ok(), "{tool}: {:?}", r.report.outcome);
@@ -280,7 +288,11 @@ mod tests {
         // The in-order writer must make output deterministic regardless
         // of scheduling; compare consoles (which include the compressed
         // byte count).
-        let params = PbzipParams { threads: 3, blocks: 4, block_size: 512 };
+        let params = PbzipParams {
+            threads: 3,
+            blocks: 4,
+            block_size: 512,
+        };
         let a = run_tool(Tool::Native, [1, 2], world(params), pbzip(params));
         let b = run_tool(Tool::Rnd, [5, 11], world(params), pbzip(params));
         assert_eq!(a.report.console, b.report.console);

@@ -119,7 +119,11 @@ mod tests {
         let rep = Execution::new(rr_config(RrOptions::default()))
             .with_vos(aslr_world(999))
             .replay(&demo, ptrmap(params));
-        assert!(rep.outcome.is_ok(), "rr handles layout nondeterminism: {:?}", rep.outcome);
+        assert!(
+            rep.outcome.is_ok(),
+            "rr handles layout nondeterminism: {:?}",
+            rep.outcome
+        );
         assert_eq!(rep.console, rec.console);
     }
 

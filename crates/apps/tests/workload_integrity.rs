@@ -10,7 +10,11 @@ use tsan11rec::Execution;
 fn pbzip_compression_is_schedule_independent() {
     // The compressed byte count printed at exit is a function of the
     // input alone: any schedule (and any tool) must agree.
-    let params = PbzipParams { threads: 4, blocks: 6, block_size: 1024 };
+    let params = PbzipParams {
+        threads: 4,
+        blocks: 6,
+        block_size: 1024,
+    };
     let mut consoles = Vec::new();
     for (tool, seed) in [
         (Tool::Native, 1u64),
@@ -33,7 +37,11 @@ fn pbzip_compression_is_schedule_independent() {
 fn pbzip_blocks_roundtrip_through_the_real_codec() {
     // The same codec the workload uses must be reversible on its own
     // synthetic input (the workload's world generator).
-    let params = PbzipParams { threads: 1, blocks: 2, block_size: 2048 };
+    let params = PbzipParams {
+        threads: 1,
+        blocks: 2,
+        block_size: 2048,
+    };
     // Regenerate the world's input deterministically.
     let vos = tsan11rec::vos::Vos::new(tsan11rec::vos::VosConfig::deterministic(1));
     (pbzip_world(params))(&vos);
@@ -50,7 +58,13 @@ fn pbzip_blocks_roundtrip_through_the_real_codec() {
 fn game_records_and_replays_under_random_strategy_too() {
     // §5.4 emphasises queue for playability, but the random strategy must
     // also record/replay correctly (it is just slow for games).
-    let params = game::GameParams { frames: 12, capped: false, frame_work: 15, aux_threads: 1, aux_period_ms: 2 };
+    let params = game::GameParams {
+        frames: 12,
+        capped: false,
+        frame_work: 15,
+        aux_threads: 1,
+        aux_period_ms: 2,
+    };
     let config = || {
         Tool::RndRec
             .config([31, 64])
@@ -96,15 +110,23 @@ fn httpd_serves_exactly_once_per_query_under_contention() {
 
 #[test]
 fn parsec_kernels_record_and_replay() {
-    let params = parsec::ParsecParams { threads: 2, size: 6 };
+    let params = parsec::ParsecParams {
+        threads: 2,
+        size: 6,
+    };
     for kernel in parsec::table3_suite() {
         let run = kernel.run;
-        let (rec, demo) = Execution::new(Tool::QueueRec.config([13, 17]))
-            .record(move || run(params));
+        let (rec, demo) =
+            Execution::new(Tool::QueueRec.config([13, 17])).record(move || run(params));
         assert!(rec.outcome.is_ok(), "{}: {:?}", kernel.name, rec.outcome);
-        let rep = Execution::new(Tool::QueueRec.config([13, 17]))
-            .replay(&demo, move || run(params));
-        assert!(rep.outcome.is_ok(), "{} replay: {:?}", kernel.name, rep.outcome);
+        let rep =
+            Execution::new(Tool::QueueRec.config([13, 17])).replay(&demo, move || run(params));
+        assert!(
+            rep.outcome.is_ok(),
+            "{} replay: {:?}",
+            kernel.name,
+            rep.outcome
+        );
         assert_eq!(rep.races, rec.races, "{}", kernel.name);
     }
 }
@@ -114,8 +136,14 @@ fn netplay_bug_rate_tracks_probability() {
     // With join_race_pct = 0 the bug never appears; at 100 it appears on
     // the first map change of every session.
     use srr_apps::game::netplay::{netplay_client, NetPlayParams};
-    let clean = NetPlayParams { join_race_pct: 0, ..Default::default() };
-    let hot = NetPlayParams { join_race_pct: 100, ..Default::default() };
+    let clean = NetPlayParams {
+        join_race_pct: 0,
+        ..Default::default()
+    };
+    let hot = NetPlayParams {
+        join_race_pct: 100,
+        ..Default::default()
+    };
     for seed in 0..3u64 {
         let r = run_tool(Tool::Queue, [seed, seed + 5], |_| {}, netplay_client(clean));
         assert!(!r.report.console_text().contains("DESYNC BUG"));

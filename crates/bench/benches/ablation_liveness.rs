@@ -19,7 +19,7 @@ fn program() -> impl FnOnce() + Send + 'static {
         let hog = tsan11rec::thread::spawn(|| {
             for _ in 0..6 {
                 std::thread::sleep(Duration::from_millis(10)); // invisible
-                // One visible op so the hog can be chosen again.
+                                                               // One visible op so the hog can be chosen again.
                 std::hint::black_box(tsan11rec::sys::clock_gettime().ok());
             }
         });

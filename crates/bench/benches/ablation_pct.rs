@@ -14,8 +14,10 @@ fn main() {
     banner(&format!(
         "Ablation A4: race-finding strategies (S7 future work) — rate over {runs} runs"
     ));
-    let table =
-        TablePrinter::new(&["test", "rnd rate", "pct rate", "delay rate"], &[16, 10, 10, 11]);
+    let table = TablePrinter::new(
+        &["test", "rnd rate", "pct rate", "delay rate"],
+        &[16, 10, 10, 11],
+    );
     for litmus in table1_suite() {
         let rate = |tool: Tool| -> f64 {
             let mut racy = 0u32;

@@ -16,12 +16,11 @@ use tsan11rec::Demo;
 /// Size of the demo with RLE replaced by naive encodings.
 fn naive_size(demo: &Demo) -> usize {
     let mut total = demo.to_string_map().len(); // file-count overhead parity
-    // HEADER unchanged.
+                                                // HEADER unchanged.
     total += demo.to_string_map()["HEADER"].len();
     // QUEUE: one decimal literal per tick value.
-    let naive_u64s = |vals: &[u64]| -> usize {
-        vals.iter().map(|v| v.to_string().len() + 1).sum::<usize>()
-    };
+    let naive_u64s =
+        |vals: &[u64]| -> usize { vals.iter().map(|v| v.to_string().len() + 1).sum::<usize>() };
     total += naive_u64s(&demo.queue.first_tick) + naive_u64s(&demo.queue.next_ticks) + 12;
     // SIGNAL/ASYNC unchanged (already minimal).
     total += demo.to_string_map()["SIGNAL"].len() + demo.to_string_map()["ASYNC"].len();

@@ -22,7 +22,13 @@ fn outcome_name(o: &Outcome) -> String {
 fn main() {
     banner("Ablation A2: sparse configuration sweep");
     let table = TablePrinter::new(
-        &["workload", "config", "recorded kinds", "demo bytes", "replay (fresh world)"],
+        &[
+            "workload",
+            "config",
+            "recorded kinds",
+            "demo bytes",
+            "replay (fresh world)",
+        ],
         &[10, 16, 14, 12, 26],
     );
 
@@ -33,7 +39,11 @@ fn main() {
         ("paper default", SparseConfig::paper_default()),
         ("comprehensive", SparseConfig::comprehensive()),
     ] {
-        let config = || Tool::QueueRec.config(seeds_for(4)).with_sparse(sparse.clone());
+        let config = || {
+            Tool::QueueRec
+                .config(seeds_for(4))
+                .with_sparse(sparse.clone())
+        };
         let (rec, demo) = Execution::new(config())
             .setup(client_world(params))
             .record(client(params));
@@ -56,12 +66,22 @@ fn main() {
     }
 
     // The game: comprehensive recording hits the opaque GPU.
-    let gp = GameParams { frames: 24, capped: false, frame_work: 40, aux_threads: 1, aux_period_ms: 2 };
+    let gp = GameParams {
+        frames: 24,
+        capped: false,
+        frame_work: 40,
+        aux_threads: 1,
+        aux_period_ms: 2,
+    };
     for (name, sparse) in [
         ("games (no ioctl)", SparseConfig::games()),
         ("paper default", SparseConfig::paper_default()),
     ] {
-        let config = || Tool::QueueRec.config(seeds_for(4)).with_sparse(sparse.clone());
+        let config = || {
+            Tool::QueueRec
+                .config(seeds_for(4))
+                .with_sparse(sparse.clone())
+        };
         let (rec, demo) = Execution::new(config())
             .setup(game_world(gp))
             .record(game(gp));
@@ -70,7 +90,11 @@ fn main() {
                 .setup(|vos: &tsan11rec::vos::Vos| vos.install_gpu())
                 .replay(&demo, game(gp));
             let faithful = rep.outcome.is_ok() && rep.console == rec.console;
-            if faithful { "replays faithfully".to_owned() } else { outcome_name(&rep.outcome) }
+            if faithful {
+                "replays faithfully".to_owned()
+            } else {
+                outcome_name(&rep.outcome)
+            }
         } else {
             format!("RECORDING ABORTS: {}", outcome_name(&rec.outcome))
         };

@@ -44,8 +44,7 @@ fn program(threads: usize, phases: usize, stretch: Duration) -> impl FnOnce() + 
 }
 
 fn measure(tool: Tool, threads: usize, phases: usize, stretch: Duration) -> Duration {
-    let report = Execution::new(tool.config(seeds_for(2)))
-        .run(program(threads, phases, stretch));
+    let report = Execution::new(tool.config(seeds_for(2))).run(program(threads, phases, stretch));
     assert!(report.outcome.is_ok(), "{tool}: {:?}", report.outcome);
     report.duration
 }
@@ -76,6 +75,8 @@ fn main() {
         "serial floor: {:.0} ms — the rr-style baseline should sit near it,",
         serial.as_secs_f64() * 1e3
     );
-    println!("queue/rnd near the parallel floor of {:.0} ms (one thread's stretches).",
-        (stretch * phases as u32).as_secs_f64() * 1e3);
+    println!(
+        "queue/rnd near the parallel floor of {:.0} ms (one thread's stretches).",
+        (stretch * phases as u32).as_secs_f64() * 1e3
+    );
 }

@@ -52,10 +52,18 @@ fn main() {
 
     banner("S5.4 part 2: the map-change network bug — record until it bites, then replay");
     let np = NetPlayParams::default();
-    let config = || Tool::QueueRec.config([7, 9]).with_sparse(SparseConfig::games());
+    let config = || {
+        Tool::QueueRec
+            .config([7, 9])
+            .with_sparse(SparseConfig::games())
+    };
     let (env_seed, demo, rec_console) = record_until_bug(np, config, 64);
     println!("bug manifested in recording session #{env_seed}");
-    println!("demo size: {} bytes ({} syscall bytes)", demo.size_bytes(), demo.syscall_bytes());
+    println!(
+        "demo size: {} bytes ({} syscall bytes)",
+        demo.size_bytes(),
+        demo.syscall_bytes()
+    );
 
     let rep = Execution::new(config())
         .with_vos(tsan11rec::vos::VosConfig::deterministic(env_seed + 1_000))

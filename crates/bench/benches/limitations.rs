@@ -30,7 +30,11 @@ fn main() {
         let rep = Execution::new(Tool::QueueRec.config([2, 3]))
             .with_vos(aslr_world(999))
             .replay(&demo, ptrmap(params));
-        table.row(&["tsan11rec (sparse)", "randomized (ASLR-like)", &verdict(&rep.outcome)]);
+        table.row(&[
+            "tsan11rec (sparse)",
+            "randomized (ASLR-like)",
+            &verdict(&rep.outcome),
+        ]);
     }
 
     // 2. rr baseline, same ASLR situation: the ALLOC stream saves it.
@@ -41,7 +45,11 @@ fn main() {
         let rep = Execution::new(rr_config(RrOptions::default()))
             .with_vos(aslr_world(999))
             .replay(&demo, ptrmap(params));
-        table.row(&["rr (comprehensive)", "randomized (ASLR-like)", &verdict(&rep.outcome)]);
+        table.row(&[
+            "rr (comprehensive)",
+            "randomized (ASLR-like)",
+            &verdict(&rep.outcome),
+        ]);
     }
 
     // 3. The mitigation: deterministic allocator under sparse recording.
@@ -52,7 +60,11 @@ fn main() {
         let rep = Execution::new(Tool::QueueRec.config([2, 3]))
             .with_vos(deterministic_world())
             .replay(&demo, ptrmap(params));
-        table.row(&["tsan11rec (sparse)", "deterministic (mitigation)", &verdict(&rep.outcome)]);
+        table.row(&[
+            "tsan11rec (sparse)",
+            "deterministic (mitigation)",
+            &verdict(&rep.outcome),
+        ]);
     }
 
     println!();

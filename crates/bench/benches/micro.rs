@@ -30,7 +30,9 @@ fn rle_benches(c: &mut Criterion) {
     group.bench_function("encode_u64_run_2k", |bench| {
         bench.iter(|| rle::encode_u64s(black_box(&ticks)));
     });
-    let payload: Vec<u8> = (0..4096).map(|i| if i % 7 == 0 { 0 } else { b'x' }).collect();
+    let payload: Vec<u8> = (0..4096)
+        .map(|i| if i % 7 == 0 { 0 } else { b'x' })
+        .collect();
     group.bench_function("encode_bytes_4k", |bench| {
         bench.iter(|| rle::encode_bytes(black_box(&payload)));
     });

@@ -51,7 +51,14 @@ fn main() {
     ];
 
     let table = TablePrinter::new(
-        &["setup", "qps(reports)", "ovh", "races/run", "qps(no rep)", "ovh"],
+        &[
+            "setup",
+            "qps(reports)",
+            "ovh",
+            "races/run",
+            "qps(no rep)",
+            "ovh",
+        ],
         &[12, 14, 7, 10, 14, 7],
     );
     let mut native_qps = 0.0;
@@ -69,7 +76,7 @@ fn main() {
             let s = Stats::of(&qps);
             (
                 format!("{:.0} ({:.0})", s.mean, s.stddev),
-                overhead(s.mean, native_qps).replace('x', "x"),
+                overhead(s.mean, native_qps),
                 format!("{:.0}", Stats::of(&races).mean),
             )
         } else {
@@ -104,10 +111,16 @@ fn main() {
 
     // §5.2 demo sizes: bytes per request for tsan11rec vs rr.
     banner("Demo sizes (S5.2): bytes per request");
-    let size_table = TablePrinter::new(&["setup", "queries", "demo bytes", "bytes/query"], &[12, 8, 12, 12]);
+    let size_table = TablePrinter::new(
+        &["setup", "queries", "demo bytes", "bytes/query"],
+        &[12, 8, 12, 12],
+    );
     for tool in [Tool::QueueRec, Tool::RndRec, Tool::Rr] {
         for queries in [params.total_queries / 4, params.total_queries] {
-            let p = HttpdParams { total_queries: queries, ..params };
+            let p = HttpdParams {
+                total_queries: queries,
+                ..params
+            };
             let r = run_tool(tool, seeds_for(0), world(p), server(p));
             let bytes = r.demo.map(|d| d.size_bytes()).unwrap_or(0);
             size_table.row(&[

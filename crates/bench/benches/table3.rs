@@ -18,7 +18,12 @@ const TOOLS: [Tool; 8] = [
     Tool::QueueRec,
 ];
 
-fn run_once(tool: Tool, setup: impl FnOnce(&tsan11rec::vos::Vos) + Send + 'static, program: impl FnOnce() + Send + 'static, i: usize) -> f64 {
+fn run_once(
+    tool: Tool,
+    setup: impl FnOnce(&tsan11rec::vos::Vos) + Send + 'static,
+    program: impl FnOnce() + Send + 'static,
+    i: usize,
+) -> f64 {
     let exec = Execution::new(tool.config(seeds_for(i))).setup(setup);
     let report = if tool.records() {
         exec.record(program).0
@@ -38,15 +43,19 @@ fn main() {
     let size_of = |name: &str| -> usize {
         scale
             * match name {
-                "blackscholes" => 40_000, // pure compute per thread
-                "fluidanimate" => 500,    // one lock pair per cell per step
+                "blackscholes" => 40_000,  // pure compute per thread
+                "fluidanimate" => 500,     // one lock pair per cell per step
                 "streamcluster" => 30_000, // shared reads per phase
-                "bodytrack" => 2_000,     // work items per frame
-                "ferret" => 1_500,        // pipeline queries
+                "bodytrack" => 2_000,      // work items per frame
+                "ferret" => 1_500,         // pipeline queries
                 _ => 400,
             }
     };
-    let pbzip_params = PbzipParams { threads: 4, blocks: 10 * scale, block_size: 64 * 1024 };
+    let pbzip_params = PbzipParams {
+        threads: 4,
+        blocks: 10 * scale,
+        block_size: 64 * 1024,
+    };
 
     banner(&format!(
         "Table 3: execution times (s), 4 threads, {runs} runs per cell"
@@ -82,7 +91,10 @@ fn main() {
     }
 
     for kernel in table3_suite() {
-        let params = ParsecParams { threads: 4, size: size_of(kernel.name) };
+        let params = ParsecParams {
+            threads: 4,
+            size: size_of(kernel.name),
+        };
         let mut row_means = Vec::new();
         let mut cells: Vec<String> = vec![kernel.name.to_owned()];
         for tool in TOOLS {

@@ -20,8 +20,8 @@ fn fps_of_run(tool: Tool, params: GameParams, i: usize) -> f64 {
         exec.run(game(params))
     };
     assert!(report.outcome.is_ok(), "{tool}: {:?}", report.outcome);
-    let (frames, _elapsed_virtual) = parse_frame_stats(&report.console_text())
-        .expect("frame stats line");
+    let (frames, _elapsed_virtual) =
+        parse_frame_stats(&report.console_text()).expect("frame stats line");
     f64::from(frames) / report.duration.as_secs_f64()
 }
 
@@ -52,7 +52,9 @@ fn main() {
     ];
 
     let table = TablePrinter::new(
-        &["setup", "min", "25th", "median", "75th", "max", "mean", "ovh"],
+        &[
+            "setup", "min", "25th", "median", "75th", "max", "mean", "ovh",
+        ],
         &[12, 8, 8, 8, 8, 8, 8, 6],
     );
     let mut native_mean = 0.0;

@@ -41,7 +41,10 @@ pub fn bench_scale() -> usize {
 #[must_use]
 pub fn seeds_for(i: usize) -> [u64; 2] {
     let i = i as u64;
-    [i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1), i.wrapping_mul(31) ^ 0x5eed]
+    [
+        i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1),
+        i.wrapping_mul(31) ^ 0x5eed,
+    ]
 }
 
 /// A fixed-width table printer.
@@ -54,7 +57,9 @@ impl TablePrinter {
     #[must_use]
     pub fn new(headers: &[&str], widths: &[usize]) -> Self {
         assert_eq!(headers.len(), widths.len());
-        let p = TablePrinter { widths: widths.to_vec() };
+        let p = TablePrinter {
+            widths: widths.to_vec(),
+        };
         p.row(headers);
         let rule: String = widths.iter().map(|w| "-".repeat(w + 2)).collect();
         println!("{rule}");

@@ -9,6 +9,7 @@
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering as StdOrd};
 
+use srr_analysis::SyncEvent;
 use srr_memmodel::MemOrder;
 
 use crate::ids::AtomicId;
@@ -92,6 +93,8 @@ fn store_order(o: MemOrder) -> StdOrd {
 /// behaves natively.
 pub struct Atomic<T: Scalar> {
     id: Option<AtomicId>,
+    /// Interned location id in the sync trace (tracing runs only).
+    trace_loc: Option<u32>,
     native: AtomicU64,
     _marker: PhantomData<T>,
 }
@@ -100,15 +103,42 @@ impl<T: Scalar> Atomic<T> {
     /// Creates a new atomic holding `value`.
     #[must_use]
     pub fn new(value: T) -> Self {
-        let id = with_ctx(|ctx| {
+        Atomic::build(value, None)
+    }
+
+    /// Creates an atomic with a diagnostic label. The analysis passes use
+    /// labels to identify locations: an `Atomic` and a
+    /// [`Shared`](crate::shared::Shared) carrying the *same* label model
+    /// two views of one memory location (the mixed-access lint).
+    #[must_use]
+    pub fn labeled(value: T, label: &str) -> Self {
+        Atomic::build(value, Some(label))
+    }
+
+    fn build(value: T, label: Option<&str>) -> Self {
+        let reg = with_ctx(|ctx| {
             if ctx.rt.mode().is_instrumented() {
-                Some(ctx.rt.register_atomic(value.to_bits(), &ctx.view))
+                let id = ctx.rt.register_atomic(value.to_bits(), &ctx.view);
+                let trace_loc = match label {
+                    Some(l) => ctx.rt.sync_loc(l),
+                    None => ctx.rt.sync_loc(&format!("atomic#{}", id.0)),
+                };
+                Some((id, trace_loc))
             } else {
                 None
             }
         })
         .flatten();
-        Atomic { id, native: AtomicU64::new(value.to_bits()), _marker: PhantomData }
+        let (id, trace_loc) = match reg {
+            Some((id, loc)) => (Some(id), loc),
+            None => (None, None),
+        };
+        Atomic {
+            id,
+            trace_loc,
+            native: AtomicU64::new(value.to_bits()),
+            _marker: PhantomData,
+        }
     }
 
     /// Atomic load at `order`.
@@ -118,17 +148,26 @@ impl<T: Scalar> Atomic<T> {
         };
         let (rt, tid) = current_rt().expect("instrumented cell outside execution");
         rt.enter(tid);
-        let bits = with_ctx(|ctx| {
+        let (bits, writer) = with_ctx(|ctx| {
             let mut chooser = ctx.rt.chooser();
             let mut mem = ctx.rt.mem.lock();
-            let bits = mem.cells[id.0 as usize].load(&mut ctx.view, order, &mut chooser);
+            let res = mem.cells[id.0 as usize].load_with_writer(&mut ctx.view, order, &mut chooser);
             // FastTrack discipline: the clock advances *after* the
             // operation, so later accesses are distinguishable from the
             // clock any acquirer obtained here.
             ctx.view.tick();
-            bits
+            res
         })
         .expect("context present");
+        if let Some(loc) = self.trace_loc {
+            rt.sync_event(|tick| SyncEvent::AtomicLoad {
+                tid: tid.0,
+                loc,
+                tick,
+                relaxed: order == MemOrder::Relaxed,
+                writer: writer as u32,
+            });
+        }
         rt.exit(tid);
         T::from_bits(bits)
     }
@@ -145,6 +184,14 @@ impl<T: Scalar> Atomic<T> {
             mem.cells[id.0 as usize].store(&mut ctx.view, value.to_bits(), order);
             ctx.view.tick(); // after publication (FastTrack discipline)
         });
+        if let Some(loc) = self.trace_loc {
+            rt.sync_event(|tick| SyncEvent::AtomicStore {
+                tid: tid.0,
+                loc,
+                tick,
+                rmw: false,
+            });
+        }
         self.native.store(value.to_bits(), StdOrd::Relaxed);
         rt.exit(tid);
     }
@@ -172,13 +219,25 @@ impl<T: Scalar> Atomic<T> {
         rt.enter(tid);
         let old = with_ctx(|ctx| {
             let mut mem = ctx.rt.mem.lock();
-            let old = mem.cells[id.0 as usize]
-                .rmw(&mut ctx.view, |v| f(T::from_bits(v)).to_bits(), order);
+            let old = mem.cells[id.0 as usize].rmw(
+                &mut ctx.view,
+                |v| f(T::from_bits(v)).to_bits(),
+                order,
+            );
             ctx.view.tick(); // after publication (FastTrack discipline)
             old
         })
         .expect("context present");
-        self.native.store(f(T::from_bits(old)).to_bits(), StdOrd::Relaxed);
+        if let Some(loc) = self.trace_loc {
+            rt.sync_event(|tick| SyncEvent::AtomicStore {
+                tid: tid.0,
+                loc,
+                tick,
+                rmw: true,
+            });
+        }
+        self.native
+            .store(f(T::from_bits(old)).to_bits(), StdOrd::Relaxed);
         rt.exit(tid);
         T::from_bits(old)
     }
@@ -236,6 +295,14 @@ impl<T: Scalar> Atomic<T> {
         })
         .expect("context present");
         if res.is_ok() {
+            if let Some(loc) = self.trace_loc {
+                rt.sync_event(|tick| SyncEvent::AtomicStore {
+                    tid: tid.0,
+                    loc,
+                    tick,
+                    rmw: true,
+                });
+            }
             self.native.store(new.to_bits(), StdOrd::Relaxed);
         }
         rt.exit(tid);
@@ -316,7 +383,7 @@ mod tests {
     fn scalar_roundtrips() {
         assert_eq!(u32::from_bits(7u32.to_bits()), 7);
         assert_eq!(i64::from_bits((-3i64).to_bits()), -3);
-        assert_eq!(bool::from_bits(true.to_bits()), true);
+        assert!(bool::from_bits(true.to_bits()));
         assert_eq!(f32::from_bits(1.5f32.to_bits()), 1.5);
         assert_eq!(f64::from_bits((-0.25f64).to_bits()), -0.25);
         assert_eq!(i8::from_bits((-1i8).to_bits()), -1);
@@ -330,8 +397,14 @@ mod tests {
         assert_eq!(a.load(MemOrder::Acquire), 9);
         assert_eq!(a.fetch_add(1, MemOrder::AcqRel), 9);
         assert_eq!(a.swap(100, MemOrder::SeqCst), 10);
-        assert_eq!(a.compare_exchange(100, 1, MemOrder::SeqCst, MemOrder::Relaxed), Ok(100));
-        assert_eq!(a.compare_exchange(100, 2, MemOrder::SeqCst, MemOrder::Relaxed), Err(1));
+        assert_eq!(
+            a.compare_exchange(100, 1, MemOrder::SeqCst, MemOrder::Relaxed),
+            Ok(100)
+        );
+        assert_eq!(
+            a.compare_exchange(100, 2, MemOrder::SeqCst, MemOrder::Relaxed),
+            Err(1)
+        );
     }
 
     #[test]

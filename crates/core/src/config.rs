@@ -242,6 +242,10 @@ pub struct Config {
     /// Collect the full `(tid, tick)` schedule trace into the report
     /// (diagnostics; off by default).
     pub trace_schedule: bool,
+    /// Collect the structured synchronisation-event trace and run the
+    /// offline analysis passes (`srr-analysis`) over it at the end of the
+    /// run. Controlled modes only; off by default.
+    pub trace_sync: bool,
     /// Run the race detector and weak memory model. Disabled by the
     /// plain-rr baseline, which sequentializes and records but performs
     /// no analysis (§5's "rr" rows, as opposed to "tsan11 + rr").
@@ -262,6 +266,7 @@ impl Config {
             signal_target: 0,
             record_alloc: false,
             trace_schedule: false,
+            trace_sync: false,
             detect_races: true,
         }
     }
@@ -315,6 +320,13 @@ impl Config {
         self
     }
 
+    /// Enables sync-event tracing and post-run analysis.
+    #[must_use]
+    pub fn with_sync_trace(mut self) -> Self {
+        self.trace_sync = true;
+        self
+    }
+
     /// Disables race detection and the weak memory model entirely
     /// (visible operations remain scheduling points). The plain-rr
     /// baseline configuration.
@@ -357,7 +369,19 @@ mod tests {
     #[test]
     fn paper_default_matches_section_4_4() {
         let c = SparseConfig::paper_default();
-        for kind in ["read", "write", "recvmsg", "recv", "sendmsg", "accept", "accept4", "clock_gettime", "ioctl", "select", "bind"] {
+        for kind in [
+            "read",
+            "write",
+            "recvmsg",
+            "recv",
+            "sendmsg",
+            "accept",
+            "accept4",
+            "clock_gettime",
+            "ioctl",
+            "select",
+            "bind",
+        ] {
             assert!(c.records_kind(kind), "{kind} must be in the paper's set");
         }
         assert!(c.record_pipe_rw);

@@ -35,6 +35,9 @@ fn install_quiet_abort_hook() {
     });
 }
 
+/// World-setup callback installed via [`Execution::setup`].
+type SetupFn = Box<dyn FnOnce(&Vos) + Send>;
+
 /// Builder for one program execution.
 ///
 /// ```
@@ -52,7 +55,7 @@ fn install_quiet_abort_hook() {
 pub struct Execution {
     config: Config,
     vos_config: VosConfig,
-    setup: Option<Box<dyn FnOnce(&Vos) + Send>>,
+    setup: Option<SetupFn>,
 }
 
 impl Execution {
@@ -133,9 +136,9 @@ impl Execution {
         // A comprehensive demo carries the allocator stream; replaying it
         // reproduces pointer values (what rr does, §5.5).
         if !demo.alloc.is_empty() {
-            self.vos_config = self
-                .vos_config
-                .with_alloc(AllocMode::Scripted { addresses: demo.alloc.clone() });
+            self.vos_config = self.vos_config.with_alloc(AllocMode::Scripted {
+                addresses: demo.alloc.clone(),
+            });
         }
         self.launch(program, RecordMode::Replay, Some(demo)).0
     }
@@ -150,7 +153,11 @@ impl Execution {
         F: FnOnce() + Send + 'static,
     {
         install_quiet_abort_hook();
-        let Execution { config, vos_config, setup } = self;
+        let Execution {
+            config,
+            vos_config,
+            setup,
+        } = self;
         let seeds = config.seeds.unwrap_or_else(Prng::environment_seeds);
         let record_alloc = config.record_alloc;
         let vos = Arc::new(Vos::new(vos_config));
@@ -161,9 +168,13 @@ impl Execution {
         let strategy = config.mode.strategy();
         let liveness = config.liveness;
         let trace_schedule = config.trace_schedule;
+        let trace_sync = config.trace_sync;
         let rt = Runtime::new(config, Arc::clone(&vos), seeds);
         if trace_schedule && rt.mode().is_controlled() {
             rt.sched().enable_trace();
+        }
+        if trace_sync && rt.mode().is_controlled() {
+            rt.enable_sync_trace();
         }
 
         match (&rec_mode, demo) {
@@ -262,6 +273,13 @@ impl Execution {
             None
         };
 
+        let sync_trace = rt.take_sync_trace().unwrap_or_default();
+        let analysis = if sync_trace.events.is_empty() {
+            Vec::new()
+        } else {
+            srr_analysis::analyze(&sync_trace)
+        };
+
         let report = ExecReport {
             outcome,
             races,
@@ -279,6 +297,8 @@ impl Execution {
                 .map(|s| s.take_trace())
                 .unwrap_or_default(),
             strace: vos.take_strace(),
+            sync_trace,
+            analysis,
         };
         (report, produced_demo)
     }

@@ -67,13 +67,14 @@ pub use config::{Config, Mode, RecordMode, SparseConfig, Strategy};
 pub use exec::Execution;
 pub use ids::{AtomicId, CondId, MutexId, Tid};
 pub use prng::Prng;
-pub use report::{soft_desync, ExecReport, Outcome};
+pub use report::{soft_desync, ExecReport, Outcome, TraceEvent};
 pub use rwlock::{Barrier, RwLock, RwLockReadGuard, RwLockWriteGuard};
 pub use shared::{Shared, SharedArray};
 pub use sync::{Condvar, Mutex, MutexGuard};
 
 // The memory orders and vOS types appear throughout program code; re-export
 // them so workloads depend on one crate.
+pub use srr_analysis::{Finding, FindingKind, SyncEvent, SyncTrace};
 pub use srr_memmodel::MemOrder;
 pub use srr_replay::{Demo, DemoHeader, HardDesync};
 pub use srr_vos as vos;

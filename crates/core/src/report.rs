@@ -2,8 +2,67 @@
 
 use std::time::Duration;
 
+use srr_analysis::{Finding, SyncTrace};
 use srr_racedet::RaceReport;
 use srr_replay::HardDesync;
+
+/// One entry of the schedule trace: a scheduler transition observed at a
+/// `Wait()` success or a completed `Tick()` (§3.1), with the cumulative
+/// PRNG draw count for replay diffing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A `Wait()` success: `tid` was granted the critical section that
+    /// became tick `tick`.
+    Wait {
+        /// Thread granted the critical section.
+        tid: u32,
+        /// Tick assigned to the critical section.
+        tick: u64,
+        /// Cumulative PRNG draws at this point.
+        draws: u64,
+    },
+    /// A completed `Tick()`: `tid` closed critical section `tick`.
+    Tick {
+        /// Thread closing its critical section.
+        tid: u32,
+        /// Tick of the closed critical section.
+        tick: u64,
+        /// Cumulative PRNG draws at this point.
+        draws: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The thread the event belongs to.
+    #[must_use]
+    pub fn tid(&self) -> u32 {
+        match *self {
+            TraceEvent::Wait { tid, .. } | TraceEvent::Tick { tid, .. } => tid,
+        }
+    }
+
+    /// The critical-section tick the event belongs to.
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        match *self {
+            TraceEvent::Wait { tick, .. } | TraceEvent::Tick { tick, .. } => tick,
+        }
+    }
+
+    /// Cumulative PRNG draws when the event was traced.
+    #[must_use]
+    pub fn draws(&self) -> u64 {
+        match *self {
+            TraceEvent::Wait { draws, .. } | TraceEvent::Tick { draws, .. } => draws,
+        }
+    }
+
+    /// Whether this is a `Wait()`-success marker.
+    #[must_use]
+    pub fn is_wait(&self) -> bool {
+        matches!(self, TraceEvent::Wait { .. })
+    }
+}
 
 /// How an execution ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,12 +113,17 @@ pub struct ExecReport {
     /// value usually accompanies soft desynchronisation).
     pub replay_leftover_syscalls: usize,
     /// Full schedule trace (only when `Config::with_schedule_trace` was
-    /// set). Entries are `(tid, tick, prng_draws)`; a tid with the high
-    /// bit set (`0x8000_0000`) marks a `Wait()` success, a plain tid a
-    /// completed `Tick()`. See [`ExecReport::tick_trace`].
-    pub schedule_trace: Vec<(u32, u64, u64)>,
+    /// set). See [`ExecReport::tick_trace`] for the completed-`Tick()`
+    /// projection.
+    pub schedule_trace: Vec<TraceEvent>,
     /// vOS strace log (only when the vOS was configured with strace).
     pub strace: Vec<String>,
+    /// Structured synchronisation-event trace (only when
+    /// `Config::with_sync_trace` was set).
+    pub sync_trace: SyncTrace,
+    /// Findings from the offline analysis passes (`srr-analysis`), run
+    /// over `sync_trace` when `Config::with_sync_trace` was set.
+    pub analysis: Vec<Finding>,
 }
 
 impl ExecReport {
@@ -75,8 +139,8 @@ impl ExecReport {
     pub fn tick_trace(&self) -> Vec<(u32, u64)> {
         self.schedule_trace
             .iter()
-            .filter(|&&(tid, _, _)| tid & 0x8000_0000 == 0)
-            .map(|&(tid, tick, _)| (tid, tick))
+            .filter(|ev| !ev.is_wait())
+            .map(|ev| (ev.tid(), ev.tick()))
             .collect()
     }
 
@@ -122,6 +186,8 @@ mod tests {
             replay_leftover_syscalls: 0,
             schedule_trace: Vec::new(),
             strace: Vec::new(),
+            sync_trace: SyncTrace::default(),
+            analysis: Vec::new(),
         }
     }
 
@@ -145,6 +211,37 @@ mod tests {
         };
         let r = report(Outcome::HardDesync(d.clone()), b"");
         assert_eq!(r.desync(), Some(&d));
+    }
+
+    #[test]
+    fn tick_trace_filters_wait_markers() {
+        let mut r = report(Outcome::Completed, b"");
+        r.schedule_trace = vec![
+            TraceEvent::Wait {
+                tid: 0,
+                tick: 1,
+                draws: 0,
+            },
+            TraceEvent::Tick {
+                tid: 0,
+                tick: 1,
+                draws: 2,
+            },
+            TraceEvent::Wait {
+                tid: 1,
+                tick: 2,
+                draws: 2,
+            },
+            TraceEvent::Tick {
+                tid: 1,
+                tick: 2,
+                draws: 3,
+            },
+        ];
+        assert_eq!(r.tick_trace(), vec![(0, 1), (1, 2)]);
+        assert!(r.schedule_trace[0].is_wait());
+        assert_eq!(r.schedule_trace[0].tid(), 0);
+        assert_eq!(r.schedule_trace[3].draws(), 3);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering as AOrd};
 use std::sync::Arc;
 
 use parking_lot::Mutex as PlMutex;
+use srr_analysis::{SyncEvent, SyncTrace, SyncTraceBuilder};
 use srr_memmodel::{AtomicCell, Chooser, ScFenceClock, ThreadView};
 use srr_racedet::RaceDetector;
 use srr_replay::{HardDesync, SyscallRecord};
@@ -61,7 +62,11 @@ pub(crate) fn with_ctx<R>(f: impl FnOnce(&mut ThreadCtx) -> R) -> Option<R> {
 /// The current runtime and tid without holding the context borrow —
 /// use when user code (signal handlers) may run re-entrantly.
 pub(crate) fn current_rt() -> Option<(Arc<Runtime>, Tid)> {
-    CTX.with(|c| c.borrow().as_ref().map(|ctx| (Arc::clone(&ctx.rt), ctx.tid)))
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|ctx| (Arc::clone(&ctx.rt), ctx.tid))
+    })
 }
 
 pub(crate) struct MutexRec {
@@ -122,6 +127,9 @@ pub(crate) struct Runtime {
     pub panic_note: PlMutex<Option<String>>,
     /// Free-mode visible-operation counter (controlled modes count ticks).
     pub free_ops: AtomicU32,
+    /// Structured sync-event trace builder (`Config::trace_sync`); `None`
+    /// when tracing is off.
+    pub sync_trace: PlMutex<Option<SyncTraceBuilder>>,
 }
 
 impl Runtime {
@@ -136,7 +144,10 @@ impl Runtime {
             config,
             sched,
             vos,
-            mem: PlMutex::new(MemState { cells: Vec::new(), sc: ScFenceClock::new() }),
+            mem: PlMutex::new(MemState {
+                cells: Vec::new(),
+                sc: ScFenceClock::new(),
+            }),
             racedet: PlMutex::new(racedet),
             free_prng: PlMutex::new(Prng::from_seeds([seeds[1], seeds[0]])),
             mutexes: PlMutex::new(Vec::new()),
@@ -151,6 +162,7 @@ impl Runtime {
             stop_liveness: AtomicBool::new(false),
             panic_note: PlMutex::new(None),
             free_ops: AtomicU32::new(0),
+            sync_trace: PlMutex::new(None),
         })
     }
 
@@ -159,7 +171,9 @@ impl Runtime {
     }
 
     pub fn sched(&self) -> &Scheduler {
-        self.sched.as_ref().expect("controlled mode has a scheduler")
+        self.sched
+            .as_ref()
+            .expect("controlled mode has a scheduler")
     }
 
     /// Opens a visible operation: `Wait()` plus signal-handler entries
@@ -231,7 +245,11 @@ impl Runtime {
             return;
         }
         let target = self.config.signal_target;
-        self.free_pending.lock().entry(target).or_default().extend(due);
+        self.free_pending
+            .lock()
+            .entry(target)
+            .or_default()
+            .extend(due);
     }
 
     fn run_handler(self: &Arc<Self>, signo: i32) {
@@ -254,22 +272,32 @@ impl Runtime {
     pub fn register_atomic(&self, init: u64, view: &ThreadView) -> AtomicId {
         let mut mem = self.mem.lock();
         let id = AtomicId(mem.cells.len() as u32);
-        mem.cells
-            .push(AtomicCell::with_capacity(init, view, self.config.history_cap));
+        mem.cells.push(AtomicCell::with_capacity(
+            init,
+            view,
+            self.config.history_cap,
+        ));
         id
     }
 
     pub fn register_mutex(&self) -> MutexId {
         let mut ms = self.mutexes.lock();
         let id = MutexId(ms.len() as u32);
-        ms.push(MutexRec { holder: None, sync: VectorClock::new(), contended: 0 });
+        ms.push(MutexRec {
+            holder: None,
+            sync: VectorClock::new(),
+            contended: 0,
+        });
         id
     }
 
     pub fn register_cond(&self) -> CondId {
         let mut cs = self.conds.lock();
         let id = CondId(cs.len() as u32);
-        cs.push(CondRec { waiters: Vec::new(), signaled: Vec::new() });
+        cs.push(CondRec {
+            waiters: Vec::new(),
+            signaled: Vec::new(),
+        });
         id
     }
 
@@ -298,11 +326,60 @@ impl Runtime {
         rec.sync.join(&view.clock);
     }
 
+    // ------------------------------------------------------------------
+    // Sync-event tracing (srr-analysis input)
+    // ------------------------------------------------------------------
+
+    /// Switches sync-event tracing on (start of an execution).
+    pub fn enable_sync_trace(&self) {
+        *self.sync_trace.lock() = Some(SyncTraceBuilder::new());
+    }
+
+    /// Current scheduler tick for event stamping (0 when uncontrolled).
+    pub fn sync_tick(&self) -> u64 {
+        match self.config.mode {
+            Mode::Tsan11Rec(_) => self.sched().tick_value(),
+            _ => 0,
+        }
+    }
+
+    /// Appends a sync event when tracing is enabled. `make` receives the
+    /// current tick; computing it locks scheduler state, so callers must
+    /// not hold runtime locks (`mem`, `mutexes`, `conds`) across this.
+    pub fn sync_event(&self, make: impl FnOnce(u64) -> SyncEvent) {
+        if self.sync_trace.lock().is_none() {
+            return;
+        }
+        let ev = make(self.sync_tick());
+        if let Some(b) = self.sync_trace.lock().as_mut() {
+            b.push(ev);
+        }
+    }
+
+    /// Records `label` for a mutex in the trace's label table.
+    pub fn sync_mutex_label(&self, id: MutexId, label: Option<&str>) {
+        if let Some(b) = self.sync_trace.lock().as_mut() {
+            b.set_mutex_label(id.0, label.map(str::to_owned));
+        }
+    }
+
+    /// Interns a location label; `None` when tracing is off.
+    pub fn sync_loc(&self, label: &str) -> Option<u32> {
+        self.sync_trace.lock().as_mut().map(|b| b.loc_id(label))
+    }
+
+    /// Takes the finished trace (end of an execution).
+    pub fn take_sync_trace(&self) -> Option<SyncTrace> {
+        self.sync_trace.lock().take().map(SyncTraceBuilder::finish)
+    }
+
     /// The weak-memory choice source: the scheduler PRNG in controlled
     /// modes (replayable from the demo header), a free-running PRNG in
     /// tsan11 mode.
     pub fn chooser(self: &Arc<Self>) -> RtChooser {
-        RtChooser { rt: Arc::clone(self) }
+        RtChooser {
+            rt: Arc::clone(self),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -314,7 +391,10 @@ impl Runtime {
         *r = match mode {
             RecordMode::Off => SysRec::Off,
             RecordMode::Record => SysRec::Record(Vec::new()),
-            RecordMode::Replay => SysRec::Replay { recs: replay_recs, at: 0 },
+            RecordMode::Replay => SysRec::Replay {
+                recs: replay_recs,
+                at: 0,
+            },
         };
     }
 
@@ -507,7 +587,10 @@ mod tests {
         assert!(!rt.mutex_try_acquire(m, Tid(1), &mut b), "held");
         rt.mutex_release(m, Tid(0), &a);
         assert!(rt.mutex_try_acquire(m, Tid(1), &mut b));
-        assert!(b.clock.get(0) >= a.clock.get(0), "hb transferred through the mutex");
+        assert!(
+            b.clock.get(0) >= a.clock.get(0),
+            "hb transferred through the mutex"
+        );
         assert_eq!(rt.mutexes.lock()[0].contended, 1);
     }
 
@@ -516,13 +599,22 @@ mod tests {
         let rt = rt(Mode::Tsan11Rec(Strategy::Random));
         rt.set_record_mode(RecordMode::Record, Vec::new());
         assert!(rt.should_record_syscall("recv", None));
-        assert!(!rt.should_record_syscall("open", None), "open is not in the paper set");
+        assert!(
+            !rt.should_record_syscall("open", None),
+            "open is not in the paper set"
+        );
 
         let (pr, _pw) = rt.vos.pipe();
-        assert!(rt.should_record_syscall("read", Some(pr)), "pipe reads are recorded");
+        assert!(
+            rt.should_record_syscall("read", Some(pr)),
+            "pipe reads are recorded"
+        );
         rt.vos.add_file("/f", vec![1, 2, 3]);
         let f = Fd(rt.vos.open("/f", false).unwrap() as i32);
-        assert!(!rt.should_record_syscall("read", Some(f)), "file reads are not");
+        assert!(
+            !rt.should_record_syscall("read", Some(f)),
+            "file reads are not"
+        );
     }
 
     #[test]

@@ -41,8 +41,10 @@ impl<T> RwLock<T> {
     #[must_use]
     pub fn new(value: T) -> Self {
         RwLock {
-            state: Mutex::new(RwState::default()),
-            cond: Condvar::new(),
+            // Labelled for diagnostics; the condvar is runtime-internal so
+            // its polling wait loop stays out of the sync trace.
+            state: Mutex::labeled(RwState::default(), "rwlock.state"),
+            cond: Condvar::internal(),
             data: parking_lot::RwLock::new(value),
         }
     }
@@ -61,7 +63,10 @@ impl<T> RwLock<T> {
             .data
             .try_read()
             .expect("logical reader grant guarantees no writer holds the data");
-        RwLockReadGuard { native: Some(native), lock: self }
+        RwLockReadGuard {
+            native: Some(native),
+            lock: self,
+        }
     }
 
     /// Attempts shared access without blocking.
@@ -73,7 +78,10 @@ impl<T> RwLock<T> {
         g.readers += 1;
         drop(g);
         let native = self.data.try_read().expect("logical grant");
-        Some(RwLockReadGuard { native: Some(native), lock: self })
+        Some(RwLockReadGuard {
+            native: Some(native),
+            lock: self,
+        })
     }
 
     /// Acquires exclusive access.
@@ -91,7 +99,10 @@ impl<T> RwLock<T> {
             .data
             .try_write()
             .expect("logical writer grant guarantees exclusivity");
-        RwLockWriteGuard { native: Some(native), lock: self }
+        RwLockWriteGuard {
+            native: Some(native),
+            lock: self,
+        }
     }
 
     /// Attempts exclusive access without blocking.
@@ -103,7 +114,10 @@ impl<T> RwLock<T> {
         g.writer = true;
         drop(g);
         let native = self.data.try_write().expect("logical grant");
-        Some(RwLockWriteGuard { native: Some(native), lock: self })
+        Some(RwLockWriteGuard {
+            native: Some(native),
+            lock: self,
+        })
     }
 }
 
@@ -170,7 +184,11 @@ impl Barrier {
     #[must_use]
     pub fn new(total: u32) -> Self {
         assert!(total >= 1, "a barrier needs at least one participant");
-        Barrier { state: Mutex::new((0, 0)), cond: Condvar::new(), total }
+        Barrier {
+            state: Mutex::labeled((0, 0), "barrier.state"),
+            cond: Condvar::internal(),
+            total,
+        }
     }
 
     /// Blocks until all participants arrive. Returns `true` for exactly

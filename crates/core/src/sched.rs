@@ -24,6 +24,7 @@ use srr_replay::{AsyncEvent, HardDesync, QueueStream, SignalEvent};
 use crate::config::Strategy;
 use crate::ids::{CondId, MutexId, Tid};
 use crate::prng::Prng;
+use crate::report::TraceEvent;
 
 /// Why the execution was aborted by the scheduler.
 #[derive(Debug, Clone)]
@@ -150,9 +151,8 @@ struct SchedState {
     /// recorded in QUEUE and enforced from there on replay, so this
     /// stream needs no replay determinism.
     slice_jitter: Prng,
-    /// Optional schedule trace for debugging/diffing runs:
-    /// `(tid, tick, prng draws so far)`.
-    trace: Option<Vec<(u32, u64, u64)>>,
+    /// Optional schedule trace for debugging/diffing runs.
+    trace: Option<Vec<TraceEvent>>,
 }
 
 /// The controlled scheduler shared by all threads of one execution.
@@ -215,7 +215,7 @@ impl Scheduler {
     }
 
     /// The collected schedule trace, if tracing was enabled.
-    pub fn take_trace(&self) -> Vec<(u32, u64, u64)> {
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
         self.state.lock().trace.take().unwrap_or_default()
     }
 
@@ -296,7 +296,11 @@ impl Scheduler {
         if g.trace.is_some() {
             let (tick, draws) = (g.tick, g.prng.draws());
             if let Some(trace) = &mut g.trace {
-                trace.push((tid.0 | 0x8000_0000, tick, draws));
+                trace.push(TraceEvent::Wait {
+                    tid: tid.0,
+                    tick,
+                    draws,
+                });
             }
         }
     }
@@ -322,7 +326,11 @@ impl Scheduler {
         if g.trace.is_some() {
             let draws = g.prng.draws();
             if let Some(trace) = &mut g.trace {
-                trace.push((tid.0, k, draws));
+                trace.push(TraceEvent::Tick {
+                    tid: tid.0,
+                    tick: k,
+                    draws,
+                });
             }
         }
 
@@ -556,7 +564,9 @@ impl Scheduler {
     /// by the instrumentation layer: the handler entry is its own visible
     /// operation).
     pub fn take_pending_signal(&self, tid: Tid) -> Option<i32> {
-        self.state.lock().threads[tid.index()].pending_signals.pop_front()
+        self.state.lock().threads[tid.index()]
+            .pending_signals
+            .pop_front()
     }
 
     /// `Reschedule()` (§3.3): called by the liveness background thread.
@@ -662,7 +672,11 @@ impl Scheduler {
         let order = std::mem::take(&mut g.record.queue_order);
         let signals = std::mem::take(&mut g.record.signals);
         let async_events = std::mem::take(&mut g.record.async_events);
-        (build_queue_stream(&order, g.threads.len()), signals, async_events)
+        (
+            build_queue_stream(&order, g.threads.len()),
+            signals,
+            async_events,
+        )
     }
 }
 
@@ -682,7 +696,10 @@ fn build_queue_stream(order: &[(u32, u64)], nthreads: usize) -> QueueStream {
         }
         last_cs_of_thread.insert(tid, idx);
     }
-    QueueStream { first_tick, next_ticks }
+    QueueStream {
+        first_tick,
+        next_ticks,
+    }
 }
 
 impl SchedState {
@@ -945,7 +962,10 @@ impl SchedState {
     }
 
     fn live_unfinished_running(&self) -> usize {
-        self.threads.iter().filter(|t| t.status != Status::Finished).count()
+        self.threads
+            .iter()
+            .filter(|t| t.status != Status::Finished)
+            .count()
     }
 
     /// Immediate signal delivery: record the SIGNAL entry against the
@@ -954,14 +974,23 @@ impl SchedState {
     fn deliver_now(&mut self, target: Tid, signo: i32, from_env: bool) {
         let last_tick = self.threads[target.index()].last_tick;
         if self.record.active && from_env {
-            self.record.signals.push(SignalEvent { tid: target.0, tick: last_tick, signo });
+            self.record.signals.push(SignalEvent {
+                tid: target.0,
+                tick: last_tick,
+                signo,
+            });
         }
-        self.threads[target.index()].pending_signals.push_back(signo);
+        self.threads[target.index()]
+            .pending_signals
+            .push_back(signo);
         if matches!(self.threads[target.index()].status, Status::Disabled(_)) {
             self.enable_thread(target);
             let tick = self.tick;
             if self.record.active {
-                self.record.async_events.push(AsyncEvent::SignalWakeup { tid: target.0, tick });
+                self.record.async_events.push(AsyncEvent::SignalWakeup {
+                    tid: target.0,
+                    tick,
+                });
             }
         }
     }
@@ -976,9 +1005,7 @@ impl SchedState {
                     .threads
                     .iter()
                     .enumerate()
-                    .filter(|(i, t)| {
-                        t.status == Status::Enabled && Some(Tid(*i as u32)) != active
-                    })
+                    .filter(|(i, t)| t.status == Status::Enabled && Some(Tid(*i as u32)) != active)
                     .map(|(i, _)| Tid(i as u32))
                     .collect();
                 if !candidates.is_empty() {
@@ -1135,7 +1162,14 @@ mod tests {
         assert_eq!(s.take_pending_signal(Tid::MAIN), Some(15));
         assert_eq!(s.take_pending_signal(Tid::MAIN), None);
         let (_, signals, _) = s.take_recording();
-        assert_eq!(signals, vec![SignalEvent { tid: 0, tick: 1, signo: 15 }]);
+        assert_eq!(
+            signals,
+            vec![SignalEvent {
+                tid: 0,
+                tick: 1,
+                signo: 15
+            }]
+        );
     }
 
     #[test]
@@ -1148,7 +1182,14 @@ mod tests {
         s.tick(Tid::MAIN);
         assert_eq!(s.take_pending_signal(Tid::MAIN), Some(9));
         let (_, signals, _) = s.take_recording();
-        assert_eq!(signals, vec![SignalEvent { tid: 0, tick: 1, signo: 9 }]);
+        assert_eq!(
+            signals,
+            vec![SignalEvent {
+                tid: 0,
+                tick: 1,
+                signo: 9
+            }]
+        );
     }
 
     #[test]
@@ -1166,7 +1207,10 @@ mod tests {
         assert_eq!(s.state.lock().threads[t1.index()].status, Status::Enabled);
         let (_, signals, async_events) = s.take_recording();
         assert_eq!(signals.len(), 1);
-        assert_eq!(async_events, vec![AsyncEvent::SignalWakeup { tid: 1, tick: 1 }]);
+        assert_eq!(
+            async_events,
+            vec![AsyncEvent::SignalWakeup { tid: 1, tick: 1 }]
+        );
     }
 
     #[test]
@@ -1186,7 +1230,10 @@ mod tests {
     fn queue_replay_enforces_recorded_order() {
         let s = sched(Strategy::Queue);
         s.enable_replay(
-            &QueueStream { first_tick: vec![1], next_ticks: vec![2, 0] },
+            &QueueStream {
+                first_tick: vec![1],
+                next_ticks: vec![2, 0],
+            },
             &[],
             &[],
         );
@@ -1202,7 +1249,10 @@ mod tests {
     fn queue_replay_underrun_is_hard_desync() {
         let s = sched(Strategy::Queue);
         s.enable_replay(
-            &QueueStream { first_tick: vec![1], next_ticks: vec![2] },
+            &QueueStream {
+                first_tick: vec![1],
+                next_ticks: vec![2],
+            },
             &[],
             &[],
         );
@@ -1221,7 +1271,11 @@ mod tests {
         let s = sched(Strategy::Random);
         s.enable_replay(
             &QueueStream::default(),
-            &[SignalEvent { tid: 0, tick: 2, signo: 15 }],
+            &[SignalEvent {
+                tid: 0,
+                tick: 2,
+                signo: 15,
+            }],
             &[],
         );
         s.wait(Tid::MAIN);
@@ -1237,7 +1291,11 @@ mod tests {
         let s = sched(Strategy::Random);
         s.enable_replay(
             &QueueStream::default(),
-            &[SignalEvent { tid: 0, tick: 0, signo: 7 }],
+            &[SignalEvent {
+                tid: 0,
+                tick: 0,
+                signo: 7,
+            }],
             &[],
         );
         assert_eq!(s.take_pending_signal(Tid::MAIN), Some(7));
@@ -1291,12 +1349,19 @@ mod tests {
             picks
         };
         assert_eq!(run([7, 9]), run([7, 9]));
-        assert_ne!(run([7, 9]), run([8, 10]), "different seeds diverge (w.h.p.)");
+        assert_ne!(
+            run([7, 9]),
+            run([8, 10]),
+            "different seeds diverge (w.h.p.)"
+        );
     }
 
     #[test]
     fn pct_strategy_runs_hot_thread_in_streaks() {
-        let s = Scheduler::new(Strategy::Pct { switch_denom: 1000 }, Prng::from_seeds([3, 4]));
+        let s = Scheduler::new(
+            Strategy::Pct { switch_denom: 1000 },
+            Prng::from_seeds([3, 4]),
+        );
         s.wait(Tid::MAIN);
         let _t1 = s.thread_new();
         let _t2 = s.thread_new();
@@ -1331,13 +1396,19 @@ mod tests {
         assert!(picks.contains(&0) && picks.contains(&1), "{picks:?}");
         let switches = picks.windows(2).filter(|w| w[0] != w[1]).count();
         assert!(switches >= 2, "preemption happens: {picks:?}");
-        assert!(switches * 2 <= picks.len(), "runs, not fine interleaving: {picks:?}");
+        assert!(
+            switches * 2 <= picks.len(),
+            "runs, not fine interleaving: {picks:?}"
+        );
     }
 
     #[test]
     fn delay_strategy_is_nonpreemptive_with_bounded_delays() {
         let s = Scheduler::new(
-            Strategy::Delay { budget: 2, denom: 4 },
+            Strategy::Delay {
+                budget: 2,
+                denom: 4,
+            },
             Prng::from_seeds([9, 4]),
         );
         s.wait(Tid::MAIN);
@@ -1362,7 +1433,13 @@ mod tests {
     #[test]
     fn delay_strategy_same_seeds_same_schedule() {
         let run = |seeds: [u64; 2]| -> Vec<u32> {
-            let s = Scheduler::new(Strategy::Delay { budget: 3, denom: 4 }, Prng::from_seeds(seeds));
+            let s = Scheduler::new(
+                Strategy::Delay {
+                    budget: 3,
+                    denom: 4,
+                },
+                Prng::from_seeds(seeds),
+            );
             s.wait(Tid::MAIN);
             let _t1 = s.thread_new();
             let _t2 = s.thread_new();
@@ -1387,7 +1464,9 @@ mod tests {
             s.wait(Tid::MAIN);
         }))
         .unwrap_err();
-        let abort = err.downcast_ref::<SchedAbort>().expect("SchedAbort payload");
+        let abort = err
+            .downcast_ref::<SchedAbort>()
+            .expect("SchedAbort payload");
         assert!(matches!(abort.0, FailReason::ProgramPanic(_)));
     }
 }

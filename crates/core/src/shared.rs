@@ -13,6 +13,7 @@
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering as StdOrd};
 
+use srr_analysis::SyncEvent;
 use srr_racedet::{AccessKind, LocationId};
 
 use crate::atomic::Scalar;
@@ -21,6 +22,10 @@ use crate::runtime::with_ctx;
 /// A plain shared variable under race detection.
 pub struct Shared<T: Scalar> {
     loc: Option<LocationId>,
+    /// Interned location id in the sync trace (tracing runs only); shares
+    /// the label namespace with [`Atomic::labeled`](crate::Atomic), so an
+    /// atomic and a `Shared` with one label model one memory location.
+    trace_loc: Option<u32>,
     native: AtomicU64,
     _marker: PhantomData<T>,
 }
@@ -30,15 +35,25 @@ impl<T: Scalar> Shared<T> {
     /// reports).
     #[must_use]
     pub fn new(label: &str, value: T) -> Self {
-        let loc = with_ctx(|ctx| {
+        let reg = with_ctx(|ctx| {
             if ctx.rt.mode().is_instrumented() {
-                Some(ctx.rt.racedet.lock().register_location(label))
+                let loc = ctx.rt.racedet.lock().register_location(label);
+                Some((loc, ctx.rt.sync_loc(label)))
             } else {
                 None
             }
         })
         .flatten();
-        Shared { loc, native: AtomicU64::new(value.to_bits()), _marker: PhantomData }
+        let (loc, trace_loc) = match reg {
+            Some((loc, t)) => (Some(loc), t),
+            None => (None, None),
+        };
+        Shared {
+            loc,
+            trace_loc,
+            native: AtomicU64::new(value.to_bits()),
+            _marker: PhantomData,
+        }
     }
 
     /// Plain read (invisible operation; race-checked).
@@ -66,6 +81,15 @@ impl<T: Scalar> Shared<T> {
         with_ctx(|ctx| {
             if !ctx.rt.config.detect_races {
                 return;
+            }
+            if let Some(trace_loc) = self.trace_loc {
+                let tid = ctx.tid.0;
+                ctx.rt.sync_event(|tick| SyncEvent::PlainAccess {
+                    tid,
+                    loc: trace_loc,
+                    tick,
+                    write: kind == AccessKind::Write,
+                });
             }
             // Plain accesses do not tick the clock; the clock advances at
             // visible operations only, so all plain accesses between two

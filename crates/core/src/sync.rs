@@ -1,8 +1,8 @@
 //! Instrumented mutexes and condition variables (§3.2, Figures 4–5).
 
-
 use crate::ids::{CondId, MutexId, Tid};
 use crate::runtime::{current_rt, with_ctx, Runtime};
+use srr_analysis::SyncEvent;
 use std::sync::Arc;
 
 /// An instrumented mutual-exclusion lock.
@@ -28,15 +28,31 @@ impl<T> Mutex<T> {
     /// Creates a mutex protecting `value`.
     #[must_use]
     pub fn new(value: T) -> Self {
+        Mutex::build(value, None)
+    }
+
+    /// Creates a mutex with a diagnostic label (shown by the analysis
+    /// passes in place of `mutex#N`).
+    #[must_use]
+    pub fn labeled(value: T, label: &str) -> Self {
+        Mutex::build(value, Some(label))
+    }
+
+    fn build(value: T, label: Option<&str>) -> Self {
         let id = with_ctx(|ctx| {
             if ctx.rt.mode().is_instrumented() {
-                Some(ctx.rt.register_mutex())
+                let id = ctx.rt.register_mutex();
+                ctx.rt.sync_mutex_label(id, label);
+                Some(id)
             } else {
                 None
             }
         })
         .flatten();
-        Mutex { id, inner: parking_lot::Mutex::new(value) }
+        Mutex {
+            id,
+            inner: parking_lot::Mutex::new(value),
+        }
     }
 
     fn instrumented(&self) -> Option<(MutexId, Arc<Runtime>, Tid)> {
@@ -48,7 +64,10 @@ impl<T> Mutex<T> {
     /// Acquires the mutex (Figure 4 in controlled modes).
     pub fn lock(&self) -> MutexGuard<'_, T> {
         let Some((id, rt, tid)) = self.instrumented() else {
-            return MutexGuard { native: Some(self.inner.lock()), mutex: self };
+            return MutexGuard {
+                native: Some(self.inner.lock()),
+                mutex: self,
+            };
         };
         if !rt.mode().is_controlled() {
             // tsan11: real blocking lock plus the happens-before transfer.
@@ -64,12 +83,28 @@ impl<T> Mutex<T> {
                 ctx.view.tick();
             });
             rt.exit(tid);
-            return MutexGuard { native: Some(native), mutex: self };
+            return MutexGuard {
+                native: Some(native),
+                mutex: self,
+            };
         }
         // Figure 4: int res = EBUSY; while (res == EBUSY) { Wait();
         // res = trylock(m); if (res == EBUSY) MutexLockFail(m); Tick(); }
+        let mut requested = false;
         loop {
             rt.enter(tid);
+            if !requested {
+                // Traced at blocking-lock entry, before the first attempt:
+                // the deadlock predictor's lock-order edges come from
+                // requests, so a run that actually deadlocks here still
+                // contributes its edge.
+                requested = true;
+                rt.sync_event(|tick| SyncEvent::MutexRequest {
+                    tid: tid.0,
+                    mutex: id.0,
+                    tick,
+                });
+            }
             let acquired = with_ctx(|ctx| {
                 let acquired = ctx.rt.mutex_try_acquire(id, tid, &mut ctx.view);
                 ctx.view.tick();
@@ -78,6 +113,12 @@ impl<T> Mutex<T> {
             .expect("context present");
             if !acquired {
                 rt.sched().mutex_lock_fail(tid, id);
+            } else {
+                rt.sync_event(|tick| SyncEvent::MutexAcquire {
+                    tid: tid.0,
+                    mutex: id.0,
+                    tick,
+                });
             }
             rt.exit(tid);
             if acquired {
@@ -85,7 +126,10 @@ impl<T> Mutex<T> {
                     .inner
                     .try_lock()
                     .expect("logical ownership guarantees the inner lock is free");
-                return MutexGuard { native: Some(native), mutex: self };
+                return MutexGuard {
+                    native: Some(native),
+                    mutex: self,
+                };
             }
         }
     }
@@ -94,10 +138,10 @@ impl<T> Mutex<T> {
     /// section).
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         let Some((id, rt, tid)) = self.instrumented() else {
-            return self
-                .inner
-                .try_lock()
-                .map(|native| MutexGuard { native: Some(native), mutex: self });
+            return self.inner.try_lock().map(|native| MutexGuard {
+                native: Some(native),
+                mutex: self,
+            });
         };
         rt.enter(tid);
         let acquired = with_ctx(|ctx| {
@@ -106,13 +150,25 @@ impl<T> Mutex<T> {
             acquired
         })
         .expect("context present");
+        if acquired {
+            // No MutexRequest: a try_lock cannot block, so it cannot
+            // close a deadlock cycle.
+            rt.sync_event(|tick| SyncEvent::MutexAcquire {
+                tid: tid.0,
+                mutex: id.0,
+                tick,
+            });
+        }
         rt.exit(tid);
         if acquired {
             let native = self
                 .inner
                 .try_lock()
                 .expect("logical ownership guarantees the inner lock is free");
-            Some(MutexGuard { native: Some(native), mutex: self })
+            Some(MutexGuard {
+                native: Some(native),
+                mutex: self,
+            })
         } else {
             None
         }
@@ -170,6 +226,11 @@ impl<T> Drop for MutexGuard<'_, T> {
             ctx.rt.mutex_release(id, tid, &ctx.view);
             ctx.view.tick(); // after publication (FastTrack discipline)
         });
+        rt.sync_event(|tick| SyncEvent::MutexRelease {
+            tid: tid.0,
+            mutex: id.0,
+            tick,
+        });
         rt.sched().mutex_unlock(id);
         rt.exit(tid);
     }
@@ -180,12 +241,26 @@ pub struct Condvar {
     id: Option<CondId>,
     /// Uncontrolled-mode implementation.
     native: parking_lot::Condvar,
+    /// Runtime-internal condvars (RwLock, Barrier) are excluded from the
+    /// sync trace: their polling wait loops are implementation detail,
+    /// not program behaviour, and would trip the no-recheck lint.
+    internal: bool,
 }
 
 impl Condvar {
     /// Creates a condition variable.
     #[must_use]
     pub fn new() -> Self {
+        Condvar::build(false)
+    }
+
+    /// A condvar used by runtime-internal primitives: participates in
+    /// scheduling but is invisible to the analysis passes.
+    pub(crate) fn internal() -> Self {
+        Condvar::build(true)
+    }
+
+    fn build(internal: bool) -> Self {
         let id = with_ctx(|ctx| {
             if ctx.rt.mode().is_instrumented() && ctx.rt.mode().is_controlled() {
                 Some(ctx.rt.register_cond())
@@ -194,7 +269,11 @@ impl Condvar {
             }
         })
         .flatten();
-        Condvar { id, native: parking_lot::Condvar::new() }
+        Condvar {
+            id,
+            native: parking_lot::Condvar::new(),
+            internal,
+        }
     }
 
     /// Releases `guard`'s mutex, blocks until signalled, reacquires.
@@ -296,6 +375,14 @@ impl Condvar {
                 std::mem::forget(guard);
 
                 rt.enter(tid);
+                if !self.internal {
+                    rt.sync_event(|tick| SyncEvent::CondWaitBegin {
+                        tid: tid.0,
+                        cond: cid.0,
+                        mutex: mid.0,
+                        tick,
+                    });
+                }
                 rt.conds.lock()[cid.0 as usize].waiters.push((tid, timed));
                 if !timed {
                     rt.sched().cond_block(tid, cid);
@@ -303,6 +390,11 @@ impl Condvar {
                 with_ctx(|ctx| {
                     ctx.rt.mutex_release(mid, tid, &ctx.view);
                     ctx.view.tick(); // after publication (FastTrack discipline)
+                });
+                rt.sync_event(|tick| SyncEvent::MutexRelease {
+                    tid: tid.0,
+                    mutex: mid.0,
+                    tick,
                 });
                 rt.sched().mutex_unlock(mid);
                 rt.exit(tid);
@@ -326,6 +418,15 @@ impl Condvar {
                     }
                     was
                 };
+                if !self.internal {
+                    rt.sync_event(|tick| SyncEvent::CondWaitReturn {
+                        tid: tid.0,
+                        cond: cid.0,
+                        mutex: mid.0,
+                        tick,
+                        signaled,
+                    });
+                }
                 (new_guard, signaled)
             }
         }
@@ -339,6 +440,14 @@ impl Condvar {
         };
         rt.enter(tid);
         with_ctx(|ctx| ctx.view.tick());
+        if !self.internal {
+            rt.sync_event(|tick| SyncEvent::CondNotify {
+                tid: tid.0,
+                cond: id.0,
+                tick,
+                all: false,
+            });
+        }
         let woken = {
             let mut conds = rt.conds.lock();
             let rec = &mut conds[id.0 as usize];
@@ -347,7 +456,11 @@ impl Condvar {
             } else {
                 let tids: Vec<Tid> = rec.waiters.iter().map(|(t, _)| *t).collect();
                 let pick = rt.sched().pick_one_of(&tids);
-                let pos = rec.waiters.iter().position(|(t, _)| *t == pick).expect("member");
+                let pos = rec
+                    .waiters
+                    .iter()
+                    .position(|(t, _)| *t == pick)
+                    .expect("member");
                 let (tid, timed) = rec.waiters.remove(pos);
                 rec.signaled.push(tid);
                 Some((tid, timed))
@@ -369,6 +482,14 @@ impl Condvar {
         };
         rt.enter(tid);
         with_ctx(|ctx| ctx.view.tick());
+        if !self.internal {
+            rt.sync_event(|tick| SyncEvent::CondNotify {
+                tid: tid.0,
+                cond: id.0,
+                tick,
+                all: true,
+            });
+        }
         let woken: Vec<(Tid, bool)> = {
             let mut conds = rt.conds.lock();
             let rec = &mut conds[id.0 as usize];

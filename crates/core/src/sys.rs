@@ -189,7 +189,11 @@ fn poll_like(kind: &'static str, fds: &mut [PollFd]) -> SysResult {
     let (rt, tid) = ctx(kind);
     rt.enter(tid);
     with_ctx(|ctx| ctx.view.tick());
-    let live_res = if kind == "select" { rt.vos.select(fds) } else { rt.vos.poll(fds) };
+    let live_res = if kind == "select" {
+        rt.vos.select(fds)
+    } else {
+        rt.vos.poll(fds)
+    };
     let res = match plan(&rt, kind, None) {
         Plan::Passthrough => live_res,
         Plan::Record => {

@@ -86,7 +86,10 @@ where
     });
     rt.os_handles.lock().push(os);
 
-    JoinHandle { target: child_tid, result }
+    JoinHandle {
+        target: child_tid,
+        result,
+    }
 }
 
 /// The thread's final visible operation (`ThreadDelete`).
@@ -139,10 +142,7 @@ pub(crate) fn handle_panic(rt: &Arc<Runtime>, tid: Tid, payload: Box<dyn std::an
     }
     // Joiners in uncontrolled modes poll free_finished; controlled joiners
     // are released by thread_finish.
-    rt.final_clocks
-        .lock()
-        .entry(tid.0)
-        .or_insert_with(srr_vclock::VectorClock::new);
+    rt.final_clocks.lock().entry(tid.0).or_default();
 }
 
 impl<T> JoinHandle<T> {

@@ -70,18 +70,30 @@ fn record_replay_schedules_are_identical() {
         .setup(world)
         .record(client);
     assert!(rec_report.outcome.is_ok(), "{:?}", rec_report.outcome);
-    let rep_report = Execution::new(config()).with_vos(vos_cfg()).replay(&demo, client);
+    let rep_report = Execution::new(config())
+        .with_vos(vos_cfg())
+        .replay(&demo, client);
 
-    for (i, (a, b)) in rec_report.strace.iter().zip(rep_report.strace.iter()).enumerate() {
-        assert_eq!(a, b, "first strace divergence at syscall #{i}:\nrec ctx {:?}\nrep ctx {:?}",
+    for (i, (a, b)) in rec_report
+        .strace
+        .iter()
+        .zip(rep_report.strace.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            a,
+            b,
+            "first strace divergence at syscall #{i}:\nrec ctx {:?}\nrep ctx {:?}",
             &rec_report.strace[i.saturating_sub(6)..(i + 4).min(rec_report.strace.len())],
-            &rep_report.strace[i.saturating_sub(6)..(i + 4).min(rep_report.strace.len())]);
+            &rep_report.strace[i.saturating_sub(6)..(i + 4).min(rep_report.strace.len())]
+        );
     }
     let rec_trace = rec_report.tick_trace();
     let rep_trace = rep_report.tick_trace();
     for (i, (a, b)) in rec_trace.iter().zip(rep_trace.iter()).enumerate() {
         assert_eq!(
-            a, b,
+            a,
+            b,
             "first schedule divergence at cs #{i}: record {a:?} vs replay {b:?}\n\
              context rec: {:?}\ncontext rep: {:?}",
             &rec_trace[i.saturating_sub(5)..(i + 5).min(rec_trace.len())],

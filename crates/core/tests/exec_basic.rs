@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use tsan11rec::{
-    Atomic, Config, Condvar, Execution, MemOrder, Mode, Mutex, Outcome, Shared, Strategy,
+    Atomic, Condvar, Config, Execution, MemOrder, Mode, Mutex, Outcome, Shared, Strategy,
 };
 
 fn modes() -> Vec<Mode> {
@@ -53,7 +53,10 @@ fn mutex_counter_is_exact_in_every_mode() {
             assert_eq!(*counter.lock(), 100);
         });
         assert!(report.outcome.is_ok(), "{mode:?}: {:?}", report.outcome);
-        assert_eq!(report.races, 0, "{mode:?}: mutex-protected counter is race-free");
+        assert_eq!(
+            report.races, 0,
+            "{mode:?}: mutex-protected counter is race-free"
+        );
     }
 }
 
@@ -109,7 +112,10 @@ fn message_passing_through_release_acquire_is_race_free() {
             producer.join();
         });
         assert!(report.outcome.is_ok(), "{mode:?}: {:?}", report.outcome);
-        assert_eq!(report.races, 0, "{mode:?}: properly synchronized MP has no race");
+        assert_eq!(
+            report.races, 0,
+            "{mode:?}: properly synchronized MP has no race"
+        );
     }
 }
 
@@ -156,7 +162,11 @@ fn controlled_modes_count_ticks() {
             a.fetch_add(1, MemOrder::SeqCst);
         }
     });
-    assert!(report.ticks >= 10, "at least one tick per visible op, got {}", report.ticks);
+    assert!(
+        report.ticks >= 10,
+        "at least one tick per visible op, got {}",
+        report.ticks
+    );
     assert_eq!(report.ticks, report.visible_ops);
 }
 
@@ -224,8 +234,7 @@ fn liveness_rescheduler_prevents_starvation() {
     // One thread computes invisibly for a long time after being chosen;
     // without the rescheduler the other thread would be stalled the whole
     // time. With it, total wall time stays bounded.
-    let config = Config::new(Mode::Tsan11Rec(Strategy::Random))
-        .with_seeds([1, 2]); // liveness defaults to 10ms
+    let config = Config::new(Mode::Tsan11Rec(Strategy::Random)).with_seeds([1, 2]); // liveness defaults to 10ms
     let report = Execution::new(config).run(|| {
         let h = tsan11rec::thread::spawn(|| {
             // Invisible compute with a real pause.

@@ -3,9 +3,7 @@
 
 use std::sync::Arc;
 
-use tsan11rec::{
-    Atomic, Config, Execution, MemOrder, Mode, Mutex, Outcome, Shared, Strategy,
-};
+use tsan11rec::{Atomic, Config, Execution, MemOrder, Mode, Mutex, Outcome, Shared, Strategy};
 
 fn config(mode: Mode, seeds: [u64; 2]) -> Config {
     Config::new(mode).with_seeds(seeds).without_liveness()
@@ -52,10 +50,9 @@ fn native_mode_detects_nothing() {
 
 #[test]
 fn reports_disabled_still_counts_races() {
-    let report = Execution::new(
-        config(Mode::Tsan11Rec(Strategy::Random), [1, 2]).without_reports(),
-    )
-    .run(racy_counter);
+    let report =
+        Execution::new(config(Mode::Tsan11Rec(Strategy::Random), [1, 2]).without_reports())
+            .run(racy_counter);
     assert!(report.races > 0);
     assert!(report.race_reports.is_empty(), "reports disabled");
 }
@@ -230,11 +227,8 @@ fn detection_rate_is_strategy_dependent() {
     let rate = |strategy: Strategy| {
         let mut racy = 0;
         for seed in 0..100u64 {
-            let report = Execution::new(config(
-                Mode::Tsan11Rec(strategy),
-                [seed, seed + 1000],
-            ))
-            .run(program);
+            let report =
+                Execution::new(config(Mode::Tsan11Rec(strategy), [seed, seed + 1000])).run(program);
             if report.races > 0 {
                 racy += 1;
             }
@@ -243,7 +237,10 @@ fn detection_rate_is_strategy_dependent() {
     };
     let random_rate = rate(Strategy::Random);
     let queue_rate = rate(Strategy::Queue);
-    assert!(random_rate > 0 || queue_rate > 0, "the race must be findable");
+    assert!(
+        random_rate > 0 || queue_rate > 0,
+        "the race must be findable"
+    );
     assert_ne!(
         random_rate, queue_rate,
         "rates should differ across strategies (random {random_rate}, queue {queue_rate})"

@@ -3,9 +3,7 @@
 
 use std::sync::Arc;
 
-use tsan11rec::vos::{
-    EchoPeer, Fd, PollFd, RequestSourcePeer, SignalTrigger, Vos, VosConfig,
-};
+use tsan11rec::vos::{EchoPeer, Fd, PollFd, RequestSourcePeer, SignalTrigger, Vos, VosConfig};
 use tsan11rec::{
     soft_desync, Atomic, Config, Demo, Execution, MemOrder, Mode, Mutex, Outcome, SparseConfig,
     Strategy,
@@ -91,12 +89,19 @@ fn figure2_records_and_replays_without_live_server() {
         let (rec_report, demo) = Execution::new(rec_config(strategy))
             .setup(figure2_world)
             .record(figure2_client);
-        assert!(rec_report.outcome.is_ok(), "{strategy:?}: {:?}", rec_report.outcome);
+        assert!(
+            rec_report.outcome.is_ok(),
+            "{strategy:?}: {:?}",
+            rec_report.outcome
+        );
         assert!(
             rec_report.console_text().contains("client done"),
             "{strategy:?}: signal must terminate the loops"
         );
-        assert!(!demo.syscalls.is_empty(), "{strategy:?}: poll/recv/send recorded");
+        assert!(
+            !demo.syscalls.is_empty(),
+            "{strategy:?}: poll/recv/send recorded"
+        );
         assert!(!demo.signals.is_empty(), "{strategy:?}: SIGTERM recorded");
 
         // Replay into an EMPTY world: no request source, no signal
@@ -213,13 +218,20 @@ fn empty_sparse_config_records_empty_demo_but_soft_desyncs() {
         tsan11rec::sys::println(&format!("payload={buf:02x?}"));
     };
     let (rec_report, demo) = Execution::new(config()).record(program);
-    assert!(demo.syscalls.is_empty(), "nothing recorded under the empty config");
+    assert!(
+        demo.syscalls.is_empty(),
+        "nothing recorded under the empty config"
+    );
     // Different world seed => payload bytes differ => observable
     // divergence without any constraint violation.
     let rep_report = Execution::new(config())
         .with_vos(VosConfig::deterministic(999))
         .replay(&demo, program);
-    assert!(rep_report.outcome.is_ok(), "no constraint can fail: {:?}", rep_report.outcome);
+    assert!(
+        rep_report.outcome.is_ok(),
+        "no constraint can fail: {:?}",
+        rep_report.outcome
+    );
     assert!(
         soft_desync(&rec_report, &rep_report),
         "payload divergence must show as soft desync"
@@ -292,7 +304,11 @@ fn signal_replay_is_tick_accurate() {
     let (rec_report, demo) = Execution::new(rec_config(Strategy::Random))
         .setup(setup)
         .record(program);
-    assert!(rec_report.console_text().contains("hits=1"), "{}", rec_report.console_text());
+    assert!(
+        rec_report.console_text().contains("hits=1"),
+        "{}",
+        rec_report.console_text()
+    );
     assert_eq!(demo.signals.len(), 1);
 
     // Replay with NO signal source: the SIGNAL stream raises it.
@@ -326,8 +342,7 @@ fn sparse_ioctl_ignore_lets_device_run_live_on_replay() {
         let gpu = Fd(tsan11rec::sys::open("/dev/gpu", false).expect("gpu present") as i32);
         let mut arg = [0u8; 8];
         for _ in 0..3 {
-            tsan11rec::sys::ioctl(gpu, tsan11rec::vos::GPU_SUBMIT_FRAME, &mut arg)
-                .expect("submit");
+            tsan11rec::sys::ioctl(gpu, tsan11rec::vos::GPU_SUBMIT_FRAME, &mut arg).expect("submit");
         }
     };
     let setup = |vos: &Vos| vos.install_gpu();

@@ -46,7 +46,9 @@ fn pipe_rw_recorded_file_rw_not_under_paper_default() {
 #[test]
 fn custom_sparse_set_with_and_without() {
     // Remove recv from the set: the recv runs live in both directions.
-    let sparse = SparseConfig::paper_default().without("recv").without("send");
+    let sparse = SparseConfig::paper_default()
+        .without("recv")
+        .without("send");
     let program = || {
         let fd = tsan11rec::sys::connect(Box::new(EchoPeer::new(0)));
         tsan11rec::sys::send(fd, b"abc").expect("send");
@@ -57,7 +59,9 @@ fn custom_sparse_set_with_and_without() {
     let (rec, demo) = Execution::new(config(sparse.clone())).record(program);
     assert!(rec.outcome.is_ok(), "{:?}", rec.outcome);
     assert!(
-        demo.syscalls.iter().all(|s| s.kind != "recv" && s.kind != "send"),
+        demo.syscalls
+            .iter()
+            .all(|s| s.kind != "recv" && s.kind != "send"),
         "excluded kinds must not appear: {:?}",
         demo.syscalls.iter().map(|s| &s.kind).collect::<Vec<_>>()
     );
@@ -202,9 +206,12 @@ fn barrier_works_under_controlled_scheduling_and_replay() {
 #[test]
 fn delay_strategy_runs_programs_end_to_end() {
     let report = Execution::new(
-        Config::new(Mode::Tsan11Rec(Strategy::Delay { budget: 4, denom: 8 }))
-            .with_seeds([6, 28])
-            .without_liveness(),
+        Config::new(Mode::Tsan11Rec(Strategy::Delay {
+            budget: 4,
+            denom: 8,
+        }))
+        .with_seeds([6, 28])
+        .without_liveness(),
     )
     .run(|| {
         let c = Arc::new(Atomic::new(0u64));

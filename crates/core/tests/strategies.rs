@@ -76,7 +76,13 @@ fn pct_runs_in_streaks() {
 
 #[test]
 fn delay_is_nearly_sequential() {
-    let order = run_strategy(Strategy::Delay { budget: 2, denom: 32 }, [1, 2]);
+    let order = run_strategy(
+        Strategy::Delay {
+            budget: 2,
+            denom: 32,
+        },
+        [1, 2],
+    );
     assert_eq!(order.len(), 24);
     assert!(
         switches(&order) <= 6,
@@ -100,7 +106,10 @@ fn every_strategy_is_seed_deterministic() {
     for strategy in [
         Strategy::Random,
         Strategy::Pct { switch_denom: 8 },
-        Strategy::Delay { budget: 3, denom: 8 },
+        Strategy::Delay {
+            budget: 3,
+            denom: 8,
+        },
         Strategy::Slice { quantum: 4 },
         Strategy::Queue,
     ] {
@@ -124,7 +133,13 @@ fn every_strategy_is_seed_deterministic() {
 fn strategies_explore_different_interleavings() {
     let rnd = run_strategy(Strategy::Random, [1, 2]);
     let pct = run_strategy(Strategy::Pct { switch_denom: 64 }, [1, 2]);
-    let delay = run_strategy(Strategy::Delay { budget: 2, denom: 32 }, [1, 2]);
+    let delay = run_strategy(
+        Strategy::Delay {
+            budget: 2,
+            denom: 32,
+        },
+        [1, 2],
+    );
     assert_ne!(rnd, pct);
     assert_ne!(rnd, delay);
 }
@@ -150,13 +165,19 @@ fn delay_strategy_records_and_replays() {
         tsan11rec::sys::println(&format!("v={}", a.load(MemOrder::SeqCst)));
     };
     let make_config = || {
-        Config::new(Mode::Tsan11Rec(Strategy::Delay { budget: 3, denom: 8 }))
-            .with_seeds([4, 2])
-            .without_liveness()
+        Config::new(Mode::Tsan11Rec(Strategy::Delay {
+            budget: 3,
+            denom: 8,
+        }))
+        .with_seeds([4, 2])
+        .without_liveness()
     };
     let (rec, demo) = Execution::new(make_config()).record(program);
     assert!(rec.outcome.is_ok(), "{:?}", rec.outcome);
     let rep = Execution::new(make_config()).replay(&demo, program);
     assert!(rep.outcome.is_ok(), "{:?}", rep.outcome);
-    assert_eq!(rep.console, rec.console, "delay demos replay like random ones");
+    assert_eq!(
+        rep.console, rec.console,
+        "delay demos replay like random ones"
+    );
 }

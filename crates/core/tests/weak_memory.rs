@@ -54,7 +54,10 @@ fn store_buffering_weak_outcome_reachable_under_relaxed() {
             break;
         }
     }
-    assert!(seen_weak, "relaxed SB must produce r1=r2=0 under some schedule/choice");
+    assert!(
+        seen_weak,
+        "relaxed SB must produce r1=r2=0 under some schedule/choice"
+    );
 }
 
 #[test]
@@ -116,7 +119,10 @@ fn message_passing(store_order: MemOrder, load_order: MemOrder, seed: u64) -> Op
 fn message_passing_release_acquire_never_reads_stale_data() {
     for seed in 0..300 {
         if let Some(r) = message_passing(MemOrder::Release, MemOrder::Acquire, seed) {
-            assert_eq!(r, 41, "rel/acq MP: flag observed ⇒ data visible (seed {seed})");
+            assert_eq!(
+                r, 41,
+                "rel/acq MP: flag observed ⇒ data visible (seed {seed})"
+            );
         }
     }
 }

@@ -111,7 +111,24 @@ impl AtomicCell {
     ///
     /// `chooser` selects among the readable stores; route it through the
     /// replayable PRNG to make weak behaviour reproducible.
-    pub fn load(&mut self, view: &mut ThreadView, order: MemOrder, chooser: &mut dyn Chooser) -> u64 {
+    pub fn load(
+        &mut self,
+        view: &mut ThreadView,
+        order: MemOrder,
+        chooser: &mut dyn Chooser,
+    ) -> u64 {
+        self.load_with_writer(view, order, chooser).0
+    }
+
+    /// As [`AtomicCell::load`], additionally returning the thread that
+    /// produced the observed store (analysis passes use this to tell
+    /// cross-thread reads from same-thread ones).
+    pub fn load_with_writer(
+        &mut self,
+        view: &mut ThreadView,
+        order: MemOrder,
+        chooser: &mut dyn Chooser,
+    ) -> (u64, TidIndex) {
         let lo = self.readable_floor(view, order);
         let candidates: Vec<usize> = self
             .history
@@ -122,7 +139,8 @@ impl AtomicCell {
             .collect();
         debug_assert!(!candidates.is_empty(), "newest store is always readable");
         let idx = candidates[chooser.choose(candidates.len())];
-        self.observe(view, idx, order)
+        let writer = self.history[idx].writer;
+        (self.observe(view, idx, order), writer)
     }
 
     /// Performs an atomic read-modify-write with `f`, returning the value
@@ -130,7 +148,12 @@ impl AtomicCell {
     ///
     /// Per C++11, an RMW always reads the newest store in modification
     /// order; the chooser is therefore not consulted.
-    pub fn rmw(&mut self, view: &mut ThreadView, f: impl FnOnce(u64) -> u64, order: MemOrder) -> u64 {
+    pub fn rmw(
+        &mut self,
+        view: &mut ThreadView,
+        f: impl FnOnce(u64) -> u64,
+        order: MemOrder,
+    ) -> u64 {
         let idx = self.history.len() - 1;
         let old = self.observe(view, idx, order);
         let new = f(old);
@@ -314,7 +337,10 @@ mod tests {
         cell.store(&mut t0, 1, MemOrder::Relaxed);
 
         // t1 has no hb knowledge of the store: both 0 and 1 readable.
-        let mut probe = Probe { seen: vec![], pick: 0 };
+        let mut probe = Probe {
+            seen: vec![],
+            pick: 0,
+        };
         let v = cell.load(&mut t1, MemOrder::Relaxed, &mut probe);
         assert_eq!(probe.seen, vec![2], "two candidates");
         assert_eq!(v, 0, "picked the stale store");
@@ -331,7 +357,10 @@ mod tests {
         // Simulate synchronization: t1 learns t0's full clock.
         t1.clock.join(&t0.clock);
 
-        let mut probe = Probe { seen: vec![], pick: 0 };
+        let mut probe = Probe {
+            seen: vec![],
+            pick: 0,
+        };
         let v = cell.load(&mut t1, MemOrder::Relaxed, &mut probe);
         assert_eq!(probe.seen, vec![1], "stale store hidden by hb");
         assert_eq!(v, 1);
@@ -351,7 +380,10 @@ mod tests {
         let mut latest = CounterChooser::always_latest();
         assert_eq!(cell.load(&mut t1, MemOrder::Relaxed, &mut latest), 2);
         // ...then can never go back, even when asking for the oldest.
-        let mut probe = Probe { seen: vec![], pick: 0 };
+        let mut probe = Probe {
+            seen: vec![],
+            pick: 0,
+        };
         assert_eq!(cell.load(&mut t1, MemOrder::Relaxed, &mut probe), 2);
         assert_eq!(probe.seen, vec![1]);
     }
@@ -362,7 +394,10 @@ mod tests {
         let mut cell = AtomicCell::new(0, &t0);
         t0.tick();
         cell.store(&mut t0, 7, MemOrder::Relaxed);
-        let mut probe = Probe { seen: vec![], pick: 0 };
+        let mut probe = Probe {
+            seen: vec![],
+            pick: 0,
+        };
         assert_eq!(cell.load(&mut t0, MemOrder::Relaxed, &mut probe), 7);
         assert_eq!(probe.seen, vec![1]);
     }
@@ -463,7 +498,11 @@ mod tests {
 
         let mut latest = CounterChooser::always_latest();
         cell.load(&mut t2, MemOrder::Acquire, &mut latest);
-        assert_eq!(t2.clock.get(0), 0, "no sync with t0 through broken sequence");
+        assert_eq!(
+            t2.clock.get(0),
+            0,
+            "no sync with t0 through broken sequence"
+        );
     }
 
     #[test]
@@ -474,7 +513,10 @@ mod tests {
         t0.tick();
         cell.store(&mut t0, 1, MemOrder::SeqCst);
 
-        let mut probe = Probe { seen: vec![], pick: 0 };
+        let mut probe = Probe {
+            seen: vec![],
+            pick: 0,
+        };
         let v = cell.load(&mut t1, MemOrder::SeqCst, &mut probe);
         assert_eq!(probe.seen, vec![1], "init store hidden from SC load");
         assert_eq!(v, 1);
@@ -488,7 +530,10 @@ mod tests {
         t0.tick();
         cell.store(&mut t0, 1, MemOrder::SeqCst);
 
-        let mut probe = Probe { seen: vec![], pick: 0 };
+        let mut probe = Probe {
+            seen: vec![],
+            pick: 0,
+        };
         let v = cell.load(&mut t1, MemOrder::Relaxed, &mut probe);
         assert_eq!(probe.seen, vec![2]);
         assert_eq!(v, 0);
@@ -560,6 +605,9 @@ mod tests {
         assert_eq!(c, 1);
         let mut oldest = CounterChooser::always_oldest();
         let d = x.load(&mut t2, MemOrder::Relaxed, &mut oldest); // D
-        assert_eq!(d, 0, "stale read allowed: relaxed load of y gave no sw edge");
+        assert_eq!(
+            d, 0,
+            "stale read allowed: relaxed load of y gave no sw edge"
+        );
     }
 }

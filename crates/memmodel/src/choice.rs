@@ -32,7 +32,11 @@ impl CounterChooser {
     /// sequentially-consistent-looking behaviour.
     #[must_use]
     pub fn always_latest() -> Self {
-        CounterChooser { script: Vec::new(), at: 0, always_latest: true }
+        CounterChooser {
+            script: Vec::new(),
+            at: 0,
+            always_latest: true,
+        }
     }
 
     /// A chooser that always selects the first (oldest readable) candidate.
@@ -46,7 +50,11 @@ impl CounterChooser {
     #[must_use]
     pub fn from_script(script: Vec<usize>) -> Self {
         assert!(!script.is_empty(), "chooser script must be non-empty");
-        CounterChooser { script, at: 0, always_latest: false }
+        CounterChooser {
+            script,
+            at: 0,
+            always_latest: false,
+        }
     }
 }
 

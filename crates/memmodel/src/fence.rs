@@ -65,7 +65,10 @@ mod tests {
         let mut a = ThreadView::new(0);
         a.tick();
         global.sc_fence(&mut a);
-        assert!(a.release_fence.is_some(), "subsequent relaxed stores publish");
+        assert!(
+            a.release_fence.is_some(),
+            "subsequent relaxed stores publish"
+        );
     }
 
     #[test]

@@ -24,13 +24,19 @@ impl MemOrder {
     /// Whether a load at this order acquires the store's release clock.
     #[must_use]
     pub fn is_acquire(self) -> bool {
-        matches!(self, MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst)
+        matches!(
+            self,
+            MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst
+        )
     }
 
     /// Whether a store at this order publishes the writer's clock.
     #[must_use]
     pub fn is_release(self) -> bool {
-        matches!(self, MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst)
+        matches!(
+            self,
+            MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst
+        )
     }
 
     /// Whether this order participates in the sequential-consistency
@@ -88,7 +94,12 @@ mod tests {
     #[test]
     fn only_seq_cst_is_sc() {
         assert!(MemOrder::SeqCst.is_seq_cst());
-        for o in [MemOrder::Relaxed, MemOrder::Acquire, MemOrder::Release, MemOrder::AcqRel] {
+        for o in [
+            MemOrder::Relaxed,
+            MemOrder::Acquire,
+            MemOrder::Release,
+            MemOrder::AcqRel,
+        ] {
             assert!(!o.is_seq_cst());
         }
     }

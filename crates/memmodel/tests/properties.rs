@@ -8,9 +8,21 @@ use srr_memmodel::{AtomicCell, Chooser, MemOrder, ThreadView};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Store { tid: usize, #[allow(dead_code)] value: u64, order: MemOrder },
-    Load { tid: usize, order: MemOrder, pick: usize },
-    Rmw { tid: usize, order: MemOrder },
+    Store {
+        tid: usize,
+        #[allow(dead_code)]
+        value: u64,
+        order: MemOrder,
+    },
+    Load {
+        tid: usize,
+        order: MemOrder,
+        pick: usize,
+    },
+    Rmw {
+        tid: usize,
+        order: MemOrder,
+    },
 }
 
 fn order_strategy() -> impl Strategy<Value = MemOrder> {
@@ -25,10 +37,16 @@ fn order_strategy() -> impl Strategy<Value = MemOrder> {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0usize..3, 1u64..100, order_strategy())
-            .prop_map(|(tid, value, order)| Op::Store { tid, value, order }),
-        (0usize..3, order_strategy(), 0usize..16)
-            .prop_map(|(tid, order, pick)| Op::Load { tid, order, pick }),
+        (0usize..3, 1u64..100, order_strategy()).prop_map(|(tid, value, order)| Op::Store {
+            tid,
+            value,
+            order
+        }),
+        (0usize..3, order_strategy(), 0usize..16).prop_map(|(tid, order, pick)| Op::Load {
+            tid,
+            order,
+            pick
+        }),
         (0usize..3, order_strategy()).prop_map(|(tid, order)| Op::Rmw { tid, order }),
     ]
 }

@@ -101,7 +101,10 @@ impl ShadowCell {
     /// A cell with no recorded accesses.
     #[must_use]
     pub fn new() -> Self {
-        ShadowCell { write: Epoch::ZERO, read: ReadState::Epoch(Epoch::ZERO) }
+        ShadowCell {
+            write: Epoch::ZERO,
+            read: ReadState::Epoch(Epoch::ZERO),
+        }
     }
 
     /// Records a read by `tid` at `clock`; returns the racing prior write's
@@ -131,13 +134,19 @@ impl ShadowCell {
     pub fn on_write(&mut self, tid: TidIndex, clock: &VectorClock) -> Option<RacyPrior> {
         let mut racy = None;
         if !self.write.le(clock) && self.write.tid() != tid {
-            racy = Some(RacyPrior { epoch: self.write, kind: AccessKind::Write });
+            racy = Some(RacyPrior {
+                epoch: self.write,
+                kind: AccessKind::Write,
+            });
         }
         if racy.is_none() {
             match &self.read {
                 ReadState::Epoch(e) => {
                     if !e.le(clock) && e.tid() != tid {
-                        racy = Some(RacyPrior { epoch: *e, kind: AccessKind::Read });
+                        racy = Some(RacyPrior {
+                            epoch: *e,
+                            kind: AccessKind::Read,
+                        });
                     }
                 }
                 ReadState::Clock(vc) => {
@@ -279,9 +288,10 @@ impl RaceDetector {
     ) {
         let cell = &mut self.cells[loc.index()];
         let prior = match kind {
-            AccessKind::Read => cell
-                .on_read(tid, clock)
-                .map(|epoch| RacyPrior { epoch, kind: AccessKind::Write }),
+            AccessKind::Read => cell.on_read(tid, clock).map(|epoch| RacyPrior {
+                epoch,
+                kind: AccessKind::Write,
+            }),
             AccessKind::Write => cell.on_write(tid, clock),
         };
         if let Some(prior) = prior {

@@ -18,7 +18,10 @@ enum Step {
 
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
-        (0usize..THREADS, prop_oneof![Just(AccessKind::Read), Just(AccessKind::Write)])
+        (
+            0usize..THREADS,
+            prop_oneof![Just(AccessKind::Read), Just(AccessKind::Write)]
+        )
             .prop_map(|(tid, kind)| Step::Access { tid, kind }),
         (0usize..THREADS, 0usize..THREADS).prop_map(|(from, to)| Step::Sync { from, to }),
     ]
@@ -42,8 +45,7 @@ fn oracle_has_race(steps: &[Step]) -> bool {
                 clocks[*tid].tick(*tid);
                 let now = clocks[*tid].clone();
                 for (ptid, pclock, pkind) in &history {
-                    let conflict =
-                        *kind == AccessKind::Write || *pkind == AccessKind::Write;
+                    let conflict = *kind == AccessKind::Write || *pkind == AccessKind::Write;
                     if *ptid != *tid && conflict && !pclock.le(&now) {
                         racy = true;
                     }

@@ -138,7 +138,10 @@ impl Demo {
         );
         map.insert(
             "ASYNC".to_owned(),
-            self.async_events.iter().map(|e| e.to_line() + "\n").collect(),
+            self.async_events
+                .iter()
+                .map(|e| e.to_line() + "\n")
+                .collect(),
         );
         map.insert("ALLOC".to_owned(), rle::encode_u64s(&self.alloc) + "\n");
         map
@@ -154,12 +157,13 @@ impl Demo {
     /// Returns [`DemoLoadError::Malformed`] naming the offending file.
     pub fn from_string_map(map: &BTreeMap<String, String>) -> Result<Self, DemoLoadError> {
         let text = |name: &str| map.get(name).map(String::as_str).unwrap_or("");
-        let bad = |file: &str, err: String| DemoLoadError::Malformed { file: file.into(), err };
+        let bad = |file: &str, err: String| DemoLoadError::Malformed {
+            file: file.into(),
+            err,
+        };
 
-        let header = DemoHeader::from_text(
-            map.get("HEADER").ok_or(DemoLoadError::MissingHeader)?,
-        )
-        .map_err(|e| bad("HEADER", e))?;
+        let header = DemoHeader::from_text(map.get("HEADER").ok_or(DemoLoadError::MissingHeader)?)
+            .map_err(|e| bad("HEADER", e))?;
         let queue = QueueStream::from_text(text("QUEUE")).map_err(|e| bad("QUEUE", e))?;
         let signals = text("SIGNAL")
             .lines()
@@ -175,7 +179,14 @@ impl Demo {
             .collect::<Result<_, _>>()
             .map_err(|e| bad("ASYNC", e))?;
         let alloc = rle::decode_u64s(text("ALLOC")).map_err(|e| bad("ALLOC", e))?;
-        Ok(Demo { header, queue, signals, syscalls, async_events, alloc })
+        Ok(Demo {
+            header,
+            queue,
+            signals,
+            syscalls,
+            async_events,
+            alloc,
+        })
     }
 
     /// Writes the demo as a directory of stream files.
@@ -204,7 +215,12 @@ impl Demo {
                     map.insert(name.to_owned(), text);
                 }
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-                Err(e) => return Err(DemoLoadError::Io { file: name.into(), source: e }),
+                Err(e) => {
+                    return Err(DemoLoadError::Io {
+                        file: name.into(),
+                        source: e,
+                    })
+                }
             }
         }
         Demo::from_string_map(&map)
@@ -326,8 +342,15 @@ mod tests {
 
     fn sample_demo() -> Demo {
         let mut d = Demo::new(DemoHeader::new("tsan11rec", "queue", [7, 9]));
-        d.queue = QueueStream { first_tick: vec![1, 2], next_ticks: vec![3, 4, 0, 0] };
-        d.signals.push(SignalEvent { tid: 2, tick: 5, signo: 15 });
+        d.queue = QueueStream {
+            first_tick: vec![1, 2],
+            next_ticks: vec![3, 4, 0, 0],
+        };
+        d.signals.push(SignalEvent {
+            tid: 2,
+            tick: 5,
+            signo: 15,
+        });
         d.syscalls.push(SyscallRecord {
             seq: 0,
             tid: 1,
@@ -338,7 +361,8 @@ mod tests {
             bufs: vec![b"helloworld".to_vec()],
         });
         d.async_events.push(AsyncEvent::Reschedule { tick: 2 });
-        d.async_events.push(AsyncEvent::SignalWakeup { tid: 0, tick: 4 });
+        d.async_events
+            .push(AsyncEvent::SignalWakeup { tid: 0, tick: 4 });
         d.alloc = vec![4096, 8192, 12288];
         d
     }
@@ -416,7 +440,10 @@ mod tests {
     fn load_dir_missing_header_errors() {
         let dir = std::env::temp_dir().join(format!("srr-demo-empty-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        assert!(matches!(Demo::load_dir(&dir), Err(DemoLoadError::MissingHeader)));
+        assert!(matches!(
+            Demo::load_dir(&dir),
+            Err(DemoLoadError::MissingHeader)
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -431,7 +458,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = DemoLoadError::Malformed { file: "QUEUE".into(), err: "boom".into() };
+        let e = DemoLoadError::Malformed {
+            file: "QUEUE".into(),
+            err: "boom".into(),
+        };
         assert_eq!(e.to_string(), "malformed QUEUE: boom");
         assert!(DemoLoadError::MissingHeader.to_string().contains("HEADER"));
     }

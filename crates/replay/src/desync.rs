@@ -46,7 +46,11 @@ pub struct SoftDesync {
 
 impl fmt::Display for SoftDesync {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "soft desynchronisation at tick {}: {}", self.tick, self.detail)
+        write!(
+            f,
+            "soft desynchronisation at tick {}: {}",
+            self.tick, self.detail
+        )
     }
 }
 
@@ -116,7 +120,11 @@ mod tests {
             actual: "a".into(),
         }
         .into();
-        let s: DesyncKind = SoftDesync { tick: 2, detail: "output order".into() }.into();
+        let s: DesyncKind = SoftDesync {
+            tick: 2,
+            detail: "output order".into(),
+        }
+        .into();
         assert!(h.is_hard());
         assert!(!s.is_hard());
         assert!(s.to_string().contains("soft"));

@@ -40,6 +40,6 @@ mod desync;
 pub mod rle;
 mod streams;
 
-pub use demo::{Demo, DemoHeader, DemoLoadError, DemoStats};
+pub use demo::{Demo, DemoHeader, DemoLoadError, DemoStats, FORMAT_VERSION};
 pub use desync::{DesyncKind, HardDesync, SoftDesync};
 pub use streams::{AsyncEvent, QueueStream, SignalEvent, SyscallRecord};

@@ -59,16 +59,24 @@ pub fn decode_u64s(text: &str) -> Result<Vec<u64>, String> {
     let mut out = Vec::new();
     for tok in text.split_whitespace() {
         if let Some((base, k)) = tok.split_once('+') {
-            let base: u64 = base.parse().map_err(|_| format!("bad run base in `{tok}`"))?;
-            let k: u64 = k.parse().map_err(|_| format!("bad run length in `{tok}`"))?;
+            let base: u64 = base
+                .parse()
+                .map_err(|_| format!("bad run base in `{tok}`"))?;
+            let k: u64 = k
+                .parse()
+                .map_err(|_| format!("bad run length in `{tok}`"))?;
             out.extend((0..=k).map(|d| base + d));
         } else if let Some((base, k)) = tok.split_once('*') {
-            let base: u64 = base.parse().map_err(|_| format!("bad repeat base in `{tok}`"))?;
-            let k: usize = k.parse().map_err(|_| format!("bad repeat count in `{tok}`"))?;
+            let base: u64 = base
+                .parse()
+                .map_err(|_| format!("bad repeat base in `{tok}`"))?;
+            let k: usize = k
+                .parse()
+                .map_err(|_| format!("bad repeat count in `{tok}`"))?;
             if k < 2 {
                 return Err(format!("repeat count must be >= 2 in `{tok}`"));
             }
-            out.extend(std::iter::repeat(base).take(k));
+            out.resize(out.len() + k, base);
         } else {
             out.push(tok.parse().map_err(|_| format!("bad literal `{tok}`"))?);
         }
@@ -137,12 +145,14 @@ pub fn decode_bytes(text: &str) -> Result<Vec<u8>, String> {
                     .get(i + 1..i + 3)
                     .and_then(|s| <[u8; 2]>::try_from(s).ok())
                     .ok_or("truncated run chunk")?;
-                out.extend(std::iter::repeat(b).take(len as usize));
+                out.resize(out.len() + len as usize, b);
                 i += 3;
             }
             0x01 => {
                 let len = *chunks.get(i + 1).ok_or("truncated literal header")? as usize;
-                let lit = chunks.get(i + 2..i + 2 + len).ok_or("truncated literal chunk")?;
+                let lit = chunks
+                    .get(i + 2..i + 2 + len)
+                    .ok_or("truncated literal chunk")?;
                 out.extend_from_slice(lit);
                 i += 2 + len;
             }
@@ -169,7 +179,7 @@ pub fn to_hex(data: &[u8]) -> String {
 /// Returns a description of the first malformed digit pair.
 pub fn from_hex(text: &str) -> Result<Vec<u8>, String> {
     let text = text.trim();
-    if text.len() % 2 != 0 {
+    if text.len() & 1 != 0 {
         return Err("odd-length hex string".into());
     }
     (0..text.len())
@@ -233,7 +243,11 @@ mod tests {
     fn bytes_runs_compress() {
         let data = vec![7u8; 1000];
         let enc = encode_bytes(&data);
-        assert!(enc.len() < 50, "1000 bytes should compress, got {} chars", enc.len());
+        assert!(
+            enc.len() < 50,
+            "1000 bytes should compress, got {} chars",
+            enc.len()
+        );
         assert_eq!(decode_bytes(&enc).unwrap(), data);
     }
 
@@ -241,9 +255,9 @@ mod tests {
     fn bytes_mixed_content_roundtrips() {
         let mut data = Vec::new();
         data.extend_from_slice(b"HTTP/1.1 200 OK\r\n");
-        data.extend(std::iter::repeat(b' ').take(300));
+        data.resize(data.len() + 300, b' ');
         data.extend_from_slice(b"payload");
-        data.extend(std::iter::repeat(0u8).take(3)); // short run stays literal
+        data.resize(data.len() + 3, 0u8); // short run stays literal
         let enc = encode_bytes(&data);
         assert_eq!(decode_bytes(&enc).unwrap(), data);
     }
@@ -259,7 +273,10 @@ mod tests {
     fn bytes_decode_rejects_garbage() {
         assert!(decode_bytes("zz").is_err());
         assert!(decode_bytes("00").is_err(), "truncated run");
-        assert!(decode_bytes("0105aa").is_err(), "literal shorter than header");
+        assert!(
+            decode_bytes("0105aa").is_err(),
+            "literal shorter than header"
+        );
         assert!(decode_bytes("ff").is_err(), "unknown tag");
         assert!(decode_bytes("abc").is_err(), "odd length");
     }
@@ -269,6 +286,10 @@ mod tests {
         let data = vec![0x00, 0x7f, 0xff, 0x10];
         assert_eq!(to_hex(&data), "007fff10");
         assert_eq!(from_hex("007fff10").unwrap(), data);
-        assert_eq!(from_hex("  007fff10\n").unwrap(), data, "whitespace tolerated");
+        assert_eq!(
+            from_hex("  007fff10\n").unwrap(),
+            data,
+            "whitespace tolerated"
+        );
     }
 }

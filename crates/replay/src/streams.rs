@@ -220,11 +220,19 @@ pub(crate) fn parse_syscalls(text: &str) -> Result<Vec<SyscallRecord>, String> {
             }
             let mut it = rest.split_whitespace();
             let mut next = |what: &str| {
-                it.next().ok_or_else(|| format!("missing {what} in `{line}`")).map(str::to_owned)
+                it.next()
+                    .ok_or_else(|| format!("missing {what} in `{line}`"))
+                    .map(str::to_owned)
             };
-            let seq = next("seq")?.parse().map_err(|_| format!("bad seq in `{line}`"))?;
-            let tid = next("tid")?.parse().map_err(|_| format!("bad tid in `{line}`"))?;
-            let tick = next("tick")?.parse().map_err(|_| format!("bad tick in `{line}`"))?;
+            let seq = next("seq")?
+                .parse()
+                .map_err(|_| format!("bad seq in `{line}`"))?;
+            let tid = next("tid")?
+                .parse()
+                .map_err(|_| format!("bad tid in `{line}`"))?;
+            let tick = next("tick")?
+                .parse()
+                .map_err(|_| format!("bad tick in `{line}`"))?;
             let kind = next("kind")?;
             let field = |s: String, prefix: &str| -> Result<String, String> {
                 s.strip_prefix(prefix)
@@ -240,17 +248,30 @@ pub(crate) fn parse_syscalls(text: &str) -> Result<Vec<SyscallRecord>, String> {
             expected_bufs = field(next("nbufs")?, "nbufs=")?
                 .parse()
                 .map_err(|_| format!("bad nbufs in `{line}`"))?;
-            out.push(SyscallRecord { seq, tid, tick, kind, ret, errno, bufs: Vec::new() });
+            out.push(SyscallRecord {
+                seq,
+                tid,
+                tick,
+                kind,
+                ret,
+                errno,
+                bufs: Vec::new(),
+            });
         } else if let Some(rest) = line.strip_prefix("buf ") {
             let rec = out.last_mut().ok_or("buf line before any syscall line")?;
             if expected_bufs == 0 {
                 return Err("more buf lines than nbufs declared".into());
             }
             let (len_s, payload) = rest.split_once(' ').unwrap_or((rest, ""));
-            let len: usize = len_s.parse().map_err(|_| format!("bad buf length `{len_s}`"))?;
+            let len: usize = len_s
+                .parse()
+                .map_err(|_| format!("bad buf length `{len_s}`"))?;
             let data = rle::decode_bytes(payload)?;
             if data.len() != len {
-                return Err(format!("buf length mismatch: declared {len}, got {}", data.len()));
+                return Err(format!(
+                    "buf length mismatch: declared {len}, got {}",
+                    data.len()
+                ));
             }
             rec.bufs.push(data);
             expected_bufs -= 1;
@@ -259,7 +280,9 @@ pub(crate) fn parse_syscalls(text: &str) -> Result<Vec<SyscallRecord>, String> {
         }
     }
     if expected_bufs != 0 {
-        return Err(format!("final syscall record missing {expected_bufs} buffer line(s)"));
+        return Err(format!(
+            "final syscall record missing {expected_bufs} buffer line(s)"
+        ));
     }
     Ok(out)
 }
@@ -270,7 +293,11 @@ mod tests {
 
     #[test]
     fn signal_event_roundtrips_paper_example() {
-        let e = SignalEvent { tid: 2, tick: 5, signo: 15 };
+        let e = SignalEvent {
+            tid: 2,
+            tick: 5,
+            signo: 15,
+        };
         assert_eq!(e.to_line(), "2 5 15");
         assert_eq!(SignalEvent::from_line("2 5 15").unwrap(), e);
     }
@@ -285,7 +312,10 @@ mod tests {
 
     #[test]
     fn async_event_roundtrips() {
-        for e in [AsyncEvent::Reschedule { tick: 9 }, AsyncEvent::SignalWakeup { tid: 3, tick: 12 }] {
+        for e in [
+            AsyncEvent::Reschedule { tick: 9 },
+            AsyncEvent::SignalWakeup { tid: 3, tick: 12 },
+        ] {
             assert_eq!(AsyncEvent::from_line(&e.to_line()).unwrap(), e);
         }
         assert_eq!(AsyncEvent::Reschedule { tick: 9 }.tick(), 9);
@@ -301,7 +331,10 @@ mod tests {
 
     #[test]
     fn queue_stream_roundtrips() {
-        let q = QueueStream { first_tick: vec![1, 2, 9], next_ticks: vec![3, 4, 5, 0, 0] };
+        let q = QueueStream {
+            first_tick: vec![1, 2, 9],
+            next_ticks: vec![3, 4, 5, 0, 0],
+        };
         let text = q.to_text();
         assert_eq!(QueueStream::from_text(&text).unwrap(), q);
         assert!(!q.is_empty());
@@ -310,7 +343,10 @@ mod tests {
 
     #[test]
     fn queue_stream_uses_rle() {
-        let q = QueueStream { first_tick: vec![1], next_ticks: (2..1000).collect() };
+        let q = QueueStream {
+            first_tick: vec![1],
+            next_ticks: (2..1000).collect(),
+        };
         let text = q.to_text();
         assert!(text.len() < 40, "RLE should collapse the run: {text}");
     }
@@ -359,7 +395,10 @@ mod tests {
     #[test]
     fn syscall_parse_rejects_malformed() {
         assert!(parse_syscalls("syscall 0 1").is_err());
-        assert!(parse_syscalls("buf 3 aabbcc").is_err(), "buf before syscall");
+        assert!(
+            parse_syscalls("buf 3 aabbcc").is_err(),
+            "buf before syscall"
+        );
         assert!(
             parse_syscalls("syscall 0 1 2 recv ret=0 errno=0 nbufs=1\n").is_err(),
             "missing buf line"
@@ -383,7 +422,10 @@ mod tests {
             errno: 0,
             bufs: vec![],
         };
-        let big = SyscallRecord { bufs: vec![(0..200).collect()], ..small.clone() };
+        let big = SyscallRecord {
+            bufs: vec![(0..200).collect()],
+            ..small.clone()
+        };
         assert!(small.encoded_size() > 0);
         assert!(big.encoded_size() > small.encoded_size());
     }

@@ -1,8 +1,120 @@
-//! Property tests: every codec and stream roundtrips on arbitrary input.
+//! Property tests: every codec and stream roundtrips on arbitrary input,
+//! and the offline demo linter (`srr-analysis`) accepts exactly the
+//! well-formed serializations.
 
 use proptest::prelude::*;
 use srr_replay::rle;
 use srr_replay::{AsyncEvent, Demo, DemoHeader, QueueStream, SignalEvent, SyscallRecord};
+
+/// A demo whose streams are derived from an actual schedule — the QUEUE
+/// linked-list invariants (exact cover of ticks `1..=T`, forward-pointing
+/// next links) only hold for streams built the way the recorder builds
+/// them, so arbitrary vectors won't do.
+fn demo_from_schedule(
+    nthreads: usize,
+    order: &[usize],
+    signals: &[(usize, u64, i32)],
+    syscalls: &[(usize, u64, Vec<Vec<u8>>)],
+    asyncs: &[(bool, usize, u64)],
+    alloc: Vec<u64>,
+) -> Demo {
+    let mut first = vec![0u64; nthreads];
+    let mut next = vec![0u64; order.len()];
+    let mut last_idx: Vec<Option<usize>> = vec![None; nthreads];
+    for (idx, &tid) in order.iter().enumerate() {
+        let tick = (idx + 1) as u64;
+        match last_idx[tid] {
+            None => first[tid] = tick,
+            Some(prev) => next[prev] = tick,
+        }
+        last_idx[tid] = Some(idx);
+    }
+
+    let mut demo = Demo::new(DemoHeader::new("tsan11rec", "queue", [5, 9]));
+    demo.queue = QueueStream {
+        first_tick: first,
+        next_ticks: next,
+    };
+
+    // SIGNAL ticks need only be per-tid non-decreasing; sorting by
+    // (tid, tick) models the per-thread recording order.
+    let mut signals: Vec<_> = signals.to_vec();
+    signals.sort_unstable();
+    demo.signals = signals
+        .into_iter()
+        .map(|(tid, tick, signo)| SignalEvent {
+            tid: tid as u32,
+            tick,
+            signo,
+        })
+        .collect();
+
+    // SYSCALL seq is the record index and ticks are globally monotone.
+    let mut ticks: Vec<u64> = syscalls.iter().map(|&(_, t, _)| t).collect();
+    ticks.sort_unstable();
+    demo.syscalls = syscalls
+        .iter()
+        .zip(ticks)
+        .enumerate()
+        .map(|(seq, (&(tid, _, ref bufs), tick))| SyscallRecord {
+            seq: seq as u64,
+            tid: tid as u32,
+            tick,
+            kind: "recvmsg".into(),
+            ret: bufs.first().map_or(-1, |b| b.len() as i64),
+            errno: 11,
+            bufs: bufs.clone(),
+        })
+        .collect();
+
+    let mut aticks: Vec<u64> = asyncs.iter().map(|&(_, _, t)| t).collect();
+    aticks.sort_unstable();
+    demo.async_events = asyncs
+        .iter()
+        .zip(aticks)
+        .map(|(&(resched, tid, _), tick)| {
+            if resched {
+                AsyncEvent::Reschedule { tick }
+            } else {
+                AsyncEvent::SignalWakeup {
+                    tid: tid as u32,
+                    tick,
+                }
+            }
+        })
+        .collect();
+    demo.alloc = alloc;
+    demo
+}
+
+/// Generator bundle for a valid recorded-shaped demo.
+#[allow(clippy::type_complexity)]
+fn valid_demo() -> impl Strategy<Value = Demo> {
+    (1usize..5)
+        .prop_flat_map(|nthreads| {
+            (
+                Just(nthreads),
+                proptest::collection::vec(0..nthreads, 1..40),
+                proptest::collection::vec((0..nthreads, 0u64..40, 1i32..32), 0..8),
+                proptest::collection::vec(
+                    (
+                        0..nthreads,
+                        0u64..40,
+                        proptest::collection::vec(
+                            proptest::collection::vec(any::<u8>(), 0..32),
+                            0..3,
+                        ),
+                    ),
+                    0..5,
+                ),
+                proptest::collection::vec((any::<bool>(), 0..nthreads, 0u64..40), 0..6),
+                proptest::collection::vec(0u64..1_000_000, 0..16),
+            )
+        })
+        .prop_map(|(nthreads, order, signals, syscalls, asyncs, alloc)| {
+            demo_from_schedule(nthreads, &order, &signals, &syscalls, &asyncs, alloc)
+        })
+}
 
 proptest! {
     #[test]
@@ -74,5 +186,79 @@ proptest! {
         }];
         let map = demo.to_string_map();
         prop_assert_eq!(Demo::from_string_map(&map).unwrap(), demo);
+    }
+
+    /// Any demo shaped like a real recording serializes to files the
+    /// offline linter accepts without diagnostics.
+    #[test]
+    fn schedule_shaped_demos_lint_clean(demo in valid_demo()) {
+        let map = demo.to_string_map();
+        let diags = srr_analysis::lint_demo_map(&map);
+        prop_assert!(diags.is_empty(), "clean demo flagged: {diags:?}\nmap: {map:?}");
+    }
+
+    /// Corrupting any digit in any *stream* file (every digit there is
+    /// part of a number or an RLE/hex payload) is caught: the linter
+    /// objects, or parsing fails — a corruption can never slip through
+    /// both and silently change the demo.
+    #[test]
+    fn digit_corruption_is_caught(demo in valid_demo(), file_pick in any::<u32>(), pos_pick in any::<u32>()) {
+        let mut map = demo.to_string_map();
+        let streams: Vec<String> = map
+            .keys()
+            .filter(|k| k.as_str() != "HEADER")
+            .cloned()
+            .collect();
+        prop_assume!(!streams.is_empty());
+        let name = streams[file_pick as usize % streams.len()].clone();
+        let text = map[&name].clone();
+        let digit_positions: Vec<usize> = text
+            .char_indices()
+            .filter(|&(_, c)| c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!digit_positions.is_empty());
+        let pos = digit_positions[pos_pick as usize % digit_positions.len()];
+        let mut bytes = text.into_bytes();
+        bytes[pos] = b'x';
+        map.insert(name.clone(), String::from_utf8(bytes).unwrap());
+
+        let diags = srr_analysis::lint_demo_map(&map);
+        let reparsed = Demo::from_string_map(&map);
+        prop_assert!(
+            !diags.is_empty() || reparsed.is_err(),
+            "corrupting {name} byte {pos} slipped through: parsed to {reparsed:?}"
+        );
+        // And when the *parser* still accepts the corrupted text, the
+        // linter must be the one that objected.
+        if reparsed.is_ok() {
+            prop_assert!(!diags.is_empty());
+        }
+    }
+
+    /// Deleting a buffer line from SYSCALL leaves a record short of its
+    /// declared `nbufs` — the linter must catch the truncation.
+    #[test]
+    fn missing_syscall_buffer_is_caught(demo in valid_demo(), pick in any::<u32>()) {
+        let map = demo.to_string_map();
+        let text = map.get("SYSCALL").cloned().unwrap_or_default();
+        let buf_lines: Vec<usize> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.trim_start().starts_with("buf "))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!buf_lines.is_empty());
+        let drop_ln = buf_lines[pick as usize % buf_lines.len()];
+        let corrupted: String = text
+            .lines()
+            .enumerate()
+            .filter(|&(i, _)| i != drop_ln)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let mut map = map.clone();
+        map.insert("SYSCALL".to_owned(), corrupted);
+        let diags = srr_analysis::lint_demo_map(&map);
+        prop_assert!(!diags.is_empty(), "missing buf line not caught");
     }
 }

@@ -55,7 +55,10 @@ pub struct RrOptions {
 
 impl Default for RrOptions {
     fn default() -> Self {
-        RrOptions { quantum: 16, seeds: [0xECED, 0x5EED] }
+        RrOptions {
+            quantum: 16,
+            seeds: [0xECED, 0x5EED],
+        }
     }
 }
 
@@ -63,23 +66,27 @@ impl Default for RrOptions {
 /// analysis (the paper's `rr` rows).
 #[must_use]
 pub fn rr_config(opts: RrOptions) -> Config {
-    Config::new(Mode::Tsan11Rec(Strategy::Slice { quantum: opts.quantum }))
-        .with_seeds(opts.seeds)
-        .with_sparse(SparseConfig::comprehensive())
-        .with_alloc_recording()
-        .without_race_detection()
-        .without_liveness()
+    Config::new(Mode::Tsan11Rec(Strategy::Slice {
+        quantum: opts.quantum,
+    }))
+    .with_seeds(opts.seeds)
+    .with_sparse(SparseConfig::comprehensive())
+    .with_alloc_recording()
+    .without_race_detection()
+    .without_liveness()
 }
 
 /// tsan11-instrumented code running under rr (the paper's `tsan11 + rr`
 /// rows): race detection *and* sequentialized comprehensive recording.
 #[must_use]
 pub fn tsan11_under_rr_config(opts: RrOptions) -> Config {
-    Config::new(Mode::Tsan11Rec(Strategy::Slice { quantum: opts.quantum }))
-        .with_seeds(opts.seeds)
-        .with_sparse(SparseConfig::comprehensive())
-        .with_alloc_recording()
-        .without_liveness()
+    Config::new(Mode::Tsan11Rec(Strategy::Slice {
+        quantum: opts.quantum,
+    }))
+    .with_seeds(opts.seeds)
+    .with_sparse(SparseConfig::comprehensive())
+    .with_alloc_recording()
+    .without_liveness()
 }
 
 #[cfg(test)]
@@ -187,8 +194,7 @@ mod tests {
         let (report, _demo) = Execution::new(rr_config(RrOptions::default()))
             .setup(|vos| vos.install_gpu())
             .record(|| {
-                let gpu =
-                    Fd(tsan11rec::sys::open("/dev/gpu", false).expect("gpu") as i32);
+                let gpu = Fd(tsan11rec::sys::open("/dev/gpu", false).expect("gpu") as i32);
                 let mut arg = [0u8; 8];
                 let _ = tsan11rec::sys::ioctl(gpu, tsan11rec::vos::GPU_SUBMIT_FRAME, &mut arg);
             });
@@ -201,7 +207,10 @@ mod tests {
     #[test]
     fn rr_schedule_is_sequentialized_slices() {
         let report = {
-            let mut config = rr_config(RrOptions { quantum: 4, seeds: [1, 1] });
+            let mut config = rr_config(RrOptions {
+                quantum: 4,
+                seeds: [1, 1],
+            });
             config = config.with_schedule_trace();
             Execution::new(config).run(|| {
                 let a = Arc::new(Atomic::new(0u64));

@@ -121,7 +121,9 @@ impl VectorClock {
     /// Creates a clock with capacity for `n` threads pre-allocated.
     #[must_use]
     pub fn with_capacity(n: usize) -> Self {
-        VectorClock { components: Vec::with_capacity(n) }
+        VectorClock {
+            components: Vec::with_capacity(n),
+        }
     }
 
     /// The component for thread `tid` (zero if never set).
@@ -263,7 +265,9 @@ impl fmt::Display for VectorClock {
 
 impl FromIterator<Clock> for VectorClock {
     fn from_iter<I: IntoIterator<Item = Clock>>(iter: I) -> Self {
-        VectorClock { components: iter.into_iter().collect() }
+        VectorClock {
+            components: iter.into_iter().collect(),
+        }
     }
 }
 

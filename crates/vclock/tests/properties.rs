@@ -57,7 +57,7 @@ proptest! {
         // b is a with extra explicit trailing zeros: mutually <=, and equal
         // as functions TidIndex -> Clock.
         let mut components: Vec<u64> = (0..a.len()).map(|t| a.get(t)).collect();
-        components.extend(std::iter::repeat(0).take(pad));
+        components.resize(components.len() + pad, 0);
         let b = VectorClock::from(components);
         prop_assert!(a.le(&b) && b.le(&a));
         let n = a.len().max(b.len());

@@ -63,7 +63,12 @@ impl Allocator {
                 // A page-aligned base somewhere in a 2^40 region, like mmap
                 // under ASLR.
                 let base = 0x1000_0000_0000 + (rng.next_u64() % (1 << 40)) / 4096 * 4096;
-                Allocator { next: base, jitter: Some(rng), scripted: None, log: Vec::new() }
+                Allocator {
+                    next: base,
+                    jitter: Some(rng),
+                    scripted: None,
+                    log: Vec::new(),
+                }
             }
             AllocMode::Deterministic => Allocator {
                 next: DETERMINISTIC_BASE,
@@ -146,7 +151,7 @@ mod tests {
         let z = a.alloc(100);
         assert_eq!(x % ALIGN, 0);
         assert!(y >= x + 10);
-        assert!(z >= y + 1);
+        assert!(z > y);
     }
 
     #[test]
@@ -155,7 +160,9 @@ mod tests {
         let a1 = rec.alloc(8);
         let a2 = rec.alloc(8);
         let mut rep = Allocator::new(
-            AllocMode::Scripted { addresses: rec.log().to_vec() },
+            AllocMode::Scripted {
+                addresses: rec.log().to_vec(),
+            },
             42,
         );
         assert_eq!(rep.alloc(8), a1);

@@ -33,7 +33,9 @@ impl Clock {
     /// A physical clock starting now.
     #[must_use]
     pub fn physical() -> Self {
-        Clock::Physical { start: Instant::now() }
+        Clock::Physical {
+            start: Instant::now(),
+        }
     }
 
     /// A scripted clock starting at zero with the given step per query.
@@ -98,6 +100,9 @@ mod tests {
         assert!(b >= a);
         assert!(!c.is_scripted());
         c.advance(1_000_000_000);
-        assert!(c.now() < 1_000_000_000, "advance is a no-op on physical clocks");
+        assert!(
+            c.now() < 1_000_000_000,
+            "advance is a no-op on physical clocks"
+        );
     }
 }

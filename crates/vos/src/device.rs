@@ -117,7 +117,10 @@ mod tests {
     use super::*;
 
     fn gpu(seed: u64) -> DeviceKind {
-        DeviceKind::OpaqueGpu { frames: 0, rng: EnvRng::new(seed) }
+        DeviceKind::OpaqueGpu {
+            frames: 0,
+            rng: EnvRng::new(seed),
+        }
     }
 
     #[test]

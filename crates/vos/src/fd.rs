@@ -36,7 +36,12 @@ pub struct PollEvents {
 impl PollEvents {
     /// Interest in readability only — the common case in the paper's
     /// workloads.
-    pub const IN: PollEvents = PollEvents { readable: true, writable: false, hup: false, err: false };
+    pub const IN: PollEvents = PollEvents {
+        readable: true,
+        writable: false,
+        hup: false,
+        err: false,
+    };
 
     /// Returns `true` if any bit is set.
     #[must_use]
@@ -81,7 +86,11 @@ impl PollFd {
     /// Interest in readability of `fd`.
     #[must_use]
     pub fn readable(fd: Fd) -> Self {
-        PollFd { fd, events: PollEvents::IN, revents: PollEvents::default() }
+        PollFd {
+            fd,
+            events: PollEvents::IN,
+            revents: PollEvents::default(),
+        }
     }
 }
 
@@ -100,7 +109,11 @@ mod tests {
     fn any_detects_bits() {
         assert!(!PollEvents::default().any());
         assert!(PollEvents::IN.any());
-        assert!(PollEvents { hup: true, ..Default::default() }.any());
+        assert!(PollEvents {
+            hup: true,
+            ..Default::default()
+        }
+        .any());
     }
 
     #[test]

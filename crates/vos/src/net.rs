@@ -121,7 +121,14 @@ impl RequestSourcePeer {
     /// `count` requests of `size` bytes, one every `interval` nanoseconds.
     #[must_use]
     pub fn new(count: u32, size: usize, interval: Nanos) -> Self {
-        RequestSourcePeer { remaining: count, size, interval, next_at: 0, responses: 0, seq: 0 }
+        RequestSourcePeer {
+            remaining: count,
+            size,
+            interval,
+            next_at: 0,
+            responses: 0,
+            seq: 0,
+        }
     }
 
     /// Responses received back so far.
@@ -168,13 +175,19 @@ impl ScriptedPeer {
     /// Sends each `(delay, data)` pair relative to connection time.
     #[must_use]
     pub fn new(script: Vec<(Nanos, Vec<u8>)>) -> Self {
-        ScriptedPeer { script, close_after: false }
+        ScriptedPeer {
+            script,
+            close_after: false,
+        }
     }
 
     /// As [`ScriptedPeer::new`], closing the connection after the last send.
     #[must_use]
     pub fn closing(script: Vec<(Nanos, Vec<u8>)>) -> Self {
-        ScriptedPeer { script, close_after: true }
+        ScriptedPeer {
+            script,
+            close_after: true,
+        }
     }
 }
 
@@ -203,7 +216,12 @@ impl Connection {
     pub(crate) fn new(mut peer: Box<dyn Peer>, now: Nanos, rng: &mut EnvRng) -> Self {
         let mut to_program = VecDeque::new();
         let mut close = false;
-        peer.on_connect(&mut PeerCtx { now, rng, outgoing: &mut to_program, close: &mut close });
+        peer.on_connect(&mut PeerCtx {
+            now,
+            rng,
+            outgoing: &mut to_program,
+            close: &mut close,
+        });
         Connection {
             peer,
             to_program,
@@ -220,8 +238,12 @@ impl Connection {
             return;
         }
         let mut close = false;
-        self.peer
-            .on_poll(&mut PeerCtx { now, rng, outgoing: &mut self.to_program, close: &mut close });
+        self.peer.on_poll(&mut PeerCtx {
+            now,
+            rng,
+            outgoing: &mut self.to_program,
+            close: &mut close,
+        });
         self.peer_closed |= close;
     }
 
@@ -233,7 +255,12 @@ impl Connection {
         self.bytes_tx += data.len() as u64;
         let mut close = false;
         self.peer.on_data(
-            &mut PeerCtx { now, rng, outgoing: &mut self.to_program, close: &mut close },
+            &mut PeerCtx {
+                now,
+                rng,
+                outgoing: &mut self.to_program,
+                close: &mut close,
+            },
             data,
         );
         self.peer_closed |= close;
@@ -344,7 +371,10 @@ mod tests {
     fn scripted_peer_plays_and_closes() {
         let mut r = rng();
         let mut conn = Connection::new(
-            Box::new(ScriptedPeer::closing(vec![(0, b"a".to_vec()), (10, b"b".to_vec())])),
+            Box::new(ScriptedPeer::closing(vec![
+                (0, b"a".to_vec()),
+                (10, b"b".to_vec()),
+            ])),
             0,
             &mut r,
         );
@@ -367,7 +397,10 @@ mod tests {
     fn partial_reads_preserve_stream_order() {
         let mut r = rng();
         let mut conn = Connection::new(
-            Box::new(ScriptedPeer::new(vec![(0, b"hello".to_vec()), (0, b"world".to_vec())])),
+            Box::new(ScriptedPeer::new(vec![
+                (0, b"hello".to_vec()),
+                (0, b"world".to_vec()),
+            ])),
             0,
             &mut r,
         );

@@ -117,6 +117,9 @@ mod tests {
         let mut r = EnvRng::new(6);
         let mut buf = [0u8; 13];
         r.fill_bytes(&mut buf);
-        assert!(buf.iter().any(|&b| b != 0), "astronomically unlikely to be all zero");
+        assert!(
+            buf.iter().any(|&b| b != 0),
+            "astronomically unlikely to be all zero"
+        );
     }
 }

@@ -152,7 +152,9 @@ impl Vos {
             strace: config.strace.then(Vec::new),
             console: Vec::new(),
         };
-        Vos { inner: Mutex::new(inner) }
+        Vos {
+            inner: Mutex::new(inner),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -189,7 +191,13 @@ impl Vos {
     pub fn install_gpu(&self) {
         let mut g = self.inner.lock();
         let seed = g.rng.next_u64();
-        g.devices.push(("/dev/gpu".into(), DeviceKind::OpaqueGpu { frames: 0, rng: EnvRng::new(seed) }));
+        g.devices.push((
+            "/dev/gpu".into(),
+            DeviceKind::OpaqueGpu {
+                frames: 0,
+                rng: EnvRng::new(seed),
+            },
+        ));
     }
 
     /// Creates (or replaces) a file with the given contents.
@@ -243,7 +251,12 @@ impl Vos {
     /// Takes the strace log (empty if strace was not enabled).
     #[must_use]
     pub fn take_strace(&self) -> Vec<String> {
-        self.inner.lock().strace.as_mut().map(std::mem::take).unwrap_or_default()
+        self.inner
+            .lock()
+            .strace
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// The console contents so far (fd 1/2 writes).
@@ -260,7 +273,11 @@ impl Vos {
             .iter()
             .map(|c| {
                 let (bytes_rx, bytes_tx) = c.traffic();
-                PeerSummary { bytes_rx, bytes_tx, closed: c.peer_closed() }
+                PeerSummary {
+                    bytes_rx,
+                    bytes_tx,
+                    closed: c.peer_closed(),
+                }
             })
             .collect()
     }
@@ -353,7 +370,11 @@ impl Vos {
     pub fn pipe(&self) -> (Fd, Fd) {
         let mut g = self.inner.lock();
         g.count_syscall("pipe", &[]);
-        g.pipes.push(Pipe { buf: VecDeque::new(), read_open: true, write_open: true });
+        g.pipes.push(Pipe {
+            buf: VecDeque::new(),
+            read_open: true,
+            write_open: true,
+        });
         let idx = g.pipes.len() - 1;
         let r = g.push_fd(FdEntry::PipeRead(idx));
         let w = g.push_fd(FdEntry::PipeWrite(idx));
@@ -576,7 +597,9 @@ impl VosInner {
     }
 
     fn read_inner(&mut self, fd: Fd, buf: &mut [u8]) -> SysResult {
-        let entry = self.fds.get(usize::try_from(fd.raw()).map_err(|_| Errno::EBADF)?);
+        let entry = self
+            .fds
+            .get(usize::try_from(fd.raw()).map_err(|_| Errno::EBADF)?);
         match entry.and_then(Option::as_ref) {
             None => Err(Errno::EBADF),
             Some(FdEntry::Console) => Ok(0), // no stdin input modelled
@@ -590,9 +613,7 @@ impl VosInner {
                     .unwrap_or_default();
                 let n = buf.len().min(data.len().saturating_sub(offset));
                 buf[..n].copy_from_slice(&data[offset..offset + n]);
-                if let Some(FdEntry::File { offset, .. }) =
-                    self.fds[fd.raw() as usize].as_mut()
-                {
+                if let Some(FdEntry::File { offset, .. }) = self.fds[fd.raw() as usize].as_mut() {
                     *offset += n;
                 }
                 Ok(n as i64)
@@ -601,7 +622,11 @@ impl VosInner {
                 let p = *p;
                 let pipe = &mut self.pipes[p];
                 if pipe.buf.is_empty() {
-                    return if pipe.write_open { Err(Errno::EAGAIN) } else { Ok(0) };
+                    return if pipe.write_open {
+                        Err(Errno::EAGAIN)
+                    } else {
+                        Ok(0)
+                    };
                 }
                 let n = buf.len().min(pipe.buf.len());
                 for slot in buf.iter_mut().take(n) {
@@ -629,7 +654,9 @@ impl VosInner {
     }
 
     fn write_inner(&mut self, fd: Fd, data: &[u8]) -> SysResult {
-        let entry = self.fds.get(usize::try_from(fd.raw()).map_err(|_| Errno::EBADF)?);
+        let entry = self
+            .fds
+            .get(usize::try_from(fd.raw()).map_err(|_| Errno::EBADF)?);
         match entry.and_then(Option::as_ref) {
             None => Err(Errno::EBADF),
             Some(FdEntry::Console) => {
@@ -647,9 +674,7 @@ impl VosInner {
                     file.1.resize(offset + data.len(), 0);
                 }
                 file.1[offset..offset + data.len()].copy_from_slice(data);
-                if let Some(FdEntry::File { offset, .. }) =
-                    self.fds[fd.raw() as usize].as_mut()
-                {
+                if let Some(FdEntry::File { offset, .. }) = self.fds[fd.raw() as usize].as_mut() {
                     *offset += data.len();
                 }
                 Ok(data.len() as i64)
@@ -685,7 +710,11 @@ impl VosInner {
             None => return Err(Errno::EBADF),
         };
         let now = self.clock.now();
-        let due = self.listeners[l].1.plan.front().is_some_and(|&at| at <= now);
+        let due = self.listeners[l]
+            .1
+            .plan
+            .front()
+            .is_some_and(|&at| at <= now);
         if !due {
             return Err(Errno::EAGAIN);
         }
@@ -705,8 +734,9 @@ impl VosInner {
     fn poll_inner(&mut self, fds: &mut [PollFd]) -> SysResult {
         let now = self.clock.now();
         // Drive every polled connection first (lazy world advancement).
-        for i in 0..fds.len() {
-            if let Some(FdEntry::Conn(c)) = self.entry(fds[i].fd) {
+        let polled_fds: Vec<_> = fds.iter().map(|pfd| pfd.fd).collect();
+        for fd in polled_fds {
+            if let Some(FdEntry::Conn(c)) = self.entry(fd) {
                 let c = *c;
                 self.drive_conn(c, now);
             }
@@ -724,7 +754,11 @@ impl VosInner {
                 }
                 Some(FdEntry::Listener(l)) => {
                     pfd.revents.readable = pfd.events.readable
-                        && self.listeners[*l].1.plan.front().is_some_and(|&at| at <= now);
+                        && self.listeners[*l]
+                            .1
+                            .plan
+                            .front()
+                            .is_some_and(|&at| at <= now);
                 }
                 Some(FdEntry::PipeRead(p)) => {
                     let pipe = &self.pipes[*p];
@@ -840,7 +874,10 @@ mod tests {
     fn listener_accept_flow() {
         let vos = det();
         vos.install_listener(8080, vec![0, 0], |_rng, idx| {
-            Box::new(ScriptedPeer::new(vec![(0, format!("client{idx}").into_bytes())]))
+            Box::new(ScriptedPeer::new(vec![(
+                0,
+                format!("client{idx}").into_bytes(),
+            )]))
         });
         let lfd = Fd(vos.bind(8080).unwrap() as i32);
         let c1 = Fd(vos.accept(lfd).unwrap() as i32);
@@ -910,7 +947,10 @@ mod tests {
         let fd = Fd(vos.open("/dev/gpu", false).unwrap() as i32);
         assert!(vos.fd_is_opaque_device(fd));
         let mut arg = [0u8; 8];
-        assert_eq!(vos.ioctl(fd, crate::device::GPU_SUBMIT_FRAME, &mut arg), Ok(0));
+        assert_eq!(
+            vos.ioctl(fd, crate::device::GPU_SUBMIT_FRAME, &mut arg),
+            Ok(0)
+        );
         assert_eq!(vos.gpu_frames(), 1);
         assert_eq!(vos.ioctl(fd, 0x9999, &mut arg), Err(Errno::EINVAL));
         assert_eq!(vos.ioctl(Fd(1), 1, &mut arg), Err(Errno::ENOTTY));

@@ -12,7 +12,11 @@ use sparse_rr::tsan11rec::{Execution, SparseConfig};
 
 fn main() {
     let params = NetPlayParams::default();
-    let config = || Tool::QueueRec.config([7, 9]).with_sparse(SparseConfig::games());
+    let config = || {
+        Tool::QueueRec
+            .config([7, 9])
+            .with_sparse(SparseConfig::games())
+    };
 
     println!("== playing multiplayer sessions until the map-change bug bites ==");
     println!("(the bug needs another client's join to race a map change — an");
@@ -45,7 +49,10 @@ fn main() {
     {
         println!("  {line}");
     }
-    assert!(rep.console_text().contains("DESYNC BUG"), "bug must reproduce");
+    assert!(
+        rep.console_text().contains("DESYNC BUG"),
+        "bug must reproduce"
+    );
     assert_eq!(rep.console, rec_console, "bit-identical session log");
     println!("\nThe bug replays deterministically from the demo — record once,");
     println!("debug forever (the paper's Zandronum tracker-#2380 result).");

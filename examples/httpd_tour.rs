@@ -43,7 +43,9 @@ fn main() {
             qps,
             native / qps,
             r.report.races,
-            r.demo.as_ref().map_or("-".into(), |d| d.size_bytes().to_string()),
+            r.demo
+                .as_ref()
+                .map_or("-".into(), |d| d.size_bytes().to_string()),
         );
     }
 

@@ -18,7 +18,10 @@ fn main() {
         let r = run_tool(Tool::Rnd, [seed, seed * 31 + 7], |_| {}, fig1_racy);
         assert!(r.report.outcome.is_ok(), "{:?}", r.report.outcome);
         if r.report.races > 0 {
-            println!("seed {seed}: RACE after {} critical sections", r.report.ticks);
+            println!(
+                "seed {seed}: RACE after {} critical sections",
+                r.report.ticks
+            );
             for report in &r.report.race_reports {
                 println!("  {report}");
             }
@@ -39,12 +42,17 @@ fn main() {
     }
 
     println!("\n== sweep: race rate per strategy over the whole litmus suite (50 runs each) ==\n");
-    println!("{:<18} {:>8} {:>8} {:>8}", "benchmark", "tsan11", "rnd", "queue");
+    println!(
+        "{:<18} {:>8} {:>8} {:>8}",
+        "benchmark", "tsan11", "rnd", "queue"
+    );
     for litmus in table1_suite() {
         let rate = |tool: Tool| {
             let racy = (0..50u64)
                 .filter(|&s| {
-                    run_tool(tool, [s, s + 1000], |_| {}, litmus.run).report.racy()
+                    run_tool(tool, [s, s + 1000], |_| {}, litmus.run)
+                        .report
+                        .racy()
                 })
                 .count();
             format!("{}%", racy * 2)

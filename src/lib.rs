@@ -54,6 +54,6 @@ pub mod substrates {
 
 // Convenience re-exports of the items nearly every user touches.
 pub use tsan11rec::{
-    Atomic, Condvar, Config, Demo, ExecReport, Execution, MemOrder, Mode, Mutex, Outcome,
-    Shared, SparseConfig, Strategy,
+    Atomic, Condvar, Config, Demo, ExecReport, Execution, MemOrder, Mode, Mutex, Outcome, Shared,
+    SparseConfig, Strategy,
 };

@@ -79,7 +79,8 @@ fn figure6_signal_floats_to_preceding_tick() {
         .record(program);
     assert!(rec.outcome.is_ok(), "{:?}", rec.outcome);
     assert!(
-        !rec.console_text().contains("handler at 18446744073709551615"),
+        !rec.console_text()
+            .contains("handler at 18446744073709551615"),
         "handler must have run during recording: {}",
         rec.console_text()
     );
@@ -128,7 +129,12 @@ fn figure7_reschedules_replay_at_their_ticks() {
     let reschedules = demo
         .async_events
         .iter()
-        .filter(|e| matches!(e, sparse_rr::substrates::replay::AsyncEvent::Reschedule { .. }))
+        .filter(|e| {
+            matches!(
+                e,
+                sparse_rr::substrates::replay::AsyncEvent::Reschedule { .. }
+            )
+        })
         .count();
     assert!(reschedules > 0, "the hog must have triggered reschedules");
 

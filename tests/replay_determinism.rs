@@ -72,10 +72,7 @@ fn program(threads: Vec<Vec<Op>>) -> impl FnOnce() + Send + 'static {
                             Op::RecvTry => {
                                 let mut buf = [0u8; 8];
                                 if let Ok(n) = sys::recv(conn, &mut buf) {
-                                    sys::println(&format!(
-                                        "t{t} recv {:?}",
-                                        &buf[..n as usize]
-                                    ));
+                                    sys::println(&format!("t{t} recv {:?}", &buf[..n as usize]));
                                 }
                             }
                             Op::Poll => {
@@ -106,7 +103,7 @@ fn program(threads: Vec<Vec<Op>>) -> impl FnOnce() + Send + 'static {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn recorded_programs_replay_identically(
