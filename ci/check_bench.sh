@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI bench smoke: run every table bench in quick mode, then gate the
+# emitted BENCH_*.json reports against the committed baseline.
+#
+# Usage: ci/check_bench.sh [threshold]   (default 0.25 = ±25%)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${1:-0.25}"
+
+for table in table1 table2 table3 table5; do
+  echo "=== bench $table (--quick) ==="
+  cargo bench -p srr-bench --bench "$table" -- --quick
+done
+
+cargo run --release -p srr-bench --bin check_bench -- \
+  --threshold "$THRESHOLD" bench/baseline.json BENCH_table*.json

@@ -4,7 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use srr_rr::{rr_config, tsan11_under_rr_config, RrOptions};
-use tsan11rec::{Config, Demo, ExecReport, Execution, Mode, Strategy};
+use tsan11rec::{Config, Demo, ExecReport, Execution, Mode, SchedCounters, Strategy};
 
 /// One of the paper's tool configurations (§5's table columns).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -219,6 +219,37 @@ impl Stats {
 #[must_use]
 pub fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1_000.0
+}
+
+/// Accumulates scheduler wakeup counters over repeated runs of one
+/// benchmark cell, for the `BENCH_*.json` reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedTotals {
+    sum: SchedCounters,
+    runs: u64,
+}
+
+impl SchedTotals {
+    /// Folds one run's counters in.
+    pub fn add(&mut self, report: &ExecReport) {
+        self.sum.ticks += report.sched.ticks;
+        self.sum.wakeups_issued += report.sched.wakeups_issued;
+        self.sum.broadcasts += report.sched.broadcasts;
+        self.sum.spurious_wakeups += report.sched.spurious_wakeups;
+        self.runs += 1;
+    }
+
+    /// Summed counters across all folded runs.
+    #[must_use]
+    pub fn total(&self) -> SchedCounters {
+        self.sum
+    }
+
+    /// Whether any folded run actually exercised the scheduler.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.runs > 0 && self.sum.ticks > 0
+    }
 }
 
 #[cfg(test)]

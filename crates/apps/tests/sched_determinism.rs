@@ -1,0 +1,289 @@
+//! Scheduler determinism suite for the targeted-wakeup parking-slot
+//! design: the wakeup *mechanism* must not influence which thread the
+//! strategy picks, so (a) same seed ⇒ same schedule, (b) record → replay
+//! stays desync-free, and (c) demos recorded under the old broadcast
+//! scheduler (committed fixture) still replay cleanly.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tsan11rec::{soft_desync, Condvar, Config, Demo, ExecReport, Execution, Mode, Mutex, Strategy};
+
+/// A mutex+condvar-heavy workload: `PRODUCERS` producers push into a
+/// bounded buffer, `CONSUMERS` consumers drain it, everyone blocks on
+/// condvars constantly. The console output (sum and count) is the
+/// observable surface compared across runs.
+const PRODUCERS: usize = 3;
+const CONSUMERS: usize = 3;
+const ITEMS_PER_PRODUCER: usize = 20;
+const CAPACITY: usize = 4;
+
+struct Buffer {
+    queue: Mutex<BufferState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+struct BufferState {
+    items: Vec<u64>,
+    pushed: usize,
+    producers_done: usize,
+}
+
+fn bounded_buffer() {
+    let buf = Arc::new(Buffer {
+        queue: Mutex::new(BufferState {
+            items: Vec::new(),
+            pushed: 0,
+            producers_done: 0,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+
+    let mut handles = Vec::new();
+    for p in 0..PRODUCERS {
+        let buf = Arc::clone(&buf);
+        handles.push(tsan11rec::thread::spawn(move || {
+            for i in 0..ITEMS_PER_PRODUCER {
+                let mut g = buf.queue.lock();
+                while g.items.len() >= CAPACITY {
+                    g = buf.not_full.wait(g);
+                }
+                let value = (p * ITEMS_PER_PRODUCER + i) as u64;
+                g.items.push(value);
+                g.pushed += 1;
+                drop(g);
+                buf.not_empty.notify_one();
+            }
+            let mut g = buf.queue.lock();
+            g.producers_done += 1;
+            let all_done = g.producers_done == PRODUCERS;
+            drop(g);
+            if all_done {
+                // Consumers blocked on an empty buffer must all see the
+                // shutdown condition: a genuine broadcast point.
+                buf.not_empty.notify_all();
+            }
+        }));
+    }
+
+    let mut consumers = Vec::new();
+    for _ in 0..CONSUMERS {
+        let buf = Arc::clone(&buf);
+        consumers.push(tsan11rec::thread::spawn(move || {
+            let mut sum = 0u64;
+            let mut count = 0u64;
+            loop {
+                let mut g = buf.queue.lock();
+                while g.items.is_empty() {
+                    if g.producers_done == PRODUCERS {
+                        drop(g);
+                        return (sum, count);
+                    }
+                    g = buf.not_empty.wait(g);
+                }
+                let v = g.items.remove(0);
+                drop(g);
+                buf.not_full.notify_one();
+                sum += v;
+                count += 1;
+            }
+        }));
+    }
+
+    for h in handles {
+        h.join();
+    }
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    for c in consumers {
+        let (s, n) = c.join();
+        sum += s;
+        count += n;
+    }
+    tsan11rec::sys::println(&format!("consumed {count} items, sum {sum}"));
+}
+
+fn config(strategy: Strategy, seeds: [u64; 2]) -> Config {
+    // Liveness reschedules arrive on wall-clock time; determinism
+    // assertions need them off.
+    Config::new(Mode::Tsan11Rec(strategy))
+        .with_seeds(seeds)
+        .without_liveness()
+        .with_schedule_trace()
+}
+
+fn run_once(strategy: Strategy, seeds: [u64; 2]) -> ExecReport {
+    Execution::new(config(strategy, seeds)).run(bounded_buffer)
+}
+
+fn expected_total() -> (u64, u64) {
+    let count = (PRODUCERS * ITEMS_PER_PRODUCER) as u64;
+    let sum = (0..count).sum();
+    (count, sum)
+}
+
+fn assert_complete(report: &ExecReport, label: &str) {
+    assert!(report.outcome.is_ok(), "{label}: {:?}", report.outcome);
+    let (count, sum) = expected_total();
+    assert_eq!(
+        report.console_text(),
+        format!("consumed {count} items, sum {sum}\n"),
+        "{label}: all items consumed exactly once"
+    );
+}
+
+const STRATEGIES: [(&str, Strategy); 3] = [
+    ("random", Strategy::Random),
+    ("queue", Strategy::Queue),
+    ("pct", Strategy::Pct { switch_denom: 8 }),
+];
+
+/// Strategies whose schedule is a pure function of the seed. The queue
+/// strategy is excluded by design: it runs threads in *arrival* order,
+/// which depends on OS timing — that is exactly why `needs_queue_stream`
+/// records the arrival order for its replay.
+const SEEDED: [(&str, Strategy); 2] = [
+    ("random", Strategy::Random),
+    ("pct", Strategy::Pct { switch_denom: 8 }),
+];
+
+#[test]
+fn same_seed_same_schedule() {
+    for (name, strategy) in SEEDED {
+        let a = run_once(strategy, [11, 13]);
+        let b = run_once(strategy, [11, 13]);
+        assert_complete(&a, name);
+        assert_eq!(
+            a.tick_trace(),
+            b.tick_trace(),
+            "{name}: same seed must give an identical schedule"
+        );
+        assert!(!soft_desync(&a, &b), "{name}: console must match");
+    }
+}
+
+#[test]
+fn different_seeds_reach_different_schedules() {
+    // Sanity check that the trace comparison above has teeth: across a
+    // handful of seeds the random strategy must produce at least two
+    // distinct schedules.
+    let mut traces = Vec::new();
+    for seed in 0..4u64 {
+        let r = run_once(Strategy::Random, [seed, seed * 31 + 7]);
+        assert_complete(&r, "random");
+        traces.push(r.tick_trace());
+    }
+    assert!(
+        traces.iter().any(|t| *t != traces[0]),
+        "schedules never vary across seeds — trace is not discriminating"
+    );
+}
+
+#[test]
+fn record_replay_no_desync() {
+    for (name, strategy) in STRATEGIES {
+        let (rec, demo) = Execution::new(config(strategy, [11, 13])).record(bounded_buffer);
+        assert_complete(&rec, name);
+        let rep = Execution::new(config(strategy, [11, 13])).replay(&demo, bounded_buffer);
+        assert_complete(&rep, name);
+        assert!(
+            rep.desync().is_none(),
+            "{name}: replay hit a hard desync: {:?}",
+            rep.outcome
+        );
+        assert!(!soft_desync(&rec, &rep), "{name}: replay console matches");
+        assert_eq!(
+            rec.tick_trace(),
+            rep.tick_trace(),
+            "{name}: replay reproduces the recorded schedule"
+        );
+    }
+}
+
+/// With liveness off and no signals, `Tick()` is the only source of
+/// targeted wakeups (≤ 1 each), so the counters surfaced through
+/// `ExecReport` must satisfy `wakeups_issued ≤ ticks + broadcasts`.
+#[test]
+fn wakeup_counters_invariant() {
+    for (name, strategy) in STRATEGIES {
+        let r = run_once(strategy, [11, 13]);
+        assert_complete(&r, name);
+        let c = r.sched;
+        assert!(c.ticks > 0, "{name}: controlled run must tick");
+        assert!(
+            c.wakeups_issued <= c.ticks + c.broadcasts,
+            "{name}: wakeups {} > ticks {} + broadcasts {}",
+            c.wakeups_issued,
+            c.ticks,
+            c.broadcasts
+        );
+    }
+}
+
+fn fixture_dir(strategy: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/sched")
+        .join(strategy)
+}
+
+/// Demos recorded by the pre-change broadcast scheduler must replay
+/// cleanly on the current scheduler: replay determinism comes from the
+/// strategy's choices (the QUEUE stream), not the wakeup mechanism.
+#[test]
+fn replay_prechange_fixture() {
+    for (name, strategy) in STRATEGIES {
+        let dir = fixture_dir(name);
+        let demo = Demo::load_dir(&dir)
+            .unwrap_or_else(|e| panic!("fixture {} unreadable: {e:?}", dir.display()));
+        let expected_console =
+            std::fs::read_to_string(dir.join("CONSOLE")).expect("fixture console");
+        let rep = Execution::new(config(strategy, [11, 13])).replay(&demo, bounded_buffer);
+        assert!(
+            rep.desync().is_none(),
+            "{name}: pre-change demo must replay without hard desync: {:?}",
+            rep.outcome
+        );
+        assert!(rep.outcome.is_ok(), "{name}: {:?}", rep.outcome);
+        assert_eq!(
+            rep.console_text(),
+            expected_console,
+            "{name}: replay console matches the recorded fixture"
+        );
+    }
+}
+
+/// For the seeded strategies, a fresh recording with the fixture's seed
+/// must reproduce the fixture's QUEUE stream bit for bit: the wakeup
+/// mechanism must not leak into what the strategy chose.
+#[test]
+fn queue_stream_identical_to_prechange_fixture() {
+    for (name, strategy) in SEEDED {
+        let dir = fixture_dir(name);
+        let fixture = Demo::load_dir(&dir)
+            .unwrap_or_else(|e| panic!("fixture {} unreadable: {e:?}", dir.display()));
+        let (rec, demo) = Execution::new(config(strategy, [11, 13])).record(bounded_buffer);
+        assert_complete(&rec, name);
+        assert_eq!(
+            demo.queue, fixture.queue,
+            "{name}: same seed must record the pre-change QUEUE stream"
+        );
+    }
+}
+
+/// Regenerates the committed fixtures. Run explicitly when the demo
+/// format (not the scheduler) changes:
+/// `cargo test -p srr-apps --test sched_determinism -- --ignored`
+#[test]
+#[ignore = "writes tests/fixtures/sched; run manually to regenerate"]
+fn regenerate_prechange_fixture() {
+    for (name, strategy) in STRATEGIES {
+        let (rec, demo) = Execution::new(config(strategy, [11, 13])).record(bounded_buffer);
+        assert_complete(&rec, name);
+        let dir = fixture_dir(name);
+        demo.save_dir(&dir).expect("save fixture");
+        std::fs::write(dir.join("CONSOLE"), rec.console_text()).expect("save console");
+        println!("regenerated {}", dir.display());
+    }
+}

@@ -6,10 +6,15 @@
 //! is `SRR_BENCH_RUNS` (200) per cell.
 
 use srr_apps::litmus::table1_suite;
-use srr_bench::{banner, bench_runs, mean_sd, ms, run_tool, seeds_for, Stats, TablePrinter, Tool};
+use srr_bench::report::{BenchReport, BenchRow};
+use srr_bench::{
+    banner, bench_runs, mean_sd, ms, quick_mode, run_tool, seeds_for, SchedTotals, Stats,
+    TablePrinter, Tool,
+};
 
 fn main() {
-    let runs = bench_runs(200);
+    let runs = if quick_mode() { 10 } else { bench_runs(200) };
+    let mut json = BenchReport::new("table1", "CDSchecker litmus times (ms)", runs, 1);
     banner(&format!(
         "Table 1: CDSchecker litmus tests — {runs} runs per cell (paper: 1000)"
     ));
@@ -33,6 +38,7 @@ fn main() {
         for tool in tools {
             let mut times = Vec::with_capacity(runs);
             let mut racy = 0u32;
+            let mut sched = SchedTotals::default();
             for i in 0..runs {
                 let r = run_tool(tool, seeds_for(i), |_| {}, litmus.run);
                 assert!(
@@ -45,8 +51,14 @@ fn main() {
                 if r.report.races > 0 {
                     racy += 1;
                 }
+                sched.add(&r.report);
             }
             let stats = Stats::of(&times);
+            let mut row = BenchRow::from_stats(litmus.name, tool.label(), "ms", false, &stats);
+            if sched.any() {
+                row = row.with_sched(sched.total());
+            }
+            json.push(row);
             cells.push(mean_sd(&stats));
             cells.push(format!("{:.1}%", 100.0 * f64::from(racy) / runs as f64));
         }
@@ -54,6 +66,7 @@ fn main() {
         table.row(&refs);
     }
 
+    json.write().expect("write BENCH_table1.json");
     println!();
     println!("Shape checks vs the paper:");
     println!("  * rnd finds races on benchmarks where tsan11/queue find almost none");

@@ -1,14 +1,28 @@
 //! **Table 2**: httpd throughput (queries/second), overhead vs native,
 //! and race reports per run, for every tool configuration — with race
 //! reporting enabled and disabled — plus the §5.2 demo-size paragraph
-//! (bytes per request, tsan11rec vs rr).
+//! (bytes per request, tsan11rec vs rr) and a worker-scaling section
+//! (the targeted-wakeup fast path shows up at higher worker counts,
+//! where a broadcast scheduler wakes the whole herd per tick).
+//!
+//! Writes `BENCH_table2.json` (see `srr_bench::report` for the schema);
+//! pass `--quick` for the CI smoke profile.
 
 use srr_apps::httpd::{server, world, HttpdParams};
+use srr_bench::report::{BenchReport, BenchRow, Json};
 use srr_bench::{
-    banner, bench_runs, bench_scale, overhead, run_tool, seeds_for, Stats, TablePrinter, Tool,
+    banner, bench_runs, bench_scale, overhead, quick_mode, run_tool, seeds_for, SchedTotals, Stats,
+    TablePrinter, Tool,
 };
+use tsan11rec::ExecReport;
 
-fn throughput_run(tool: Tool, params: HttpdParams, i: usize, report_races: bool) -> (f64, u64) {
+/// Pre-change reference: queue-strategy qps at 8 workers measured on the
+/// broadcast (`notify_all`-per-tick) scheduler this PR replaces, same
+/// workload and quick profile, recorded before the targeted-wakeup
+/// change landed. Kept in the JSON so the improvement stays checkable.
+const PRE_CHANGE_QUEUE_W8_QPS: f64 = 2215.0; // mean of 3 quick runs, broadcast scheduler
+
+fn throughput_run(tool: Tool, params: HttpdParams, i: usize, report_races: bool) -> ExecReport {
     let mut config = tool.config(seeds_for(i));
     if !report_races {
         config = config.without_reports();
@@ -20,23 +34,52 @@ fn throughput_run(tool: Tool, params: HttpdParams, i: usize, report_races: bool)
         exec.run(server(params))
     };
     assert!(report.outcome.is_ok(), "{tool}: {:?}", report.outcome);
-    let qps = f64::from(params.total_queries) / report.duration.as_secs_f64();
-    (qps, report.races)
+    report
+}
+
+fn qps(params: HttpdParams, report: &ExecReport) -> f64 {
+    f64::from(params.total_queries) / report.duration.as_secs_f64()
+}
+
+/// Measures one cell: `runs` repetitions of `tool` on `params`.
+fn cell(tool: Tool, params: HttpdParams, runs: usize, report_races: bool) -> (Stats, SchedTotals) {
+    let mut samples = Vec::new();
+    let mut sched = SchedTotals::default();
+    for i in 0..runs {
+        let report = throughput_run(tool, params, i, report_races);
+        samples.push(qps(params, &report));
+        sched.add(&report);
+    }
+    (Stats::of(&samples), sched)
+}
+
+fn row(workload: &str, tool: Tool, stats: &Stats, sched: &SchedTotals, native: f64) -> BenchRow {
+    let mut row = BenchRow::from_stats(workload, tool.label(), "qps", true, stats);
+    if native > 0.0 && tool != Tool::Native {
+        // Throughput metric: overhead is how many times slower than native.
+        row = row.with_overhead(native / stats.mean);
+    }
+    if sched.any() {
+        row = row.with_sched(sched.total());
+    }
+    row
 }
 
 fn main() {
-    let runs = bench_runs(5);
+    let quick = quick_mode();
+    let runs = if quick { 2 } else { bench_runs(5) };
     let scale = bench_scale();
     let params = HttpdParams {
         workers: 4,
         clients: 10,
-        total_queries: (200 * scale) as u32,
+        total_queries: if quick { 60 } else { (200 * scale) as u32 },
         response_bytes: 128,
         service_latency_us: 1_000,
     };
+    let mut json = BenchReport::new("table2", "httpd throughput (queries/second)", runs, scale);
     banner(&format!(
-        "Table 2: httpd — {} queries x 10 clients, {runs} runs per cell (paper: 10000 x 10)",
-        params.total_queries
+        "Table 2: httpd — {} queries x {} clients, {runs} runs per cell (paper: 10000 x 10)",
+        params.total_queries, params.clients
     ));
 
     let tools = [
@@ -61,19 +104,31 @@ fn main() {
         ],
         &[12, 14, 7, 10, 14, 7],
     );
+    let workload = format!("httpd w{}", params.workers);
     let mut native_qps = 0.0;
     for tool in tools {
         // With race reporting (where the tool detects at all).
         let detecting = tool.config([0, 0]).detect_races && tool != Tool::Native;
         let (rep_cell, ovh_cell, races_cell) = if detecting {
-            let mut qps = Vec::new();
+            let mut samples = Vec::new();
             let mut races = Vec::new();
+            let mut sched = SchedTotals::default();
             for i in 0..runs {
-                let (q, r) = throughput_run(tool, params, i, true);
-                qps.push(q);
-                races.push(r as f64);
+                let report = throughput_run(tool, params, i, true);
+                samples.push(qps(params, &report));
+                races.push(report.races as f64);
+                sched.add(&report);
             }
-            let s = Stats::of(&qps);
+            let s = Stats::of(&samples);
+            let config = format!("{} (reports)", tool.label());
+            let mut r = BenchRow::from_stats(&workload, &config, "qps", true, &s);
+            if native_qps > 0.0 {
+                r = r.with_overhead(native_qps / s.mean);
+            }
+            if sched.any() {
+                r = r.with_sched(sched.total());
+            }
+            json.push(r);
             (
                 format!("{:.0} ({:.0})", s.mean, s.stddev),
                 overhead(s.mean, native_qps),
@@ -84,15 +139,11 @@ fn main() {
         };
 
         // Without reports (all tools measurable).
-        let mut qps = Vec::new();
-        for i in 0..runs {
-            let (q, _) = throughput_run(tool, params, i, false);
-            qps.push(q);
-        }
-        let s = Stats::of(&qps);
+        let (s, sched) = cell(tool, params, runs, false);
         if tool == Tool::Native {
             native_qps = s.mean;
         }
+        json.push(row(&workload, tool, &s, &sched, native_qps));
         let norep_ovh = if tool == Tool::Native {
             "1.0x".to_owned()
         } else {
@@ -107,6 +158,66 @@ fn main() {
             &format!("{:.0} ({:.0})", s.mean, s.stddev),
             &norep_ovh,
         ]);
+    }
+
+    // Worker scaling: the wakeup fast path matters most when many worker
+    // threads are parked in Wait() at once. The 8-worker queue row is the
+    // PR's acceptance metric.
+    banner("Worker scaling: qps by worker count (no reports)");
+    let scaling_table = TablePrinter::new(
+        &["workers", "setup", "qps", "ovh", "wakeups", "spurious"],
+        &[8, 10, 14, 7, 10, 10],
+    );
+    for workers in [2, 4, 8] {
+        let p = HttpdParams { workers, ..params };
+        let wl = format!("httpd w{workers}");
+        let mut native = 0.0;
+        for tool in [Tool::Native, Tool::Rnd, Tool::Queue] {
+            let (s, sched) = cell(tool, p, runs, false);
+            if tool == Tool::Native {
+                native = s.mean;
+            }
+            if workers != params.workers {
+                // The w4 rows were already emitted by the main table.
+                json.push(row(&wl, tool, &s, &sched, native));
+            }
+            let t = sched.total();
+            scaling_table.row(&[
+                &workers.to_string(),
+                tool.label(),
+                &format!("{:.0} ({:.0})", s.mean, s.stddev),
+                &if tool == Tool::Native {
+                    "1.0x".to_owned()
+                } else {
+                    format!("{:.1}x", native / s.mean)
+                },
+                &if sched.any() {
+                    t.wakeups_issued.to_string()
+                } else {
+                    "-".to_owned()
+                },
+                &if sched.any() {
+                    t.spurious_wakeups.to_string()
+                } else {
+                    "-".to_owned()
+                },
+            ]);
+            if workers == 8 && tool == Tool::Queue && PRE_CHANGE_QUEUE_W8_QPS > 0.0 {
+                let change = s.mean / PRE_CHANGE_QUEUE_W8_QPS - 1.0;
+                println!(
+                    "    queue w8 vs pre-change broadcast scheduler: {:.0} vs {:.0} qps ({:+.1}%)",
+                    s.mean,
+                    PRE_CHANGE_QUEUE_W8_QPS,
+                    change * 100.0
+                );
+            }
+        }
+    }
+    if PRE_CHANGE_QUEUE_W8_QPS > 0.0 {
+        json.note(
+            "pre_change_queue_w8_qps",
+            Json::Num(PRE_CHANGE_QUEUE_W8_QPS),
+        );
     }
 
     // §5.2 demo sizes: bytes per request for tsan11rec vs rr.
@@ -131,6 +242,8 @@ fn main() {
             ]);
         }
     }
+
+    json.write().expect("write BENCH_table2.json");
     println!();
     println!("Shape checks vs the paper:");
     println!("  * queue >> rnd in throughput (the paper: 9x vs 79x overhead without");

@@ -1,11 +1,15 @@
 //! **Tables 3 & 4**: PARSEC + pbzip execution times (seconds) per tool
 //! configuration, and the overheads vs native computed from them.
+//!
+//! Writes `BENCH_table3.json` (times) and `BENCH_table4.json` (derived
+//! overheads); pass `--quick` for the CI smoke profile.
 
-use srr_apps::harness::{Stats, Tool};
+use srr_apps::harness::{SchedTotals, Stats, Tool};
 use srr_apps::parsec::{table3_suite, ParsecParams};
 use srr_apps::pbzip::{pbzip, world as pbzip_world, PbzipParams};
-use srr_bench::{banner, bench_runs, bench_scale, seeds_for, TablePrinter};
-use tsan11rec::Execution;
+use srr_bench::report::{BenchReport, BenchRow};
+use srr_bench::{banner, bench_runs, bench_scale, quick_mode, seeds_for, TablePrinter};
+use tsan11rec::{ExecReport, Execution};
 
 const TOOLS: [Tool; 8] = [
     Tool::Native,
@@ -23,7 +27,7 @@ fn run_once(
     setup: impl FnOnce(&tsan11rec::vos::Vos) + Send + 'static,
     program: impl FnOnce() + Send + 'static,
     i: usize,
-) -> f64 {
+) -> ExecReport {
     let exec = Execution::new(tool.config(seeds_for(i))).setup(setup);
     let report = if tool.records() {
         exec.record(program).0
@@ -31,17 +35,35 @@ fn run_once(
         exec.run(program)
     };
     assert!(report.outcome.is_ok(), "{tool}: {:?}", report.outcome);
-    report.duration.as_secs_f64()
+    report
+}
+
+/// One measured cell: per-run times in seconds plus summed scheduler
+/// counters.
+fn cell(times: &[f64], sched: SchedTotals, workload: &str, tool: Tool, native: f64) -> BenchRow {
+    let s = Stats::of(times);
+    let mut row = BenchRow::from_stats(workload, tool.label(), "s", false, &s);
+    if native > 0.0 && tool != Tool::Native {
+        row = row.with_overhead(s.mean / native);
+    }
+    if sched.any() {
+        row = row.with_sched(sched.total());
+    }
+    row
 }
 
 fn main() {
-    let runs = bench_runs(5);
+    let quick = quick_mode();
+    let runs = if quick { 2 } else { bench_runs(5) };
     let scale = bench_scale();
+    // Quick mode shrinks the problem sizes too: the CI smoke job only
+    // checks shape and relative overheads, not absolute times.
+    let qdiv = if quick { 4 } else { 1 };
     // Per-kernel problem sizes chosen so the native run is long enough to
     // measure (tens of milliseconds) with each kernel exercising its
     // characteristic communication pattern at realistic density.
     let size_of = |name: &str| -> usize {
-        scale
+        let base = scale
             * match name {
                 "blackscholes" => 40_000,  // pure compute per thread
                 "fluidanimate" => 500,     // one lock pair per cell per step
@@ -49,13 +71,15 @@ fn main() {
                 "bodytrack" => 2_000,      // work items per frame
                 "ferret" => 1_500,         // pipeline queries
                 _ => 400,
-            }
+            };
+        (base / qdiv).max(16)
     };
     let pbzip_params = PbzipParams {
         threads: 4,
-        blocks: 10 * scale,
+        blocks: (10 * scale / qdiv).max(4),
         block_size: 64 * 1024,
     };
+    let mut json = BenchReport::new("table3", "PARSEC + pbzip execution times (s)", runs, scale);
 
     banner(&format!(
         "Table 3: execution times (s), 4 threads, {runs} runs per cell"
@@ -76,11 +100,20 @@ fn main() {
     {
         let mut row_means = Vec::new();
         let mut cells: Vec<String> = vec!["pbzip".into()];
+        let mut native = 0.0;
         for tool in TOOLS {
-            let times: Vec<f64> = (0..runs)
-                .map(|i| run_once(tool, pbzip_world(pbzip_params), pbzip(pbzip_params), i))
-                .collect();
+            let mut times = Vec::with_capacity(runs);
+            let mut sched = SchedTotals::default();
+            for i in 0..runs {
+                let r = run_once(tool, pbzip_world(pbzip_params), pbzip(pbzip_params), i);
+                times.push(r.duration.as_secs_f64());
+                sched.add(&r);
+            }
             let s = Stats::of(&times);
+            if tool == Tool::Native {
+                native = s.mean;
+            }
+            json.push(cell(&times, sched, "pbzip", tool, native));
             row_means.push(s.mean);
             cells.push(format!("{:.3}", s.mean));
         }
@@ -97,12 +130,21 @@ fn main() {
         };
         let mut row_means = Vec::new();
         let mut cells: Vec<String> = vec![kernel.name.to_owned()];
+        let mut native = 0.0;
         for tool in TOOLS {
             let run = kernel.run;
-            let times: Vec<f64> = (0..runs)
-                .map(|i| run_once(tool, |_| {}, move || run(params), i))
-                .collect();
+            let mut times = Vec::with_capacity(runs);
+            let mut sched = SchedTotals::default();
+            for i in 0..runs {
+                let r = run_once(tool, |_| {}, move || run(params), i);
+                times.push(r.duration.as_secs_f64());
+                sched.add(&r);
+            }
             let s = Stats::of(&times);
+            if tool == Tool::Native {
+                native = s.mean;
+            }
+            json.push(cell(&times, sched, kernel.name, tool, native));
             row_means.push(s.mean);
             cells.push(format!("{:.3}", s.mean));
         }
@@ -111,18 +153,28 @@ fn main() {
         names.push(kernel.name.to_owned());
         means.push(row_means);
     }
+    json.write().expect("write BENCH_table3.json");
 
     banner("Table 4: overheads vs native (computed from Table 3)");
+    let mut json4 = BenchReport::new("table4", "overheads vs native (from Table 3)", runs, scale);
     let table4 = TablePrinter::new(&headers, &widths);
     for (name, row) in names.iter().zip(&means) {
         let native = row[0];
         let mut cells: Vec<String> = vec![name.clone()];
-        for m in row {
-            cells.push(format!("{:.1}x", m / native));
+        for (tool, m) in TOOLS.iter().zip(row) {
+            let ovh = m / native;
+            if *tool != Tool::Native {
+                json4.push(
+                    BenchRow::from_stats(name, tool.label(), "x_native", false, &Stats::of(&[ovh]))
+                        .with_overhead(ovh),
+                );
+            }
+            cells.push(format!("{ovh:.1}x"));
         }
         let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
         table4.row(&refs);
     }
+    json4.write().expect("write BENCH_table4.json");
 
     println!();
     println!("Shape checks vs the paper:");

@@ -1,13 +1,16 @@
 //! **Table 5**: QuakeSpasm-style uncapped frame rates — min / 25th /
 //! median / 75th / max / mean fps and overhead vs native, per tool
 //! configuration (5 plays per configuration, as in the paper).
+//!
+//! Writes `BENCH_table5.json`; pass `--quick` for the CI smoke profile.
 
 use srr_apps::game::{game, parse_frame_stats, world, GameParams};
-use srr_apps::harness::{Stats, Tool};
-use srr_bench::{banner, bench_runs, bench_scale, seeds_for, TablePrinter};
-use tsan11rec::{Execution, SparseConfig};
+use srr_apps::harness::{SchedTotals, Stats, Tool};
+use srr_bench::report::{BenchReport, BenchRow};
+use srr_bench::{banner, bench_runs, bench_scale, quick_mode, seeds_for, TablePrinter};
+use tsan11rec::{ExecReport, Execution, SparseConfig};
 
-fn fps_of_run(tool: Tool, params: GameParams, i: usize) -> f64 {
+fn fps_of_run(tool: Tool, params: GameParams, i: usize) -> (f64, ExecReport) {
     let mut config = tool.config(seeds_for(i));
     if tool.records() {
         // Games are recordable only with ioctl ignored (§5.4).
@@ -22,21 +25,23 @@ fn fps_of_run(tool: Tool, params: GameParams, i: usize) -> f64 {
     assert!(report.outcome.is_ok(), "{tool}: {:?}", report.outcome);
     let (frames, _elapsed_virtual) =
         parse_frame_stats(&report.console_text()).expect("frame stats line");
-    f64::from(frames) / report.duration.as_secs_f64()
+    (f64::from(frames) / report.duration.as_secs_f64(), report)
 }
 
 fn main() {
-    let runs = bench_runs(5);
+    let quick = quick_mode();
+    let runs = if quick { 2 } else { bench_runs(5) };
     let scale = bench_scale();
     // QuakeSpasm-like: one audio thread with a short mixing period,
     // substantial per-frame work so the measurement window is meaningful.
     let params = GameParams {
-        frames: (300 * scale) as u32,
+        frames: if quick { 100 } else { (300 * scale) as u32 },
         capped: false,
         frame_work: 150_000,
         aux_threads: 0,
         aux_period_ms: 1,
     };
+    let mut json = BenchReport::new("table5", "uncapped frame rates (fps)", runs, scale);
     banner(&format!(
         "Table 5: uncapped fps over {} frames, {runs} plays per configuration (paper: 5 x 90s)",
         params.frames
@@ -59,11 +64,26 @@ fn main() {
     );
     let mut native_mean = 0.0;
     for tool in tools {
-        let fps: Vec<f64> = (0..runs).map(|i| fps_of_run(tool, params, i)).collect();
+        let mut fps = Vec::with_capacity(runs);
+        let mut sched = SchedTotals::default();
+        for i in 0..runs {
+            let (f, report) = fps_of_run(tool, params, i);
+            fps.push(f);
+            sched.add(&report);
+        }
         let s = Stats::of(&fps);
         if tool == Tool::Native {
             native_mean = s.mean;
         }
+        let workload = format!("game f{}", params.frames);
+        let mut row = BenchRow::from_stats(&workload, tool.label(), "fps", true, &s);
+        if tool != Tool::Native && native_mean > 0.0 {
+            row = row.with_overhead(native_mean / s.mean);
+        }
+        if sched.any() {
+            row = row.with_sched(sched.total());
+        }
+        json.push(row);
         table.row(&[
             tool.label(),
             &format!("{:.0}", s.min),
@@ -76,6 +96,7 @@ fn main() {
         ]);
     }
 
+    json.write().expect("write BENCH_table5.json");
     println!();
     println!("Shape checks vs the paper:");
     println!("  * instrumentation overhead is modest (the paper: generally < 2x);");

@@ -1,0 +1,98 @@
+//! CI regression gate for the `BENCH_*.json` reports.
+//!
+//! ```text
+//! check_bench [--threshold 0.25] <bench/baseline.json> <BENCH_*.json>...
+//! ```
+//!
+//! The baseline file maps table names to full report documents (see
+//! `bench/baseline.json` and `srr_bench::report`). Each current report
+//! is matched to its baseline table and every row is compared by
+//! `(workload, config, metric)`; a tracked metric that moves more than
+//! the threshold in its bad direction fails the gate (exit code 1).
+//! Tables or rows absent from the baseline are skipped with a notice so
+//! new benchmarks can land before the baseline is refreshed.
+
+use std::process::ExitCode;
+
+use srr_bench::report::{check_regressions, Json};
+
+const DEFAULT_THRESHOLD: f64 = 0.25;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threshold" {
+            let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("check_bench: --threshold needs a number (e.g. 0.25)");
+                return ExitCode::FAILURE;
+            };
+            threshold = v;
+        } else {
+            paths.push(arg);
+        }
+    }
+    if paths.len() < 2 {
+        eprintln!("usage: check_bench [--threshold 0.25] <baseline.json> <BENCH_*.json>...");
+        return ExitCode::FAILURE;
+    }
+
+    let baseline = match load(&paths[0]) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("check_bench: baseline unreadable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tables = baseline.get("tables").unwrap_or(&Json::Null);
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for path in &paths[1..] {
+        let current = match load(path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("check_bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(table) = current.get("table").and_then(Json::as_str) else {
+            eprintln!("check_bench: {path}: no \"table\" field — not a bench report");
+            return ExitCode::FAILURE;
+        };
+        let Some(base) = tables.get(table) else {
+            println!("[gate] {table}: no baseline entry, skipping (refresh bench/baseline.json)");
+            continue;
+        };
+        let result = check_regressions(base, &current, threshold);
+        for note in &result.skipped {
+            println!("[gate] skipped: {note}");
+        }
+        for failure in &result.failures {
+            println!("[gate] FAIL: {failure}");
+        }
+        println!(
+            "[gate] {table}: {} rows checked, {} regression(s)",
+            result.checked,
+            result.failures.len()
+        );
+        checked += result.checked;
+        failures += result.failures.len();
+    }
+
+    println!(
+        "[gate] total: {checked} rows checked, {failures} regression(s), threshold ±{:.0}%",
+        threshold * 100.0
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

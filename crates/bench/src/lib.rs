@@ -9,13 +9,29 @@
 //!
 //! Scaling: set `SRR_BENCH_RUNS` to override the per-cell repetition
 //! count and `SRR_BENCH_SCALE` to scale workload sizes (both default to
-//! quick-run values so `cargo bench` completes in minutes).
+//! quick-run values so `cargo bench` completes in minutes). Pass
+//! `--quick` (or set `SRR_BENCH_QUICK=1`) for the CI smoke profile:
+//! fewer repetitions, smaller workloads, same `BENCH_*.json` schema.
+//!
+//! Every table bench also writes a machine-readable
+//! `BENCH_<table>.json` at the repository root — see [`report`].
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
 
-pub use srr_apps::harness::{ms, run_tool, Stats, Tool};
+pub mod report;
+
+pub use srr_apps::harness::{ms, run_tool, SchedTotals, Stats, Tool};
+
+/// Whether the CI smoke profile was requested, via a `--quick` argument
+/// (cargo forwards unknown args to `harness = false` bench binaries) or
+/// `SRR_BENCH_QUICK` set to anything but `0`/empty.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("SRR_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 /// Per-cell repetitions (default 10; the paper uses 1000 for Table 1 and
 /// 10 for the application tables).

@@ -1,0 +1,880 @@
+//! Machine-readable bench reports.
+//!
+//! Every table bench emits, next to its stdout table, a
+//! `BENCH_<table>.json` file at the repository root (override the
+//! directory with `SRR_BENCH_OUT`). The schema is consumed by the CI
+//! regression gate (`check_bench`) and by future PRs tracking the perf
+//! trajectory:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "table": "table2",
+//!   "title": "httpd throughput",
+//!   "quick": true,
+//!   "runs": 3,
+//!   "scale": 1,
+//!   "rows": [
+//!     {
+//!       "workload": "httpd w8", "config": "queue",
+//!       "metric": "qps", "higher_is_better": true,
+//!       "mean": 812.4, "stddev": 31.2, "n": 3,
+//!       "overhead_vs_native": 2.1,
+//!       "ticks": 48123, "wakeups_issued": 48120,
+//!       "broadcasts": 2, "spurious_wakeups": 14
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! The workspace has no JSON dependency, so this module carries a
+//! deliberately small JSON value type with a writer and a parser — the
+//! same code serializes the reports and lets the gate read them back.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use tsan11rec::SchedCounters;
+
+use crate::Stats;
+
+/// Current report schema version (bump on breaking changes).
+pub const SCHEMA_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------
+
+/// A minimal JSON value: enough for the bench reports and the gate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (serialized via Rust's shortest-f64 formatting).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved when serializing.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (`None` on non-objects and absent keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool value, if this is a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth + 1);
+        let close_pad = "  ".repeat(depth);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_json_string(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write_pretty(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    write_json_string(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (strict enough for what [`Json::to_pretty`]
+    /// produces; numbers are f64, escapes limited to the common set).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            b as char,
+            *pos,
+            bytes.get(*pos).map(|b| *b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    other => return Err(format!("expected ',' or '}}', found {other:?}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', found {other:?}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    let mut chunk_start = *pos;
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                out.push_str(
+                    std::str::from_utf8(&bytes[chunk_start..*pos]).map_err(|e| e.to_string())?,
+                );
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                out.push_str(
+                    std::str::from_utf8(&bytes[chunk_start..*pos]).map_err(|e| e.to_string())?,
+                );
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+                chunk_start = *pos;
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+// ---------------------------------------------------------------------
+// Bench report schema
+// ---------------------------------------------------------------------
+
+/// One measured configuration of one workload.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Workload identifier (e.g. `"httpd w8"`, `"pbzip"`).
+    pub workload: String,
+    /// Tool configuration label (e.g. `"queue"`, `"rnd + rec"`).
+    pub config: String,
+    /// Metric unit (`"qps"`, `"ms"`, `"s"`, `"fps"`).
+    pub metric: String,
+    /// Regression direction: `true` when larger means faster.
+    pub higher_is_better: bool,
+    /// Sample count.
+    pub n: usize,
+    /// Mean of the samples.
+    pub mean: f64,
+    /// Population standard deviation of the samples.
+    pub stddev: f64,
+    /// Overhead multiple vs the native configuration of the same
+    /// workload (`None` for the native row itself or when no native
+    /// baseline exists).
+    pub overhead_vs_native: Option<f64>,
+    /// Scheduler wakeup counters summed over the row's runs (`None`
+    /// for uncontrolled configurations).
+    pub sched: Option<SchedCounters>,
+}
+
+impl BenchRow {
+    /// A row from measured [`Stats`].
+    #[must_use]
+    pub fn from_stats(
+        workload: &str,
+        config: &str,
+        metric: &str,
+        higher_is_better: bool,
+        stats: &Stats,
+    ) -> Self {
+        BenchRow {
+            workload: workload.to_owned(),
+            config: config.to_owned(),
+            metric: metric.to_owned(),
+            higher_is_better,
+            n: stats.n,
+            mean: stats.mean,
+            stddev: stats.stddev,
+            overhead_vs_native: None,
+            sched: None,
+        }
+    }
+
+    /// Sets the overhead-vs-native multiple.
+    #[must_use]
+    pub fn with_overhead(mut self, overhead: f64) -> Self {
+        self.overhead_vs_native = Some(overhead);
+        self
+    }
+
+    /// Attaches summed scheduler counters.
+    #[must_use]
+    pub fn with_sched(mut self, sched: SchedCounters) -> Self {
+        self.sched = Some(sched);
+        self
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("workload".to_owned(), Json::Str(self.workload.clone())),
+            ("config".to_owned(), Json::Str(self.config.clone())),
+            ("metric".to_owned(), Json::Str(self.metric.clone())),
+            (
+                "higher_is_better".to_owned(),
+                Json::Bool(self.higher_is_better),
+            ),
+            ("mean".to_owned(), Json::Num(self.mean)),
+            ("stddev".to_owned(), Json::Num(self.stddev)),
+            ("n".to_owned(), Json::Num(self.n as f64)),
+            (
+                "overhead_vs_native".to_owned(),
+                match self.overhead_vs_native {
+                    Some(o) => Json::Num(o),
+                    None => Json::Null,
+                },
+            ),
+        ];
+        if let Some(s) = self.sched {
+            fields.push(("ticks".to_owned(), Json::Num(s.ticks as f64)));
+            fields.push((
+                "wakeups_issued".to_owned(),
+                Json::Num(s.wakeups_issued as f64),
+            ));
+            fields.push(("broadcasts".to_owned(), Json::Num(s.broadcasts as f64)));
+            fields.push((
+                "spurious_wakeups".to_owned(),
+                Json::Num(s.spurious_wakeups as f64),
+            ));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A full per-table report, written as `BENCH_<table>.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    table: String,
+    title: String,
+    quick: bool,
+    runs: usize,
+    scale: usize,
+    rows: Vec<BenchRow>,
+    notes: Vec<(String, Json)>,
+}
+
+impl BenchReport {
+    /// Creates an empty report for `table` (e.g. `"table2"`).
+    #[must_use]
+    pub fn new(table: &str, title: &str, runs: usize, scale: usize) -> Self {
+        BenchReport {
+            table: table.to_owned(),
+            title: title.to_owned(),
+            quick: crate::quick_mode(),
+            runs,
+            scale,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a measured row.
+    pub fn push(&mut self, row: BenchRow) {
+        self.rows.push(row);
+    }
+
+    /// Attaches a free-form top-level field (reference measurements,
+    /// shape-check summaries).
+    pub fn note(&mut self, key: &str, value: Json) {
+        self.notes.push((key.to_owned(), value));
+    }
+
+    /// The report as a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            (
+                "schema_version".to_owned(),
+                Json::Num(SCHEMA_VERSION as f64),
+            ),
+            ("table".to_owned(), Json::Str(self.table.clone())),
+            ("title".to_owned(), Json::Str(self.title.clone())),
+            ("quick".to_owned(), Json::Bool(self.quick)),
+            ("runs".to_owned(), Json::Num(self.runs as f64)),
+            ("scale".to_owned(), Json::Num(self.scale as f64)),
+            (
+                "rows".to_owned(),
+                Json::Arr(self.rows.iter().map(BenchRow::to_json).collect()),
+            ),
+        ];
+        fields.extend(self.notes.iter().cloned());
+        Json::Obj(fields)
+    }
+
+    /// Writes `BENCH_<table>.json` into [`out_dir`]; returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = out_dir().join(format!("BENCH_{}.json", self.table));
+        std::fs::write(&path, self.to_json().to_pretty())?;
+        println!("[bench] wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+/// Where `BENCH_*.json` files go: `SRR_BENCH_OUT` when set, else the
+/// workspace root (two levels above this crate's manifest).
+#[must_use]
+pub fn out_dir() -> PathBuf {
+    match std::env::var_os("SRR_BENCH_OUT") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from(".")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regression gate
+// ---------------------------------------------------------------------
+
+/// Outcome of comparing one current report against a committed baseline.
+#[derive(Debug, Default)]
+pub struct GateResult {
+    /// Human-readable descriptions of metrics that regressed.
+    pub failures: Vec<String>,
+    /// Rows compared against a baseline row.
+    pub checked: usize,
+    /// Rows present on one side only (informational).
+    pub skipped: Vec<String>,
+}
+
+/// Duration cells below this many seconds (or the equivalent in ms) are
+/// too noisy to gate: quick-mode cells in the tens of milliseconds swing
+/// well past 25% between identical runs. They stay in the report as
+/// information; only cells above the floor are tracked.
+const DURATION_FLOOR_SECS: f64 = 0.05;
+
+/// Rows whose baseline mean clears the per-metric noise floor are
+/// *tracked*; the rest are skipped with a notice. Derived `x_native`
+/// rows are never tracked (their underlying time rows are).
+fn noise_floor(metric: &str) -> Option<f64> {
+    match metric {
+        "ms" => Some(DURATION_FLOOR_SECS * 1_000.0),
+        "s" => Some(DURATION_FLOOR_SECS),
+        "x_native" => None, // derived, never tracked
+        _ => Some(0.0),     // throughput metrics: always tracked
+    }
+}
+
+/// When a controlled run's spurious wakeups exceed this fraction of its
+/// ticks, the targeted-wakeup fast path has regressed to herd behaviour
+/// (the broadcast scheduler showed spurious ≫ ticks; targeted shows ~0).
+const SPURIOUS_WAKEUP_FRACTION: f64 = 0.25;
+
+/// Compares `current` against `baseline` (both `BENCH_*.json` documents
+/// for the same table). A tracked metric fails when it moves more than
+/// `threshold` (e.g. `0.25`) in its bad direction *and* beyond the
+/// sampling-noise slack `3 × (baseline stddev + current stddev)`; rows
+/// are matched by `(workload, config, metric)` and unmatched rows are
+/// skipped so new configurations can land before the baseline is
+/// refreshed. Independently of the baseline, any row whose
+/// `spurious_wakeups` exceed [`SPURIOUS_WAKEUP_FRACTION`] of its `ticks`
+/// fails: that is the thundering-herd signature the targeted-wakeup
+/// scheduler removed.
+#[must_use]
+pub fn check_regressions(baseline: &Json, current: &Json, threshold: f64) -> GateResult {
+    let mut result = GateResult::default();
+    let table = current
+        .get("table")
+        .and_then(Json::as_str)
+        .unwrap_or("<unknown>");
+    let empty: &[Json] = &[];
+    let base_rows = baseline
+        .get("rows")
+        .and_then(Json::as_array)
+        .unwrap_or(empty);
+    let cur_rows = current
+        .get("rows")
+        .and_then(Json::as_array)
+        .unwrap_or(empty);
+
+    let key = |row: &Json| -> Option<(String, String, String)> {
+        Some((
+            row.get("workload")?.as_str()?.to_owned(),
+            row.get("config")?.as_str()?.to_owned(),
+            row.get("metric")?.as_str()?.to_owned(),
+        ))
+    };
+
+    for cur in cur_rows {
+        let Some(k) = key(cur) else { continue };
+
+        // Thundering-herd sanity check: baseline-independent, so it also
+        // covers rows the noise model below skips.
+        let ticks = cur.get("ticks").and_then(Json::as_f64).unwrap_or(0.0);
+        let spurious = cur
+            .get("spurious_wakeups")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if ticks > 0.0 && spurious > ticks * SPURIOUS_WAKEUP_FRACTION {
+            result.failures.push(format!(
+                "{table}: {} / {} has {spurious:.0} spurious wakeups over {ticks:.0} ticks — \
+                 the targeted-wakeup fast path has regressed to broadcast behaviour",
+                k.0, k.1
+            ));
+        }
+
+        let Some(base) = base_rows.iter().find(|b| key(b).as_ref() == Some(&k)) else {
+            result
+                .skipped
+                .push(format!("{table}: no baseline for {k:?}"));
+            continue;
+        };
+        let (Some(base_mean), Some(cur_mean)) = (
+            base.get("mean").and_then(Json::as_f64),
+            cur.get("mean").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        if base_mean <= 0.0 {
+            continue;
+        }
+        let floor = match noise_floor(&k.2) {
+            Some(f) => f,
+            None => {
+                result
+                    .skipped
+                    .push(format!("{table}: {} / {} [{}] is derived", k.0, k.1, k.2));
+                continue;
+            }
+        };
+        if base_mean < floor {
+            result.skipped.push(format!(
+                "{table}: {} / {} [{}] below noise floor ({base_mean:.3} < {floor:.3})",
+                k.0, k.1, k.2
+            ));
+            continue;
+        }
+        result.checked += 1;
+        let higher_is_better = cur
+            .get("higher_is_better")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        // Sampling-noise slack: with few runs per cell the stddevs are the
+        // best available noise estimate; a real regression must clear both
+        // the relative threshold and the combined spread.
+        let base_sd = base.get("stddev").and_then(Json::as_f64).unwrap_or(0.0);
+        let cur_sd = cur.get("stddev").and_then(Json::as_f64).unwrap_or(0.0);
+        let slack = 3.0 * (base_sd + cur_sd);
+        let change = cur_mean / base_mean - 1.0;
+        let beyond_threshold = if higher_is_better {
+            cur_mean < base_mean * (1.0 - threshold)
+        } else {
+            cur_mean > base_mean * (1.0 + threshold)
+        };
+        if beyond_threshold && (cur_mean - base_mean).abs() > slack {
+            result.failures.push(format!(
+                "{table}: {} / {} [{}] regressed {:+.1}% (baseline {:.3}, current {:.3}, \
+                 threshold ±{:.0}%, noise slack {:.3})",
+                k.0,
+                k.1,
+                k.2,
+                change * 100.0,
+                base_mean,
+                cur_mean,
+                threshold * 100.0,
+                slack
+            ));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let doc = Json::Obj(vec![
+            ("a".into(), Json::Num(1.5)),
+            ("b".into(), Json::Str("x \"quoted\"\nline".into())),
+            (
+                "c".into(),
+                Json::Arr(vec![Json::Bool(true), Json::Null, Json::Num(-2e3)]),
+            ),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+        ]);
+        let text = doc.to_pretty();
+        let back = Json::parse(&text).expect("parse");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn json_accessors() {
+        let doc = Json::parse(r#"{"x": 3, "s": "hi", "b": false, "arr": [1,2]}"#).unwrap();
+        assert_eq!(doc.get("x").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(doc.get("b").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            doc.get("arr").and_then(Json::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        assert!(doc.get("missing").is_none());
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    fn report_with(mean: f64, higher: bool) -> Json {
+        let stats = Stats::of(&[mean]);
+        let mut report = BenchReport::new("tablet", "test", 1, 1);
+        report.push(
+            BenchRow::from_stats("w", "queue", "qps", higher, &stats)
+                .with_overhead(2.0)
+                .with_sched(tsan11rec::SchedCounters {
+                    ticks: 10,
+                    wakeups_issued: 9,
+                    broadcasts: 1,
+                    spurious_wakeups: 0,
+                }),
+        );
+        report.to_json()
+    }
+
+    #[test]
+    fn report_schema_fields_present() {
+        let json = report_with(100.0, true);
+        assert_eq!(
+            json.get("schema_version").and_then(Json::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
+        let rows = json.get("rows").and_then(Json::as_array).unwrap();
+        let row = &rows[0];
+        for field in [
+            "workload",
+            "config",
+            "metric",
+            "mean",
+            "stddev",
+            "n",
+            "overhead_vs_native",
+            "ticks",
+            "wakeups_issued",
+            "broadcasts",
+            "spurious_wakeups",
+        ] {
+            assert!(row.get(field).is_some(), "missing {field}");
+        }
+    }
+
+    #[test]
+    fn gate_passes_within_threshold() {
+        let base = report_with(100.0, true);
+        let cur = report_with(80.0, true); // -20% > -25%: ok
+        let r = check_regressions(&base, &cur, 0.25);
+        assert_eq!(r.checked, 1);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn gate_fails_on_big_drop_when_higher_is_better() {
+        let base = report_with(100.0, true);
+        let cur = report_with(70.0, true); // -30%
+        let r = check_regressions(&base, &cur, 0.25);
+        assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+    }
+
+    #[test]
+    fn gate_fails_on_big_rise_when_lower_is_better() {
+        let base = report_with(100.0, false);
+        let cur = report_with(130.0, false); // +30% of a time metric
+        let r = check_regressions(&base, &cur, 0.25);
+        assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+        // And improvement in the same direction passes.
+        let faster = report_with(50.0, false);
+        assert!(check_regressions(&base, &faster, 0.25).failures.is_empty());
+    }
+
+    #[test]
+    fn gate_skips_unmatched_rows() {
+        let base = Json::parse(r#"{"table":"t","rows":[]}"#).unwrap();
+        let cur = report_with(100.0, true);
+        let r = check_regressions(&base, &cur, 0.25);
+        assert_eq!(r.checked, 0);
+        assert_eq!(r.skipped.len(), 1);
+        assert!(r.failures.is_empty());
+    }
+
+    fn duration_report(metric: &str, mean: f64, stddev: f64) -> Json {
+        let mut report = BenchReport::new("tablet", "test", 2, 1);
+        report.push(BenchRow {
+            workload: "w".into(),
+            config: "queue".into(),
+            metric: metric.into(),
+            higher_is_better: false,
+            n: 2,
+            mean,
+            stddev,
+            overhead_vs_native: None,
+            sched: None,
+        });
+        report.to_json()
+    }
+
+    #[test]
+    fn gate_skips_duration_cells_below_noise_floor() {
+        // Quick-mode cells in the tens of ms swing past 25% between
+        // identical runs; they must be informational, not gated.
+        let base = duration_report("s", 0.02, 0.002);
+        let cur = duration_report("s", 0.05, 0.002); // +150%, tiny cell
+        let r = check_regressions(&base, &cur, 0.25);
+        assert_eq!(r.checked, 0);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        assert_eq!(r.skipped.len(), 1);
+    }
+
+    #[test]
+    fn gate_noise_slack_absorbs_wide_stddev() {
+        // +30% exceeds the threshold but not 3 x (sum of stddevs).
+        let base = duration_report("s", 1.0, 0.1);
+        let cur = duration_report("s", 1.3, 0.1);
+        let r = check_regressions(&base, &cur, 0.25);
+        assert_eq!(r.checked, 1);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        // The same move with tight stddevs is a real regression.
+        let tight_base = duration_report("s", 1.0, 0.01);
+        let tight_cur = duration_report("s", 1.3, 0.01);
+        let r = check_regressions(&tight_base, &tight_cur, 0.25);
+        assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+    }
+
+    #[test]
+    fn gate_skips_derived_overhead_rows() {
+        let base = duration_report("x_native", 2.0, 0.0);
+        let cur = duration_report("x_native", 9.0, 0.0);
+        let r = check_regressions(&base, &cur, 0.25);
+        assert_eq!(r.checked, 0);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn gate_flags_spurious_wakeup_herd() {
+        let herd = |spurious: u64| -> Json {
+            let mut report = BenchReport::new("tablet", "test", 1, 1);
+            report.push(
+                BenchRow::from_stats("w", "queue", "qps", true, &Stats::of(&[100.0])).with_sched(
+                    tsan11rec::SchedCounters {
+                        ticks: 100,
+                        wakeups_issued: 100,
+                        broadcasts: 1,
+                        spurious_wakeups: spurious,
+                    },
+                ),
+            );
+            report.to_json()
+        };
+        // Baseline-independent: matched against itself it still fails.
+        let bad = herd(80);
+        let r = check_regressions(&bad, &bad, 0.25);
+        assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+        assert!(r.failures[0].contains("spurious"));
+        let good = herd(3);
+        assert!(check_regressions(&good, &good, 0.25).failures.is_empty());
+    }
+}

@@ -14,7 +14,7 @@ use crate::ids::Tid;
 use crate::prng::Prng;
 use crate::report::{ExecReport, Outcome};
 use crate::runtime::{clear_ctx, install_ctx, Runtime};
-use crate::sched::{FailReason, SchedAbort};
+use crate::sched::{FailReason, SchedAbort, Scheduler};
 use crate::thread::{finish_thread, handle_panic};
 
 /// Installs (once, process-wide) a panic hook that silences the
@@ -299,6 +299,11 @@ impl Execution {
             strace: vos.take_strace(),
             sync_trace,
             analysis,
+            sched: rt
+                .sched
+                .as_ref()
+                .map(Scheduler::counters)
+                .unwrap_or_default(),
         };
         (report, produced_demo)
     }

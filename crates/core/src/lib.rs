@@ -67,7 +67,7 @@ pub use config::{Config, Mode, RecordMode, SparseConfig, Strategy};
 pub use exec::Execution;
 pub use ids::{AtomicId, CondId, MutexId, Tid};
 pub use prng::Prng;
-pub use report::{soft_desync, ExecReport, Outcome, TraceEvent};
+pub use report::{soft_desync, ExecReport, Outcome, SchedCounters, TraceEvent};
 pub use rwlock::{Barrier, RwLock, RwLockReadGuard, RwLockWriteGuard};
 pub use shared::{Shared, SharedArray};
 pub use sync::{Condvar, Mutex, MutexGuard};

@@ -64,6 +64,27 @@ impl TraceEvent {
     }
 }
 
+/// Scheduler wakeup accounting (§3.1's `Wait()`/`Tick()` protocol).
+///
+/// The counters make the cost of the wakeup mechanism observable: a
+/// broadcast-based scheduler wakes every parked thread per tick (most of
+/// which go back to sleep — `spurious_wakeups`), while the targeted
+/// parking-slot design wakes exactly the chosen thread, so
+/// `wakeups_issued` stays bounded by `ticks` plus the genuine broadcast
+/// points (`broadcasts`: shutdown/failure and replay-stall recovery).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Critical sections executed (the global tick).
+    pub ticks: u64,
+    /// Targeted (single-thread) wakeups issued by the scheduler.
+    pub wakeups_issued: u64,
+    /// Broadcast wakeups (every parked thread notified at once).
+    pub broadcasts: u64,
+    /// Times a thread woke inside `Wait()` and found itself ineligible,
+    /// going back to sleep. The thundering-herd cost, directly.
+    pub spurious_wakeups: u64,
+}
+
 /// How an execution ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Outcome {
@@ -124,6 +145,8 @@ pub struct ExecReport {
     /// Findings from the offline analysis passes (`srr-analysis`), run
     /// over `sync_trace` when `Config::with_sync_trace` was set.
     pub analysis: Vec<Finding>,
+    /// Scheduler wakeup counters (zeroed in uncontrolled modes).
+    pub sched: SchedCounters,
 }
 
 impl ExecReport {
@@ -188,6 +211,7 @@ mod tests {
             strace: Vec::new(),
             sync_trace: SyncTrace::default(),
             analysis: Vec::new(),
+            sched: SchedCounters::default(),
         }
     }
 

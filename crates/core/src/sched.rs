@@ -17,6 +17,7 @@
 //! enforced from the same place on replay.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 use srr_replay::{AsyncEvent, HardDesync, QueueStream, SignalEvent};
@@ -24,7 +25,7 @@ use srr_replay::{AsyncEvent, HardDesync, QueueStream, SignalEvent};
 use crate::config::Strategy;
 use crate::ids::{CondId, MutexId, Tid};
 use crate::prng::Prng;
-use crate::report::TraceEvent;
+use crate::report::{SchedCounters, TraceEvent};
 
 /// Why the execution was aborted by the scheduler.
 #[derive(Debug, Clone)]
@@ -63,12 +64,15 @@ enum Status {
     Finished,
 }
 
-#[derive(Debug)]
 struct ThreadState {
     status: Status,
     /// Tick value seen at this thread's most recent `Tick()` (§4.3).
     last_tick: u64,
     pending_signals: VecDeque<i32>,
+    /// This thread's parking slot: a condvar waited on (against the one
+    /// scheduler mutex) by this thread alone, so the scheduler can wake
+    /// exactly the thread it chose instead of broadcasting to the herd.
+    slot: Arc<Condvar>,
     /// Blocked inside `Wait()`.
     in_wait: bool,
     /// Between `Wait()` success and `Tick()` completion.
@@ -83,12 +87,31 @@ struct ThreadState {
     slice_left: u32,
 }
 
+impl std::fmt::Debug for ThreadState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The vendored condvar has no Debug impl; the slot carries no
+        // inspectable state anyway.
+        f.debug_struct("ThreadState")
+            .field("status", &self.status)
+            .field("last_tick", &self.last_tick)
+            .field("pending_signals", &self.pending_signals)
+            .field("in_wait", &self.in_wait)
+            .field("in_cs", &self.in_cs)
+            .field("queued", &self.queued)
+            .field("next_due", &self.next_due)
+            .field("cs_tick", &self.cs_tick)
+            .field("slice_left", &self.slice_left)
+            .finish_non_exhaustive()
+    }
+}
+
 impl ThreadState {
     fn new() -> Self {
         ThreadState {
             status: Status::Enabled,
             last_tick: 0,
             pending_signals: VecDeque::new(),
+            slot: Arc::new(Condvar::new()),
             in_wait: false,
             in_cs: false,
             queued: false,
@@ -153,12 +176,25 @@ struct SchedState {
     slice_jitter: Prng,
     /// Optional schedule trace for debugging/diffing runs.
     trace: Option<Vec<TraceEvent>>,
+    /// Targeted wakeups issued (one parked thread notified).
+    wakeups_issued: u64,
+    /// Broadcast wakeups issued (every parked thread notified).
+    broadcasts: u64,
+    /// Wakeups observed by a thread that found itself ineligible and went
+    /// back to sleep.
+    spurious_wakeups: u64,
 }
 
 /// The controlled scheduler shared by all threads of one execution.
+///
+/// Wakeups are *targeted*: each thread parks on its own condvar (its
+/// [`ThreadState::slot`]) against the one state mutex, and `Tick()`
+/// notifies exactly the thread the strategy chose ([`SchedState::wake_next`]).
+/// Broadcasts survive only where every parked thread genuinely must wake:
+/// execution failure (deadlock/desync/panic teardown) and replay-stall
+/// detection ([`SchedState::wake_all`]).
 pub struct Scheduler {
     state: Mutex<SchedState>,
-    cv: Condvar,
 }
 
 impl Scheduler {
@@ -199,8 +235,10 @@ impl Scheduler {
                 delay_budget,
                 slice_jitter,
                 trace: None,
+                wakeups_issued: 0,
+                broadcasts: 0,
+                spurious_wakeups: 0,
             }),
-            cv: Condvar::new(),
         }
     }
 
@@ -268,6 +306,7 @@ impl Scheduler {
     /// desynchronisation, program panic) — the harness catches this.
     pub fn wait(&self, tid: Tid) {
         let mut g = self.state.lock();
+        let mut slept = false;
         loop {
             if let Some(f) = &g.fail {
                 let f = f.clone();
@@ -277,12 +316,24 @@ impl Scheduler {
             if g.eligible(tid) {
                 break;
             }
+            if slept {
+                g.spurious_wakeups += 1;
+            }
             g.threads[tid.index()].in_wait = true;
             g.in_wait_count += 1;
             if g.replay.active {
-                g.check_replay_stall(&self.cv);
+                g.check_replay_stall();
+                if g.fail.is_some() {
+                    // This thread completed the all-parked condition and
+                    // must not sleep through its own stall verdict.
+                    g.in_wait_count -= 1;
+                    g.threads[tid.index()].in_wait = false;
+                    continue;
+                }
             }
-            self.cv.wait(&mut g);
+            let slot = Arc::clone(&g.threads[tid.index()].slot);
+            slot.wait(&mut g);
+            slept = true;
             g.in_wait_count -= 1;
             g.threads[tid.index()].in_wait = false;
         }
@@ -389,7 +440,7 @@ impl Scheduler {
             }
         }
 
-        self.cv.notify_all();
+        g.wake_next();
     }
 
     /// The tick value of the critical section currently owned by the
@@ -408,6 +459,7 @@ impl Scheduler {
     /// headline advantage — Figure 3.)
     pub fn hold(&self, tid: Tid) {
         let mut g = self.state.lock();
+        let mut slept = false;
         loop {
             if let Some(f) = &g.fail {
                 let f = f.clone();
@@ -420,12 +472,22 @@ impl Scheduler {
             if g.eligible(tid) {
                 return;
             }
+            if slept {
+                g.spurious_wakeups += 1;
+            }
             g.threads[tid.index()].in_wait = true;
             g.in_wait_count += 1;
             if g.replay.active {
-                g.check_replay_stall(&self.cv);
+                g.check_replay_stall();
+                if g.fail.is_some() {
+                    g.in_wait_count -= 1;
+                    g.threads[tid.index()].in_wait = false;
+                    continue;
+                }
             }
-            self.cv.wait(&mut g);
+            let slot = Arc::clone(&g.threads[tid.index()].slot);
+            slot.wait(&mut g);
+            slept = true;
             g.in_wait_count -= 1;
             g.threads[tid.index()].in_wait = false;
         }
@@ -470,7 +532,10 @@ impl Scheduler {
         for j in joiners {
             g.enable_thread(j);
         }
-        self.cv.notify_all();
+        // No wakeup: ThreadDelete runs inside the finishing thread's final
+        // critical section, so the joiners only become schedulable at the
+        // strategy choice of the Tick() that follows — which wakes the one
+        // it picks.
     }
 
     /// `ThreadJoin(tid)` (§3.2): returns `true` if `target` already
@@ -480,7 +545,7 @@ impl Scheduler {
         if g.threads[target.index()].status == Status::Finished {
             return true;
         }
-        g.disable_thread(tid, WaitReason::Join(target), &self.cv);
+        g.disable_thread(tid, WaitReason::Join(target));
         false
     }
 
@@ -488,7 +553,7 @@ impl Scheduler {
     /// the caller until the mutex is released.
     pub fn mutex_lock_fail(&self, tid: Tid, m: MutexId) {
         let mut g = self.state.lock();
-        g.disable_thread(tid, WaitReason::Mutex(m), &self.cv);
+        g.disable_thread(tid, WaitReason::Mutex(m));
     }
 
     /// `MutexUnlock(m)` (§3.2): re-enables one thread blocked on `m`
@@ -507,7 +572,10 @@ impl Scheduler {
         }
         let chosen = g.pick_one(&waiters);
         g.enable_thread(chosen);
-        self.cv.notify_all();
+        // No wakeup: MutexUnlock runs inside the releasing thread's
+        // critical section (MutexGuard::drop between enter and exit), so
+        // the woken waiter cannot run before that section's Tick() picks
+        // the next thread anyway.
         Some(chosen)
     }
 
@@ -516,7 +584,7 @@ impl Scheduler {
     /// and are only registered by the sync layer.
     pub fn cond_block(&self, tid: Tid, c: CondId) {
         let mut g = self.state.lock();
-        g.disable_thread(tid, WaitReason::Cond(c), &self.cv);
+        g.disable_thread(tid, WaitReason::Cond(c));
     }
 
     /// `CondSignal(c)`: re-enables `target` (chosen by the sync layer from
@@ -524,7 +592,11 @@ impl Scheduler {
     pub fn cond_wake(&self, target: Tid) {
         let mut g = self.state.lock();
         g.enable_thread(target);
-        self.cv.notify_all();
+        // No wakeup: CondSignal/CondBroadcast run inside the signalling
+        // thread's critical section; the re-enabled waiter is woken by the
+        // Tick() that chooses it. (Condvar broadcast *semantics* need no
+        // OS-level broadcast either — the sync layer calls this once per
+        // woken waiter, and each becomes schedulable individually.)
     }
 
     /// Strategy-appropriate choice among candidates: FIFO order for
@@ -557,7 +629,11 @@ impl Scheduler {
         } else {
             g.deliver_now(target, signo, from_env);
         }
-        self.cv.notify_all();
+        // Unlike the mid-critical-section sites above, signals can arrive
+        // from invisible code (`signals::raise`) with no Tick() pending,
+        // and `deliver_now` may have just enabled a parked thread — hand
+        // the wakeup decision to the targeting logic.
+        g.wake_next();
     }
 
     /// Takes a pending signal for `tid`, if any (checked on `Wait()` return
@@ -636,9 +712,21 @@ impl Scheduler {
             }
         };
         if applied {
-            self.cv.notify_all();
+            // The reschedule moved `active`; wake the new owner.
+            g.wake_next();
         }
         applied
+    }
+
+    /// Snapshot of the wakeup accounting.
+    pub fn counters(&self) -> SchedCounters {
+        let g = self.state.lock();
+        SchedCounters {
+            ticks: g.tick,
+            wakeups_issued: g.wakeups_issued,
+            broadcasts: g.broadcasts,
+            spurious_wakeups: g.spurious_wakeups,
+        }
     }
 
     /// Marks the execution as failed; all threads unwind via `SchedAbort`.
@@ -647,7 +735,9 @@ impl Scheduler {
         if g.fail.is_none() {
             g.fail = Some(reason);
         }
-        self.cv.notify_all();
+        // Teardown is a genuine broadcast point: every parked thread must
+        // wake to unwind via SchedAbort.
+        g.wake_all();
     }
 
     /// The failure, if any.
@@ -882,12 +972,31 @@ impl SchedState {
 
     fn enable_thread(&mut self, tid: Tid) {
         let st = &mut self.threads[tid.index()];
-        if matches!(st.status, Status::Disabled(_)) {
-            st.status = Status::Enabled;
+        if !matches!(st.status, Status::Disabled(_)) {
+            return;
+        }
+        st.status = Status::Enabled;
+        // Queue strategy: `eligible()` enqueues a thread when the thread
+        // itself checks eligibility — but a thread already parked in
+        // `Wait()` will not re-check until woken, and targeted wakeup only
+        // wakes threads the strategy can choose, i.e. queued ones. Break
+        // the cycle by enqueueing at enable time. Restricted to parked
+        // threads: a thread that is still running re-checks (and enqueues)
+        // itself at its next `Wait()`, and enqueueing it early would let
+        // it disable itself again mid-section while sitting in `arrivals`,
+        // violating the invariant that the queue only holds enabled,
+        // blocked threads.
+        if st.in_wait
+            && !st.queued
+            && matches!(self.strategy, Strategy::Queue)
+            && !self.replay.active
+        {
+            self.threads[tid.index()].queued = true;
+            self.arrivals.push_back(tid);
         }
     }
 
-    fn disable_thread(&mut self, tid: Tid, reason: WaitReason, _cv: &Condvar) {
+    fn disable_thread(&mut self, tid: Tid, reason: WaitReason) {
         // No deadlock check here: a thread disabling itself is always
         // mid-critical-section, and the same section may yet enable
         // others (Figure 5's conditional wait disables, *then* releases
@@ -907,9 +1016,55 @@ impl SchedState {
         }
     }
 
+    /// Targeted wakeup: notify exactly the thread the scheduler wants to
+    /// run next, if it is parked. Called wherever the schedulable set may
+    /// have changed outside a critical section (end of `Tick()`, async
+    /// signal delivery, liveness reschedules).
+    fn wake_next(&mut self) {
+        if self.fail.is_some() {
+            self.wake_all();
+            return;
+        }
+        let target = if self.replay.active && self.strategy.needs_queue_stream() {
+            // The demo dictates the owner of the next critical section.
+            if self.cs_in_flight {
+                None
+            } else {
+                let due = self.tick + 1;
+                (0..self.threads.len()).map(|i| Tid(i as u32)).find(|t| {
+                    let st = &self.threads[t.index()];
+                    st.status == Status::Enabled && st.next_due == due
+                })
+            }
+        } else if self.active.is_some() {
+            self.active
+        } else if matches!(self.strategy, Strategy::Queue) {
+            // Queue with no active thread: the front arrival claims the
+            // slot inside its own `eligible()` check — wake it so it can.
+            self.arrivals.front().copied()
+        } else {
+            None
+        };
+        if let Some(t) = target {
+            if self.threads[t.index()].in_wait {
+                self.wakeups_issued += 1;
+                self.threads[t.index()].slot.notify_one();
+            }
+        }
+    }
+
+    /// Broadcast: notify every thread's parking slot. Only for states all
+    /// parked threads must observe (execution failure, replay stall).
+    fn wake_all(&mut self) {
+        self.broadcasts += 1;
+        for t in &self.threads {
+            t.slot.notify_one();
+        }
+    }
+
     /// Replay stall: every live thread is blocked in `Wait()` and none is
     /// eligible — the demo's schedule cannot be enforced.
-    fn check_replay_stall(&mut self, cv: &Condvar) {
+    fn check_replay_stall(&mut self) {
         if self.fail.is_some() || self.live == 0 {
             return;
         }
@@ -957,7 +1112,7 @@ impl SchedState {
                     statuses.join("; ")
                 ),
             }));
-            cv.notify_all();
+            self.wake_all();
         }
     }
 
@@ -1454,6 +1609,90 @@ mod tests {
             picks
         };
         assert_eq!(run([5, 5]), run([5, 5]));
+    }
+
+    #[test]
+    fn wakeups_bounded_by_ticks_plus_broadcasts() {
+        // With the liveness rescheduler absent and no signals, the only
+        // wakeup sources are Tick()'s targeted choice (≤ 1 per tick) and
+        // teardown broadcasts — so `wakeups_issued ≤ ticks + broadcasts`.
+        // And because every targeted wakeup names an eligible thread, no
+        // woken thread should ever find itself ineligible.
+        let s = sched(Strategy::Random);
+        s.wait(Tid::MAIN);
+        let t1 = s.thread_new();
+        s.tick(Tid::MAIN);
+
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || {
+            for _ in 0..50 {
+                s2.wait(t1);
+                s2.tick(t1);
+            }
+            s2.wait(t1);
+            s2.thread_finish(t1);
+            s2.tick(t1);
+        });
+        for _ in 0..50 {
+            s.wait(Tid::MAIN);
+            s.tick(Tid::MAIN);
+        }
+        s.wait(Tid::MAIN);
+        s.thread_finish(Tid::MAIN);
+        s.tick(Tid::MAIN);
+        h.join().unwrap();
+
+        let c = s.counters();
+        assert!(c.ticks > 0);
+        assert!(
+            c.wakeups_issued <= c.ticks + c.broadcasts,
+            "wakeups {} > ticks {} + broadcasts {}",
+            c.wakeups_issued,
+            c.ticks,
+            c.broadcasts
+        );
+        assert_eq!(
+            c.spurious_wakeups, 0,
+            "targeted wakeup must only wake eligible threads"
+        );
+    }
+
+    #[test]
+    fn queue_enable_while_parked_enqueues_for_wakeup() {
+        // A thread parked in Wait() while Disabled must be entered into
+        // the arrival queue when it is re-enabled, or no targeted wakeup
+        // would ever name it (eligible()'s self-enqueue needs the thread
+        // to run). Regression test for the enable-time enqueue.
+        let s = sched(Strategy::Queue);
+        s.wait(Tid::MAIN);
+        let t1 = s.thread_new();
+        s.tick(Tid::MAIN);
+
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || {
+            // t1 blocks on a mutex inside its first critical section,
+            // then parks in Wait() as a Disabled thread.
+            s2.wait(t1);
+            s2.mutex_lock_fail(t1, MutexId(3));
+            s2.tick(t1);
+            s2.wait(t1); // parks Disabled; woken only after re-enable
+            s2.thread_finish(t1);
+            s2.tick(t1);
+        });
+
+        // Give t1 time to park, then release the mutex from main's next
+        // critical section.
+        while !s.state.lock().threads[t1.index()].in_wait {
+            std::thread::yield_now();
+        }
+        s.wait(Tid::MAIN);
+        assert_eq!(s.mutex_unlock(MutexId(3)), Some(t1));
+        s.tick(Tid::MAIN);
+        s.wait(Tid::MAIN);
+        s.thread_finish(Tid::MAIN);
+        s.tick(Tid::MAIN);
+        h.join().unwrap();
+        assert!(s.failure().is_none());
     }
 
     #[test]
