@@ -2,6 +2,12 @@
 # CI bench smoke: run every table bench in quick mode, then gate the
 # emitted BENCH_*.json reports against the committed baseline.
 #
+# The benches run with tracing OFF (no Config::with_trace), so the
+# table1 gate below doubles as the observability overhead check: if the
+# trace-off instrumentation hooks cost anything measurable, the table1
+# quick means drift past the threshold vs bench/baseline.json and this
+# script fails.
+#
 # Usage: ci/check_bench.sh [threshold]   (default 0.25 = ±25%)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,3 +21,11 @@ done
 
 cargo run --release -p srr-bench --bin check_bench -- \
   --threshold "$THRESHOLD" bench/baseline.json BENCH_table*.json
+
+# Produce a sample Chrome trace (uploaded as a CI artifact) and check it
+# is well-formed enough to load in a viewer.
+echo "=== sample chrome trace ==="
+cargo run --release -p srr-apps --bin srr -- \
+  trace barrier --tool queue --seed 3 --out trace_sample.json
+grep -q '"traceEvents"' trace_sample.json
+echo "trace_sample.json OK"

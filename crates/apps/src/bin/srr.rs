@@ -8,18 +8,24 @@
 //! srr explore   <litmus> [--runs N]    # race hunting across seeds
 //! srr analyze   <workload> [--tool TOOL] [--seed N]   # offline sync analysis
 //! srr lint-demo --demo DIR             # validate a serialized demo
+//! srr trace     <workload> [--demo DIR] [--ring N] [--out FILE]  # Chrome trace
+//! srr stats     <BENCH_*.json>         # pretty-print a bench report
 //! ```
 //!
 //! Tools: native, tsan11, rr, tsan11+rr, rnd, queue, pct, delay.
 //! Sparse sets: default, games, none, comprehensive.
+//!
+//! Exit codes: `0` success, `1` usage or execution error, `2` clean run
+//! with findings (`analyze` hazards, `lint-demo` diagnostics).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use srr_apps::harness::Tool;
 use srr_apps::{client, game, hazards, httpd, litmus, pbzip, ptrmap};
+use tsan11rec::obs::Json;
 use tsan11rec::vos::Vos;
-use tsan11rec::{Config, Demo, Execution, SparseConfig};
+use tsan11rec::{chrome_trace, text_timeline, Config, Demo, Execution, SparseConfig, TraceSpec};
 
 /// A named workload: world setup + program body.
 struct Workload {
@@ -144,6 +150,7 @@ struct Args {
     demo: Option<PathBuf>,
     sparse: Option<String>,
     runs: Option<u64>,
+    ring: Option<usize>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -174,11 +181,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|_| "bad --runs".to_owned())?,
                 );
             }
+            "--ring" => {
+                args.ring = Some(
+                    flag("--ring")?
+                        .parse()
+                        .map_err(|_| "bad --ring".to_owned())?,
+                );
+            }
             // Any dash-prefixed token is a (mis)spelled flag, never a
             // workload name — `-seed` must not silently become a
             // positional and mask the user's intent.
             other if other.starts_with('-') => {
-                let valid = "--tool --seed --out --demo --sparse --runs";
+                let valid = "--tool --seed --out --demo --sparse --runs --ring";
                 return Err(format!("unknown flag `{other}` (valid flags: {valid})"));
             }
             other => args.positional.push(other.to_owned()),
@@ -217,10 +231,47 @@ fn print_report(report: &tsan11rec::ExecReport) {
     );
 }
 
-fn run_command(argv: &[String]) -> Result<(), String> {
+/// Exit status of a successful invocation: `0` for a clean run, `2`
+/// (`EXIT_FINDINGS`) when the command completed but surfaced findings.
+/// Usage and execution errors travel as `Err` and exit `1`.
+const EXIT_OK: u8 = 0;
+/// See [`EXIT_OK`].
+const EXIT_FINDINGS: u8 = 2;
+
+fn usage() -> String {
+    [
+        "srr — sparse record/replay front end",
+        "",
+        "usage:",
+        "  srr list",
+        "  srr run       <workload> [--tool TOOL] [--seed N]",
+        "  srr record    <workload> [--tool queue|random] [--seed N] [--sparse SET] --out DIR",
+        "  srr replay    <workload> --demo DIR",
+        "  srr explore   <workload> [--runs N]",
+        "  srr analyze   <workload> [--tool TOOL] [--seed N]",
+        "  srr lint-demo --demo DIR",
+        "  srr trace     <workload> [--demo DIR] [--ring N] [--out FILE]",
+        "  srr stats     <BENCH_*.json>",
+        "",
+        "tools: native, tsan11, rr, tsan11+rr, rnd, queue, pct, delay",
+        "sparse sets: default, games, none, comprehensive",
+        "",
+        "exit codes:",
+        "  0  success",
+        "  1  usage or execution error",
+        "  2  clean run with findings (analyze hazards, lint-demo diagnostics)",
+    ]
+    .join("\n")
+}
+
+fn run_command(argv: &[String]) -> Result<u8, String> {
     let Some(cmd) = argv.first() else {
-        return Err("usage: srr <list|run|record|replay|explore> ...".to_owned());
+        return Err(format!("missing command\n{}", usage()));
     };
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        println!("{}", usage());
+        return Ok(EXIT_OK);
+    }
     let args = parse_args(&argv[1..])?;
     match cmd.as_str() {
         "list" => {
@@ -229,7 +280,7 @@ fn run_command(argv: &[String]) -> Result<(), String> {
             for w in workloads() {
                 println!("{:<18} {}", w.name, w.describe);
             }
-            Ok(())
+            Ok(EXIT_OK)
         }
         "run" => {
             let name = args.positional.first().ok_or("run needs a workload")?;
@@ -239,7 +290,7 @@ fn run_command(argv: &[String]) -> Result<(), String> {
             let setup = w.setup;
             let report = Execution::new(config).setup(setup).run(w.program);
             print_report(&report);
-            Ok(())
+            Ok(EXIT_OK)
         }
         "record" => {
             let name = args.positional.first().ok_or("record needs a workload")?;
@@ -269,7 +320,7 @@ fn run_command(argv: &[String]) -> Result<(), String> {
             demo.save_dir(&out)
                 .map_err(|e| format!("saving demo: {e}"))?;
             println!("demo:         {} -> {}", demo.stats(), out.display());
-            Ok(())
+            Ok(EXIT_OK)
         }
         "replay" => {
             let name = args.positional.first().ok_or("replay needs a workload")?;
@@ -296,7 +347,7 @@ fn run_command(argv: &[String]) -> Result<(), String> {
             let setup = w.setup;
             let report = Execution::new(config).setup(setup).replay(&demo, w.program);
             print_report(&report);
-            Ok(())
+            Ok(EXIT_OK)
         }
         "explore" => {
             let name = args.positional.first().ok_or("explore needs a workload")?;
@@ -326,7 +377,7 @@ fn run_command(argv: &[String]) -> Result<(), String> {
                     tool.label()
                 );
             }
-            Ok(())
+            Ok(EXIT_OK)
         }
         "analyze" => {
             let name = args.positional.first().ok_or("analyze needs a workload")?;
@@ -347,11 +398,16 @@ fn run_command(argv: &[String]) -> Result<(), String> {
             println!("sync events:  {}", report.sync_trace.events.len());
             if report.analysis.is_empty() {
                 println!("no findings");
+                return Ok(EXIT_OK);
             }
             for f in &report.analysis {
                 println!("[{}] {}", f.kind.name(), f.message);
             }
-            Ok(())
+            println!(
+                "{} finding(s) — exit {EXIT_FINDINGS}",
+                report.analysis.len()
+            );
+            Ok(EXIT_FINDINGS)
         }
         "lint-demo" => {
             let dir = args.demo.clone().ok_or("lint-demo needs --demo DIR")?;
@@ -359,22 +415,152 @@ fn run_command(argv: &[String]) -> Result<(), String> {
                 srr_analysis::lint_demo_dir(&dir).map_err(|e| format!("reading demo dir: {e}"))?;
             if diags.is_empty() {
                 println!("{}: demo is well-formed", dir.display());
-                Ok(())
+                Ok(EXIT_OK)
             } else {
                 for d in &diags {
                     eprintln!("{d}");
                 }
-                Err(format!("{} problem(s) in {}", diags.len(), dir.display()))
+                eprintln!(
+                    "{} problem(s) in {} — exit {EXIT_FINDINGS}",
+                    diags.len(),
+                    dir.display()
+                );
+                Ok(EXIT_FINDINGS)
             }
         }
-        other => Err(format!("unknown command `{other}`")),
+        "trace" => {
+            let name = args.positional.first().ok_or("trace needs a workload")?;
+            let w = find_workload(name)?;
+            let spec = TraceSpec::new().with_ring_capacity(args.ring.unwrap_or(256));
+            let setup = w.setup;
+            let report = if let Some(dir) = &args.demo {
+                let demo = Demo::load_dir(dir).map_err(|e| format!("loading demo: {e}"))?;
+                let tool = match demo.header.strategy.as_str() {
+                    "random" => Tool::RndRec,
+                    "queue" => Tool::QueueRec,
+                    "slice" => Tool::Rr,
+                    other => return Err(format!("demo has unknown strategy `{other}`")),
+                };
+                let mut config = tool.config(demo.header.seeds);
+                if let Some(sp) = &args.sparse {
+                    config = config.with_sparse(parse_sparse(sp)?);
+                }
+                println!("tracing `{}` replaying {}", w.name, dir.display());
+                Execution::new(config.with_trace(spec).with_schedule_trace())
+                    .setup(setup)
+                    .replay(&demo, w.program)
+            } else {
+                let (tool, config) = config_for(&args, Tool::Queue)?;
+                if !config.mode.is_controlled() {
+                    return Err(format!(
+                        "{tool} is not a controlled mode; tracing needs one of rnd, queue, pct, delay"
+                    ));
+                }
+                println!("tracing `{}` under {tool}", w.name);
+                Execution::new(config.with_trace(spec).with_schedule_trace())
+                    .setup(setup)
+                    .run(w.program)
+            };
+            let out = args
+                .out
+                .clone()
+                .unwrap_or_else(|| PathBuf::from(format!("trace_{name}.json")));
+            let trace = chrome_trace(&report.obs);
+            std::fs::write(&out, trace.to_pretty())
+                .map_err(|e| format!("writing {}: {e}", out.display()))?;
+            println!("outcome:      {:?}", report.outcome);
+            println!("tick latency: {}", report.obs.tick_latency.summary());
+            println!("run lengths:  {}", report.obs.run_lengths.summary());
+            let timeline = text_timeline(&report.obs);
+            let lines: Vec<&str> = timeline.lines().collect();
+            let tail = 20usize;
+            if lines.len() > tail {
+                println!("--- timeline (last {tail} of {} lines) ---", lines.len());
+            } else {
+                println!("--- timeline ---");
+            }
+            for line in lines.iter().rev().take(tail).rev() {
+                println!("{line}");
+            }
+            if let Some(diag) = &report.obs.desync {
+                println!("{}", diag.render());
+            }
+            let events = trace
+                .get("traceEvents")
+                .and_then(Json::as_array)
+                .map_or(0, <[Json]>::len);
+            println!("chrome trace: {} ({events} events)", out.display());
+            Ok(EXIT_OK)
+        }
+        "stats" => {
+            let path = args
+                .positional
+                .first()
+                .ok_or("stats needs a BENCH_*.json path")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let doc = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            let str_of =
+                |v: &Json, k: &str| v.get(k).and_then(Json::as_str).unwrap_or("-").to_owned();
+            let num_of = |v: &Json, k: &str| v.get(k).and_then(Json::as_f64);
+            println!(
+                "{} — {} (quick: {}, runs: {}, scale: {})",
+                str_of(&doc, "table"),
+                str_of(&doc, "title"),
+                doc.get("quick").and_then(Json::as_bool).unwrap_or(false),
+                num_of(&doc, "runs").unwrap_or(0.0),
+                num_of(&doc, "scale").unwrap_or(0.0),
+            );
+            let empty: &[Json] = &[];
+            let rows = doc.get("rows").and_then(Json::as_array).unwrap_or(empty);
+            for row in rows {
+                let mean = num_of(row, "mean").unwrap_or(0.0);
+                let sd = num_of(row, "stddev").unwrap_or(0.0);
+                let mut line = format!(
+                    "  {:<16} {:<14} {:>10.3} ±{:<8.3} {:<4} n={}",
+                    str_of(row, "workload"),
+                    str_of(row, "config"),
+                    mean,
+                    sd,
+                    str_of(row, "metric"),
+                    num_of(row, "n").unwrap_or(0.0),
+                );
+                if let Some(o) = num_of(row, "overhead_vs_native") {
+                    line.push_str(&format!("  {o:.1}x native"));
+                }
+                if let Some(t) = num_of(row, "ticks") {
+                    line.push_str(&format!(
+                        "  [ticks {t:.0}, wakeups {:.0}, broadcasts {:.0}, spurious {:.0}]",
+                        num_of(row, "wakeups_issued").unwrap_or(0.0),
+                        num_of(row, "broadcasts").unwrap_or(0.0),
+                        num_of(row, "spurious_wakeups").unwrap_or(0.0),
+                    ));
+                }
+                if let Some(b) = num_of(row, "demo_bytes") {
+                    line.push_str(&format!(
+                        "  [demo {b:.0}B: queue {:.0}, syscall {:.0}, signal {:.0}, async {:.0}]",
+                        num_of(row, "queue_entries").unwrap_or(0.0),
+                        num_of(row, "syscall_entries").unwrap_or(0.0),
+                        num_of(row, "signal_entries").unwrap_or(0.0),
+                        num_of(row, "async_entries").unwrap_or(0.0),
+                    ));
+                }
+                println!("{line}");
+            }
+            println!("{} row(s)", rows.len());
+            Ok(EXIT_OK)
+        }
+        other => Err(format!(
+            "unknown command `{other}`
+{}",
+            usage()
+        )),
     }
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run_command(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(msg) => {
             eprintln!("srr: {msg}");
             ExitCode::FAILURE
@@ -465,13 +651,26 @@ mod tests {
 
     #[test]
     fn analyze_command_runs_and_validates() {
-        run_command(&argv(&["analyze", "ab_ba_locks", "--seed", "7"])).expect("analyze");
+        // The ABBA workload is built to be flagged: findings exit 2.
+        let code = run_command(&argv(&["analyze", "ab_ba_locks", "--seed", "7"])).expect("analyze");
+        assert_eq!(code, EXIT_FINDINGS);
         assert!(
             run_command(&argv(&["analyze"])).is_err(),
             "missing workload"
         );
         let err = run_command(&argv(&["analyze", "ab_ba_locks", "--tool", "native"])).unwrap_err();
         assert!(err.contains("controlled"), "{err}");
+    }
+
+    #[test]
+    fn help_prints_exit_codes() {
+        assert_eq!(run_command(&argv(&["--help"])), Ok(EXIT_OK));
+        assert_eq!(run_command(&argv(&["help"])), Ok(EXIT_OK));
+        assert!(usage().contains("exit codes"));
+        assert!(usage().contains("2  clean run with findings"));
+        // Usage travels with the missing-command error too.
+        let err = run_command(&[]).unwrap_err();
+        assert!(err.contains("exit codes"), "{err}");
     }
 
     #[test]
@@ -488,16 +687,21 @@ mod tests {
             dir.to_str().unwrap(),
         ]))
         .expect("record");
-        run_command(&argv(&["lint-demo", "--demo", dir.to_str().unwrap()]))
-            .expect("recorded demo lints clean");
-        // Truncate the SYSCALL stream mid-record: the linter must object.
+        assert_eq!(
+            run_command(&argv(&["lint-demo", "--demo", dir.to_str().unwrap()])),
+            Ok(EXIT_OK),
+            "recorded demo lints clean"
+        );
+        // Truncate the SYSCALL stream mid-record: the linter must object
+        // with the findings exit code (not a usage error).
         let syscall = dir.join("SYSCALL");
         let text = std::fs::read_to_string(&syscall).expect("recorded syscalls");
         if let Some(pos) = text.find("\nbuf ") {
             std::fs::write(&syscall, &text[..pos + 1]).unwrap();
-            let err =
-                run_command(&argv(&["lint-demo", "--demo", dir.to_str().unwrap()])).unwrap_err();
-            assert!(err.contains("problem"), "{err}");
+            assert_eq!(
+                run_command(&argv(&["lint-demo", "--demo", dir.to_str().unwrap()])),
+                Ok(EXIT_FINDINGS)
+            );
         }
         assert!(
             run_command(&argv(&["lint-demo"])).is_err(),
@@ -528,5 +732,62 @@ mod tests {
         ]))
         .expect("replay");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_command_writes_parseable_chrome_json() {
+        let out = std::env::temp_dir().join(format!("srr-trace-test-{}.json", std::process::id()));
+        let code = run_command(&argv(&[
+            "trace",
+            "barrier",
+            "--tool",
+            "queue",
+            "--seed",
+            "3",
+            "--ring",
+            "64",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .expect("trace");
+        assert_eq!(code, EXIT_OK);
+        let text = std::fs::read_to_string(&out).expect("trace file");
+        let doc = Json::parse(&text).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty(), "trace captured events");
+        // Uncontrolled tools cannot trace.
+        assert!(run_command(&argv(&["trace", "barrier", "--tool", "native"])).is_err());
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn stats_command_reads_bench_reports() {
+        let path = std::env::temp_dir().join(format!("srr-stats-test-{}.json", std::process::id()));
+        let doc = r#"{
+  "schema_version": 1, "table": "t1", "title": "demo", "quick": true,
+  "runs": 2, "scale": 1,
+  "rows": [
+    {"workload": "w", "config": "queue", "metric": "ms",
+     "higher_is_better": false, "mean": 1.5, "stddev": 0.1, "n": 2,
+     "overhead_vs_native": 2.0, "ticks": 10, "wakeups_issued": 9,
+     "broadcasts": 1, "spurious_wakeups": 0,
+     "demo_bytes": 128, "queue_entries": 6, "syscall_entries": 2,
+     "signal_entries": 1, "async_entries": 0}
+  ]
+}"#;
+        std::fs::write(&path, doc).unwrap();
+        assert_eq!(
+            run_command(&argv(&["stats", path.to_str().unwrap()])),
+            Ok(EXIT_OK)
+        );
+        assert!(run_command(&argv(&["stats"])).is_err(), "missing path");
+        assert!(
+            run_command(&argv(&["stats", "/nonexistent/bench.json"])).is_err(),
+            "unreadable file"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -221,11 +221,30 @@ pub fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1_000.0
 }
 
-/// Accumulates scheduler wakeup counters over repeated runs of one
-/// benchmark cell, for the `BENCH_*.json` reports.
+/// Demo-stream totals summed over repeated runs of one benchmark cell
+/// (entries per stream plus serialized demo bytes), for the
+/// `BENCH_*.json` reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamTotals {
+    /// Serialized demo bytes.
+    pub demo_bytes: u64,
+    /// QUEUE stream entries.
+    pub queue_entries: u64,
+    /// SYSCALL stream entries.
+    pub syscall_entries: u64,
+    /// SIGNAL stream entries.
+    pub signal_entries: u64,
+    /// ASYNC stream entries.
+    pub async_entries: u64,
+}
+
+/// Accumulates scheduler wakeup counters and demo-stream totals over
+/// repeated runs of one benchmark cell, for the `BENCH_*.json` reports.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SchedTotals {
     sum: SchedCounters,
+    streams: StreamTotals,
+    saw_streams: bool,
     runs: u64,
 }
 
@@ -236,6 +255,19 @@ impl SchedTotals {
         self.sum.wakeups_issued += report.sched.wakeups_issued;
         self.sum.broadcasts += report.sched.broadcasts;
         self.sum.spurious_wakeups += report.sched.spurious_wakeups;
+        if let Some(bytes) = report.demo_bytes {
+            self.streams.demo_bytes += bytes as u64;
+        }
+        for s in &report.obs.streams {
+            self.saw_streams = true;
+            match s.stream.as_str() {
+                "QUEUE" => self.streams.queue_entries += s.entries,
+                "SYSCALL" => self.streams.syscall_entries += s.entries,
+                "SIGNAL" => self.streams.signal_entries += s.entries,
+                "ASYNC" => self.streams.async_entries += s.entries,
+                _ => {}
+            }
+        }
         self.runs += 1;
     }
 
@@ -243,6 +275,13 @@ impl SchedTotals {
     #[must_use]
     pub fn total(&self) -> SchedCounters {
         self.sum
+    }
+
+    /// Summed demo-stream totals, `None` when no folded run recorded or
+    /// replayed a demo.
+    #[must_use]
+    pub fn streams(&self) -> Option<StreamTotals> {
+        self.saw_streams.then_some(self.streams)
     }
 
     /// Whether any folded run actually exercised the scheduler.

@@ -57,6 +57,9 @@ fn main() {
             let mut row = BenchRow::from_stats(litmus.name, tool.label(), "ms", false, &stats);
             if sched.any() {
                 row = row.with_sched(sched.total());
+                if let Some(t) = sched.streams() {
+                    row = row.with_streams(t);
+                }
             }
             json.push(row);
             cells.push(mean_sd(&stats));

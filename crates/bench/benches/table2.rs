@@ -61,6 +61,9 @@ fn row(workload: &str, tool: Tool, stats: &Stats, sched: &SchedTotals, native: f
     }
     if sched.any() {
         row = row.with_sched(sched.total());
+        if let Some(t) = sched.streams() {
+            row = row.with_streams(t);
+        }
     }
     row
 }
@@ -127,6 +130,9 @@ fn main() {
             }
             if sched.any() {
                 r = r.with_sched(sched.total());
+                if let Some(t) = sched.streams() {
+                    r = r.with_streams(t);
+                }
             }
             json.push(r);
             (

@@ -48,6 +48,9 @@ fn cell(times: &[f64], sched: SchedTotals, workload: &str, tool: Tool, native: f
     }
     if sched.any() {
         row = row.with_sched(sched.total());
+        if let Some(t) = sched.streams() {
+            row = row.with_streams(t);
+        }
     }
     row
 }

@@ -82,6 +82,9 @@ fn main() {
         }
         if sched.any() {
             row = row.with_sched(sched.total());
+            if let Some(t) = sched.streams() {
+                row = row.with_streams(t);
+            }
         }
         json.push(row);
         table.row(&[

@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 
 pub mod report;
 
-pub use srr_apps::harness::{ms, run_tool, SchedTotals, Stats, Tool};
+pub use srr_apps::harness::{ms, run_tool, SchedTotals, Stats, StreamTotals, Tool};
 
 /// Whether the CI smoke profile was requested, via a `--quick` argument
 /// (cargo forwards unknown args to `harness = false` bench binaries) or

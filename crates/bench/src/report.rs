@@ -27,11 +27,11 @@
 //! }
 //! ```
 //!
-//! The workspace has no JSON dependency, so this module carries a
-//! deliberately small JSON value type with a writer and a parser — the
-//! same code serializes the reports and lets the gate read them back.
+//! The workspace has no JSON dependency; the deliberately small JSON
+//! value type lives in `srr-obs` (shared with the trace exporters) and is
+//! re-exported here — the same code serializes the reports and lets the
+//! gate read them back.
 
-use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use tsan11rec::SchedCounters;
@@ -42,304 +42,18 @@ use crate::Stats;
 pub const SCHEMA_VERSION: u64 = 1;
 
 // ---------------------------------------------------------------------
-// Minimal JSON
+// Minimal JSON (moved to `srr-obs` so the exporters share it; re-exported
+// here because the gate binary and older callers import it from this
+// module)
 // ---------------------------------------------------------------------
 
-/// A minimal JSON value: enough for the bench reports and the gate.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (serialized via Rust's shortest-f64 formatting).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; insertion order is preserved when serializing.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Object field lookup (`None` on non-objects and absent keys).
-    #[must_use]
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// Numeric value, if this is a number.
-    #[must_use]
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// String value, if this is a string.
-    #[must_use]
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// Bool value, if this is a bool.
-    #[must_use]
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// Array elements, if this is an array.
-    #[must_use]
-    pub fn as_array(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Serializes with two-space indentation and a trailing newline.
-    #[must_use]
-    pub fn to_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write_pretty(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write_pretty(&self, out: &mut String, depth: usize) {
-        let pad = "  ".repeat(depth + 1);
-        let close_pad = "  ".repeat(depth);
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                if n.is_finite() {
-                    let _ = write!(out, "{n}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_json_string(out, s),
-            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
-            Json::Arr(items) => {
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    out.push_str(&pad);
-                    item.write_pretty(out, depth + 1);
-                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
-                }
-                out.push_str(&close_pad);
-                out.push(']');
-            }
-            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
-            Json::Obj(fields) => {
-                out.push_str("{\n");
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    out.push_str(&pad);
-                    write_json_string(out, k);
-                    out.push_str(": ");
-                    v.write_pretty(out, depth + 1);
-                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
-                }
-                out.push_str(&close_pad);
-                out.push('}');
-            }
-        }
-    }
-
-    /// Parses a JSON document (strict enough for what [`Json::to_pretty`]
-    /// produces; numbers are f64, escapes limited to the common set).
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(value)
-    }
-}
-
-fn write_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
-    if bytes.get(*pos) == Some(&b) {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!(
-            "expected '{}' at byte {} (found {:?})",
-            b as char,
-            *pos,
-            bytes.get(*pos).map(|b| *b as char)
-        ))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = parse_string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
-                fields.push((key, value));
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(fields));
-                    }
-                    other => return Err(format!("expected ',' or '}}', found {other:?}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    other => return Err(format!("expected ',' or ']', found {other:?}")),
-                }
-            }
-        }
-        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
-        Some(b't') if bytes[*pos..].starts_with(b"true") => {
-            *pos += 4;
-            Ok(Json::Bool(true))
-        }
-        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
-            *pos += 5;
-            Ok(Json::Bool(false))
-        }
-        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
-            *pos += 4;
-            Ok(Json::Null)
-        }
-        Some(_) => {
-            let start = *pos;
-            while *pos < bytes.len()
-                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-            {
-                *pos += 1;
-            }
-            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
-            text.parse::<f64>()
-                .map(Json::Num)
-                .map_err(|e| format!("bad number {text:?}: {e}"))
-        }
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(bytes, pos, b'"')?;
-    let mut out = String::new();
-    let mut chunk_start = *pos;
-    while *pos < bytes.len() {
-        match bytes[*pos] {
-            b'"' => {
-                out.push_str(
-                    std::str::from_utf8(&bytes[chunk_start..*pos]).map_err(|e| e.to_string())?,
-                );
-                *pos += 1;
-                return Ok(out);
-            }
-            b'\\' => {
-                out.push_str(
-                    std::str::from_utf8(&bytes[chunk_start..*pos]).map_err(|e| e.to_string())?,
-                );
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                            16,
-                        )
-                        .map_err(|e| e.to_string())?;
-                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
-                        *pos += 4;
-                    }
-                    other => return Err(format!("bad escape {other:?}")),
-                }
-                *pos += 1;
-                chunk_start = *pos;
-            }
-            _ => *pos += 1,
-        }
-    }
-    Err("unterminated string".into())
-}
+pub use srr_obs::Json;
 
 // ---------------------------------------------------------------------
 // Bench report schema
 // ---------------------------------------------------------------------
+
+pub use srr_apps::harness::StreamTotals;
 
 /// One measured configuration of one workload.
 #[derive(Debug, Clone)]
@@ -365,6 +79,9 @@ pub struct BenchRow {
     /// Scheduler wakeup counters summed over the row's runs (`None`
     /// for uncontrolled configurations).
     pub sched: Option<SchedCounters>,
+    /// Demo-stream totals summed over the row's runs (`None` when the
+    /// runs neither recorded nor replayed a demo).
+    pub streams: Option<StreamTotals>,
 }
 
 impl BenchRow {
@@ -387,6 +104,7 @@ impl BenchRow {
             stddev: stats.stddev,
             overhead_vs_native: None,
             sched: None,
+            streams: None,
         }
     }
 
@@ -401,6 +119,13 @@ impl BenchRow {
     #[must_use]
     pub fn with_sched(mut self, sched: SchedCounters) -> Self {
         self.sched = Some(sched);
+        self
+    }
+
+    /// Attaches summed demo-stream totals.
+    #[must_use]
+    pub fn with_streams(mut self, streams: StreamTotals) -> Self {
+        self.streams = Some(streams);
         self
     }
 
@@ -434,6 +159,25 @@ impl BenchRow {
             fields.push((
                 "spurious_wakeups".to_owned(),
                 Json::Num(s.spurious_wakeups as f64),
+            ));
+        }
+        if let Some(t) = self.streams {
+            fields.push(("demo_bytes".to_owned(), Json::Num(t.demo_bytes as f64)));
+            fields.push((
+                "queue_entries".to_owned(),
+                Json::Num(t.queue_entries as f64),
+            ));
+            fields.push((
+                "syscall_entries".to_owned(),
+                Json::Num(t.syscall_entries as f64),
+            ));
+            fields.push((
+                "signal_entries".to_owned(),
+                Json::Num(t.signal_entries as f64),
+            ));
+            fields.push((
+                "async_entries".to_owned(),
+                Json::Num(t.async_entries as f64),
             ));
         }
         Json::Obj(fields)
@@ -683,44 +427,6 @@ pub fn check_regressions(baseline: &Json, current: &Json, threshold: f64) -> Gat
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_roundtrip() {
-        let doc = Json::Obj(vec![
-            ("a".into(), Json::Num(1.5)),
-            ("b".into(), Json::Str("x \"quoted\"\nline".into())),
-            (
-                "c".into(),
-                Json::Arr(vec![Json::Bool(true), Json::Null, Json::Num(-2e3)]),
-            ),
-            ("empty_arr".into(), Json::Arr(vec![])),
-            ("empty_obj".into(), Json::Obj(vec![])),
-        ]);
-        let text = doc.to_pretty();
-        let back = Json::parse(&text).expect("parse");
-        assert_eq!(back, doc);
-    }
-
-    #[test]
-    fn json_accessors() {
-        let doc = Json::parse(r#"{"x": 3, "s": "hi", "b": false, "arr": [1,2]}"#).unwrap();
-        assert_eq!(doc.get("x").and_then(Json::as_f64), Some(3.0));
-        assert_eq!(doc.get("s").and_then(Json::as_str), Some("hi"));
-        assert_eq!(doc.get("b").and_then(Json::as_bool), Some(false));
-        assert_eq!(
-            doc.get("arr").and_then(Json::as_array).map(<[_]>::len),
-            Some(2)
-        );
-        assert!(doc.get("missing").is_none());
-    }
-
-    #[test]
-    fn json_rejects_garbage() {
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1,]").is_err());
-        assert!(Json::parse("{} trailing").is_err());
-        assert!(Json::parse("\"unterminated").is_err());
-    }
-
     fn report_with(mean: f64, higher: bool) -> Json {
         let stats = Stats::of(&[mean]);
         let mut report = BenchReport::new("tablet", "test", 1, 1);
@@ -813,6 +519,7 @@ mod tests {
             stddev,
             overhead_vs_native: None,
             sched: None,
+            streams: None,
         });
         report.to_json()
     }

@@ -3,6 +3,8 @@
 use std::collections::BTreeSet;
 use std::time::Duration;
 
+use srr_obs::TraceSpec;
+
 /// Scheduling strategy for controlled modes (§3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Strategy {
@@ -250,6 +252,11 @@ pub struct Config {
     /// plain-rr baseline, which sequentializes and records but performs
     /// no analysis (§5's "rr" rows, as opposed to "tsan11 + rr").
     pub detect_races: bool,
+    /// Structured observability tracing (`srr-obs`): per-thread event
+    /// rings, latency histograms and exporters. `None` (the default)
+    /// means no collector is even constructed, so the hot path pays only
+    /// an `Option` check.
+    pub trace: Option<TraceSpec>,
 }
 
 impl Config {
@@ -268,6 +275,7 @@ impl Config {
             trace_schedule: false,
             trace_sync: false,
             detect_races: true,
+            trace: None,
         }
     }
 
@@ -333,6 +341,14 @@ impl Config {
     #[must_use]
     pub fn without_race_detection(mut self) -> Self {
         self.detect_races = false;
+        self
+    }
+
+    /// Enables structured observability tracing (event rings, histograms,
+    /// exporters) with the given spec.
+    #[must_use]
+    pub fn with_trace(mut self, spec: TraceSpec) -> Self {
+        self.trace = Some(spec);
         self
     }
 }
@@ -421,5 +437,8 @@ mod tests {
         assert!(!c.report_races);
         assert!(c.liveness.is_none());
         assert_eq!(c.signal_target, 2);
+        assert!(c.trace.is_none(), "tracing is off by default");
+        let traced = c.with_trace(TraceSpec::new().with_ring_capacity(64));
+        assert_eq!(traced.trace.unwrap().ring_capacity, 64);
     }
 }

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use srr_memmodel::ThreadView;
+use srr_obs::{DesyncDiagnostics, StreamCounter};
 use srr_replay::{Demo, DemoHeader};
 use srr_vos::{AllocMode, Vos, VosConfig};
 
@@ -239,7 +240,7 @@ impl Execution {
             let _ = h.join();
         }
 
-        let outcome = match rt.sched.as_ref().and_then(|s| s.failure()) {
+        let mut outcome = match rt.sched.as_ref().and_then(|s| s.failure()) {
             Some(FailReason::Deadlock) => Outcome::Deadlock,
             Some(FailReason::Desync(d)) => Outcome::HardDesync(d),
             Some(FailReason::ProgramPanic(msg)) => Outcome::Panicked(msg),
@@ -280,6 +281,30 @@ impl Execution {
             srr_analysis::analyze(&sync_trace)
         };
 
+        let mut obs_report = rt.obs.as_ref().map(|o| o.finish()).unwrap_or_default();
+        // Stream counters describe the demo the run produced or consumed;
+        // they cost nothing to compute and are reported even with the
+        // event trace off.
+        if let Some(d) = produced_demo.as_ref().or(demo) {
+            obs_report.streams = demo_stream_counters(d);
+        }
+        if let Outcome::HardDesync(hd) = &mut outcome {
+            // Diagnose the divergence: the demo's intended schedule vs
+            // the ticks the trace actually saw (empty without tracing —
+            // the report still pinpoints the failing stream entry).
+            let recorded = demo.map(|d| d.queue.schedule_order()).unwrap_or_default();
+            let diag = DesyncDiagnostics::build(
+                hd.tick,
+                &hd.constraint,
+                &hd.stream,
+                hd.offset,
+                &recorded,
+                &obs_report,
+            );
+            hd.context.extend(diag.summary_lines());
+            obs_report.desync = Some(diag);
+        }
+
         let report = ExecReport {
             outcome,
             races,
@@ -304,7 +329,31 @@ impl Execution {
                 .as_ref()
                 .map(Scheduler::counters)
                 .unwrap_or_default(),
+            obs: obs_report,
         };
         (report, produced_demo)
     }
+}
+
+/// Per-stream entry and serialized-byte counters for a demo, keyed the
+/// way the demo directory is laid out on disk.
+fn demo_stream_counters(demo: &Demo) -> Vec<StreamCounter> {
+    let sizes = demo.to_string_map();
+    let bytes = |name: &str| sizes.get(name).map_or(0, |t| t.len() as u64);
+    let entry = |name: &str, entries: u64| StreamCounter {
+        stream: name.to_owned(),
+        entries,
+        bytes: bytes(name),
+    };
+    vec![
+        entry("HEADER", 1),
+        entry(
+            "QUEUE",
+            (demo.queue.first_tick.len() + demo.queue.next_ticks.len()) as u64,
+        ),
+        entry("SIGNAL", demo.signals.len() as u64),
+        entry("SYSCALL", demo.syscalls.len() as u64),
+        entry("ASYNC", demo.async_events.len() as u64),
+        entry("ALLOC", demo.alloc.len() as u64),
+    ]
 }

@@ -67,7 +67,7 @@ pub use config::{Config, Mode, RecordMode, SparseConfig, Strategy};
 pub use exec::Execution;
 pub use ids::{AtomicId, CondId, MutexId, Tid};
 pub use prng::Prng;
-pub use report::{soft_desync, ExecReport, Outcome, SchedCounters, TraceEvent};
+pub use report::{soft_desync, soft_desync_report, ExecReport, Outcome, SchedCounters, TraceEvent};
 pub use rwlock::{Barrier, RwLock, RwLockReadGuard, RwLockWriteGuard};
 pub use shared::{Shared, SharedArray};
 pub use sync::{Condvar, Mutex, MutexGuard};
@@ -76,6 +76,8 @@ pub use sync::{Condvar, Mutex, MutexGuard};
 // them so workloads depend on one crate.
 pub use srr_analysis::{Finding, FindingKind, SyncEvent, SyncTrace};
 pub use srr_memmodel::MemOrder;
-pub use srr_replay::{Demo, DemoHeader, HardDesync};
+pub use srr_obs as obs;
+pub use srr_obs::{chrome_trace, text_timeline, DesyncDiagnostics, ObsOp, ObsReport, TraceSpec};
+pub use srr_replay::{Demo, DemoHeader, HardDesync, SoftDesync};
 pub use srr_vos as vos;
 pub use srr_vos::{Errno, Fd, PollFd, SysResult};

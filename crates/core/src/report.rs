@@ -3,8 +3,9 @@
 use std::time::Duration;
 
 use srr_analysis::{Finding, SyncTrace};
+use srr_obs::ObsReport;
 use srr_racedet::RaceReport;
-use srr_replay::HardDesync;
+use srr_replay::{HardDesync, SoftDesync};
 
 /// One entry of the schedule trace: a scheduler transition observed at a
 /// `Wait()` success or a completed `Tick()` (§3.1), with the cumulative
@@ -147,6 +148,10 @@ pub struct ExecReport {
     pub analysis: Vec<Finding>,
     /// Scheduler wakeup counters (zeroed in uncontrolled modes).
     pub sched: SchedCounters,
+    /// Observability report: per-thread event traces and histograms when
+    /// `Config::with_trace` was set, stream counters whenever the run
+    /// recorded or replayed a demo.
+    pub obs: ObsReport,
 }
 
 impl ExecReport {
@@ -191,6 +196,39 @@ pub fn soft_desync(recorded: &ExecReport, replayed: &ExecReport) -> bool {
     recorded.console != replayed.console
 }
 
+/// Builds a diagnosable [`SoftDesync`] for a divergent replay, or `None`
+/// when the consoles match. Names the CONSOLE surface and the byte offset
+/// of the first divergence, and adds leftover-syscall context when the
+/// replay also left SYSCALL entries unconsumed.
+#[must_use]
+pub fn soft_desync_report(recorded: &ExecReport, replayed: &ExecReport) -> Option<SoftDesync> {
+    if !soft_desync(recorded, replayed) {
+        return None;
+    }
+    let offset = recorded
+        .console
+        .iter()
+        .zip(replayed.console.iter())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| recorded.console.len().min(replayed.console.len()));
+    let mut context = vec![format!(
+        "recorded console {} bytes, replayed {} bytes",
+        recorded.console.len(),
+        replayed.console.len()
+    )];
+    if replayed.replay_leftover_syscalls > 0 {
+        context.push(format!(
+            "{} SYSCALL entries left unconsumed at exit",
+            replayed.replay_leftover_syscalls
+        ));
+    }
+    Some(
+        SoftDesync::new(replayed.ticks, "console output diverged")
+            .with_stream("CONSOLE", offset as u64)
+            .with_context(context),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +250,7 @@ mod tests {
             sync_trace: SyncTrace::default(),
             analysis: Vec::new(),
             sched: SchedCounters::default(),
+            obs: ObsReport::default(),
         }
     }
 
@@ -227,12 +266,7 @@ mod tests {
 
     #[test]
     fn desync_accessor() {
-        let d = HardDesync {
-            tick: 1,
-            constraint: "c".into(),
-            expected: "e".into(),
-            actual: "a".into(),
-        };
+        let d = HardDesync::new(1, "c", "e", "a");
         let r = report(Outcome::HardDesync(d.clone()), b"");
         assert_eq!(r.desync(), Some(&d));
     }
@@ -275,5 +309,21 @@ mod tests {
         let c = report(Outcome::Completed, b"one");
         assert!(soft_desync(&a, &b));
         assert!(!soft_desync(&a, &c));
+    }
+
+    #[test]
+    fn soft_desync_report_names_console_offset() {
+        let a = report(Outcome::Completed, b"shared-prefix-AAA");
+        let mut b = report(Outcome::Completed, b"shared-prefix-BBB");
+        b.replay_leftover_syscalls = 3;
+        let d = soft_desync_report(&a, &b).expect("diverged");
+        assert_eq!(d.stream, "CONSOLE");
+        assert_eq!(d.offset, 14, "first differing byte");
+        assert!(d.context.iter().any(|l| l.contains("3 SYSCALL")), "{d:?}");
+        assert!(soft_desync_report(&a, &a.clone()).is_none());
+        // Pure-truncation divergence points at the shorter length.
+        let short = report(Outcome::Completed, b"shared");
+        let d = soft_desync_report(&a, &short).expect("diverged");
+        assert_eq!(d.offset, 6);
     }
 }

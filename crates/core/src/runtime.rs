@@ -16,6 +16,7 @@ use std::sync::Arc;
 use parking_lot::Mutex as PlMutex;
 use srr_analysis::{SyncEvent, SyncTrace, SyncTraceBuilder};
 use srr_memmodel::{AtomicCell, Chooser, ScFenceClock, ThreadView};
+use srr_obs::{EventKind, Obs, ObsOp, StreamId, SysKind};
 use srr_racedet::RaceDetector;
 use srr_replay::{HardDesync, SyscallRecord};
 use srr_vclock::VectorClock;
@@ -130,6 +131,9 @@ pub(crate) struct Runtime {
     /// Structured sync-event trace builder (`Config::trace_sync`); `None`
     /// when tracing is off.
     pub sync_trace: PlMutex<Option<SyncTraceBuilder>>,
+    /// Observability collector (`Config::trace`); `None` when off, so
+    /// every hook below is a single `Option` check.
+    pub obs: Option<Arc<Obs>>,
 }
 
 impl Runtime {
@@ -138,6 +142,10 @@ impl Runtime {
             .mode
             .strategy()
             .map(|s| Scheduler::new(s, Prng::from_seeds(seeds)));
+        let obs = config.trace.map(|spec| Arc::new(Obs::new(spec)));
+        if let (Some(sched), Some(obs)) = (&sched, &obs) {
+            sched.enable_obs(Arc::clone(obs));
+        }
         let mut racedet = RaceDetector::new();
         racedet.set_reporting(config.report_races);
         Arc::new(Runtime {
@@ -163,6 +171,7 @@ impl Runtime {
             panic_note: PlMutex::new(None),
             free_ops: AtomicU32::new(0),
             sync_trace: PlMutex::new(None),
+            obs,
         })
     }
 
@@ -197,7 +206,7 @@ impl Runtime {
                     // The handler entry is the visible operation: close
                     // this critical section and run the handler, whose own
                     // atomic operations form further critical sections.
-                    self.sched().tick(tid);
+                    self.sched().tick_op(tid, ObsOp::Signal);
                     self.run_handler(signo);
                     continue;
                 }
@@ -209,6 +218,12 @@ impl Runtime {
     /// Closes a visible operation: delivers due environment signals and
     /// performs `Tick()`.
     pub fn exit(self: &Arc<Self>, tid: Tid) {
+        self.exit_op(tid, ObsOp::Other);
+    }
+
+    /// [`Runtime::exit`] with the visible-op kind attached to the
+    /// closing `Tick()` for the observability trace.
+    pub fn exit_op(self: &Arc<Self>, tid: Tid, op: ObsOp) {
         match self.config.mode {
             Mode::Native | Mode::Tsan11 => {
                 self.free_ops.fetch_add(1, AOrd::Relaxed);
@@ -216,7 +231,7 @@ impl Runtime {
             }
             Mode::Tsan11Rec(strategy) => {
                 self.pump_vos_signals_controlled();
-                self.sched().tick(tid);
+                self.sched().tick_op(tid, op);
                 if matches!(strategy, crate::config::Strategy::Slice { .. }) {
                     // rr-style full sequentialization: do not run even
                     // invisible code until scheduled again.
@@ -445,6 +460,17 @@ impl Runtime {
                 errno,
                 bufs,
             });
+            drop(r);
+            if let Some(obs) = &self.obs {
+                obs.thread_event(
+                    tid.0,
+                    tick,
+                    EventKind::SyscallRecord {
+                        kind: SysKind::from_name(kind),
+                        seq,
+                    },
+                );
+            }
         }
     }
 
@@ -454,19 +480,19 @@ impl Runtime {
     /// # Panics
     ///
     /// Panics with [`SchedAbort`] on desynchronisation.
-    pub fn replay_syscall(&self, kind: &str) -> Option<SyscallRecord> {
+    pub fn replay_syscall(&self, tid: Tid, kind: &str) -> Option<SyscallRecord> {
         enum Next {
             NotReplaying,
-            Underrun,
-            Mismatch(String),
+            Underrun(u64),
+            Mismatch(String, u64),
             Hit(SyscallRecord),
         }
         let next = {
             let mut r = self.sysrec.lock();
             match &mut *r {
                 SysRec::Replay { recs, at } => match recs.get(*at) {
-                    None => Next::Underrun,
-                    Some(rec) if rec.kind != kind => Next::Mismatch(rec.kind.clone()),
+                    None => Next::Underrun(recs.len() as u64),
+                    Some(rec) if rec.kind != kind => Next::Mismatch(rec.kind.clone(), *at as u64),
                     Some(rec) => {
                         let rec = rec.clone();
                         *at += 1;
@@ -478,11 +504,41 @@ impl Runtime {
         };
         match next {
             Next::NotReplaying => None,
-            Next::Hit(rec) => Some(rec),
-            Next::Underrun => {
-                self.hard_desync("syscall-underrun", kind, "SYSCALL stream exhausted")
+            Next::Hit(rec) => {
+                if let Some(obs) = &self.obs {
+                    let tick = match self.config.mode {
+                        Mode::Tsan11Rec(_) => self.sched().tick_value(),
+                        _ => 0,
+                    };
+                    obs.thread_event(
+                        tid.0,
+                        tick,
+                        EventKind::SyscallReplay {
+                            kind: SysKind::from_name(kind),
+                            seq: rec.seq,
+                        },
+                    );
+                    obs.thread_event(
+                        tid.0,
+                        tick,
+                        EventKind::StreamCursor {
+                            stream: StreamId::Syscall,
+                            offset: rec.seq + 1,
+                        },
+                    );
+                }
+                Some(rec)
             }
-            Next::Mismatch(expected) => self.hard_desync("syscall-kind", kind, &expected),
+            Next::Underrun(at) => self.hard_desync_at(
+                "syscall-underrun",
+                kind,
+                "SYSCALL stream exhausted",
+                "SYSCALL",
+                at,
+            ),
+            Next::Mismatch(expected, at) => {
+                self.hard_desync_at("syscall-kind", kind, &expected, "SYSCALL", at)
+            }
         }
     }
 
@@ -495,6 +551,15 @@ impl Runtime {
         }
     }
 
+    /// Current SYSCALL-stream replay cursor (entries consumed so far);
+    /// 0 when not replaying.
+    pub fn replay_cursor(&self) -> u64 {
+        match &*self.sysrec.lock() {
+            SysRec::Replay { at, .. } => *at as u64,
+            _ => 0,
+        }
+    }
+
     /// Recorded-but-unconsumed replay entries (diagnostic).
     pub fn replay_leftover(&self) -> usize {
         match &*self.sysrec.lock() {
@@ -504,18 +569,27 @@ impl Runtime {
     }
 
     /// Raises a hard desynchronisation: fails the execution and unwinds
-    /// the calling thread.
-    pub fn hard_desync(&self, constraint: &str, actual: &str, expected: &str) -> ! {
+    /// the calling thread. `stream`/`offset` name the demo stream entry
+    /// where replay gave up (empty stream when no stream is implicated).
+    pub fn hard_desync_at(
+        &self,
+        constraint: &str,
+        actual: &str,
+        expected: &str,
+        stream: &str,
+        offset: u64,
+    ) -> ! {
         let tick = match self.config.mode {
             Mode::Tsan11Rec(_) => self.sched().tick_value(),
             _ => 0,
         };
-        let desync = HardDesync {
-            tick,
-            constraint: constraint.to_owned(),
-            expected: expected.to_owned(),
-            actual: actual.to_owned(),
-        };
+        let mut desync = HardDesync::new(tick, constraint, expected, actual);
+        if !stream.is_empty() {
+            desync = desync.with_stream(stream, offset);
+        }
+        if let Some(obs) = &self.obs {
+            obs.sched_event(u32::MAX, tick, EventKind::Desync);
+        }
         if let Some(sched) = &self.sched {
             sched.fail(FailReason::Desync(desync.clone()));
         }
@@ -652,7 +726,7 @@ mod tests {
         assert_eq!(recs[0].tick, 1);
 
         rt.set_record_mode(RecordMode::Replay, recs);
-        let rec = rt.replay_syscall("recv").unwrap();
+        let rec = rt.replay_syscall(Tid::MAIN, "recv").unwrap();
         assert_eq!(rec.ret, 5);
         assert_eq!(rec.bufs[0], b"hello");
         assert_eq!(rt.replay_leftover(), 0);
@@ -672,7 +746,7 @@ mod tests {
         }];
         rt.set_record_mode(RecordMode::Replay, recs);
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            rt.replay_syscall("send");
+            rt.replay_syscall(Tid::MAIN, "send");
         }))
         .unwrap_err();
         let abort = err.downcast_ref::<SchedAbort>().expect("SchedAbort");
@@ -681,6 +755,8 @@ mod tests {
                 assert_eq!(d.constraint, "syscall-kind");
                 assert_eq!(d.expected, "recv");
                 assert_eq!(d.actual, "send");
+                assert_eq!(d.stream, "SYSCALL");
+                assert_eq!(d.offset, 0);
             }
             other => panic!("expected desync, got {other:?}"),
         }
@@ -691,7 +767,7 @@ mod tests {
         let rt = rt(Mode::Tsan11Rec(Strategy::Random));
         rt.set_record_mode(RecordMode::Replay, Vec::new());
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            rt.replay_syscall("recv");
+            rt.replay_syscall(Tid::MAIN, "recv");
         }))
         .unwrap_err();
         assert!(err.downcast_ref::<SchedAbort>().is_some());

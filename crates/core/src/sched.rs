@@ -18,8 +18,10 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
+use srr_obs::{EventKind, Obs, ObsOp, StreamId};
 use srr_replay::{AsyncEvent, HardDesync, QueueStream, SignalEvent};
 
 use crate::config::Strategy;
@@ -85,6 +87,9 @@ struct ThreadState {
     cs_tick: u64,
     /// Slice strategy: visible ops left in the current quantum.
     slice_left: u32,
+    /// Wall-clock start of the in-flight critical section; only taken
+    /// when observability tracing is on.
+    cs_start: Option<Instant>,
 }
 
 impl std::fmt::Debug for ThreadState {
@@ -118,6 +123,7 @@ impl ThreadState {
             next_due: 0,
             cs_tick: 0,
             slice_left: 0,
+            cs_start: None,
         }
     }
 }
@@ -183,6 +189,11 @@ struct SchedState {
     /// Wakeups observed by a thread that found itself ineligible and went
     /// back to sleep.
     spurious_wakeups: u64,
+    /// Structured observability collector (`Config::with_trace`). `None`
+    /// when tracing is off: every instrumentation site is then a single
+    /// `Option` check. `Obs` takes no locks besides its own, so it is a
+    /// safe leaf under the scheduler mutex.
+    obs: Option<Arc<Obs>>,
 }
 
 /// The controlled scheduler shared by all threads of one execution.
@@ -238,6 +249,7 @@ impl Scheduler {
                 wakeups_issued: 0,
                 broadcasts: 0,
                 spurious_wakeups: 0,
+                obs: None,
             }),
         }
     }
@@ -250,6 +262,11 @@ impl Scheduler {
     /// Switches on schedule tracing (diagnostics: every `(tid, tick)`).
     pub fn enable_trace(&self) {
         self.state.lock().trace = Some(Vec::new());
+    }
+
+    /// Attaches the structured observability collector.
+    pub fn enable_obs(&self, obs: Arc<Obs>) {
+        self.state.lock().obs = Some(obs);
     }
 
     /// The collected schedule trace, if tracing was enabled.
@@ -344,6 +361,12 @@ impl Scheduler {
         st.in_cs = true;
         st.cs_tick = tick;
         g.cs_in_flight = true;
+        if g.obs.is_some() {
+            g.threads[tid.index()].cs_start = Some(Instant::now());
+            if let Some(obs) = &g.obs {
+                obs.thread_event(tid.0, tick, EventKind::TickBegin);
+            }
+        }
         if g.trace.is_some() {
             let (tick, draws) = (g.tick, g.prng.draws());
             if let Some(trace) = &mut g.trace {
@@ -359,6 +382,12 @@ impl Scheduler {
     /// `Tick()` (§3.1): close the critical section and choose the next
     /// thread.
     pub fn tick(&self, tid: Tid) {
+        self.tick_op(tid, ObsOp::Other);
+    }
+
+    /// [`Scheduler::tick`] with the visible-operation class attached, so
+    /// the trace can label the critical section (atomic / sync / …).
+    pub fn tick_op(&self, tid: Tid, op: ObsOp) {
         let mut g = self.state.lock();
         // The critical section's own tick, assigned at Wait() success
         // (identical to the global counter given in-flight exclusion, but
@@ -370,6 +399,15 @@ impl Scheduler {
             st.in_cs = false;
         }
         g.cs_in_flight = false;
+        if g.obs.is_some() {
+            let dur_nanos = g.threads[tid.index()]
+                .cs_start
+                .take()
+                .map_or(0, |s| s.elapsed().as_nanos() as u64);
+            if let Some(obs) = &g.obs {
+                obs.tick_end(tid.0, k, dur_nanos, op);
+            }
+        }
 
         if g.record.active && g.strategy.needs_queue_stream() {
             g.record.queue_order.push((tid.0, k));
@@ -428,6 +466,18 @@ impl Scheduler {
 
         // Strategy: choose the next thread.
         g.choose_next(tid, k);
+        if let Some(obs) = &g.obs {
+            let next = if g.replay.active && g.strategy.needs_queue_stream() {
+                let due = k + 1;
+                g.threads
+                    .iter()
+                    .position(|t| t.next_due == due)
+                    .map(|i| i as u32)
+            } else {
+                g.active.map(|t| t.0)
+            };
+            obs.sched_event(tid.0, k, EventKind::Decision { next });
+        }
 
         // Replay: apply the remaining async events floated to the end of
         // tick k — reschedules happen after the recording run's Tick()
@@ -831,14 +881,33 @@ impl SchedState {
             // Consume the next-tick entry for critical section k (§4.2).
             let idx = (k - 1) as usize;
             match self.replay.next_ticks.get(idx) {
-                Some(&next) => self.threads[tid.index()].next_due = next,
+                Some(&next) => {
+                    self.threads[tid.index()].next_due = next;
+                    if let Some(obs) = &self.obs {
+                        obs.sched_event(
+                            tid.0,
+                            k,
+                            EventKind::StreamCursor {
+                                stream: StreamId::Queue,
+                                offset: idx as u64,
+                            },
+                        );
+                    }
+                }
                 None => {
-                    self.fail = Some(FailReason::Desync(HardDesync {
-                        tick: k,
-                        constraint: "queue-schedule".into(),
-                        expected: "a next-tick entry".into(),
-                        actual: format!("QUEUE stream exhausted at critical section {k}"),
-                    }));
+                    if let Some(obs) = &self.obs {
+                        obs.sched_event(tid.0, k, EventKind::Desync);
+                    }
+                    self.fail = Some(FailReason::Desync(
+                        HardDesync::new(
+                            k,
+                            "queue-schedule",
+                            "a next-tick entry",
+                            &format!("QUEUE stream exhausted at critical section {k}"),
+                        )
+                        .with_stream("QUEUE", idx as u64)
+                        .with_context(vec![format!("failing thread: T{}", tid.0)]),
+                    ));
                 }
             }
             return;
@@ -1048,6 +1117,9 @@ impl SchedState {
         if let Some(t) = target {
             if self.threads[t.index()].in_wait {
                 self.wakeups_issued += 1;
+                if let Some(obs) = &self.obs {
+                    obs.sched_event(t.0, self.tick, EventKind::Wakeup { target: t.0 });
+                }
                 self.threads[t.index()].slot.notify_one();
             }
         }
@@ -1057,6 +1129,9 @@ impl SchedState {
     /// parked threads must observe (execution failure, replay stall).
     fn wake_all(&mut self) {
         self.broadcasts += 1;
+        if let Some(obs) = &self.obs {
+            obs.sched_event(u32::MAX, self.tick, EventKind::Broadcast);
+        }
         for t in &self.threads {
             t.slot.notify_one();
         }
@@ -1102,16 +1177,23 @@ impl SchedState {
                     )
                 })
                 .collect();
-            self.fail = Some(FailReason::Desync(HardDesync {
-                tick: self.tick,
-                constraint: "schedule-stall".into(),
-                expected: "an eligible thread per the demo".into(),
-                actual: format!(
-                    "all live threads blocked in Wait() (active={:?}; {})",
-                    self.active,
-                    statuses.join("; ")
-                ),
-            }));
+            if let Some(obs) = &self.obs {
+                obs.sched_event(u32::MAX, self.tick, EventKind::Desync);
+            }
+            self.fail = Some(FailReason::Desync(
+                HardDesync::new(
+                    self.tick,
+                    "schedule-stall",
+                    "an eligible thread per the demo",
+                    &format!(
+                        "all live threads blocked in Wait() (active={:?}; {})",
+                        self.active,
+                        statuses.join("; ")
+                    ),
+                )
+                .with_stream("QUEUE", self.tick)
+                .with_context(statuses),
+            ));
             self.wake_all();
         }
     }
@@ -1138,6 +1220,9 @@ impl SchedState {
         self.threads[target.index()]
             .pending_signals
             .push_back(signo);
+        if let Some(obs) = &self.obs {
+            obs.thread_event(target.0, last_tick, EventKind::SignalDelivered { signo });
+        }
         if matches!(self.threads[target.index()].status, Status::Disabled(_)) {
             self.enable_thread(target);
             let tick = self.tick;

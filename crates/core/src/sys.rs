@@ -17,6 +17,7 @@ use srr_vos::{Errno, Fd, PollFd, SysResult};
 
 use crate::ids::Tid;
 use crate::runtime::{current_rt, with_ctx, Runtime};
+use srr_obs::ObsOp;
 use srr_replay::SyscallRecord;
 use std::sync::Arc;
 
@@ -30,11 +31,11 @@ fn ctx(kind: &str) -> (Arc<Runtime>, Tid) {
     current_rt().unwrap_or_else(|| panic!("sys::{kind} outside an execution"))
 }
 
-fn plan(rt: &Arc<Runtime>, kind: &str, fd: Option<Fd>) -> Plan {
+fn plan(rt: &Arc<Runtime>, tid: Tid, kind: &str, fd: Option<Fd>) -> Plan {
     if !rt.should_record_syscall(kind, fd) {
         return Plan::Passthrough;
     }
-    match rt.replay_syscall(kind) {
+    match rt.replay_syscall(tid, kind) {
         Some(rec) => Plan::Replay(rec),
         None => Plan::Record,
     }
@@ -67,7 +68,7 @@ fn bufferful_in(
     rt.enter(tid);
     with_ctx(|ctx| ctx.view.tick());
     let live_res = live(&rt, buf);
-    let res = match plan(&rt, kind, Some(fd)) {
+    let res = match plan(&rt, tid, kind, Some(fd)) {
         Plan::Passthrough => live_res,
         Plan::Record => {
             let (ret, errno) = encode(live_res);
@@ -82,7 +83,7 @@ fn bufferful_in(
             decode(rec.ret, rec.errno)
         }
     };
-    rt.exit(tid);
+    rt.exit_op(tid, ObsOp::Syscall);
     res
 }
 
@@ -96,7 +97,7 @@ fn bufferless(
     rt.enter(tid);
     with_ctx(|ctx| ctx.view.tick());
     let live_res = live(&rt);
-    let res = match plan(&rt, kind, fd) {
+    let res = match plan(&rt, tid, kind, fd) {
         Plan::Passthrough => live_res,
         Plan::Record => {
             let (ret, errno) = encode(live_res);
@@ -105,7 +106,7 @@ fn bufferless(
         }
         Plan::Replay(rec) => decode(rec.ret, rec.errno),
     };
-    rt.exit(tid);
+    rt.exit_op(tid, ObsOp::Syscall);
     res
 }
 
@@ -194,7 +195,7 @@ fn poll_like(kind: &'static str, fds: &mut [PollFd]) -> SysResult {
     } else {
         rt.vos.poll(fds)
     };
-    let res = match plan(&rt, kind, None) {
+    let res = match plan(&rt, tid, kind, None) {
         Plan::Passthrough => live_res,
         Plan::Record => {
             let (ret, errno) = encode(live_res);
@@ -210,7 +211,7 @@ fn poll_like(kind: &'static str, fds: &mut [PollFd]) -> SysResult {
             decode(rec.ret, rec.errno)
         }
     };
-    rt.exit(tid);
+    rt.exit_op(tid, ObsOp::Syscall);
     res
 }
 
@@ -229,17 +230,19 @@ pub fn ioctl(fd: Fd, request: u64, arg: &mut [u8]) -> SysResult {
     rt.enter(tid);
     with_ctx(|ctx| ctx.view.tick());
     let live_res = rt.vos.ioctl(fd, request, arg);
-    let res = match plan(&rt, "ioctl", Some(fd)) {
+    let res = match plan(&rt, tid, "ioctl", Some(fd)) {
         Plan::Passthrough => live_res,
         Plan::Record | Plan::Replay(_) if rt.vos.fd_is_opaque_device(fd) => {
             // The §5.4 situation: a proprietary device whose ioctl
             // traffic cannot be captured. A comprehensive recorder (rr)
             // must give up here; the sparse answer is
             // `SparseConfig::games()`, which never reaches this arm.
-            rt.hard_desync(
+            rt.hard_desync_at(
                 "unsupported-ioctl",
                 "ioctl on an opaque (proprietary) device",
                 "a recordable device",
+                "SYSCALL",
+                rt.replay_cursor(),
             )
         }
         Plan::Record => {
@@ -254,7 +257,7 @@ pub fn ioctl(fd: Fd, request: u64, arg: &mut [u8]) -> SysResult {
             decode(rec.ret, rec.errno)
         }
     };
-    rt.exit(tid);
+    rt.exit_op(tid, ObsOp::Syscall);
     res
 }
 
@@ -264,7 +267,7 @@ pub fn pipe() -> (Fd, Fd) {
     rt.enter(tid);
     with_ctx(|ctx| ctx.view.tick());
     let fds = rt.vos.pipe();
-    rt.exit(tid);
+    rt.exit_op(tid, ObsOp::Syscall);
     fds
 }
 
@@ -276,7 +279,7 @@ pub fn connect(peer: Box<dyn srr_vos::Peer>) -> Fd {
     rt.enter(tid);
     with_ctx(|ctx| ctx.view.tick());
     let fd = rt.vos.connect(peer);
-    rt.exit(tid);
+    rt.exit_op(tid, ObsOp::Syscall);
     fd
 }
 

@@ -1,0 +1,274 @@
+//! Exporters: Chrome `trace_event` JSON and a human text timeline.
+//!
+//! The Chrome export loads in Perfetto / `chrome://tracing`: one track
+//! per controlled thread plus a scheduler track. Timestamps are the
+//! *logical tick numbers* (microsecond units in the viewer), never wall
+//! clock — so two replays of the same seed export byte-identical JSON
+//! and the golden test can diff them directly. Wall-clock durations stay
+//! in the histograms and the text timeline only.
+
+use std::fmt::Write as _;
+
+use crate::event::{EventKind, ObsEvent};
+use crate::json::Json;
+use crate::report::{ObsReport, ThreadTrace};
+
+/// The synthetic tid used for the scheduler track in the export:
+/// one past the largest real thread id.
+fn scheduler_tid(report: &ObsReport) -> u32 {
+    report
+        .threads
+        .iter()
+        .map(|t| t.tid)
+        .max()
+        .map_or(0, |m| m + 1)
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+/// A `"M"` thread-name metadata record.
+fn meta_thread_name(tid: u32, name: &str) -> Json {
+    obj(vec![
+        ("ph", Json::Str("M".into())),
+        ("name", Json::Str("thread_name".into())),
+        ("pid", num(1)),
+        ("tid", num(u64::from(tid))),
+        ("args", obj(vec![("name", Json::Str(name.to_owned()))])),
+    ])
+}
+
+/// Converts one event into a trace record, or `None` for events that do
+/// not export: `TickBegin` (folded into the `TickEnd` slice) and
+/// `Wakeup`/`Broadcast`. The latter two are wall-clock timing artifacts —
+/// a targeted wakeup is only issued when the chosen thread happens to be
+/// parked at that instant — so they vary between replays of the same
+/// seed and would break the export's determinism guarantee. They remain
+/// visible in the text timeline and the `SchedCounters` totals.
+fn event_record(track_tid: u32, ev: &ObsEvent) -> Option<Json> {
+    let instant = |name: String, args: Vec<(&str, Json)>| {
+        let mut fields = vec![
+            ("ph", Json::Str("i".into())),
+            ("name", Json::Str(name)),
+            ("pid", num(1)),
+            ("tid", num(u64::from(track_tid))),
+            ("ts", num(ev.tick)),
+            ("s", Json::Str("t".into())),
+        ];
+        if !args.is_empty() {
+            fields.push(("args", obj(args)));
+        }
+        Some(obj(fields))
+    };
+    match ev.kind {
+        EventKind::TickBegin => None,
+        // Complete slice: one tick of critical section. Logical dur=1 so
+        // consecutive ticks tile the track; wall-clock dur is excluded
+        // for determinism.
+        EventKind::TickEnd { op, .. } => Some(obj(vec![
+            ("ph", Json::Str("X".into())),
+            ("name", Json::Str(op.name().to_owned())),
+            ("pid", num(1)),
+            ("tid", num(u64::from(track_tid))),
+            ("ts", num(ev.tick)),
+            ("dur", num(1)),
+            ("args", obj(vec![("tick", num(ev.tick))])),
+        ])),
+        EventKind::Decision { next } => instant(
+            "decision".into(),
+            vec![(
+                "next",
+                match next {
+                    Some(t) => Json::Str(format!("T{t}")),
+                    None => Json::Null,
+                },
+            )],
+        ),
+        EventKind::Wakeup { .. } | EventKind::Broadcast => None,
+        EventKind::SignalDelivered { signo } => instant(
+            "signal".into(),
+            vec![("signo", Json::Num(f64::from(signo)))],
+        ),
+        EventKind::SyscallRecord { kind, seq } => {
+            instant(format!("record:{}", kind.name()), vec![("seq", num(seq))])
+        }
+        EventKind::SyscallReplay { kind, seq } => {
+            instant(format!("replay:{}", kind.name()), vec![("seq", num(seq))])
+        }
+        EventKind::StreamCursor { stream, offset } => instant(
+            format!("cursor:{}", stream.name()),
+            vec![("offset", num(offset))],
+        ),
+        EventKind::Desync => instant("desync".into(), vec![]),
+    }
+}
+
+/// Builds the Chrome `trace_event` document for a traced run.
+///
+/// Top level is `{"traceEvents": [...], "displayTimeUnit": "ms"}`; every
+/// record uses logical ticks for `ts`, so the export is deterministic
+/// across replays of the same seed.
+#[must_use]
+pub fn chrome_trace(report: &ObsReport) -> Json {
+    let sched_tid = scheduler_tid(report);
+    let mut events = Vec::new();
+    for t in &report.threads {
+        events.push(meta_thread_name(t.tid, &format!("T{}", t.tid)));
+    }
+    events.push(meta_thread_name(sched_tid, "scheduler"));
+    for t in &report.threads {
+        for ev in &t.events {
+            if let Some(rec) = event_record(t.tid, ev) {
+                events.push(rec);
+            }
+        }
+    }
+    for ev in &report.scheduler.events {
+        if let Some(rec) = event_record(sched_tid, ev) {
+            events.push(rec);
+        }
+    }
+    Json::Obj(vec![
+        ("traceEvents".to_owned(), Json::Arr(events)),
+        ("displayTimeUnit".to_owned(), Json::Str("ms".to_owned())),
+    ])
+}
+
+fn describe(ev: &ObsEvent) -> String {
+    match ev.kind {
+        EventKind::TickBegin => "enter".to_owned(),
+        EventKind::TickEnd { dur_nanos, op } => {
+            format!("{} ({dur_nanos} ns)", op.name())
+        }
+        EventKind::Decision { next } => match next {
+            Some(t) => format!("decision -> T{t}"),
+            None => "decision -> <none>".to_owned(),
+        },
+        EventKind::Wakeup { target } => format!("wakeup T{target}"),
+        EventKind::Broadcast => "broadcast".to_owned(),
+        EventKind::SignalDelivered { signo } => format!("signal {signo}"),
+        EventKind::SyscallRecord { kind, seq } => format!("record {} #{seq}", kind.name()),
+        EventKind::SyscallReplay { kind, seq } => format!("replay {} #{seq}", kind.name()),
+        EventKind::StreamCursor { stream, offset } => {
+            format!("cursor {} @ {offset}", stream.name())
+        }
+        EventKind::Desync => "DESYNC".to_owned(),
+    }
+}
+
+/// A human-readable merged timeline of all tracks, newest last. Unlike
+/// the Chrome export this *does* include wall-clock durations.
+#[must_use]
+pub fn text_timeline(report: &ObsReport) -> String {
+    let mut rows: Vec<(u64, String, String)> = Vec::new();
+    let track = |t: &ThreadTrace, label: &str, rows: &mut Vec<(u64, String, String)>| {
+        for ev in &t.events {
+            rows.push((ev.tick, label.to_owned(), describe(ev)));
+        }
+    };
+    for t in &report.threads {
+        track(t, &format!("T{}", t.tid), &mut rows);
+    }
+    track(&report.scheduler, "sched", &mut rows);
+    rows.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tick latency: {}\nrun lengths:  {}",
+        report.tick_latency, report.run_lengths
+    );
+    for (tick, who, what) in rows {
+        let _ = writeln!(out, "{tick:>8}  {who:<6} {what}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ObsOp;
+
+    fn sample_report() -> ObsReport {
+        let mut r = ObsReport {
+            enabled: true,
+            ..ObsReport::default()
+        };
+        r.threads.push(ThreadTrace {
+            tid: 0,
+            events: vec![
+                ObsEvent {
+                    tid: 0,
+                    tick: 1,
+                    kind: EventKind::TickBegin,
+                },
+                ObsEvent {
+                    tid: 0,
+                    tick: 1,
+                    kind: EventKind::TickEnd {
+                        dur_nanos: 1234,
+                        op: ObsOp::Atomic,
+                    },
+                },
+            ],
+            dropped: 0,
+        });
+        r.scheduler.tid = u32::MAX;
+        r.scheduler.events.push(ObsEvent {
+            tid: 0,
+            tick: 1,
+            kind: EventKind::Wakeup { target: 1 },
+        });
+        r
+    }
+
+    #[test]
+    fn chrome_trace_has_tracks_and_slices() {
+        let json = chrome_trace(&sample_report());
+        let events = json.get("traceEvents").and_then(Json::as_array).unwrap();
+        // 2 metadata (T0 + scheduler) + 1 slice; the wakeup is a timing
+        // artifact and must NOT export.
+        assert_eq!(events.len(), 3);
+        assert!(
+            !events
+                .iter()
+                .any(|e| e.get("name").and_then(Json::as_str) == Some("wakeup")),
+            "wakeups are nondeterministic and must stay out of the export"
+        );
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("one complete slice");
+        assert_eq!(slice.get("name").and_then(Json::as_str), Some("atomic"));
+        assert_eq!(slice.get("ts").and_then(Json::as_f64), Some(1.0));
+        // Round-trips through the parser.
+        let text = json.to_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn export_excludes_wall_clock() {
+        // dur_nanos differs between "runs"; the exports must not.
+        let mut a = sample_report();
+        let mut b = sample_report();
+        if let EventKind::TickEnd { dur_nanos, .. } = &mut a.threads[0].events[1].kind {
+            *dur_nanos = 111;
+        }
+        if let EventKind::TickEnd { dur_nanos, .. } = &mut b.threads[0].events[1].kind {
+            *dur_nanos = 999_999;
+        }
+        assert_eq!(chrome_trace(&a).to_pretty(), chrome_trace(&b).to_pretty());
+    }
+
+    #[test]
+    fn text_timeline_is_ordered() {
+        let text = text_timeline(&sample_report());
+        assert!(text.contains("atomic"), "{text}");
+        assert!(text.contains("wakeup T1"), "{text}");
+        assert!(text.contains("tick latency"), "{text}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Desynchronisation diagnostics: pinpoint the first divergent tick.
+//!
+//! A hard desynchronisation (§4) tells the user *that* replay diverged;
+//! this module tells them *where*: the recorded-vs-replayed tick diff,
+//! the failing demo stream and offset, and the last events each thread
+//! managed to trace before the run stopped.
+
+use std::fmt::Write as _;
+
+use crate::event::EventKind;
+use crate::report::{ObsReport, ThreadTrace};
+
+/// One row of the recorded-vs-replayed schedule diff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TickDiff {
+    /// Zero-based index into the compared schedules.
+    pub index: usize,
+    /// The thread the recording scheduled here (`None`: recording ended).
+    pub recorded: Option<u32>,
+    /// The thread replay scheduled here (`None`: replay ended).
+    pub replayed: Option<u32>,
+}
+
+/// Finds the first position where the recorded and replayed schedules
+/// disagree (`None` when one is a prefix of the other and equal so far —
+/// including the both-empty case).
+#[must_use]
+pub fn first_divergence(recorded: &[(u32, u64)], replayed: &[(u32, u64)]) -> Option<TickDiff> {
+    let len = recorded.len().max(replayed.len());
+    for i in 0..len {
+        let rec = recorded.get(i).map(|&(tid, _)| tid);
+        let rep = replayed.get(i).map(|&(tid, _)| tid);
+        match (rec, rep) {
+            (Some(a), Some(b)) if a == b => continue,
+            (None, None) => return None,
+            _ => {
+                return Some(TickDiff {
+                    index: i,
+                    recorded: rec,
+                    replayed: rep,
+                })
+            }
+        }
+    }
+    None
+}
+
+/// A structured desynchronisation report, built from the obs traces and
+/// the recorded schedule when a replay run desynchronises.
+#[derive(Clone, Debug, Default)]
+pub struct DesyncDiagnostics {
+    /// The tick at which the desync was raised.
+    pub tick: u64,
+    /// The violated constraint (e.g. `"queue-schedule"`).
+    pub constraint: String,
+    /// The demo stream implicated (`"QUEUE"`, `"SYSCALL"`, `"CONSOLE"`…).
+    pub stream: String,
+    /// Entry offset into that stream at the failure point.
+    pub offset: u64,
+    /// The thread active when the desync surfaced, when known.
+    pub thread: Option<u32>,
+    /// First divergent position of the recorded-vs-replayed tick diff
+    /// (`None` when replay simply fell off the end of the recording, or
+    /// when tracing was off and no replayed schedule is available).
+    pub first_divergence: Option<TickDiff>,
+    /// Final `(stream, offset)` cursor positions observed during replay.
+    pub stream_cursors: Vec<(String, u64)>,
+    /// The last retained events per thread (plus the scheduler track).
+    pub last_events: Vec<ThreadTrace>,
+}
+
+impl DesyncDiagnostics {
+    /// Builds diagnostics from the failure point, the recorded schedule
+    /// (from the demo's QUEUE stream), and the obs report of the replay.
+    #[must_use]
+    pub fn build(
+        tick: u64,
+        constraint: &str,
+        stream: &str,
+        offset: u64,
+        recorded: &[(u32, u64)],
+        obs: &ObsReport,
+    ) -> Self {
+        let replayed = obs.tick_order();
+        let thread = replayed.last().map(|&(tid, _)| tid);
+        let mut cursors: Vec<(String, u64)> = Vec::new();
+        for trace in obs.threads.iter().chain(std::iter::once(&obs.scheduler)) {
+            for ev in &trace.events {
+                if let EventKind::StreamCursor { stream, offset } = ev.kind {
+                    match cursors.iter_mut().find(|(s, _)| *s == stream.name()) {
+                        Some(entry) => entry.1 = entry.1.max(offset),
+                        None => cursors.push((stream.name().to_owned(), offset)),
+                    }
+                }
+            }
+        }
+        let mut last_events = obs.threads.clone();
+        if !obs.scheduler.events.is_empty() {
+            last_events.push(obs.scheduler.clone());
+        }
+        DesyncDiagnostics {
+            tick,
+            constraint: constraint.to_owned(),
+            stream: stream.to_owned(),
+            offset,
+            thread,
+            // With tracing off there is no replayed schedule; an empty
+            // diff would blame position 0 rather than admit ignorance.
+            first_divergence: if obs.enabled {
+                first_divergence(recorded, &replayed)
+            } else {
+                None
+            },
+            stream_cursors: cursors,
+            last_events,
+        }
+    }
+
+    /// Short context lines suitable for embedding in a desync error.
+    #[must_use]
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        lines.push(format!(
+            "stream {} exhausted/diverged at entry {}",
+            self.stream, self.offset
+        ));
+        if let Some(tid) = self.thread {
+            lines.push(format!("last replayed thread: T{tid}"));
+        }
+        match self.first_divergence {
+            Some(d) => lines.push(format!(
+                "first schedule divergence at position {}: recorded {} vs replayed {}",
+                d.index,
+                d.recorded
+                    .map_or_else(|| "<end>".to_owned(), |t| format!("T{t}")),
+                d.replayed
+                    .map_or_else(|| "<end>".to_owned(), |t| format!("T{t}")),
+            )),
+            None => lines
+                .push("replayed schedule matches the recording up to the failure point".to_owned()),
+        }
+        for (stream, offset) in &self.stream_cursors {
+            lines.push(format!("cursor {stream} @ {offset}"));
+        }
+        lines
+    }
+
+    /// The full human-readable report: summary, diff, per-thread tails.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "desync diagnostics: constraint `{}` at tick {} (stream {} @ entry {})",
+            self.constraint, self.tick, self.stream, self.offset
+        );
+        for line in self.summary_lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+        for trace in &self.last_events {
+            let label = if trace.tid == u32::MAX {
+                "scheduler".to_owned()
+            } else {
+                format!("T{}", trace.tid)
+            };
+            let _ = writeln!(
+                out,
+                "  last events of {label} ({} retained, {} dropped):",
+                trace.events.len(),
+                trace.dropped
+            );
+            for ev in trace.events.iter().rev().take(8).rev() {
+                let _ = writeln!(out, "    tick {:>6}  {:?}", ev.tick, ev.kind);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divergence_found_mid_schedule() {
+        let recorded = vec![(0, 1), (1, 2), (0, 3)];
+        let replayed = vec![(0, 1), (0, 2), (0, 3)];
+        let d = first_divergence(&recorded, &replayed).unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.recorded, Some(1));
+        assert_eq!(d.replayed, Some(0));
+    }
+
+    #[test]
+    fn divergence_at_truncation() {
+        let recorded = vec![(0, 1), (1, 2)];
+        let replayed = vec![(0, 1)];
+        let d = first_divergence(&recorded, &replayed).unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.recorded, Some(1));
+        assert_eq!(d.replayed, None);
+    }
+
+    #[test]
+    fn no_divergence_when_equal() {
+        let sched = vec![(0, 1), (1, 2)];
+        assert_eq!(first_divergence(&sched, &sched), None);
+        assert_eq!(first_divergence(&[], &[]), None);
+    }
+
+    #[test]
+    fn summary_names_stream_and_offset() {
+        let diag = DesyncDiagnostics {
+            tick: 41,
+            constraint: "queue-schedule".into(),
+            stream: "QUEUE".into(),
+            offset: 40,
+            thread: Some(2),
+            ..DesyncDiagnostics::default()
+        };
+        let text = diag.render();
+        assert!(text.contains("QUEUE"), "{text}");
+        assert!(text.contains("entry 40"), "{text}");
+        assert!(text.contains("tick 41"), "{text}");
+        assert!(text.contains("T2"), "{text}");
+    }
+}

@@ -1,0 +1,244 @@
+//! The structured event model.
+//!
+//! Events are small `Copy` values so the hot path never allocates: syscall
+//! kinds are interned into a [`SysKind`] code and streams into a
+//! [`StreamId`], with the string forms recovered only at export time.
+
+use std::fmt;
+
+/// Demo streams, as a compact id usable in zero-alloc events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamId {
+    /// The QUEUE interleaving stream (§4.2).
+    Queue,
+    /// The SIGNAL pin stream (§4.3).
+    Signal,
+    /// The SYSCALL result stream (§4.4).
+    Syscall,
+    /// The ASYNC float stream (§4.5).
+    Async,
+    /// The ALLOC address stream (comprehensive recorders only).
+    Alloc,
+    /// The console (fd 1/2) surface compared for soft desynchronisation.
+    Console,
+}
+
+impl StreamId {
+    /// The stream's demo file name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamId::Queue => "QUEUE",
+            StreamId::Signal => "SIGNAL",
+            StreamId::Syscall => "SYSCALL",
+            StreamId::Async => "ASYNC",
+            StreamId::Alloc => "ALLOC",
+            StreamId::Console => "CONSOLE",
+        }
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Visible-operation classes (§3.2's visible operations, coarsened to the
+/// instrumentation layer that issued them).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ObsOp {
+    /// Atomic load/store/RMW/fence.
+    Atomic,
+    /// Mutex / condvar / rwlock operation.
+    Sync,
+    /// Thread create / join / exit.
+    Thread,
+    /// Signal-handler entry.
+    Signal,
+    /// Virtual syscall.
+    Syscall,
+    /// Anything else (uninstrumented visible operations).
+    #[default]
+    Other,
+}
+
+impl ObsOp {
+    /// Short label used by the exporters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsOp::Atomic => "atomic",
+            ObsOp::Sync => "sync",
+            ObsOp::Thread => "thread",
+            ObsOp::Signal => "signal",
+            ObsOp::Syscall => "syscall",
+            ObsOp::Other => "op",
+        }
+    }
+}
+
+/// Syscall kinds the tool records/replays, interned into one byte so the
+/// hot path stores no strings. Unknown kinds collapse to [`SysKind::OTHER`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SysKind(u8);
+
+/// The interning table: the paper's recorded set (§4.4) plus the
+/// comprehensive extras.
+const SYS_KINDS: &[&str] = &[
+    "read",
+    "write",
+    "recv",
+    "send",
+    "recvmsg",
+    "sendmsg",
+    "accept",
+    "accept4",
+    "clock_gettime",
+    "ioctl",
+    "select",
+    "poll",
+    "bind",
+    "open",
+    "close",
+    "pipe",
+];
+
+impl SysKind {
+    /// The catch-all code for kinds outside the interning table.
+    pub const OTHER: SysKind = SysKind(u8::MAX);
+
+    /// Interns a kind name (O(n) over a 16-entry table; called only when
+    /// tracing is on).
+    #[must_use]
+    pub fn from_name(name: &str) -> SysKind {
+        match SYS_KINDS.iter().position(|k| *k == name) {
+            Some(i) => SysKind(i as u8),
+            None => SysKind::OTHER,
+        }
+    }
+
+    /// The kind's name (`"other"` for unknown codes).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        SYS_KINDS.get(self.0 as usize).copied().unwrap_or("other")
+    }
+}
+
+impl fmt::Display for SysKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened. Every variant is `Copy`; see [`ObsEvent`] for the
+/// carrier record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// `Wait()` success: the thread entered the critical section.
+    TickBegin,
+    /// `Tick()`: the thread closed the critical section. `dur_nanos` is
+    /// the wall-clock length of the section (excluded from deterministic
+    /// exports); `op` classifies the visible operation it wrapped.
+    TickEnd {
+        /// Wall-clock critical-section length in nanoseconds.
+        dur_nanos: u64,
+        /// The visible-operation class.
+        op: ObsOp,
+    },
+    /// The strategy chose the next thread (`None`: no enabled thread).
+    Decision {
+        /// The chosen thread, if any.
+        next: Option<u32>,
+    },
+    /// A targeted wakeup was issued to `target`'s parking slot.
+    Wakeup {
+        /// The woken thread.
+        target: u32,
+    },
+    /// Every parking slot was notified (failure teardown / stall check).
+    Broadcast,
+    /// A signal was delivered (pended) to this thread.
+    SignalDelivered {
+        /// The delivered signal number.
+        signo: i32,
+    },
+    /// Record mode captured a syscall result.
+    SyscallRecord {
+        /// Interned syscall kind.
+        kind: SysKind,
+        /// Sequence number in the SYSCALL stream.
+        seq: u64,
+    },
+    /// Replay mode served a syscall result from the SYSCALL stream.
+    SyscallReplay {
+        /// Interned syscall kind.
+        kind: SysKind,
+        /// Sequence number in the SYSCALL stream.
+        seq: u64,
+    },
+    /// A replay stream cursor advanced to `offset`.
+    StreamCursor {
+        /// Which stream.
+        stream: StreamId,
+        /// Entry index the cursor now points past.
+        offset: u64,
+    },
+    /// A desynchronisation was raised here.
+    Desync,
+}
+
+/// One trace event: who, when (logical tick), what.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// The thread the event belongs to (scheduler-track events carry the
+    /// thread that triggered them).
+    pub tid: u32,
+    /// The logical tick at which the event happened.
+    pub tick: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syskind_interns_known_and_unknown() {
+        let recv = SysKind::from_name("recv");
+        assert_eq!(recv.name(), "recv");
+        assert_eq!(SysKind::from_name("recv"), recv);
+        let unknown = SysKind::from_name("frobnicate");
+        assert_eq!(unknown, SysKind::OTHER);
+        assert_eq!(unknown.name(), "other");
+    }
+
+    #[test]
+    fn stream_names_match_demo_files() {
+        for (id, name) in [
+            (StreamId::Queue, "QUEUE"),
+            (StreamId::Signal, "SIGNAL"),
+            (StreamId::Syscall, "SYSCALL"),
+            (StreamId::Async, "ASYNC"),
+            (StreamId::Alloc, "ALLOC"),
+            (StreamId::Console, "CONSOLE"),
+        ] {
+            assert_eq!(id.name(), name);
+        }
+    }
+
+    #[test]
+    fn events_are_copy_and_small() {
+        // The hot path copies events by value into the ring; keep the
+        // record within a couple of words of a cache line.
+        assert!(std::mem::size_of::<ObsEvent>() <= 40);
+        let ev = ObsEvent {
+            tid: 1,
+            tick: 2,
+            kind: EventKind::TickBegin,
+        };
+        let copy = ev;
+        assert_eq!(copy, ev);
+    }
+}

@@ -1,0 +1,138 @@
+//! Bounded, overwriting event ring buffer.
+//!
+//! The ring is pre-sized at construction: `push` writes into the existing
+//! allocation forever after, overwriting the oldest event once full —
+//! zero-alloc on the hot path, bounded memory regardless of run length.
+
+use crate::event::ObsEvent;
+
+/// A fixed-capacity overwriting ring of [`ObsEvent`]s.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<ObsEvent>,
+    cap: usize,
+    total: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (minimum 1). The backing
+    /// storage is allocated here, once.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        EventRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            total: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest once the ring is full.
+    pub fn push(&mut self, ev: ObsEvent) {
+        let slot = (self.total % self.cap as u64) as usize;
+        if slot == self.buf.len() {
+            self.buf.push(ev);
+        } else {
+            self.buf[slot] = ev;
+        }
+        self.total += 1;
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no event was ever pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to overwriting.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn in_order(&self) -> Vec<ObsEvent> {
+        if self.total <= self.cap as u64 {
+            return self.buf.clone();
+        }
+        let head = (self.total % self.cap as u64) as usize;
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[head..]);
+        out.extend_from_slice(&self.buf[..head]);
+        out
+    }
+
+    /// Address of the backing allocation — an allocation-stability probe
+    /// for the no-realloc property test (a reallocation moves the buffer).
+    #[must_use]
+    pub fn storage_addr(&self) -> usize {
+        self.buf.as_ptr() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(n: u64) -> ObsEvent {
+        ObsEvent {
+            tid: 0,
+            tick: n,
+            kind: EventKind::TickBegin,
+        }
+    }
+
+    #[test]
+    fn keeps_everything_below_capacity() {
+        let mut r = EventRing::new(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let ticks: Vec<u64> = r.in_order().iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overwrites_oldest_past_capacity() {
+        let mut r = EventRing::new(4);
+        for i in 0..11 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total(), 11);
+        assert_eq!(r.dropped(), 7);
+        let ticks: Vec<u64> = r.in_order().iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, vec![7, 8, 9, 10], "most recent N, oldest first");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.in_order()[0].tick, 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Ring-buffer properties: no allocation after warm-up, and the most
+//! recent N events survive wraparound in order.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use srr_obs::{EventKind, EventRing, ObsEvent};
+
+fn ev(i: u64) -> ObsEvent {
+    ObsEvent {
+        tid: (i % 7) as u32,
+        tick: i,
+        kind: EventKind::TickBegin,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After the first push the backing storage never moves: the hot
+    /// path is allocation-free no matter how many events flow through.
+    #[test]
+    fn storage_is_stable_after_warm_up(
+        cap in 1usize..64,
+        pushes in 1usize..500,
+    ) {
+        let mut ring = EventRing::new(cap);
+        ring.push(ev(0));
+        let addr = ring.storage_addr();
+        prop_assert!(addr != 0);
+        for i in 1..pushes as u64 {
+            ring.push(ev(i));
+            prop_assert_eq!(ring.storage_addr(), addr);
+        }
+        prop_assert!(ring.len() <= cap);
+    }
+
+    /// The ring always retains exactly the most recent
+    /// `min(total, capacity)` events, oldest first.
+    #[test]
+    fn wraparound_preserves_most_recent(
+        cap in 1usize..32,
+        ticks in vec(any::<u64>(), 0..200),
+    ) {
+        let mut ring = EventRing::new(cap);
+        for &t in &ticks {
+            ring.push(ev(t));
+        }
+        let kept = ring.in_order();
+        let expect_len = ticks.len().min(cap);
+        prop_assert_eq!(kept.len(), expect_len);
+        let expected: Vec<u64> = ticks[ticks.len() - expect_len..].to_vec();
+        let got: Vec<u64> = kept.iter().map(|e| e.tick).collect();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(ring.total(), ticks.len() as u64);
+        prop_assert_eq!(ring.dropped(), (ticks.len() - expect_len) as u64);
+    }
+}

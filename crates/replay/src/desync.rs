@@ -6,6 +6,10 @@
 //! diverges, the replay has merely **soft desynchronised** — the paper's
 //! example being that the empty demo is trivially synchronised everywhere
 //! while soft-desynchronising almost everywhere.
+//!
+//! Both flavours carry the implicated demo stream and entry offset plus
+//! free-form context lines, so a desync is diagnosable from its `Display`
+//! output alone.
 
 use std::error::Error;
 use std::fmt;
@@ -21,6 +25,44 @@ pub struct HardDesync {
     pub expected: String,
     /// What the execution produced.
     pub actual: String,
+    /// The demo stream implicated (`"QUEUE"`, `"SYSCALL"`, …; empty when
+    /// unknown).
+    pub stream: String,
+    /// Entry offset into [`Self::stream`] at the failure point.
+    pub offset: u64,
+    /// Diagnostic context lines (stream cursors, schedule diff, …).
+    pub context: Vec<String>,
+}
+
+impl HardDesync {
+    /// A hard desync with no stream attribution or context yet.
+    #[must_use]
+    pub fn new(tick: u64, constraint: &str, expected: &str, actual: &str) -> Self {
+        HardDesync {
+            tick,
+            constraint: constraint.to_owned(),
+            expected: expected.to_owned(),
+            actual: actual.to_owned(),
+            stream: String::new(),
+            offset: 0,
+            context: Vec::new(),
+        }
+    }
+
+    /// Attributes the failure to a demo stream entry.
+    #[must_use]
+    pub fn with_stream(mut self, stream: &str, offset: u64) -> Self {
+        self.stream = stream.to_owned();
+        self.offset = offset;
+        self
+    }
+
+    /// Attaches diagnostic context lines.
+    #[must_use]
+    pub fn with_context(mut self, lines: Vec<String>) -> Self {
+        self.context = lines;
+        self
+    }
 }
 
 impl fmt::Display for HardDesync {
@@ -29,7 +71,14 @@ impl fmt::Display for HardDesync {
             f,
             "hard desynchronisation at tick {}: constraint `{}` expected {}, got {}",
             self.tick, self.constraint, self.expected, self.actual
-        )
+        )?;
+        if !self.stream.is_empty() {
+            write!(f, " [stream {} @ entry {}]", self.stream, self.offset)?;
+        }
+        for line in &self.context {
+            write!(f, "\n  {line}")?;
+        }
+        Ok(())
     }
 }
 
@@ -42,6 +91,42 @@ pub struct SoftDesync {
     pub tick: u64,
     /// A description of the divergence (e.g. differing console output).
     pub detail: String,
+    /// The observable surface that diverged (`"CONSOLE"`, …; empty when
+    /// unknown).
+    pub stream: String,
+    /// Byte/entry offset into [`Self::stream`] of the first divergence.
+    pub offset: u64,
+    /// Diagnostic context lines.
+    pub context: Vec<String>,
+}
+
+impl SoftDesync {
+    /// A soft desync with no stream attribution or context yet.
+    #[must_use]
+    pub fn new(tick: u64, detail: &str) -> Self {
+        SoftDesync {
+            tick,
+            detail: detail.to_owned(),
+            stream: String::new(),
+            offset: 0,
+            context: Vec::new(),
+        }
+    }
+
+    /// Attributes the divergence to an observable stream position.
+    #[must_use]
+    pub fn with_stream(mut self, stream: &str, offset: u64) -> Self {
+        self.stream = stream.to_owned();
+        self.offset = offset;
+        self
+    }
+
+    /// Attaches diagnostic context lines.
+    #[must_use]
+    pub fn with_context(mut self, lines: Vec<String>) -> Self {
+        self.context = lines;
+        self
+    }
 }
 
 impl fmt::Display for SoftDesync {
@@ -50,9 +135,18 @@ impl fmt::Display for SoftDesync {
             f,
             "soft desynchronisation at tick {}: {}",
             self.tick, self.detail
-        )
+        )?;
+        if !self.stream.is_empty() {
+            write!(f, " [stream {} @ offset {}]", self.stream, self.offset)?;
+        }
+        for line in &self.context {
+            write!(f, "\n  {line}")?;
+        }
+        Ok(())
     }
 }
+
+impl Error for SoftDesync {}
 
 /// Either flavour of desynchronisation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -98,33 +192,38 @@ mod tests {
 
     #[test]
     fn hard_desync_displays_all_fields() {
-        let h = HardDesync {
-            tick: 42,
-            constraint: "syscall-kind".into(),
-            expected: "recv".into(),
-            actual: "send".into(),
-        };
+        let h = HardDesync::new(42, "syscall-kind", "recv", "send");
         let s = h.to_string();
         assert!(s.contains("tick 42"));
         assert!(s.contains("syscall-kind"));
         assert!(s.contains("recv"));
         assert!(s.contains("send"));
+        // No stream attribution: the bracket suffix is absent.
+        assert!(!s.contains("[stream"));
+    }
+
+    #[test]
+    fn hard_desync_displays_stream_and_context() {
+        let h = HardDesync::new(42, "queue-schedule", "T1", "T0")
+            .with_stream("QUEUE", 41)
+            .with_context(vec!["cursor SYSCALL @ 7".into()]);
+        let s = h.to_string();
+        assert!(s.contains("[stream QUEUE @ entry 41]"), "{s}");
+        assert!(s.contains("cursor SYSCALL @ 7"), "{s}");
+    }
+
+    #[test]
+    fn soft_desync_displays_stream() {
+        let s = SoftDesync::new(7, "console output diverged")
+            .with_stream("CONSOLE", 123)
+            .to_string();
+        assert!(s.contains("[stream CONSOLE @ offset 123]"), "{s}");
     }
 
     #[test]
     fn kind_classification() {
-        let h: DesyncKind = HardDesync {
-            tick: 1,
-            constraint: "c".into(),
-            expected: "e".into(),
-            actual: "a".into(),
-        }
-        .into();
-        let s: DesyncKind = SoftDesync {
-            tick: 2,
-            detail: "output order".into(),
-        }
-        .into();
+        let h: DesyncKind = HardDesync::new(1, "c", "e", "a").into();
+        let s: DesyncKind = SoftDesync::new(2, "output order").into();
         assert!(h.is_hard());
         assert!(!s.is_hard());
         assert!(s.to_string().contains("soft"));
@@ -133,12 +232,7 @@ mod tests {
     #[test]
     fn hard_desync_is_an_error() {
         fn takes_error(_: &dyn Error) {}
-        let h = HardDesync {
-            tick: 0,
-            constraint: "c".into(),
-            expected: "e".into(),
-            actual: "a".into(),
-        };
+        let h = HardDesync::new(0, "c", "e", "a");
         takes_error(&h);
     }
 }

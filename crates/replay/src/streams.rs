@@ -202,6 +202,27 @@ impl QueueStream {
     pub fn is_empty(&self) -> bool {
         self.first_tick.is_empty() && self.next_ticks.is_empty()
     }
+
+    /// Reconstructs the recorded schedule as `(tid, tick)` pairs in tick
+    /// order, by walking the per-thread due ticks the way replay does:
+    /// the thread due at tick `k` runs cs `k` and then consumes
+    /// `next_ticks[k-1]` as its next due tick. Stops at the first tick no
+    /// thread is due for (a corrupt or truncated stream ends the walk
+    /// early rather than erroring — diagnostics compare against whatever
+    /// prefix is reconstructible).
+    #[must_use]
+    pub fn schedule_order(&self) -> Vec<(u32, u64)> {
+        let mut due = self.first_tick.clone();
+        let mut out = Vec::with_capacity(self.next_ticks.len());
+        for k in 1..=self.next_ticks.len() as u64 {
+            let Some(tid) = due.iter().position(|&d| d == k) else {
+                break;
+            };
+            out.push((tid as u32, k));
+            due[tid] = self.next_ticks[(k - 1) as usize];
+        }
+        out
+    }
 }
 
 pub(crate) fn parse_syscalls(text: &str) -> Result<Vec<SyscallRecord>, String> {
@@ -339,6 +360,23 @@ mod tests {
         assert_eq!(QueueStream::from_text(&text).unwrap(), q);
         assert!(!q.is_empty());
         assert!(QueueStream::default().is_empty());
+    }
+
+    #[test]
+    fn queue_stream_schedule_order() {
+        // T0 runs ticks 1,3; T1 runs ticks 2,4; then both retire (0).
+        let q = QueueStream {
+            first_tick: vec![1, 2],
+            next_ticks: vec![3, 4, 0, 0],
+        };
+        assert_eq!(q.schedule_order(), vec![(0, 1), (1, 2), (0, 3), (1, 4)]);
+        // Truncating the stream truncates the reconstructible prefix.
+        let cut = QueueStream {
+            first_tick: vec![1, 2],
+            next_ticks: vec![3, 4],
+        };
+        assert_eq!(cut.schedule_order(), vec![(0, 1), (1, 2)]);
+        assert!(QueueStream::default().schedule_order().is_empty());
     }
 
     #[test]
