@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI predict smoke: run `srr predict --json` over the hazard workloads
+# and diff the classification outcomes against the committed
+# expectations. Catches regressions in the whole predictive pipeline —
+# recording with the access trace, the weak-partial-order pass, witness
+# synthesis, and replay confirmation — without depending on tick-exact
+# schedule details: only the counters and per-race grades are compared.
+#
+# Exit-code contract is asserted too: `predict` exits 2 when at least
+# one race is CONFIRMED and 0 when none is.
+#
+# Usage: ci/check_predict.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EXPECTED=ci/predict_expected.txt
+ACTUAL="$(mktemp)"
+trap 'rm -f "$ACTUAL"' EXIT
+
+run_one() {
+  local workload="$1" want_exit="$2" out got=0
+  echo "=== srr predict $workload --json ==="
+  out="$(cargo run --release -q -p srr-apps --bin srr -- \
+    predict "$workload" --json --seed 7)" || got=$?
+  if [ "$got" -ne "$want_exit" ]; then
+    echo "FAIL: predict $workload exited $got, expected $want_exit" >&2
+    exit 1
+  fi
+  # Normalize: keep the grading counters and per-race classifications,
+  # prefixed with the workload name.
+  printf '%s\n' "$out" |
+    grep -E '"(recorded_races|candidates|confirmed|unconfirmed|infeasible|hidden|classification)"' |
+    sed -e 's/^ *//' -e 's/,$//' -e "s/^/$workload /" >>"$ACTUAL"
+  printf '%s exit=%s\n' "$workload" "$got" >>"$ACTUAL"
+}
+
+run_one hidden_handoff 2
+run_one atomic_guard 0
+
+if ! diff -u "$EXPECTED" "$ACTUAL"; then
+  echo "FAIL: prediction classifications drifted from $EXPECTED" >&2
+  exit 1
+fi
+echo "predict smoke OK"

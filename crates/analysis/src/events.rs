@@ -117,6 +117,30 @@ pub enum SyncEvent {
         /// `true` for a write.
         write: bool,
     },
+    /// A thread creation (`ThreadNew`), emitted in the parent's critical
+    /// section. Creation synchronizes parent→child.
+    ThreadSpawn {
+        /// Spawning thread.
+        tid: u32,
+        /// The created thread.
+        child: u32,
+        /// Tick of the spawning critical section.
+        tick: u64,
+    },
+    /// One `ThreadJoin` attempt (each attempt is its own critical
+    /// section; a blocking join makes at most one failed attempt before
+    /// the successful one).
+    ThreadJoined {
+        /// Joining thread.
+        tid: u32,
+        /// The join target.
+        target: u32,
+        /// Tick of the attempt's critical section.
+        tick: u64,
+        /// Whether the target had already finished (`false`: the joiner
+        /// disabled itself until the target's `ThreadDelete`).
+        done: bool,
+    },
 }
 
 impl SyncEvent {
@@ -132,7 +156,9 @@ impl SyncEvent {
             | SyncEvent::CondNotify { tid, .. }
             | SyncEvent::AtomicLoad { tid, .. }
             | SyncEvent::AtomicStore { tid, .. }
-            | SyncEvent::PlainAccess { tid, .. } => tid,
+            | SyncEvent::PlainAccess { tid, .. }
+            | SyncEvent::ThreadSpawn { tid, .. }
+            | SyncEvent::ThreadJoined { tid, .. } => tid,
         }
     }
 
@@ -148,7 +174,9 @@ impl SyncEvent {
             | SyncEvent::CondNotify { tick, .. }
             | SyncEvent::AtomicLoad { tick, .. }
             | SyncEvent::AtomicStore { tick, .. }
-            | SyncEvent::PlainAccess { tick, .. } => tick,
+            | SyncEvent::PlainAccess { tick, .. }
+            | SyncEvent::ThreadSpawn { tick, .. }
+            | SyncEvent::ThreadJoined { tick, .. } => tick,
         }
     }
 }

@@ -139,11 +139,13 @@ fn recorded_demos_lint_clean_and_truncation_is_line_precise() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// The misuse lints ride the same end-to-end path.
+/// The misuse lints ride the same end-to-end path. The mixed-access
+/// lint needs the plain-access stream, which is opt-in via
+/// `with_access_trace()` (it implies the sync trace).
 #[test]
 fn misuse_lints_fire_through_the_full_stack() {
-    let mixed =
-        Execution::new(Tool::Queue.config([7, 11]).with_sync_trace()).run(hazards::mixed_counter());
+    let mixed = Execution::new(Tool::Queue.config([7, 11]).with_access_trace())
+        .run(hazards::mixed_counter());
     assert!(mixed
         .analysis
         .iter()

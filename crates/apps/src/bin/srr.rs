@@ -6,7 +6,8 @@
 //! srr record    <workload> [--tool queue|random] [--seed N] [--sparse SET] --out DIR
 //! srr replay    <workload> --demo DIR
 //! srr explore   <litmus> [--runs N]    # race hunting across seeds
-//! srr analyze   <workload> [--tool TOOL] [--seed N]   # offline sync analysis
+//! srr analyze   <workload> [--tool TOOL] [--seed N] [--json]  # offline sync analysis
+//! srr predict   <workload> [--seed N] [--json]   # predictive race detection
 //! srr lint-demo --demo DIR             # validate a serialized demo
 //! srr trace     <workload> [--demo DIR] [--ring N] [--out FILE]  # Chrome trace
 //! srr stats     <BENCH_*.json>         # pretty-print a bench report
@@ -22,7 +23,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use srr_apps::harness::Tool;
-use srr_apps::{client, game, hazards, httpd, litmus, pbzip, ptrmap};
+use srr_apps::{client, game, hazards, httpd, litmus, pbzip, predictor, ptrmap};
+use srr_predict::Classification;
 use tsan11rec::obs::Json;
 use tsan11rec::vos::Vos;
 use tsan11rec::{chrome_trace, text_timeline, Config, Demo, Execution, SparseConfig, TraceSpec};
@@ -98,6 +100,18 @@ fn workloads() -> Vec<Workload> {
             setup: no_setup,
             program: || (hazards::relaxed_guard())(),
         },
+        Workload {
+            name: "hidden_handoff",
+            describe: "race hidden behind an empty lock handoff (predict confirms it)",
+            setup: no_setup,
+            program: || (hazards::hidden_handoff())(),
+        },
+        Workload {
+            name: "atomic_guard",
+            describe: "writes ordered by a real flag handoff (predict proves infeasible)",
+            setup: no_setup,
+            program: || (hazards::atomic_guard())(),
+        },
     ];
     for l in litmus::table1_suite() {
         list.push(Workload {
@@ -151,6 +165,7 @@ struct Args {
     sparse: Option<String>,
     runs: Option<u64>,
     ring: Option<usize>,
+    json: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -188,11 +203,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|_| "bad --ring".to_owned())?,
                 );
             }
+            "--json" => args.json = true,
             // Any dash-prefixed token is a (mis)spelled flag, never a
             // workload name — `-seed` must not silently become a
             // positional and mask the user's intent.
             other if other.starts_with('-') => {
-                let valid = "--tool --seed --out --demo --sparse --runs --ring";
+                let valid = "--tool --seed --out --demo --sparse --runs --ring --json";
                 return Err(format!("unknown flag `{other}` (valid flags: {valid})"));
             }
             other => args.positional.push(other.to_owned()),
@@ -219,7 +235,10 @@ fn print_report(report: &tsan11rec::ExecReport) {
     print!("{}", report.console_text());
     println!("--- report ----");
     println!("outcome:      {:?}", report.outcome);
-    println!("races:        {}", report.races);
+    println!(
+        "races:        {} ({} duplicate report(s) suppressed)",
+        report.races, report.suppressed
+    );
     for r in report.race_reports.iter().take(5) {
         println!("  {r}");
     }
@@ -248,7 +267,8 @@ fn usage() -> String {
         "  srr record    <workload> [--tool queue|random] [--seed N] [--sparse SET] --out DIR",
         "  srr replay    <workload> --demo DIR",
         "  srr explore   <workload> [--runs N]",
-        "  srr analyze   <workload> [--tool TOOL] [--seed N]",
+        "  srr analyze   <workload> [--tool TOOL] [--seed N] [--json]",
+        "  srr predict   <workload> [--seed N] [--json]",
         "  srr lint-demo --demo DIR",
         "  srr trace     <workload> [--demo DIR] [--ring N] [--out FILE]",
         "  srr stats     <BENCH_*.json>",
@@ -259,7 +279,7 @@ fn usage() -> String {
         "exit codes:",
         "  0  success",
         "  1  usage or execution error",
-        "  2  clean run with findings (analyze hazards, lint-demo diagnostics)",
+        "  2  clean run with findings (analyze hazards, predict confirmations, lint-demo diagnostics)",
     ]
     .join("\n")
 }
@@ -388,11 +408,46 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                     "{tool} is not a controlled mode; analysis needs one of rnd, queue, pct, delay"
                 ));
             }
-            println!("analyzing `{}` under {tool}", w.name);
+            if !args.json {
+                println!("analyzing `{}` under {tool}", w.name);
+            }
             let setup = w.setup;
-            let report = Execution::new(config.with_sync_trace())
+            let report = Execution::new(config.with_access_trace())
                 .setup(setup)
                 .run(w.program);
+            if args.json {
+                let doc = Json::Obj(vec![
+                    ("workload".to_owned(), Json::Str(w.name.to_owned())),
+                    ("tool".to_owned(), Json::Str(tool.label().to_owned())),
+                    (
+                        "sync_events".to_owned(),
+                        Json::Num(report.sync_trace.events.len() as f64),
+                    ),
+                    ("races".to_owned(), Json::Num(report.races as f64)),
+                    ("suppressed".to_owned(), Json::Num(report.suppressed as f64)),
+                    (
+                        "findings".to_owned(),
+                        Json::Arr(
+                            report
+                                .analysis
+                                .iter()
+                                .map(|f| {
+                                    Json::Obj(vec![
+                                        ("kind".to_owned(), Json::Str(f.kind.name().to_owned())),
+                                        ("message".to_owned(), Json::Str(f.message.clone())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]);
+                println!("{}", doc.to_pretty());
+                return Ok(if report.analysis.is_empty() {
+                    EXIT_OK
+                } else {
+                    EXIT_FINDINGS
+                });
+            }
             print_report(&report);
             println!("--- analysis --");
             println!("sync events:  {}", report.sync_trace.events.len());
@@ -408,6 +463,139 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                 report.analysis.len()
             );
             Ok(EXIT_FINDINGS)
+        }
+        "predict" => {
+            let name = args.positional.first().ok_or("predict needs a workload")?;
+            let w = find_workload(name)?;
+            let seed = args.seed.unwrap_or(1);
+            let seeds = [seed, seed.wrapping_mul(0x9E37) + 1];
+            if !args.json {
+                println!(
+                    "predicting races in `{}` (queue record + witness replay, seed {seed})",
+                    w.name
+                );
+            }
+            let (setup, program) = (w.setup, w.program);
+            let run = predictor::run_prediction_in_world(seeds, setup, move || program);
+            let confirmed = run.predictions.count(Classification::Confirmed);
+            let unconfirmed = run.predictions.count(Classification::Unconfirmed);
+            let infeasible = run.predictions.count(Classification::Infeasible);
+            if let Some(dir) = &args.out {
+                let witness = run
+                    .predictions
+                    .races
+                    .iter()
+                    .find(|r| r.classification == Classification::Confirmed)
+                    .and_then(|r| r.witness.as_ref())
+                    .ok_or("--out given but no confirmed witness to save")?;
+                witness
+                    .save_dir(dir)
+                    .map_err(|e| format!("saving witness demo: {e}"))?;
+                if !args.json {
+                    println!("witness demo: {}", dir.display());
+                }
+            }
+            if args.json {
+                let races = run
+                    .predictions
+                    .races
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("loc".to_owned(), Json::Str(r.loc_label.clone())),
+                            (
+                                "tids".to_owned(),
+                                Json::Arr(vec![
+                                    Json::Num(f64::from(r.tids.0)),
+                                    Json::Num(f64::from(r.tids.1)),
+                                ]),
+                            ),
+                            (
+                                "writes".to_owned(),
+                                Json::Arr(vec![Json::Bool(r.writes.0), Json::Bool(r.writes.1)]),
+                            ),
+                            ("hidden".to_owned(), Json::Bool(r.hidden)),
+                            (
+                                "classification".to_owned(),
+                                Json::Str(r.classification.name().to_owned()),
+                            ),
+                        ])
+                    })
+                    .collect();
+                let doc = Json::Obj(vec![
+                    ("workload".to_owned(), Json::Str(w.name.to_owned())),
+                    ("seed".to_owned(), Json::Num(seed as f64)),
+                    (
+                        "recorded_races".to_owned(),
+                        Json::Num(run.record.races as f64),
+                    ),
+                    (
+                        "candidates".to_owned(),
+                        Json::Num(run.predictions.races.len() as f64),
+                    ),
+                    ("confirmed".to_owned(), Json::Num(confirmed as f64)),
+                    ("unconfirmed".to_owned(), Json::Num(unconfirmed as f64)),
+                    ("infeasible".to_owned(), Json::Num(infeasible as f64)),
+                    (
+                        "hidden".to_owned(),
+                        Json::Num(run.predictions.hidden_count() as f64),
+                    ),
+                    (
+                        "confirmation_rate".to_owned(),
+                        match run.predictions.confirmation_rate() {
+                            Some(r) => Json::Num(r),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("races".to_owned(), Json::Arr(races)),
+                ]);
+                println!("{}", doc.to_pretty());
+                return Ok(if confirmed > 0 {
+                    EXIT_FINDINGS
+                } else {
+                    EXIT_OK
+                });
+            }
+            println!(
+                "recorded: {:?}, {} tick(s), {} race(s) in the observed schedule",
+                run.record.outcome, run.record.ticks, run.record.races
+            );
+            println!("--- predictions ---");
+            if run.predictions.races.is_empty() {
+                println!("no candidate pairs under the weak partial order");
+                return Ok(EXIT_OK);
+            }
+            for r in &run.predictions.races {
+                println!(
+                    "[{}] {}: threads {} & {} ({}/{}){}",
+                    r.classification.name(),
+                    r.loc_label,
+                    r.tids.0,
+                    r.tids.1,
+                    if r.writes.0 { "write" } else { "read" },
+                    if r.writes.1 { "write" } else { "read" },
+                    if r.hidden {
+                        " — hidden from the recorded schedule"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            let rate = run
+                .predictions
+                .confirmation_rate()
+                .map_or("n/a".to_owned(), |r| format!("{:.0}%", r * 100.0));
+            println!(
+                "{} candidate(s) — {confirmed} confirmed, {unconfirmed} unconfirmed, \
+                 {infeasible} infeasible (confirmation rate {rate})",
+                run.predictions.races.len()
+            );
+            if confirmed > 0 {
+                println!("{confirmed} confirmed race(s) — exit {EXIT_FINDINGS}");
+                Ok(EXIT_FINDINGS)
+            } else {
+                Ok(EXIT_OK)
+            }
         }
         "lint-demo" => {
             let dir = args.demo.clone().ok_or("lint-demo needs --demo DIR")?;
@@ -546,6 +734,26 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                 }
                 println!("{line}");
             }
+            // Top-level counters some tables attach as notes (race
+            // suppression, prediction outcomes).
+            let mut extras = Vec::new();
+            for key in [
+                "races",
+                "suppressed",
+                "candidates",
+                "confirmed",
+                "unconfirmed",
+                "infeasible",
+                "hidden",
+                "confirmation_rate",
+            ] {
+                if let Some(v) = num_of(&doc, key) {
+                    extras.push(format!("{key} {v}"));
+                }
+            }
+            if !extras.is_empty() {
+                println!("totals: {}", extras.join(", "));
+            }
             println!("{} row(s)", rows.len());
             Ok(EXIT_OK)
         }
@@ -587,6 +795,9 @@ mod tests {
         assert_eq!(a.seed, Some(7));
         assert_eq!(a.runs, Some(9));
         assert!(a.out.is_some());
+        assert!(!a.json);
+        let j = parse_args(&argv(&["hidden_handoff", "--json"])).unwrap();
+        assert!(j.json);
     }
 
     #[test]
@@ -660,6 +871,20 @@ mod tests {
         );
         let err = run_command(&argv(&["analyze", "ab_ba_locks", "--tool", "native"])).unwrap_err();
         assert!(err.contains("controlled"), "{err}");
+    }
+
+    #[test]
+    fn predict_command_confirms_hidden_race_and_rejects_guarded() {
+        let code =
+            run_command(&argv(&["predict", "hidden_handoff", "--seed", "7"])).expect("predict");
+        assert_eq!(code, EXIT_FINDINGS, "confirmed race exits 2");
+        let code = run_command(&argv(&["predict", "atomic_guard", "--seed", "7", "--json"]))
+            .expect("predict");
+        assert_eq!(code, EXIT_OK, "infeasible-only prediction exits 0");
+        assert!(
+            run_command(&argv(&["predict"])).is_err(),
+            "missing workload"
+        );
     }
 
     #[test]

@@ -14,6 +14,14 @@
 //!   wait, the textbook lost-wakeup/spurious-wake bug.
 //! * [`relaxed_guard`] — a relaxed load of another thread's store gating a
 //!   lock acquisition (the paper's §6 visible-operation hazard).
+//! * [`hidden_handoff`] — a data race hidden behind an *empty* mutex
+//!   handoff: the recorded schedule's release→acquire edge orders the two
+//!   unprotected writes, so FastTrack over the recording stays silent.
+//!   Only predictive analysis (`srr predict`) finds and confirms it.
+//! * [`atomic_guard`] — two writes separated by a real acquire/release
+//!   flag handoff. The weak order flags the pair (it drops reads-from
+//!   edges), but no trace-consistent reorder can break the spin-loop's
+//!   value dependency: the correct verdict is *infeasible*.
 
 use std::sync::Arc;
 
@@ -136,6 +144,73 @@ pub fn relaxed_guard() -> impl FnOnce() + Send + 'static {
     }
 }
 
+/// A schedule-hidden data race: two unprotected writes to `cell`,
+/// incidentally ordered by an *empty* critical-section handoff on
+/// `handoff-lock`. Under the FCFS queue schedule the pad stores delay the
+/// second thread's acquisition past the first thread's release, so the
+/// recorded run's FastTrack pass sees the writes as ordered. A reordered
+/// schedule (which `srr predict` synthesizes) makes them race.
+pub fn hidden_handoff() -> impl FnOnce() + Send + 'static {
+    move || {
+        let cell = Arc::new(Shared::new("cell", 0u64));
+        let gate = Arc::new(Mutex::labeled(0u64, "handoff-lock"));
+        let pad = Arc::new(Atomic::labeled(0u64, "pad"));
+
+        let (c1, g1) = (Arc::clone(&cell), Arc::clone(&gate));
+        let first = thread::spawn(move || {
+            c1.write(1);
+            let g = g1.lock();
+            let _ = *g;
+            drop(g);
+        });
+
+        let (c2, g2, p2) = (Arc::clone(&cell), Arc::clone(&gate), Arc::clone(&pad));
+        let second = thread::spawn(move || {
+            // Pad ticks: keep this thread's lock attempt behind the first
+            // thread's release under the FCFS queue schedule.
+            for i in 0..8 {
+                p2.store(i, MemOrder::Relaxed);
+            }
+            let g = g2.lock();
+            let _ = *g;
+            drop(g);
+            c2.write(2);
+        });
+
+        first.join();
+        second.join();
+        tsan11rec::sys::println("handoff done");
+    }
+}
+
+/// Two writes to `cell` separated by a genuine release/acquire flag
+/// handoff: the second write only runs after its thread *observes* the
+/// first thread's store. The weak order still flags the pair (it drops
+/// reads-from edges), but the spin loop's value dependency survives every
+/// trace-consistent reorder — prediction must classify it infeasible.
+pub fn atomic_guard() -> impl FnOnce() + Send + 'static {
+    move || {
+        let cell = Arc::new(Shared::new("cell", 0u64));
+        let flag = Arc::new(Atomic::labeled(0u32, "guard-flag"));
+
+        let (c1, f1) = (Arc::clone(&cell), Arc::clone(&flag));
+        let writer = thread::spawn(move || {
+            c1.write(1);
+            f1.store(1, MemOrder::Release);
+        });
+
+        let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+        let reader = thread::spawn(move || {
+            while f2.load(MemOrder::Acquire) == 0 {}
+            c2.write(2);
+        });
+
+        writer.join();
+        reader.join();
+        tsan11rec::sys::println("guard done");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,7 +218,7 @@ mod tests {
     use tsan11rec::{Execution, FindingKind, Outcome};
 
     fn analyzed(program: impl FnOnce() + Send + 'static) -> tsan11rec::ExecReport {
-        Execution::new(Tool::Queue.config([7, 11]).with_sync_trace()).run(program)
+        Execution::new(Tool::Queue.config([7, 11]).with_access_trace()).run(program)
     }
 
     #[test]
@@ -237,5 +312,31 @@ mod tests {
         let report = Execution::new(Tool::Queue.config([7, 11])).run(mixed_counter());
         assert!(report.analysis.is_empty());
         assert!(report.sync_trace.events.is_empty());
+    }
+
+    #[test]
+    fn hidden_handoff_race_is_invisible_to_the_recorded_run() {
+        // The empty-lock handoff orders the two writes under the observed
+        // schedule: the run completes and FastTrack reports nothing. The
+        // predictive pass (crates/predict; exercised end-to-end in
+        // tests/predict.rs) is what finds it.
+        let report = analyzed(hidden_handoff());
+        assert!(report.outcome.is_ok(), "{:?}", report.outcome);
+        assert_eq!(report.races, 0, "{:?}", report.race_reports);
+        assert!(
+            report
+                .sync_trace
+                .events
+                .iter()
+                .any(|e| matches!(e, srr_analysis::SyncEvent::PlainAccess { .. })),
+            "access trace must record the plain writes"
+        );
+    }
+
+    #[test]
+    fn atomic_guard_run_completes_without_races() {
+        let report = analyzed(atomic_guard());
+        assert!(report.outcome.is_ok(), "{:?}", report.outcome);
+        assert_eq!(report.races, 0, "{:?}", report.race_reports);
     }
 }

@@ -29,4 +29,5 @@ pub mod httpd;
 pub mod litmus;
 pub mod parsec;
 pub mod pbzip;
+pub mod predictor;
 pub mod ptrmap;

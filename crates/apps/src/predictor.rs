@@ -1,0 +1,130 @@
+//! End-to-end predictive race detection over a workload.
+//!
+//! Gluing the layers together: record the workload once under the queue
+//! strategy with the access trace on, run `srr-predict`'s weak-order pass
+//! and witness synthesis over the recording, then replay every witness
+//! demo with the race detector *targeted* at the predicted pair. A
+//! prediction is only reported [`Confirmed`](srr_predict::Classification)
+//! when its witness replays without hard desync and FastTrack fires at
+//! exactly the predicted location and thread pair.
+
+use srr_predict::{classify_with, predict, PredictReport, ReplayVerdict};
+use srr_replay::Demo;
+use tsan11rec::vos::Vos;
+use tsan11rec::{ExecReport, Execution, Outcome};
+
+use crate::harness::Tool;
+
+/// The artifacts of one record→predict→confirm pipeline run.
+pub struct PredictionRun {
+    /// The recording run's report (its FastTrack pass saw the *observed*
+    /// schedule only).
+    pub record: ExecReport,
+    /// The recorded demo.
+    pub demo: Demo,
+    /// The graded predictions.
+    pub predictions: PredictReport,
+}
+
+/// Records `make()` under `queue + rec` with the access trace enabled,
+/// predicts races, and replays each synthesized witness to confirm.
+/// `make` is called once for the recording and once per witness replay —
+/// it must build the same program each time.
+pub fn run_prediction<P, F>(seeds: [u64; 2], make: F) -> PredictionRun
+where
+    F: Fn() -> P,
+    P: FnOnce() + Send + 'static,
+{
+    fn no_setup(_: &Vos) {}
+    run_prediction_in_world(seeds, no_setup, make)
+}
+
+/// [`run_prediction`] with world state (listeners, devices, signal
+/// sources) installed before every run — the recording and each witness
+/// replay get a fresh world from the same `setup`.
+pub fn run_prediction_in_world<P, F>(seeds: [u64; 2], setup: fn(&Vos), make: F) -> PredictionRun
+where
+    F: Fn() -> P,
+    P: FnOnce() + Send + 'static,
+{
+    let config = Tool::Queue.config(seeds).with_access_trace();
+    let (record, demo) = Execution::new(config).setup(setup).record(make());
+    let mut predictions = predict(&record.sync_trace, &demo);
+    classify_with(&mut predictions, |race, witness| {
+        let cfg =
+            Tool::Queue
+                .config(seeds)
+                .with_race_target(&race.loc_label, race.tids.0, race.tids.1);
+        let report = Execution::new(cfg).setup(setup).replay(witness, make());
+        ReplayVerdict {
+            hard_desync: matches!(report.outcome, Outcome::HardDesync(_)),
+            target_hit: report.race_target_hit.unwrap_or(false),
+        }
+    });
+    PredictionRun {
+        record,
+        demo,
+        predictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hazards;
+    use srr_predict::Classification;
+
+    #[test]
+    fn hidden_handoff_is_predicted_and_confirmed() {
+        let run = run_prediction([7, 11], hazards::hidden_handoff);
+        assert_eq!(
+            run.record.races, 0,
+            "the recorded schedule itself must not race: {:?}",
+            run.record.race_reports
+        );
+        let confirmed: Vec<_> = run
+            .predictions
+            .races
+            .iter()
+            .filter(|r| r.classification == Classification::Confirmed)
+            .collect();
+        assert!(
+            !confirmed.is_empty(),
+            "the hidden handoff race must be confirmed: {:?}",
+            run.predictions
+                .races
+                .iter()
+                .map(|r| (r.loc_label.clone(), r.classification))
+                .collect::<Vec<_>>()
+        );
+        let race = confirmed[0];
+        assert_eq!(race.loc_label, "cell");
+        assert!(race.hidden, "the observed order hides the pair");
+        assert!(race.witness.is_some());
+    }
+
+    #[test]
+    fn atomic_guard_is_classified_infeasible() {
+        let run = run_prediction([7, 11], hazards::atomic_guard);
+        assert_eq!(run.record.races, 0);
+        assert_eq!(
+            run.predictions.count(Classification::Confirmed),
+            0,
+            "no reorder can break the value dependency: {:?}",
+            run.predictions
+                .races
+                .iter()
+                .map(|r| (r.loc_label.clone(), r.classification))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            run.predictions.count(Classification::Infeasible) >= 1,
+            "the guarded pair must be proved infeasible: {:?}",
+            run.predictions
+                .races
+                .iter()
+                .map(|r| (r.loc_label.clone(), r.classification))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Prediction-quality report: runs the predictive race-detection
+//! pipeline (record → weak partial order → witness synthesis → replay
+//! confirmation) over the hazard suite and emits `BENCH_predict.json`
+//! with candidate/confirmation counts — the trajectory CI tracks so the
+//! predictor's recall cannot silently regress.
+//!
+//! Also measures race-report deduplication on a deterministic racy loop:
+//! the `suppressed` counter (duplicate `(location, thread pair, access
+//! kind)` sites folded into one report) lands in the same JSON and is
+//! surfaced by `srr stats`.
+
+use std::sync::Arc;
+
+use srr_apps::hazards;
+use srr_apps::predictor::run_prediction;
+use srr_bench::report::{BenchReport, BenchRow, Json};
+use srr_bench::{banner, TablePrinter, Tool};
+use srr_bench::{seeds_for, Stats};
+use srr_predict::Classification;
+use tsan11rec::{thread, Atomic, Execution, MemOrder, Shared};
+
+/// Two threads alternating writes to one location, taking turns through
+/// a *relaxed* ping-pong flag (real alternation, no happens-before):
+/// FastTrack races at the same `(location, pair, kind)` site every
+/// round, reports it once and suppresses the duplicates.
+fn racy_loop() -> impl FnOnce() + Send + 'static {
+    move || {
+        let cell = Arc::new(Shared::new("loop-cell", 0u64));
+        let turn = Arc::new(Atomic::labeled(0u32, "turn"));
+        let (c, f) = (Arc::clone(&cell), Arc::clone(&turn));
+        let t = thread::spawn(move || {
+            for i in 0..4 {
+                while f.load(MemOrder::Relaxed) != 1 {}
+                c.write(i);
+                f.store(0, MemOrder::Relaxed);
+            }
+        });
+        for i in 0..4 {
+            while turn.load(MemOrder::Relaxed) != 0 {}
+            cell.write(i + 10);
+            turn.store(1, MemOrder::Relaxed);
+        }
+        t.join();
+    }
+}
+
+fn main() {
+    banner("Prediction quality over the hazard suite");
+    let table = TablePrinter::new(
+        &[
+            "workload",
+            "candidates",
+            "confirmed",
+            "infeasible",
+            "hidden",
+        ],
+        &[18, 10, 10, 10, 8],
+    );
+    let mut report = BenchReport::new("predict", "predictive race detection", 1, 1);
+    let (mut candidates, mut confirmed, mut unconfirmed, mut infeasible, mut hidden) =
+        (0usize, 0usize, 0usize, 0usize, 0usize);
+    let mut rates = Vec::new();
+
+    type Hazard = (&'static str, fn() -> Box<dyn FnOnce() + Send>);
+    let suite: [Hazard; 2] = [
+        ("hidden_handoff", || Box::new(hazards::hidden_handoff())),
+        ("atomic_guard", || Box::new(hazards::atomic_guard())),
+    ];
+    for (name, make) in suite {
+        let run = run_prediction(seeds_for(7), make);
+        let p = &run.predictions;
+        let (c, i, h) = (
+            p.count(Classification::Confirmed),
+            p.count(Classification::Infeasible),
+            p.hidden_count(),
+        );
+        table.row(&[
+            name,
+            &p.races.len().to_string(),
+            &c.to_string(),
+            &i.to_string(),
+            &h.to_string(),
+        ]);
+        candidates += p.races.len();
+        confirmed += c;
+        unconfirmed += p.count(Classification::Unconfirmed);
+        infeasible += i;
+        hidden += h;
+        if let Some(r) = p.confirmation_rate() {
+            rates.push(r);
+        }
+        report.push(BenchRow::from_stats(
+            name,
+            "queue + predict",
+            "confirmed",
+            true,
+            &Stats::of(&[c as f64]),
+        ));
+    }
+
+    // Deduplication counters from the racy loop.
+    let racy = Execution::new(Tool::Queue.config(seeds_for(7))).run(racy_loop());
+    println!(
+        "racy loop: {} race report(s), {} duplicate(s) suppressed",
+        racy.races, racy.suppressed
+    );
+    report.push(BenchRow::from_stats(
+        "racy_loop",
+        "queue",
+        "suppressed",
+        false,
+        &Stats::of(&[racy.suppressed as f64]),
+    ));
+
+    let rate = if rates.is_empty() {
+        Json::Null
+    } else {
+        Json::Num(rates.iter().sum::<f64>() / rates.len() as f64)
+    };
+    report.note("candidates", Json::Num(candidates as f64));
+    report.note("confirmed", Json::Num(confirmed as f64));
+    report.note("unconfirmed", Json::Num(unconfirmed as f64));
+    report.note("infeasible", Json::Num(infeasible as f64));
+    report.note("hidden", Json::Num(hidden as f64));
+    report.note("confirmation_rate", rate);
+    report.note("races", Json::Num(racy.races as f64));
+    report.note("suppressed", Json::Num(racy.suppressed as f64));
+    println!(
+        "totals: {candidates} candidate(s), {confirmed} confirmed, {unconfirmed} unconfirmed, \
+         {infeasible} infeasible, {hidden} hidden"
+    );
+    report.write().expect("writing BENCH_predict.json");
+}

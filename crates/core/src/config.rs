@@ -257,6 +257,15 @@ pub struct Config {
     /// means no collector is even constructed, so the hot path pays only
     /// an `Option` check.
     pub trace: Option<TraceSpec>,
+    /// Also emit plain `Shared` accesses into the sync-event trace
+    /// (needed by predictive race detection; off by default because
+    /// plain accesses dominate trace volume). Requires `trace_sync`.
+    pub trace_access: bool,
+    /// Pair-targeted race checking: `(location label, tid A, tid B)`.
+    /// When the detector fires on that location between those threads,
+    /// `ExecReport::race_target_hit` is set — how witness replays confirm
+    /// a predicted race fired at the predicted pair.
+    pub race_target: Option<(String, u32, u32)>,
 }
 
 impl Config {
@@ -276,6 +285,8 @@ impl Config {
             trace_sync: false,
             detect_races: true,
             trace: None,
+            trace_access: false,
+            race_target: None,
         }
     }
 
@@ -349,6 +360,24 @@ impl Config {
     #[must_use]
     pub fn with_trace(mut self, spec: TraceSpec) -> Self {
         self.trace = Some(spec);
+        self
+    }
+
+    /// Also records plain `Shared` accesses into the sync-event trace
+    /// (implies [`Config::with_sync_trace`]). Predictive race detection
+    /// needs the access stream; the misuse lints benefit from it too.
+    #[must_use]
+    pub fn with_access_trace(mut self) -> Self {
+        self.trace_sync = true;
+        self.trace_access = true;
+        self
+    }
+
+    /// Arms pair-targeted race checking on `label` between threads `a`
+    /// and `b` (order-insensitive).
+    #[must_use]
+    pub fn with_race_target(mut self, label: &str, a: u32, b: u32) -> Self {
+        self.race_target = Some((label.to_owned(), a, b));
         self
     }
 }
@@ -440,5 +469,20 @@ mod tests {
         assert!(c.trace.is_none(), "tracing is off by default");
         let traced = c.with_trace(TraceSpec::new().with_ring_capacity(64));
         assert_eq!(traced.trace.unwrap().ring_capacity, 64);
+    }
+
+    #[test]
+    fn access_trace_implies_sync_trace() {
+        let c = Config::new(Mode::Tsan11Rec(Strategy::Queue)).with_access_trace();
+        assert!(c.trace_sync);
+        assert!(c.trace_access);
+        assert!(
+            !Config::new(Mode::Tsan11Rec(Strategy::Queue))
+                .with_sync_trace()
+                .trace_access,
+            "sync trace alone leaves plain accesses out"
+        );
+        let t = c.with_race_target("x", 2, 1);
+        assert_eq!(t.race_target, Some(("x".to_owned(), 2, 1)));
     }
 }

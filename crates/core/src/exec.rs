@@ -170,7 +170,13 @@ impl Execution {
         let liveness = config.liveness;
         let trace_schedule = config.trace_schedule;
         let trace_sync = config.trace_sync;
+        let race_target = config.race_target.clone();
         let rt = Runtime::new(config, Arc::clone(&vos), seeds);
+        if let Some((label, a, b)) = &race_target {
+            rt.racedet
+                .lock()
+                .set_target(label.clone(), *a as usize, *b as usize);
+        }
         if trace_schedule && rt.mode().is_controlled() {
             rt.sched().enable_trace();
         }
@@ -250,12 +256,13 @@ impl Execution {
             },
         };
 
-        let (races, race_reports) = {
+        let (races, race_reports, suppressed, race_target_hit) = {
             let mut det = rt.racedet.lock();
             let races = det.race_count();
             let mut sink = srr_racedet::CollectSink::default();
             det.drain_into(&mut sink);
-            (races, sink.reports)
+            let hit = race_target.is_some().then(|| det.target_hit());
+            (races, sink.reports, det.suppressed_count(), hit)
         };
 
         let produced_demo = if rec_mode == RecordMode::Record {
@@ -309,6 +316,8 @@ impl Execution {
             outcome,
             races,
             race_reports,
+            suppressed,
+            race_target_hit,
             ticks: rt.sched.as_ref().map_or(0, |s| s.total_ticks()),
             visible_ops: rt.visible_ops(),
             syscalls: vos.syscall_count(),

@@ -117,6 +117,13 @@ pub struct ExecReport {
     pub races: u64,
     /// Materialized race reports (empty when reporting was disabled).
     pub race_reports: Vec<RaceReport>,
+    /// Race firings suppressed as duplicates of an already-reported
+    /// (location, thread-pair, access-kind) site.
+    pub suppressed: u64,
+    /// Pair-targeted checking (`Config::with_race_target`): whether the
+    /// armed (location, thread-pair) raced. `None` when no target was
+    /// armed.
+    pub race_target_hit: Option<bool>,
     /// Critical sections executed (0 in uncontrolled modes — see
     /// `visible_ops`).
     pub ticks: u64,
@@ -238,6 +245,8 @@ mod tests {
             outcome,
             races: 0,
             race_reports: vec![],
+            suppressed: 0,
+            race_target_hit: None,
             ticks: 0,
             visible_ops: 0,
             syscalls: 0,

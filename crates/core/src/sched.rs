@@ -824,22 +824,7 @@ impl Scheduler {
 /// `(tid, tick)` log: the first tick per thread plus, for each critical
 /// section in order, the tick at which its thread runs next (0 = never).
 fn build_queue_stream(order: &[(u32, u64)], nthreads: usize) -> QueueStream {
-    let mut first_tick = vec![0u64; nthreads];
-    let mut last_cs_of_thread: HashMap<u32, usize> = HashMap::new();
-    let mut next_ticks = vec![0u64; order.len()];
-    for (idx, &(tid, tick)) in order.iter().enumerate() {
-        if first_tick[tid as usize] == 0 {
-            first_tick[tid as usize] = tick;
-        }
-        if let Some(&prev) = last_cs_of_thread.get(&tid) {
-            next_ticks[prev] = tick;
-        }
-        last_cs_of_thread.insert(tid, idx);
-    }
-    QueueStream {
-        first_tick,
-        next_ticks,
-    }
+    QueueStream::from_order(order, nthreads)
 }
 
 impl SchedState {

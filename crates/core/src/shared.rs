@@ -82,7 +82,7 @@ impl<T: Scalar> Shared<T> {
             if !ctx.rt.config.detect_races {
                 return;
             }
-            if let Some(trace_loc) = self.trace_loc {
+            if let Some(trace_loc) = self.trace_loc.filter(|_| ctx.rt.config.trace_access) {
                 let tid = ctx.tid.0;
                 ctx.rt.sync_event(|tick| SyncEvent::PlainAccess {
                     tid,

@@ -54,6 +54,11 @@ where
         (child, clock)
     })
     .expect("context present");
+    rt.sync_event(|tick| srr_analysis::SyncEvent::ThreadSpawn {
+        tid: tid.0,
+        child: child_tid.0,
+        tick,
+    });
     rt.exit(tid);
 
     let result = Arc::new(PlMutex::new(None));
@@ -165,6 +170,13 @@ impl<T> JoinHandle<T> {
             loop {
                 rt.enter(tid);
                 let done = rt.sched().thread_join(tid, self.target);
+                let target = self.target.0;
+                rt.sync_event(|tick| srr_analysis::SyncEvent::ThreadJoined {
+                    tid: tid.0,
+                    target,
+                    tick,
+                    done,
+                });
                 rt.exit(tid);
                 if done {
                     break;

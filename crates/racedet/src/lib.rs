@@ -237,11 +237,17 @@ impl RaceSink for CollectSink {
 pub struct RaceDetector {
     cells: Vec<ShadowCell>,
     labels: Vec<String>,
-    /// Dedup key: (location, prior tid, current tid).
-    seen: std::collections::HashSet<(u32, TidIndex, TidIndex)>,
+    /// Dedup key: (location, unordered thread pair, current access kind).
+    seen: std::collections::HashSet<(u32, TidIndex, TidIndex, AccessKind)>,
     races: u64,
+    suppressed: u64,
     reporting_enabled: bool,
     reports: Vec<RaceReport>,
+    /// Pair-targeted checking: `(label, tid, tid)` armed by witness
+    /// replays; [`RaceDetector::target_hit`] reports whether the detector
+    /// fired there (dedup and reporting notwithstanding).
+    target: Option<(String, TidIndex, TidIndex)>,
+    target_hit: bool,
 }
 
 impl Default for RaceDetector {
@@ -259,8 +265,11 @@ impl RaceDetector {
             labels: Vec::new(),
             seen: std::collections::HashSet::new(),
             races: 0,
+            suppressed: 0,
             reporting_enabled: true,
             reports: Vec::new(),
+            target: None,
+            target_hit: false,
         }
     }
 
@@ -300,8 +309,16 @@ impl RaceDetector {
     }
 
     fn record_race(&mut self, loc: LocationId, prior: RacyPrior, tid: TidIndex, kind: AccessKind) {
-        let key = (loc.0, prior.epoch.tid(), tid);
+        let (a, b) = (prior.epoch.tid().min(tid), prior.epoch.tid().max(tid));
+        if let Some((label, ta, tb)) = &self.target {
+            let (ta, tb) = ((*ta).min(*tb), (*ta).max(*tb));
+            if (ta, tb) == (a, b) && self.labels[loc.index()] == *label {
+                self.target_hit = true;
+            }
+        }
+        let key = (loc.0, a, b, kind);
         if !self.seen.insert(key) {
+            self.suppressed += 1;
             return;
         }
         self.races += 1;
@@ -322,6 +339,27 @@ impl RaceDetector {
     #[must_use]
     pub fn race_count(&self) -> u64 {
         self.races
+    }
+
+    /// Number of race firings suppressed as duplicates of an
+    /// already-reported (location, thread-pair, access-kind) site.
+    #[must_use]
+    pub fn suppressed_count(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Arms pair-targeted checking on the location labelled `label`
+    /// between threads `a` and `b` (order-insensitive).
+    pub fn set_target(&mut self, label: impl Into<String>, a: TidIndex, b: TidIndex) {
+        self.target = Some((label.into(), a, b));
+        self.target_hit = false;
+    }
+
+    /// Whether the armed target pair raced (meaningless if no target was
+    /// set).
+    #[must_use]
+    pub fn target_hit(&self) -> bool {
+        self.target_hit
     }
 
     /// The materialized reports (empty if reporting was disabled).
@@ -474,7 +512,69 @@ mod tests {
             det.on_access(loc, 0, &t0, AccessKind::Write);
             det.on_access(loc, 1, &t1, AccessKind::Write);
         }
-        assert_eq!(det.race_count(), 2, "one per (prior,current) thread pair");
+        assert_eq!(
+            det.race_count(),
+            1,
+            "one per (location, thread-pair, access-kind) site"
+        );
+        assert_eq!(
+            det.suppressed_count(),
+            18,
+            "19 firing accesses, first reported, rest suppressed"
+        );
+    }
+
+    #[test]
+    fn dedup_distinguishes_access_kinds() {
+        let mut det = RaceDetector::new();
+        let loc = det.register_location("x");
+        let cs = clocks(2);
+        det.on_access(loc, 0, &cs[0], AccessKind::Write);
+        det.on_access(loc, 1, &cs[1], AccessKind::Read);
+        det.on_access(loc, 1, &cs[1], AccessKind::Write);
+        assert_eq!(det.race_count(), 2, "racy read and racy write both report");
+        assert_eq!(det.suppressed_count(), 0);
+    }
+
+    #[test]
+    fn target_hit_survives_dedup_and_disabled_reporting() {
+        let mut det = RaceDetector::new();
+        det.set_reporting(false);
+        let loc = det.register_location("x");
+        det.register_location("y");
+        assert!(!det.target_hit());
+        det.set_target("x", 1, 0); // order-insensitive
+        let mut t0 = VectorClock::new();
+        let mut t1 = VectorClock::new();
+        for _ in 0..3 {
+            t0.tick(0);
+            t1.tick(1);
+            det.on_access(loc, 0, &t0, AccessKind::Write);
+            det.on_access(loc, 1, &t1, AccessKind::Write);
+        }
+        assert!(det.target_hit());
+        assert!(det.reports().is_empty());
+    }
+
+    #[test]
+    fn target_other_location_or_pair_does_not_hit() {
+        let mut det = RaceDetector::new();
+        let x = det.register_location("x");
+        let y = det.register_location("y");
+        det.set_target("y", 0, 1);
+        let cs = clocks(3);
+        det.on_access(x, 0, &cs[0], AccessKind::Write);
+        det.on_access(x, 1, &cs[1], AccessKind::Write);
+        assert!(!det.target_hit(), "wrong location");
+        det.on_access(y, 0, &cs[0], AccessKind::Write);
+        det.on_access(y, 2, &cs[2], AccessKind::Write);
+        assert!(!det.target_hit(), "wrong thread pair");
+        // Last write epoch is now t2's; a t1 write races as pair (1,2)...
+        det.on_access(y, 1, &cs[1], AccessKind::Write);
+        assert!(!det.target_hit(), "still the wrong pair");
+        // ...and a t0 read against t1's write epoch is the armed pair.
+        det.on_access(y, 0, &cs[0], AccessKind::Read);
+        assert!(det.target_hit());
     }
 
     #[test]

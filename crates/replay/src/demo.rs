@@ -122,6 +122,19 @@ impl Demo {
         }
     }
 
+    /// Builds a queue-strategy demo from an explicit schedule — `(tid,
+    /// tick)` pairs in tick order, ticks dense from 1 — instead of from
+    /// a recording. Witness synthesis uses this to turn a reordered
+    /// interleaving into a replayable demo; syscall records (whose global
+    /// order replay matches by cursor) and other streams can then be
+    /// filled in by the caller.
+    #[must_use]
+    pub fn from_schedule(header: DemoHeader, order: &[(u32, u64)], nthreads: usize) -> Self {
+        let mut demo = Demo::new(header);
+        demo.queue = QueueStream::from_order(order, nthreads);
+        demo
+    }
+
     /// Serializes into the per-file text map (`HEADER`, `QUEUE`, ...).
     #[must_use]
     pub fn to_string_map(&self) -> BTreeMap<String, String> {

@@ -1,5 +1,7 @@
 //! Typed events for the demo streams, with their line formats.
 
+use std::collections::HashMap;
+
 use crate::rle;
 
 /// An asynchronous signal pinned to logical time (§4.3).
@@ -197,6 +199,36 @@ impl QueueStream {
         Ok(stream)
     }
 
+    /// Builds the stream from an explicit schedule: `(tid, tick)` pairs
+    /// in tick order, ticks dense from 1. The inverse of
+    /// [`QueueStream::schedule_order`] — `from_order(&s.schedule_order(),
+    /// n)` reproduces `s` for any well-formed stream. This is how
+    /// synthesized (rather than recorded) interleavings become demos.
+    ///
+    /// `nthreads` sizes the `first_tick` table; threads never scheduled
+    /// keep the 0 ("never") sentinel.
+    #[must_use]
+    pub fn from_order(order: &[(u32, u64)], nthreads: usize) -> Self {
+        let mut first_tick = vec![0u64; nthreads];
+        let mut last_cs_of_thread: HashMap<u32, usize> = HashMap::new();
+        let mut next_ticks = vec![0u64; order.len()];
+        for (idx, &(tid, tick)) in order.iter().enumerate() {
+            if let Some(slot) = first_tick.get_mut(tid as usize) {
+                if *slot == 0 {
+                    *slot = tick;
+                }
+            }
+            if let Some(&prev) = last_cs_of_thread.get(&tid) {
+                next_ticks[prev] = tick;
+            }
+            last_cs_of_thread.insert(tid, idx);
+        }
+        QueueStream {
+            first_tick,
+            next_ticks,
+        }
+    }
+
     /// Returns `true` if no scheduling information was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -377,6 +409,22 @@ mod tests {
         };
         assert_eq!(cut.schedule_order(), vec![(0, 1), (1, 2)]);
         assert!(QueueStream::default().schedule_order().is_empty());
+    }
+
+    #[test]
+    fn from_order_inverts_schedule_order() {
+        // Dense ticks 1..=8: T0 runs 1,3,5; T1 runs 2,4,6; T2 runs 7,8.
+        let q = QueueStream {
+            first_tick: vec![1, 2, 7],
+            next_ticks: vec![3, 4, 5, 6, 0, 0, 8, 0],
+        };
+        let order = q.schedule_order();
+        assert_eq!(QueueStream::from_order(&order, 3), q);
+        // Unscheduled threads keep the 0 sentinel.
+        let q = QueueStream::from_order(&[(0, 1), (2, 2)], 4);
+        assert_eq!(q.first_tick, vec![1, 0, 2, 0]);
+        assert_eq!(q.next_ticks, vec![0, 0]);
+        assert_eq!(QueueStream::from_order(&[], 0), QueueStream::default());
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`vos`] — the virtual OS the programs under test run against.
 //! * [`rr`] — the comprehensive sequentialized baseline.
 //! * [`apps`] — every workload of the paper's evaluation.
+//! * [`predict`] — predictive race detection: the weak partial order,
+//!   witness-schedule synthesis, and replay-confirmed classification.
 //! * [`substrates`] — the underlying vector-clock, memory-model,
 //!   race-detection and demo-format crates.
 //!
@@ -40,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub use srr_apps as apps;
+pub use srr_predict as predict;
 pub use srr_rr as rr;
 pub use srr_vos as vos;
 pub use tsan11rec;
