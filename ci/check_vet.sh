@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# CI vet smoke: run the static recording-soundness analyzer over the
+# workload corpus with the checked-in allowlist and assert the gate
+# contract from both sides:
+#
+#  * `examples/` must pass clean (exit 0) — every escape there is
+#    host-side and covered by ci/vet_allow.txt;
+#  * `crates/apps` must gate (exit 2) on the deliberate hazard fixtures,
+#    and the findings must include the raw-clock and raw-spawn escapes
+#    that the record/replay tests demonstrate desyncing — a vet that
+#    stops seeing its true positives is as broken as one that flags the
+#    allowlisted sleeps.
+#
+# The machine-readable escape map is exercised too: `--json` output must
+# name the fixture kinds and parse (checked in-depth by the golden test;
+# here only the surface is asserted to keep CI dependency-free).
+#
+# Usage: ci/check_vet.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SRR=(cargo run --release -q -p srr-apps --bin srr --)
+
+echo "=== srr vet examples (allowlisted: must pass) ==="
+got=0
+"${SRR[@]}" vet examples --allow ci/vet_allow.txt || got=$?
+if [ "$got" -ne 0 ]; then
+  echo "FAIL: vet examples exited $got, expected 0 (allowlist drift?)" >&2
+  exit 1
+fi
+
+echo "=== srr vet crates/apps (hazard fixtures: must gate) ==="
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+got=0
+"${SRR[@]}" vet crates/apps --allow ci/vet_allow.txt >"$OUT" 2>&1 || got=$?
+if [ "$got" -ne 2 ]; then
+  cat "$OUT" >&2
+  echo "FAIL: vet crates/apps exited $got, expected 2 (fixtures unflagged?)" >&2
+  exit 1
+fi
+for kind in raw-clock raw-spawn; do
+  if ! grep -q "hazards.rs.*\[deny\] $kind" "$OUT"; then
+    cat "$OUT" >&2
+    echo "FAIL: expected a deny $kind finding in crates/apps/src/hazards.rs" >&2
+    exit 1
+  fi
+done
+if grep -q "httpd.rs.*\[deny\]" "$OUT"; then
+  cat "$OUT" >&2
+  echo "FAIL: allowlisted httpd sleeps must not gate" >&2
+  exit 1
+fi
+
+echo "=== srr vet --json (escape map names the fixture kinds) ==="
+got=0
+"${SRR[@]}" vet crates/apps/src/hazards.rs --allow none --json >"$OUT" 2>/dev/null || got=$?
+if [ "$got" -ne 2 ]; then
+  echo "FAIL: vet --json exited $got, expected 2" >&2
+  exit 1
+fi
+for kind in raw-clock raw-spawn; do
+  if ! grep -q "\"$kind\"" "$OUT"; then
+    cat "$OUT" >&2
+    echo "FAIL: escape map must contain a \"$kind\" finding" >&2
+    exit 1
+  fi
+done
+
+echo "vet smoke OK"

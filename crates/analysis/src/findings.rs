@@ -40,6 +40,81 @@ impl fmt::Display for FindingKind {
     }
 }
 
+/// How seriously a gate should treat a finding.
+///
+/// Shared by the dynamic trace passes and the static `srr-vet` pass:
+/// `Deny` findings fail gates (CLI exit 2), `Warn` findings are
+/// reported but pass, and `Allow` marks findings suppressed by an
+/// allowlist entry or an inline `vet: allow(...)` marker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suppressed by an allowlist; kept for reporting, never gates.
+    Allow,
+    /// Worth reporting, does not gate.
+    Warn,
+    /// Fails the gate: the CLI exits 2 when any deny finding survives.
+    Deny,
+}
+
+impl Severity {
+    /// Stable lowercase name (CLI output, allowlist files).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+
+    /// Parses a [`Severity::name`] back; `None` for anything else.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "allow" => Some(Severity::Allow),
+            "warn" => Some(Severity::Warn),
+            "deny" => Some(Severity::Deny),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A `file:line:col` source position attached to static findings
+/// (1-based line and column, matching rustc diagnostics).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceSpan {
+    /// Path of the file the finding is in, as given to the scanner.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl SourceSpan {
+    /// Builds a span.
+    #[must_use]
+    pub fn new(file: impl Into<String>, line: u32, col: u32) -> Self {
+        SourceSpan {
+            file: file.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for SourceSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.file, self.line, self.col)
+    }
+}
+
 /// One finding from an analysis pass.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
@@ -77,6 +152,22 @@ mod tests {
         let s = fdg.to_string();
         assert!(s.starts_with("[potential-deadlock]"));
         assert!(s.contains("cycle A -> B -> A"));
+    }
+
+    #[test]
+    fn severity_roundtrip_and_order() {
+        for s in [Severity::Allow, Severity::Warn, Severity::Deny] {
+            assert_eq!(Severity::parse(s.name()), Some(s));
+        }
+        assert_eq!(Severity::parse("fatal"), None);
+        assert!(Severity::Deny > Severity::Warn);
+        assert!(Severity::Warn > Severity::Allow);
+    }
+
+    #[test]
+    fn span_displays_like_rustc() {
+        let span = SourceSpan::new("src/lib.rs", 14, 9);
+        assert_eq!(span.to_string(), "src/lib.rs:14:9");
     }
 
     #[test]

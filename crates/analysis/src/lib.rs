@@ -37,7 +37,7 @@ mod lints;
 pub use deadlock::predict_deadlocks;
 pub use demo_lint::{lint_demo_dir, lint_demo_map, DemoDiagnostic};
 pub use events::{SyncEvent, SyncTrace, SyncTraceBuilder};
-pub use findings::{Finding, FindingKind};
+pub use findings::{Finding, FindingKind, Severity, SourceSpan};
 pub use lints::{condvar_no_recheck, misuse_lints, mixed_atomic_plain, relaxed_load_decision};
 
 /// Runs every trace-based analysis pass: deadlock prediction first, then

@@ -9,22 +9,26 @@
 //! srr analyze   <workload> [--tool TOOL] [--seed N] [--json]  # offline sync analysis
 //! srr predict   <workload> [--seed N] [--json]   # predictive race detection
 //! srr lint-demo --demo DIR             # validate a serialized demo
+//! srr vet       <path>... [--allow FILE|none] [--json] [--out FILE]  # static soundness scan
 //! srr trace     <workload> [--demo DIR] [--ring N] [--out FILE]  # Chrome trace
-//! srr stats     <BENCH_*.json>         # pretty-print a bench report
+//! srr stats     <report.json> [--vet FILE]  # pretty-print a report (+ desync root causes)
 //! ```
 //!
 //! Tools: native, tsan11, rr, tsan11+rr, rnd, queue, pct, delay.
 //! Sparse sets: default, games, none, comprehensive.
 //!
 //! Exit codes: `0` success, `1` usage or execution error, `2` clean run
-//! with findings (`analyze` hazards, `lint-demo` diagnostics).
+//! with findings (`analyze` hazards, `predict` confirmations, `lint-demo`
+//! diagnostics, `vet` deny findings) — see [`findings_exit`], the one
+//! place the convention lives.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use srr_apps::harness::Tool;
 use srr_apps::{client, game, hazards, httpd, litmus, pbzip, predictor, ptrmap};
 use srr_predict::Classification;
+use srr_vet::Allowlist;
 use tsan11rec::obs::Json;
 use tsan11rec::vos::Vos;
 use tsan11rec::{chrome_trace, text_timeline, Config, Demo, Execution, SparseConfig, TraceSpec};
@@ -112,6 +116,19 @@ fn workloads() -> Vec<Workload> {
             setup: no_setup,
             program: || (hazards::atomic_guard())(),
         },
+        Workload {
+            name: "raw_clock",
+            describe: "recording escape: reads the host wall clock (vet flags raw-clock)",
+            setup: no_setup,
+            program: || (hazards::raw_clock())(),
+        },
+        Workload {
+            name: "raw_spawn",
+            describe:
+                "recording escape: rogue OS thread outside the scheduler (vet flags raw-spawn)",
+            setup: no_setup,
+            program: || (hazards::raw_spawn())(),
+        },
     ];
     for l in litmus::table1_suite() {
         list.push(Workload {
@@ -165,6 +182,8 @@ struct Args {
     sparse: Option<String>,
     runs: Option<u64>,
     ring: Option<usize>,
+    allow: Option<String>,
+    vet: Option<PathBuf>,
     json: bool,
 }
 
@@ -203,12 +222,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|_| "bad --ring".to_owned())?,
                 );
             }
+            "--allow" => args.allow = Some(flag("--allow")?),
+            "--vet" => args.vet = Some(PathBuf::from(flag("--vet")?)),
             "--json" => args.json = true,
             // Any dash-prefixed token is a (mis)spelled flag, never a
             // workload name — `-seed` must not silently become a
             // positional and mask the user's intent.
             other if other.starts_with('-') => {
-                let valid = "--tool --seed --out --demo --sparse --runs --ring --json";
+                let valid =
+                    "--tool --seed --out --demo --sparse --runs --ring --allow --vet --json";
                 return Err(format!("unknown flag `{other}` (valid flags: {valid})"));
             }
             other => args.positional.push(other.to_owned()),
@@ -257,6 +279,19 @@ const EXIT_OK: u8 = 0;
 /// See [`EXIT_OK`].
 const EXIT_FINDINGS: u8 = 2;
 
+/// The shared findings gate: every finding-producing command (`analyze`,
+/// `predict`, `lint-demo`, `vet`) funnels its gating count through here
+/// so the exit-code convention cannot drift per command. With findings,
+/// a trailing summary goes to stderr (stdout stays clean for reports and
+/// `--json` documents) and the exit code is [`EXIT_FINDINGS`].
+fn findings_exit(count: usize, noun: &str) -> u8 {
+    if count == 0 {
+        return EXIT_OK;
+    }
+    eprintln!("{count} {noun}(s) — exit {EXIT_FINDINGS}");
+    EXIT_FINDINGS
+}
+
 fn usage() -> String {
     [
         "srr — sparse record/replay front end",
@@ -270,16 +305,22 @@ fn usage() -> String {
         "  srr analyze   <workload> [--tool TOOL] [--seed N] [--json]",
         "  srr predict   <workload> [--seed N] [--json]",
         "  srr lint-demo --demo DIR",
+        "  srr vet       <path>... [--allow FILE|none] [--json] [--out FILE]",
         "  srr trace     <workload> [--demo DIR] [--ring N] [--out FILE]",
-        "  srr stats     <BENCH_*.json>",
+        "  srr stats     <report.json> [--vet FILE]",
         "",
         "tools: native, tsan11, rr, tsan11+rr, rnd, queue, pct, delay",
         "sparse sets: default, games, none, comprehensive",
         "",
+        "vet scans workload source for recording-soundness escapes (raw clocks,",
+        "rogue threads, Wait/Tick misuse, address-as-value); --allow defaults to",
+        "ci/vet_allow.txt when present. `stats --vet` joins a trace's desync",
+        "diagnostics against the vet escape map to rank likely root causes.",
+        "",
         "exit codes:",
         "  0  success",
         "  1  usage or execution error",
-        "  2  clean run with findings (analyze hazards, predict confirmations, lint-demo diagnostics)",
+        "  2  clean run with findings (analyze hazards, predict confirmations, lint-demo diagnostics, vet deny findings)",
     ]
     .join("\n")
 }
@@ -442,27 +483,18 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                     ),
                 ]);
                 println!("{}", doc.to_pretty());
-                return Ok(if report.analysis.is_empty() {
-                    EXIT_OK
-                } else {
-                    EXIT_FINDINGS
-                });
+                return Ok(findings_exit(report.analysis.len(), "finding"));
             }
             print_report(&report);
             println!("--- analysis --");
             println!("sync events:  {}", report.sync_trace.events.len());
             if report.analysis.is_empty() {
                 println!("no findings");
-                return Ok(EXIT_OK);
             }
             for f in &report.analysis {
                 println!("[{}] {}", f.kind.name(), f.message);
             }
-            println!(
-                "{} finding(s) — exit {EXIT_FINDINGS}",
-                report.analysis.len()
-            );
-            Ok(EXIT_FINDINGS)
+            Ok(findings_exit(report.analysis.len(), "finding"))
         }
         "predict" => {
             let name = args.positional.first().ok_or("predict needs a workload")?;
@@ -550,11 +582,7 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                     ("races".to_owned(), Json::Arr(races)),
                 ]);
                 println!("{}", doc.to_pretty());
-                return Ok(if confirmed > 0 {
-                    EXIT_FINDINGS
-                } else {
-                    EXIT_OK
-                });
+                return Ok(findings_exit(confirmed, "confirmed race"));
             }
             println!(
                 "recorded: {:?}, {} tick(s), {} race(s) in the observed schedule",
@@ -590,12 +618,7 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                  {infeasible} infeasible (confirmation rate {rate})",
                 run.predictions.races.len()
             );
-            if confirmed > 0 {
-                println!("{confirmed} confirmed race(s) — exit {EXIT_FINDINGS}");
-                Ok(EXIT_FINDINGS)
-            } else {
-                Ok(EXIT_OK)
-            }
+            Ok(findings_exit(confirmed, "confirmed race"))
         }
         "lint-demo" => {
             let dir = args.demo.clone().ok_or("lint-demo needs --demo DIR")?;
@@ -603,18 +626,69 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                 srr_analysis::lint_demo_dir(&dir).map_err(|e| format!("reading demo dir: {e}"))?;
             if diags.is_empty() {
                 println!("{}: demo is well-formed", dir.display());
-                Ok(EXIT_OK)
-            } else {
-                for d in &diags {
-                    eprintln!("{d}");
-                }
-                eprintln!(
-                    "{} problem(s) in {} — exit {EXIT_FINDINGS}",
-                    diags.len(),
-                    dir.display()
-                );
-                Ok(EXIT_FINDINGS)
             }
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            Ok(findings_exit(diags.len(), "demo problem"))
+        }
+        "vet" => {
+            if args.positional.is_empty() {
+                return Err("vet needs at least one file or directory".to_owned());
+            }
+            let paths: Vec<PathBuf> = args.positional.iter().map(PathBuf::from).collect();
+            for p in &paths {
+                if !p.exists() {
+                    return Err(format!("vet: no such path `{}`", p.display()));
+                }
+            }
+            // Allowlist resolution: --allow none > --allow FILE > the
+            // checked-in default when running from the repo root.
+            let default_allow = Path::new("ci/vet_allow.txt");
+            let (list, origin) = match args.allow.as_deref() {
+                Some("none") => (Allowlist::default(), None),
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("reading allowlist {path}: {e}"))?;
+                    (Allowlist::parse(&text)?, Some(path.to_owned()))
+                }
+                None if default_allow.exists() => {
+                    let text = std::fs::read_to_string(default_allow)
+                        .map_err(|e| format!("reading {}: {e}", default_allow.display()))?;
+                    (
+                        Allowlist::parse(&text)?,
+                        Some(default_allow.display().to_string()),
+                    )
+                }
+                None => (Allowlist::default(), None),
+            };
+            let report = srr_vet::vet_paths(&paths, &list).map_err(|e| format!("vet: {e}"))?;
+            if let Some(out) = &args.out {
+                std::fs::write(out, report.to_json().to_pretty())
+                    .map_err(|e| format!("writing {}: {e}", out.display()))?;
+            }
+            if args.json {
+                println!("{}", report.to_json().to_pretty());
+            } else {
+                if let Some(origin) = &origin {
+                    println!("allowlist: {origin} ({} entr(ies))", list.entries.len());
+                }
+                for f in &report.findings {
+                    println!("{f}");
+                }
+                for f in &report.allowed {
+                    println!("{f} [allowed]");
+                }
+                println!(
+                    "scanned {} file(s): {} deny, {} warn, {} allowed",
+                    report.scanned_files,
+                    report.deny_count(),
+                    report.warn_count(),
+                    report.allowed.len()
+                );
+            }
+            // Warn findings report but do not gate; deny findings gate.
+            Ok(findings_exit(report.deny_count(), "deny finding"))
         }
         "trace" => {
             let name = args.positional.first().ok_or("trace needs a workload")?;
@@ -653,7 +727,12 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                 .out
                 .clone()
                 .unwrap_or_else(|| PathBuf::from(format!("trace_{name}.json")));
-            let trace = chrome_trace(&report.obs);
+            let mut trace = chrome_trace(&report.obs);
+            // Embed the desync diagnostics so `srr stats --vet` can join
+            // the diverged stream against a static escape map offline.
+            if let (Some(diag), Json::Obj(fields)) = (&report.obs.desync, &mut trace) {
+                fields.push(("desync".to_owned(), diag.to_json()));
+            }
             std::fs::write(&out, trace.to_pretty())
                 .map_err(|e| format!("writing {}: {e}", out.display()))?;
             println!("outcome:      {:?}", report.outcome);
@@ -684,20 +763,25 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             let path = args
                 .positional
                 .first()
-                .ok_or("stats needs a BENCH_*.json path")?;
+                .ok_or("stats needs a report path (BENCH_*.json or trace_*.json)")?;
             let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let doc = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
             let str_of =
                 |v: &Json, k: &str| v.get(k).and_then(Json::as_str).unwrap_or("-").to_owned();
             let num_of = |v: &Json, k: &str| v.get(k).and_then(Json::as_f64);
-            println!(
-                "{} — {} (quick: {}, runs: {}, scale: {})",
-                str_of(&doc, "table"),
-                str_of(&doc, "title"),
-                doc.get("quick").and_then(Json::as_bool).unwrap_or(false),
-                num_of(&doc, "runs").unwrap_or(0.0),
-                num_of(&doc, "scale").unwrap_or(0.0),
-            );
+            // The bench section only renders for bench documents — a
+            // trace file passed for `--vet` analysis gets no empty table.
+            let is_bench = doc.get("rows").is_some() || doc.get("table").is_some();
+            if is_bench {
+                println!(
+                    "{} — {} (quick: {}, runs: {}, scale: {})",
+                    str_of(&doc, "table"),
+                    str_of(&doc, "title"),
+                    doc.get("quick").and_then(Json::as_bool).unwrap_or(false),
+                    num_of(&doc, "runs").unwrap_or(0.0),
+                    num_of(&doc, "scale").unwrap_or(0.0),
+                );
+            }
             let empty: &[Json] = &[];
             let rows = doc.get("rows").and_then(Json::as_array).unwrap_or(empty);
             for row in rows {
@@ -754,7 +838,57 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             if !extras.is_empty() {
                 println!("totals: {}", extras.join(", "));
             }
-            println!("{} row(s)", rows.len());
+            if is_bench {
+                println!("{} row(s)", rows.len());
+            }
+            // Desync ↔ escape-map cross-link: only when the document
+            // actually carries desync diagnostics (`srr trace` embeds
+            // them when a replay diverged) — never an empty section.
+            let desync = doc.get("desync").filter(|d| !matches!(d, Json::Null));
+            if let Some(vet_path) = &args.vet {
+                let Some(desync) = desync else {
+                    eprintln!(
+                        "no desync recorded in {path} — vet cross-link skipped (replay was clean?)"
+                    );
+                    return Ok(EXIT_OK);
+                };
+                let vet_text = std::fs::read_to_string(vet_path)
+                    .map_err(|e| format!("reading {}: {e}", vet_path.display()))?;
+                let vet_doc = Json::parse(&vet_text)
+                    .map_err(|e| format!("parsing {}: {e}", vet_path.display()))?;
+                let escapes = srr_vet::escape_map_from_json(&vet_doc);
+                let stream = desync
+                    .get("stream")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_owned();
+                println!(
+                    "--- desync root causes (stream {stream} @ entry {}, constraint `{}`) ---",
+                    num_of(desync, "offset").unwrap_or(0.0),
+                    str_of(desync, "constraint"),
+                );
+                let ranked = srr_vet::rank_desync_causes(&stream, &escapes);
+                if ranked.is_empty() {
+                    println!(
+                        "no static escape implicates {stream}; the cause is outside the vetted \
+                         source ({} escape(s) in the map)",
+                        escapes.len()
+                    );
+                } else {
+                    for r in &ranked {
+                        println!(
+                            "  [{}] {}",
+                            if r.score == 2 { "primary" } else { "secondary" },
+                            r.finding
+                        );
+                    }
+                }
+            } else if desync.is_some() {
+                println!(
+                    "desync diagnostics present — pass `--vet vet.json` (from `srr vet --json`) \
+                     to rank root causes"
+                );
+            }
             Ok(EXIT_OK)
         }
         other => Err(format!(
@@ -986,6 +1120,163 @@ mod tests {
         // Uncontrolled tools cannot trace.
         assert!(run_command(&argv(&["trace", "barrier", "--tool", "native"])).is_err());
         let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn vet_command_gates_on_deny_and_honours_allowlists() {
+        let dir = std::env::temp_dir().join(format!("srr-vet-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.rs");
+        std::fs::write(
+            &bad,
+            "fn w() { std::thread::spawn(|| {}); std::time::Instant::now(); }",
+        )
+        .unwrap();
+        let clean = dir.join("clean.rs");
+        std::fs::write(&clean, "fn w() { tsan11rec::sys::println(\"ok\"); }").unwrap();
+
+        // Deny findings gate with the shared findings exit code.
+        let code = run_command(&argv(&["vet", bad.to_str().unwrap(), "--allow", "none"]))
+            .expect("vet runs");
+        assert_eq!(code, EXIT_FINDINGS);
+        // Shim-only code passes.
+        let code = run_command(&argv(&["vet", clean.to_str().unwrap(), "--allow", "none"]))
+            .expect("vet runs");
+        assert_eq!(code, EXIT_OK);
+        // An allowlist covering the file waves the escapes through.
+        let allow = dir.join("allow.txt");
+        std::fs::write(&allow, "allow * */bad.rs fixture\n").unwrap();
+        let code = run_command(&argv(&[
+            "vet",
+            bad.to_str().unwrap(),
+            "--allow",
+            allow.to_str().unwrap(),
+            "--json",
+        ]))
+        .expect("vet runs");
+        assert_eq!(code, EXIT_OK);
+        // `--out` writes the escape map; it parses back.
+        let map = dir.join("vet.json");
+        let code = run_command(&argv(&[
+            "vet",
+            bad.to_str().unwrap(),
+            "--allow",
+            "none",
+            "--out",
+            map.to_str().unwrap(),
+        ]))
+        .expect("vet runs");
+        assert_eq!(code, EXIT_FINDINGS);
+        let doc = Json::parse(&std::fs::read_to_string(&map).unwrap()).unwrap();
+        let escapes = srr_vet::escape_map_from_json(&doc);
+        assert!(
+            escapes.iter().any(|f| f.kind == srr_vet::VetKind::RawSpawn),
+            "{escapes:?}"
+        );
+        // Usage errors: no paths, missing path.
+        assert!(run_command(&argv(&["vet"])).is_err());
+        assert!(run_command(&argv(&["vet", "/nonexistent/nope.rs"])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn vet_hazard_fixtures_are_flagged_through_the_cli() {
+        // The repo's own hazard workloads are the true-positive corpus:
+        // raw_clock/raw_spawn must gate `srr vet` on this very file set.
+        let hazards = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/hazards.rs");
+        let code = run_command(&argv(&[
+            "vet",
+            hazards.to_str().unwrap(),
+            "--allow",
+            "none",
+        ]))
+        .expect("vet runs");
+        assert_eq!(code, EXIT_FINDINGS, "escape fixtures must be flagged");
+    }
+
+    #[test]
+    fn stats_vet_crosslink_only_renders_with_a_desync() {
+        let dir = std::env::temp_dir().join(format!("srr-statsvet-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Escape map with one raw-clock escape (SYSCALL primary).
+        let vet = dir.join("vet.json");
+        std::fs::write(
+            &vet,
+            r#"{"findings": [{"kind": "raw-clock", "severity": "deny",
+                "file": "w.rs", "line": 3, "col": 5, "path": "std::time::Instant::now",
+                "message": "m", "suggestion": "sys::clock_gettime"}]}"#,
+        )
+        .unwrap();
+        // A trace document carrying desync diagnostics joins and exits 0.
+        let trace = dir.join("trace.json");
+        std::fs::write(
+            &trace,
+            r#"{"traceEvents": [], "desync": {"tick": 9, "constraint": "syscall-kind",
+                "stream": "SYSCALL", "offset": 4}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            run_command(&argv(&[
+                "stats",
+                trace.to_str().unwrap(),
+                "--vet",
+                vet.to_str().unwrap()
+            ])),
+            Ok(EXIT_OK)
+        );
+        // No desync in the document: the section is skipped, not empty.
+        let clean = dir.join("clean.json");
+        std::fs::write(&clean, r#"{"traceEvents": []}"#).unwrap();
+        assert_eq!(
+            run_command(&argv(&[
+                "stats",
+                clean.to_str().unwrap(),
+                "--vet",
+                vet.to_str().unwrap()
+            ])),
+            Ok(EXIT_OK)
+        );
+        // Unreadable escape map is a usage error.
+        assert!(run_command(&argv(&[
+            "stats",
+            trace.to_str().unwrap(),
+            "--vet",
+            "/nonexistent/vet.json"
+        ]))
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_embeds_desync_diagnostics_for_divergent_replays() {
+        use srr_apps::ptrmap;
+        let dir = std::env::temp_dir().join(format!("srr-tracedsy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Record ptrmap under ASLR entropy A, then trace a replay under
+        // entropy B: the §5.5 hard desync must surface in the JSON.
+        let (_, demo) = Execution::new(Tool::QueueRec.config([2, 3]))
+            .with_vos(ptrmap::aslr_world(111))
+            .record(ptrmap::ptrmap(ptrmap::PtrMapParams::default()));
+        let report = Execution::new(
+            Tool::QueueRec
+                .config(demo.header.seeds)
+                .with_trace(TraceSpec::new().with_ring_capacity(128))
+                .with_schedule_trace(),
+        )
+        .with_vos(ptrmap::aslr_world(999))
+        .replay(&demo, ptrmap::ptrmap(ptrmap::PtrMapParams::default()));
+        let mut trace = chrome_trace(&report.obs);
+        if let (Some(diag), Json::Obj(fields)) = (&report.obs.desync, &mut trace) {
+            fields.push(("desync".to_owned(), diag.to_json()));
+        }
+        let doc = Json::parse(&trace.to_pretty()).unwrap();
+        let desync = doc.get("desync").expect("desync diagnostics embedded");
+        assert_eq!(
+            desync.get("stream").and_then(Json::as_str),
+            Some("SYSCALL"),
+            "{desync:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -101,6 +101,7 @@ pub fn game(params: GameParams) -> impl FnOnce() + Send + 'static {
             tsan11rec::thread::spawn(move || {
                 let mut acc = 1u64;
                 while !quit.load(MemOrder::Acquire) {
+                    // vet: allow(raw-clock) invisible op: pacing only, no recorded state
                     std::thread::sleep(std::time::Duration::from_millis(period));
                     acc = simulate(16, acc); // mix a buffer (invisible)
                     audio_frames.fetch_add(1, MemOrder::Release);
@@ -118,6 +119,7 @@ pub fn game(params: GameParams) -> impl FnOnce() + Send + 'static {
                     let ticker = Atomic::new(0u64);
                     let mut acc = u64::from(i) + 7;
                     while !quit.load(MemOrder::Acquire) {
+                        // vet: allow(raw-clock) invisible op: pacing only, no recorded state
                         std::thread::sleep(std::time::Duration::from_millis(period));
                         acc = simulate(8, acc);
                         ticker.fetch_add(1, MemOrder::Relaxed);

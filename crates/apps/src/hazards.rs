@@ -22,6 +22,11 @@
 //!   flag handoff. The weak order flags the pair (it drops reads-from
 //!   edges), but no trace-consistent reorder can break the spin-loop's
 //!   value dependency: the correct verdict is *infeasible*.
+//! * [`raw_clock`] / [`raw_spawn`] — **recording-soundness escapes**, the
+//!   true-positive fixtures for `srr vet`: each bypasses the interception
+//!   layer (host wall clock / a real OS thread) and demonstrably
+//!   soft-desynchronises replay. Deliberately *not* allowlisted, so
+//!   `srr vet crates/apps` gates on them.
 
 use std::sync::Arc;
 
@@ -211,11 +216,58 @@ pub fn atomic_guard() -> impl FnOnce() + Send + 'static {
     }
 }
 
+/// A recording-soundness escape: reads the **host** wall clock through
+/// `std::time::SystemTime`, bypassing the virtual clock
+/// (`tsan11rec::sys::clock_gettime`), and prints the sub-second nanos.
+/// The value is not in any demo stream, so record and replay print
+/// different lines — a console soft desync with no schedule divergence.
+/// This is the workload `srr vet` flags as `raw-clock`.
+pub fn raw_clock() -> impl FnOnce() + Send + 'static {
+    move || {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.subsec_nanos());
+        // Fixed width keeps the syscall shape identical across runs; only
+        // the *content* diverges, the signature of a soft desync.
+        tsan11rec::sys::println(&format!("raw_clock t={nanos:09}"));
+    }
+}
+
+/// A recording-soundness escape: spawns a **real OS thread** through
+/// `std::thread::spawn`, invisible to the controlled scheduler — it
+/// never calls `Wait()`, so the queue strategy neither schedules nor
+/// records it. The rogue thread free-runs a counter for a real-time
+/// window; how far it gets depends on host scheduling, and the printed
+/// count diverges between record and replay. `srr vet` flags this as
+/// `raw-spawn` (plus `raw-atomic`/`raw-clock` for the stop flag and the
+/// timing window).
+pub fn raw_spawn() -> impl FnOnce() + Send + 'static {
+    move || {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let s2 = Arc::clone(&stop);
+        let rogue = std::thread::spawn(move || {
+            let mut n: u64 = 0;
+            while !s2.load(std::sync::atomic::Ordering::Relaxed) {
+                n = n.wrapping_add(1);
+                std::hint::spin_loop();
+            }
+            n
+        });
+        let start = std::time::Instant::now();
+        while start.elapsed() < std::time::Duration::from_millis(2) {
+            std::hint::spin_loop();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let n = rogue.join().unwrap_or(0);
+        tsan11rec::sys::println(&format!("raw_spawn count={n:020}"));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::harness::Tool;
-    use tsan11rec::{Execution, FindingKind, Outcome};
+    use tsan11rec::{soft_desync, soft_desync_report, Execution, FindingKind, Outcome};
 
     fn analyzed(program: impl FnOnce() + Send + 'static) -> tsan11rec::ExecReport {
         Execution::new(Tool::Queue.config([7, 11]).with_access_trace()).run(program)
@@ -338,5 +390,46 @@ mod tests {
         let report = analyzed(atomic_guard());
         assert!(report.outcome.is_ok(), "{:?}", report.outcome);
         assert_eq!(report.races, 0, "{:?}", report.race_reports);
+    }
+
+    /// Record + replay, asserting both runs complete (the escape must
+    /// NOT hard-desync — the schedule and syscall shape still match),
+    /// and returns whether the consoles diverged.
+    fn escape_soft_desyncs(mk: fn() -> Box<dyn FnOnce() + Send + 'static>) -> bool {
+        let (rec, demo) = Execution::new(Tool::QueueRec.config([3, 5])).record(mk());
+        assert!(rec.outcome.is_ok(), "{:?}", rec.outcome);
+        let rep = Execution::new(Tool::QueueRec.config([3, 5])).replay(&demo, mk());
+        assert!(rep.outcome.is_ok(), "escape is *soft*: {:?}", rep.outcome);
+        if soft_desync(&rec, &rep) {
+            let d = soft_desync_report(&rec, &rep).expect("report for divergent consoles");
+            assert_eq!(d.stream, "CONSOLE");
+            true
+        } else {
+            false
+        }
+    }
+
+    #[test]
+    fn raw_clock_escape_soft_desyncs_replay() {
+        // The wall clock collides across two runs with p ≈ 1e-9; retry to
+        // push the residual flake probability to effectively zero.
+        for _ in 0..3 {
+            if escape_soft_desyncs(|| Box::new(raw_clock())) {
+                return;
+            }
+        }
+        panic!("host-clock escape must diverge the console");
+    }
+
+    #[test]
+    fn raw_spawn_escape_soft_desyncs_replay() {
+        // The rogue thread's spin count over a 2ms window is effectively
+        // never equal across runs; retry shields the pathological case.
+        for _ in 0..3 {
+            if escape_soft_desyncs(|| Box::new(raw_spawn())) {
+                return;
+            }
+        }
+        panic!("rogue-thread escape must diverge the console");
     }
 }

@@ -166,6 +166,7 @@ pub fn server(params: HttpdParams) -> impl FnOnce() + Send + 'static {
                                             if params.service_latency_us > 0 {
                                                 // Blocking backend work
                                                 // (invisible operation).
+                                                // vet: allow(raw-clock) invisible op
                                                 std::thread::sleep(
                                                     std::time::Duration::from_micros(
                                                         params.service_latency_us,
@@ -193,6 +194,7 @@ pub fn server(params: HttpdParams) -> impl FnOnce() + Send + 'static {
                                     // Idle connection: back off briefly
                                     // instead of burning the (possibly
                                     // single) core.
+                                    // vet: allow(raw-clock) invisible op: backoff only
                                     std::thread::sleep(std::time::Duration::from_micros(200));
                                 }
                             }
@@ -222,6 +224,7 @@ pub fn server(params: HttpdParams) -> impl FnOnce() + Send + 'static {
                 }
             }
             if !progressed {
+                // vet: allow(raw-clock) invisible op: backoff only
                 std::thread::sleep(std::time::Duration::from_micros(200));
             }
         }

@@ -8,6 +8,7 @@
 use std::fmt::Write as _;
 
 use crate::event::EventKind;
+use crate::json::Json;
 use crate::report::{ObsReport, ThreadTrace};
 
 /// One row of the recorded-vs-replayed schedule diff.
@@ -145,6 +146,47 @@ impl DesyncDiagnostics {
         lines
     }
 
+    /// Machine-readable form, embedded under `"desync"` in `srr trace`
+    /// output so downstream tools (`srr stats --vet`) can join the
+    /// diverged stream against a static escape map.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let divergence = match self.first_divergence {
+            Some(d) => Json::Obj(vec![
+                ("index".to_owned(), Json::Num(d.index as f64)),
+                (
+                    "recorded".to_owned(),
+                    d.recorded.map_or(Json::Null, |t| Json::Num(f64::from(t))),
+                ),
+                (
+                    "replayed".to_owned(),
+                    d.replayed.map_or(Json::Null, |t| Json::Num(f64::from(t))),
+                ),
+            ]),
+            None => Json::Null,
+        };
+        Json::Obj(vec![
+            ("tick".to_owned(), Json::Num(self.tick as f64)),
+            ("constraint".to_owned(), Json::Str(self.constraint.clone())),
+            ("stream".to_owned(), Json::Str(self.stream.clone())),
+            ("offset".to_owned(), Json::Num(self.offset as f64)),
+            (
+                "thread".to_owned(),
+                self.thread.map_or(Json::Null, |t| Json::Num(f64::from(t))),
+            ),
+            ("first_divergence".to_owned(), divergence),
+            (
+                "stream_cursors".to_owned(),
+                Json::Obj(
+                    self.stream_cursors
+                        .iter()
+                        .map(|(s, o)| (s.clone(), Json::Num(*o as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// The full human-readable report: summary, diff, per-thread tails.
     #[must_use]
     pub fn render(&self) -> String {
@@ -206,6 +248,30 @@ mod tests {
         let sched = vec![(0, 1), (1, 2)];
         assert_eq!(first_divergence(&sched, &sched), None);
         assert_eq!(first_divergence(&[], &[]), None);
+    }
+
+    #[test]
+    fn json_form_names_stream_and_survives_reparse() {
+        let diag = DesyncDiagnostics {
+            tick: 41,
+            constraint: "queue-schedule".into(),
+            stream: "QUEUE".into(),
+            offset: 40,
+            thread: Some(2),
+            first_divergence: Some(TickDiff {
+                index: 7,
+                recorded: Some(1),
+                replayed: None,
+            }),
+            stream_cursors: vec![("QUEUE".into(), 40), ("CONSOLE".into(), 3)],
+            ..DesyncDiagnostics::default()
+        };
+        let doc = Json::parse(&diag.to_json().to_pretty()).unwrap();
+        assert_eq!(doc.get("stream").and_then(Json::as_str), Some("QUEUE"));
+        assert_eq!(doc.get("offset").and_then(Json::as_f64), Some(40.0));
+        let div = doc.get("first_divergence").unwrap();
+        assert_eq!(div.get("index").and_then(Json::as_f64), Some(7.0));
+        assert!(matches!(div.get("replayed"), Some(Json::Null)));
     }
 
     #[test]

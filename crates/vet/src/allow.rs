@@ -1,0 +1,231 @@
+//! Allowlisting intentional escapes.
+//!
+//! Two mechanisms, both keyed by the lint kind name:
+//!
+//! * an **inline marker** — `// vet: allow(raw-clock) reason` on the
+//!   flagged line or the line directly above it;
+//! * an **allowlist file** — checked-in lines of the form
+//!   `allow <kind|*> <file-glob> [reason...]`, so host-side code (the
+//!   CLI, the harness) can keep its legitimate `std::fs`/`std::env`
+//!   uses without sprinkling markers everywhere.
+//!
+//! Suppressed findings are not dropped: they are downgraded to
+//! [`Severity::Allow`] and reported separately, so the gate output
+//! still shows what was waved through and why that is safe.
+
+use std::fmt;
+
+use srr_analysis::Severity;
+
+use crate::lexer::AllowMark;
+use crate::lints::VetFinding;
+
+/// One allowlist-file entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Lint kind name this entry suppresses; `*` suppresses every kind.
+    pub kind: String,
+    /// Glob over the finding's file path (`*` crosses `/`).
+    pub file_glob: String,
+    /// Free-form justification (kept for reporting).
+    pub reason: String,
+}
+
+impl fmt::Display for AllowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allow {} {}", self.kind, self.file_glob)?;
+        if !self.reason.is_empty() {
+            write!(f, " {}", self.reason)?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed allowlist.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the `allow <kind|*> <glob> [reason...]` line format.
+    /// Blank lines and `#` comments are skipped; anything else
+    /// malformed is an error naming the line.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let lineno = idx + 1;
+            match parts.next() {
+                Some("allow") => {}
+                Some(other) => {
+                    return Err(format!(
+                        "allowlist line {lineno}: expected `allow`, got `{other}`"
+                    ))
+                }
+                None => continue,
+            }
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("allowlist line {lineno}: missing lint kind"))?
+                .to_owned();
+            let file_glob = parts
+                .next()
+                .ok_or_else(|| format!("allowlist line {lineno}: missing file glob"))?
+                .to_owned();
+            let reason = parts.collect::<Vec<_>>().join(" ");
+            entries.push(AllowEntry {
+                kind,
+                file_glob,
+                reason,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Renders back to the line format ([`Allowlist::parse`] inverse).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Whether any entry suppresses `kind` in `file`.
+    #[must_use]
+    pub fn matches(&self, kind: &str, file: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| (e.kind == "*" || e.kind == kind) && glob_match(&e.file_glob, file))
+    }
+}
+
+/// Minimal glob: `*` matches any (possibly empty) sequence including
+/// `/`; `?` matches one character; everything else is literal.
+#[must_use]
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let pat: Vec<char> = pattern.chars().collect();
+    let txt: Vec<char> = text.chars().collect();
+    // Iterative backtracking matcher (the classic two-pointer form).
+    let (mut p, mut t) = (0usize, 0usize);
+    let (mut star, mut mark) = (None::<usize>, 0usize);
+    while t < txt.len() {
+        if p < pat.len() && (pat[p] == '?' || pat[p] == txt[t]) {
+            p += 1;
+            t += 1;
+        } else if p < pat.len() && pat[p] == '*' {
+            star = Some(p);
+            mark = t;
+            p += 1;
+        } else if let Some(s) = star {
+            p = s + 1;
+            mark += 1;
+            t = mark;
+        } else {
+            return false;
+        }
+    }
+    while p < pat.len() && pat[p] == '*' {
+        p += 1;
+    }
+    p == pat.len()
+}
+
+/// Applies inline markers and the allowlist file: suppressed findings
+/// are downgraded to [`Severity::Allow`] and moved to the second list.
+#[must_use]
+pub fn apply(
+    findings: Vec<VetFinding>,
+    marks: &[AllowMark],
+    list: &Allowlist,
+) -> (Vec<VetFinding>, Vec<VetFinding>) {
+    let mut active = Vec::new();
+    let mut allowed = Vec::new();
+    for mut f in findings {
+        let inline = marks.iter().any(|m| {
+            (m.line == f.span.line || m.line + 1 == f.span.line)
+                && m.kinds.iter().any(|k| k == "*" || k == f.kind.name())
+        });
+        if inline || list.matches(f.kind.name(), &f.span.file) {
+            f.severity = Severity::Allow;
+            allowed.push(f);
+        } else {
+            active.push(f);
+        }
+    }
+    (active, allowed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::lints::scan_tokens;
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let text = "# host-side code\nallow raw-fs crates/apps/src/bin/* CLI writes trace files\nallow * examples/legacy.rs grandfathered\n";
+        let list = Allowlist::parse(text).unwrap();
+        assert_eq!(list.entries.len(), 2);
+        let again = Allowlist::parse(&list.render()).unwrap();
+        assert_eq!(list, again);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Allowlist::parse("deny raw-fs foo.rs").is_err());
+        assert!(Allowlist::parse("allow raw-fs").is_err());
+        assert!(Allowlist::parse("allow").is_err());
+        assert!(Allowlist::parse("").unwrap().entries.is_empty());
+    }
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match("*", "anything/at/all.rs"));
+        assert!(glob_match(
+            "crates/apps/src/bin/*",
+            "crates/apps/src/bin/srr.rs"
+        ));
+        assert!(glob_match("*.rs", "a/b/c.rs"));
+        assert!(glob_match("a?c", "abc"));
+        assert!(!glob_match("a?c", "ac"));
+        assert!(!glob_match("examples/*", "crates/x.rs"));
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "x"));
+    }
+
+    #[test]
+    fn inline_marker_suppresses_same_and_next_line() {
+        let src = "// vet: allow(raw-spawn) intentional hazard fixture\nfn f() { std::thread::spawn(|| {}); }";
+        let lexed = lex(src);
+        let findings = scan_tokens("t.rs", &lexed);
+        assert_eq!(findings.len(), 1);
+        let (active, allowed) = apply(findings, &lexed.allows, &Allowlist::default());
+        assert!(active.is_empty(), "{active:?}");
+        assert_eq!(allowed.len(), 1);
+        assert_eq!(allowed[0].severity, Severity::Allow);
+    }
+
+    #[test]
+    fn file_allowlist_suppresses_by_glob() {
+        let lexed = lex("fn f() { std::fs::read(\"x\"); }");
+        let findings = scan_tokens("crates/apps/src/bin/srr.rs", &lexed);
+        assert_eq!(findings.len(), 1);
+        let list = Allowlist::parse("allow raw-fs crates/apps/src/bin/* CLI host code").unwrap();
+        let (active, allowed) = apply(findings.clone(), &[], &list);
+        assert!(active.is_empty());
+        assert_eq!(allowed.len(), 1);
+        // A different kind is not covered.
+        let other = Allowlist::parse("allow raw-net crates/apps/src/bin/*").unwrap();
+        let (active, _) = apply(findings, &[], &other);
+        assert_eq!(active.len(), 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Desync ↔ escape-map cross-linking.
+//!
+//! `srr-obs` desync diagnostics name the demo stream that diverged
+//! (`QUEUE`, `SYSCALL`, `CONSOLE`, ...). Each vet lint kind implicates
+//! a characteristic set of streams — an untraced clock read surfaces as
+//! a SYSCALL/CONSOLE divergence, a raw `std::thread::spawn` perturbs
+//! the QUEUE schedule. Joining the two ranks the statically-found
+//! escapes as likely root causes of an observed desync, which `srr
+//! stats --vet` prints under the desync section.
+
+use srr_analysis::{Severity, SourceSpan};
+use srr_obs::Json;
+
+use crate::lints::{VetFinding, VetKind};
+
+/// The demo streams a lint kind's escape typically corrupts, most
+/// characteristic first.
+#[must_use]
+pub fn implicated_streams(kind: VetKind) -> &'static [&'static str] {
+    match kind {
+        VetKind::RawClock => &["SYSCALL", "CONSOLE"],
+        VetKind::RawRng => &["SYSCALL", "CONSOLE"],
+        VetKind::RawSpawn => &["QUEUE"],
+        VetKind::RawSync | VetKind::RawAtomic => &["QUEUE"],
+        VetKind::RawNet => &["ASYNC", "SYSCALL"],
+        VetKind::RawFs | VetKind::RawLibc | VetKind::RawProcess | VetKind::RawEnv => &["SYSCALL"],
+        VetKind::TickWithoutWait
+        | VetKind::DoubleTick
+        | VetKind::BlockInCritical
+        | VetKind::VisibleOpOutside => &["QUEUE"],
+        VetKind::AddressAsValue | VetKind::HashIterOrder => &["CONSOLE", "QUEUE"],
+    }
+}
+
+/// One ranked root-cause candidate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankedCause {
+    /// The escape finding.
+    pub finding: VetFinding,
+    /// 2 = the diverged stream is this kind's primary stream, 1 = a
+    /// secondary stream. Non-matching escapes are dropped.
+    pub score: u32,
+}
+
+/// Joins a desync's diverged stream against the escape map: every
+/// finding whose kind implicates that stream, primary matches first,
+/// deny before warn, then source order.
+#[must_use]
+pub fn rank_desync_causes(stream: &str, findings: &[VetFinding]) -> Vec<RankedCause> {
+    let mut out: Vec<RankedCause> = findings
+        .iter()
+        .filter_map(|f| {
+            let streams = implicated_streams(f.kind);
+            let score = match streams.iter().position(|s| *s == stream) {
+                Some(0) => 2,
+                Some(_) => 1,
+                None => return None,
+            };
+            Some(RankedCause {
+                finding: f.clone(),
+                score,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        (b.score, b.finding.severity, &a.finding.span).cmp(&(
+            a.score,
+            a.finding.severity,
+            &b.finding.span,
+        ))
+    });
+    out
+}
+
+/// Serializes findings as the escape-map JSON array (`srr vet --json`).
+#[must_use]
+pub fn findings_to_json(findings: &[VetFinding]) -> Json {
+    Json::Arr(
+        findings
+            .iter()
+            .map(|f| {
+                Json::Obj(vec![
+                    ("kind".to_owned(), Json::Str(f.kind.name().to_owned())),
+                    (
+                        "severity".to_owned(),
+                        Json::Str(f.severity.name().to_owned()),
+                    ),
+                    ("file".to_owned(), Json::Str(f.span.file.clone())),
+                    ("line".to_owned(), Json::Num(f64::from(f.span.line))),
+                    ("col".to_owned(), Json::Num(f64::from(f.span.col))),
+                    ("path".to_owned(), Json::Str(f.path.clone())),
+                    ("message".to_owned(), Json::Str(f.message.clone())),
+                    (
+                        "suggestion".to_owned(),
+                        match &f.suggestion {
+                            Some(s) => Json::Str(s.clone()),
+                            None => Json::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Parses an escape map back from `srr vet --json` output (the whole
+/// document or just its `findings` array). Unknown kinds are skipped —
+/// a newer vet writing a kind this build does not know about must not
+/// break the join.
+#[must_use]
+pub fn escape_map_from_json(doc: &Json) -> Vec<VetFinding> {
+    let arr = doc
+        .get("findings")
+        .and_then(Json::as_array)
+        .or_else(|| doc.as_array())
+        .unwrap_or(&[]);
+    arr.iter()
+        .filter_map(|f| {
+            let kind = VetKind::parse(f.get("kind")?.as_str()?)?;
+            let severity = f
+                .get("severity")
+                .and_then(Json::as_str)
+                .and_then(Severity::parse)
+                .unwrap_or_else(|| kind.severity());
+            Some(VetFinding {
+                kind,
+                severity,
+                span: SourceSpan::new(
+                    f.get("file").and_then(Json::as_str).unwrap_or("?"),
+                    f.get("line").and_then(Json::as_f64).unwrap_or(0.0) as u32,
+                    f.get("col").and_then(Json::as_f64).unwrap_or(0.0) as u32,
+                ),
+                path: f
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+                message: f
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+                suggestion: f
+                    .get("suggestion")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(kind: VetKind, line: u32) -> VetFinding {
+        VetFinding {
+            kind,
+            severity: kind.severity(),
+            span: SourceSpan::new("w.rs", line, 1),
+            path: "p".into(),
+            message: "m".into(),
+            suggestion: None,
+        }
+    }
+
+    #[test]
+    fn ranking_prefers_primary_stream_and_deny() {
+        let map = vec![
+            f(VetKind::HashIterOrder, 1), // CONSOLE primary, warn
+            f(VetKind::RawSpawn, 2),      // QUEUE only
+            f(VetKind::RawClock, 3),      // SYSCALL primary, CONSOLE secondary
+        ];
+        let ranked = rank_desync_causes("SYSCALL", &map);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].finding.kind, VetKind::RawClock);
+        assert_eq!(ranked[0].score, 2);
+
+        let ranked = rank_desync_causes("CONSOLE", &map);
+        assert_eq!(ranked.len(), 2);
+        // raw-clock (secondary but deny) vs hash-iter (primary but warn):
+        // primary match outranks severity.
+        assert_eq!(ranked[0].finding.kind, VetKind::HashIterOrder);
+        assert_eq!(ranked[1].finding.kind, VetKind::RawClock);
+
+        assert!(rank_desync_causes("SIGNAL", &[f(VetKind::RawClock, 1)]).is_empty());
+    }
+
+    #[test]
+    fn queue_desync_implicates_schedule_escapes() {
+        let map = vec![f(VetKind::RawSpawn, 2), f(VetKind::RawAtomic, 9)];
+        let ranked = rank_desync_causes("QUEUE", &map);
+        assert_eq!(ranked.len(), 2);
+        assert!(ranked.iter().all(|r| r.score == 2));
+    }
+
+    #[test]
+    fn escape_map_json_roundtrip() {
+        let map = vec![f(VetKind::RawClock, 7), f(VetKind::AddressAsValue, 12)];
+        let doc = Json::Obj(vec![("findings".to_owned(), findings_to_json(&map))]);
+        let text = doc.to_pretty();
+        let parsed = escape_map_from_json(&Json::parse(&text).unwrap());
+        assert_eq!(parsed, map);
+    }
+
+    #[test]
+    fn unknown_kinds_are_skipped_not_fatal() {
+        let doc = Json::parse(
+            r#"{"findings": [{"kind": "quantum-flux", "file": "x.rs", "line": 1, "col": 1}]}"#,
+        )
+        .unwrap();
+        assert!(escape_map_from_json(&doc).is_empty());
+    }
+
+    #[test]
+    fn every_kind_implicates_at_least_one_stream() {
+        for k in crate::lints::ALL_KINDS {
+            assert!(!implicated_streams(*k).is_empty(), "{k}");
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! A minimal Rust lexer for the vet pass.
+//!
+//! The vendored offline build has no `syn`, so this hand-rolled scanner
+//! keeps exactly what the lints need: identifier and punctuation tokens
+//! with 1-based line:column spans. Comments, string/char literals and
+//! lifetimes are consumed correctly so a path spelled inside them is
+//! never flagged, and `vet: allow(...)` suppression markers are lifted
+//! out of comments as [`AllowMark`]s.
+
+/// What a token is. Literals are collapsed — the lints only care that
+/// one was there, never about its value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// The `::` path separator.
+    PathSep,
+    /// Any other single punctuation character.
+    Punct(char),
+    /// A number, string, byte-string or char literal.
+    Lit,
+}
+
+/// One lexed token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token class and (for identifiers) text.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier token.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// An inline suppression marker: `// vet: allow(kind-a, kind-b) reason`.
+/// Suppresses matching findings on its own line and the line below
+/// (so the marker can sit above the flagged statement).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowMark {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Lint kind names listed in the marker; `*` matches every kind.
+    pub kinds: Vec<String>,
+}
+
+/// The lexer output: the token stream plus any inline allow markers.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Inline `vet: allow(...)` markers found in comments.
+    pub allows: Vec<AllowMark>,
+}
+
+/// Extracts `vet: allow(a, b)` from a comment's text, if present.
+fn scan_marker(text: &str, line: u32) -> Option<AllowMark> {
+    let at = text.find("vet:")?;
+    let rest = text[at + 4..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let kinds: Vec<String> = rest[..close]
+        .split(',')
+        .map(|k| k.trim().to_owned())
+        .filter(|k| !k.is_empty())
+        .collect();
+    if kinds.is_empty() {
+        return None;
+    }
+    Some(AllowMark { line, kinds })
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Consumes a raw string body after the `r`/`br` prefix has been seen:
+/// `#`* `"` ... `"` `#`*. Returns false if it was not a raw string
+/// opener after all.
+fn eat_raw_string(cur: &mut Cursor) -> bool {
+    let mut hashes = 0usize;
+    while cur.peek(hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(hashes) != Some('"') {
+        return false;
+    }
+    for _ in 0..=hashes {
+        cur.bump();
+    }
+    // Body: ends at `"` followed by `hashes` hashes.
+    loop {
+        match cur.bump() {
+            None => return true, // unterminated: tolerate, EOF ends it
+            Some('"') => {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if cur.peek(k) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes {
+                        cur.bump();
+                    }
+                    return true;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn eat_string(cur: &mut Cursor) {
+    // Opening quote already consumed.
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Lexes Rust source. Never fails: malformed input degrades to
+/// punctuation tokens, which the lints simply will not match.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            if let Some(mark) = scan_marker(&text, line) {
+                out.allows.push(mark);
+            }
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            let mut text = String::new();
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(ch), _) => {
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            if let Some(mark) = scan_marker(&text, line) {
+                out.allows.push(mark);
+            }
+            continue;
+        }
+        // String literals.
+        if c == '"' {
+            cur.bump();
+            eat_string(&mut cur);
+            out.tokens.push(Token {
+                kind: TokenKind::Lit,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            let next = cur.peek(1);
+            let after = cur.peek(2);
+            let lifetime = matches!(next, Some(n) if is_ident_start(n)) && after != Some('\'');
+            cur.bump();
+            if lifetime {
+                while matches!(cur.peek(0), Some(n) if is_ident_continue(n)) {
+                    cur.bump();
+                }
+            } else {
+                while let Some(ch) = cur.bump() {
+                    match ch {
+                        '\\' => {
+                            cur.bump();
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lit,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+        // Identifier (with raw/byte string prefix detection).
+        if is_ident_start(c) {
+            let mut ident = String::new();
+            while matches!(cur.peek(0), Some(n) if is_ident_continue(n)) {
+                ident.push(cur.peek(0).unwrap());
+                cur.bump();
+            }
+            let raw_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr");
+            if raw_prefix && (cur.peek(0) == Some('"') || cur.peek(0) == Some('#')) {
+                if cur.peek(0) == Some('"') {
+                    cur.bump();
+                    eat_string(&mut cur);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lit,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+                if eat_raw_string(&mut cur) {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lit,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident(ident),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Number literal.
+        if c.is_ascii_digit() {
+            while let Some(n) = cur.peek(0) {
+                let float_dot = n == '.' && matches!(cur.peek(1), Some(d) if d.is_ascii_digit());
+                if is_ident_continue(n) || float_dot {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Lit,
+                line,
+                col,
+            });
+            continue;
+        }
+        // `::` path separator.
+        if c == ':' && cur.peek(1) == Some(':') {
+            cur.bump();
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokenKind::PathSep,
+                line,
+                col,
+            });
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn paths_inside_strings_and_comments_are_invisible() {
+        let src = r#"
+            // std::thread::spawn in a comment
+            /* std::time::Instant::now() in a block /* nested */ */
+            let s = "std::thread::spawn";
+            let r = r#inner#;
+            let c = 'x';
+            let lt: &'static str = s;
+        "#
+        .replace("r#inner#", "r#\"std::net::TcpStream\"#");
+        let ids = idents(&src);
+        assert!(!ids.contains(&"spawn".to_owned()), "{ids:?}");
+        assert!(!ids.contains(&"Instant".to_owned()), "{ids:?}");
+        assert!(!ids.contains(&"TcpStream".to_owned()), "{ids:?}");
+        assert!(
+            !ids.contains(&"static".to_owned()),
+            "lifetimes produce no ident token"
+        );
+        assert!(ids.contains(&"str".to_owned()), "lexing continued past it");
+    }
+
+    #[test]
+    fn spans_are_one_based_and_accurate() {
+        let lexed = lex("fn main() {\n    spawn();\n}");
+        let spawn = lexed
+            .tokens
+            .iter()
+            .find(|t| t.ident() == Some("spawn"))
+            .unwrap();
+        assert_eq!((spawn.line, spawn.col), (2, 5));
+    }
+
+    #[test]
+    fn pathsep_is_one_token() {
+        let lexed = lex("std::thread::spawn");
+        let kinds: Vec<_> = lexed.tokens.iter().map(|t| t.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Ident("std".into()),
+                TokenKind::PathSep,
+                TokenKind::Ident("thread".into()),
+                TokenKind::PathSep,
+                TokenKind::Ident("spawn".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn allow_markers_are_lifted() {
+        let lexed = lex(
+            "// vet: allow(raw-clock, raw-spawn) measuring harness wall time\nlet x = 1; /* vet: allow(*) */",
+        );
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].line, 1);
+        assert_eq!(lexed.allows[0].kinds, vec!["raw-clock", "raw-spawn"]);
+        assert_eq!(lexed.allows[1].kinds, vec!["*"]);
+        assert!(scan_marker("nothing here", 1).is_none());
+        assert!(scan_marker("vet: allow()", 1).is_none());
+    }
+
+    #[test]
+    fn char_and_float_literals_do_not_derail() {
+        let ids = idents("let a = '\\n'; let b = 1.5e3; let c = 0..x.len();");
+        assert!(ids.contains(&"len".to_owned()));
+    }
+}

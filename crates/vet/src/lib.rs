@@ -1,0 +1,213 @@
+//! **`srr-vet`** — static recording-soundness analysis of workload
+//! source (`srr vet`).
+//!
+//! Sparse record/replay is only sound when every nondeterminism source
+//! a workload touches is routed through the interception layer: the
+//! `tsan11rec` shims (`thread`, `sync`, `atomic`, `sys`) and the
+//! `srr-vos` virtual devices (clock, rng, net, fd table). One escape —
+//! a direct `std::thread::spawn`, a wall-clock read, a pointer address
+//! flowing into a branch — and replay desyncs with no explanation
+//! (the paper's §5.5 limitation study is exactly this, one painful
+//! desync at a time). This crate closes the loop *before* recording: a
+//! token/path-resolution pass over the workload's Rust source flags
+//! escapes statically, with file:line:col spans and the shim to use
+//! instead.
+//!
+//! The vendored offline build has no `syn`, so the pass is built on a
+//! small hand-rolled lexer ([`lexer`]) plus `use`-declaration
+//! resolution ([`resolve`]) — enough to resolve `Instant::now()` back
+//! to `std::time::Instant` through imports, renames and groups.
+//!
+//! Three lint families ([`lints`]):
+//! 1. **escape hatches** — `raw-spawn`, `raw-sync`, `raw-atomic`,
+//!    `raw-clock`, `raw-rng`, `raw-net`, `raw-fs`, `raw-process`,
+//!    `raw-libc`, `raw-env`;
+//! 2. **Wait/Tick protocol misuse** — `tick-without-wait`,
+//!    `double-tick`, `block-in-critical-section`,
+//!    `visible-op-outside-critical-section`;
+//! 3. **replay-stability hazards** — `address-as-value`,
+//!    `hash-iter-order`.
+//!
+//! Intentional escapes are suppressed via inline `// vet: allow(...)`
+//! markers or a checked-in allowlist file ([`allow`]). Findings reuse
+//! the `srr-analysis` severity model; `deny` findings gate (CLI exit
+//! 2). When a replay desyncs, [`crosslink`] joins the diverged demo
+//! stream against the escape map to rank likely root causes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod crosslink;
+pub mod lexer;
+pub mod lints;
+pub mod resolve;
+
+use std::path::{Path, PathBuf};
+
+use srr_analysis::Severity;
+use srr_obs::Json;
+
+pub use allow::{glob_match, Allowlist};
+pub use crosslink::{
+    escape_map_from_json, findings_to_json, implicated_streams, rank_desync_causes, RankedCause,
+};
+pub use lints::{scan_tokens, VetFinding, VetKind, ALL_KINDS};
+
+/// The result of vetting a path set.
+#[derive(Clone, Debug, Default)]
+pub struct VetReport {
+    /// `.rs` files scanned.
+    pub scanned_files: usize,
+    /// Findings that survived the allowlist, sorted by file then span.
+    pub findings: Vec<VetFinding>,
+    /// Findings suppressed by an allowlist entry or inline marker
+    /// (severity downgraded to `allow`).
+    pub allowed: Vec<VetFinding>,
+}
+
+impl VetReport {
+    /// Active findings at [`Severity::Deny`] — the gate count.
+    #[must_use]
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Active findings at [`Severity::Warn`].
+    #[must_use]
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// The full report as a JSON document (the `--json` escape map).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "scanned_files".to_owned(),
+                Json::Num(self.scanned_files as f64),
+            ),
+            ("deny".to_owned(), Json::Num(self.deny_count() as f64)),
+            ("warn".to_owned(), Json::Num(self.warn_count() as f64)),
+            ("allowed".to_owned(), Json::Num(self.allowed.len() as f64)),
+            ("findings".to_owned(), findings_to_json(&self.findings)),
+            (
+                "allowed_findings".to_owned(),
+                findings_to_json(&self.allowed),
+            ),
+        ])
+    }
+}
+
+/// Vets one source string. `file` is the path used in spans and
+/// allowlist globs. Returns `(active, allowed)` findings.
+#[must_use]
+pub fn vet_source(file: &str, src: &str, list: &Allowlist) -> (Vec<VetFinding>, Vec<VetFinding>) {
+    let lexed = lexer::lex(src);
+    let findings = lints::scan_tokens(file, &lexed);
+    allow::apply(findings, &lexed.allows, list)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Vets every `.rs` file under the given paths (files are taken as-is,
+/// directories are walked recursively, `target/` and dot-dirs are
+/// skipped). Findings keep the paths as given, so allowlist globs match
+/// what the user typed.
+pub fn vet_paths(paths: &[PathBuf], list: &Allowlist) -> std::io::Result<VetReport> {
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            walk(p, &mut files)?;
+        } else {
+            files.push(p.clone());
+        }
+    }
+    files.sort();
+    let mut report = VetReport {
+        scanned_files: files.len(),
+        ..VetReport::default()
+    };
+    for file in &files {
+        let src = std::fs::read_to_string(file)?;
+        let label = file.to_string_lossy();
+        let (active, allowed) = vet_source(&label, &src, list);
+        report.findings.extend(active);
+        report.allowed.extend(allowed);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vet_source_partitions_active_and_allowed() {
+        let list = Allowlist::parse("allow raw-fs host/* host-side io").unwrap();
+        let src = "fn f() {\n  std::fs::read(\"x\");\n  std::thread::spawn(|| {});\n}";
+        let (active, allowed) = vet_source("host/main.rs", src, &list);
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].kind, VetKind::RawSpawn);
+        assert_eq!(allowed.len(), 1);
+        assert_eq!(allowed[0].kind, VetKind::RawFs);
+    }
+
+    #[test]
+    fn report_counts_and_json_shape() {
+        let (active, allowed) = vet_source(
+            "w.rs",
+            "fn f() { std::thread::spawn(|| {}); std::env::var(\"X\"); }",
+            &Allowlist::default(),
+        );
+        let report = VetReport {
+            scanned_files: 1,
+            findings: active,
+            allowed,
+        };
+        assert_eq!(report.deny_count(), 1);
+        assert_eq!(report.warn_count(), 1);
+        let doc = report.to_json();
+        assert_eq!(doc.get("deny").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("warn").and_then(Json::as_f64), Some(1.0));
+        let parsed = escape_map_from_json(&doc);
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn vet_paths_walks_and_labels() {
+        let dir = std::env::temp_dir().join(format!("srr-vet-walk-{}", std::process::id()));
+        let sub = dir.join("sub");
+        std::fs::create_dir_all(&sub).unwrap();
+        std::fs::write(dir.join("a.rs"), "fn f() { std::thread::spawn(|| {}); }").unwrap();
+        std::fs::write(sub.join("b.rs"), "fn g() {}").unwrap();
+        std::fs::write(sub.join("notes.txt"), "std::thread::spawn").unwrap();
+        let report = vet_paths(std::slice::from_ref(&dir), &Allowlist::default()).unwrap();
+        assert_eq!(report.scanned_files, 2);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].span.file.ends_with("a.rs"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,865 @@
+//! The three vet lint families.
+//!
+//! 1. **Escape hatches** — resolved paths that reach a real
+//!    nondeterminism source (`std::thread`, `std::sync`, `std::time`,
+//!    `rand`, `libc`, `std::net`, `std::fs`, ...) instead of the
+//!    `tsan11rec` shims and `srr-vos` virtual devices. Anything the
+//!    interception layer cannot see cannot be recorded, and surfaces at
+//!    replay time as an unexplained desync.
+//! 2. **Wait/Tick protocol misuse** — in functions that drive the raw
+//!    scheduler protocol: `Tick()` without a preceding `Wait()`, double
+//!    `Tick()`, blocking calls inside the critical section, and visible
+//!    operations outside it.
+//! 3. **Replay-stability hazards** — pointer addresses flowing into
+//!    values (`ptr as usize`, the paper's §5.5 SQLite/SpiderMonkey
+//!    failure mode) and iteration over `HashMap`/`HashSet`, whose order
+//!    varies run to run.
+
+use std::fmt;
+
+use srr_analysis::{Severity, SourceSpan};
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::resolve::{collect_imports, collect_paths, Imports, PathUse};
+
+/// The class of a vet finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VetKind {
+    /// `std::thread` thread management bypassing `tsan11rec::thread`.
+    RawSpawn,
+    /// `std::sync`/`parking_lot` primitives bypassing the sync shims.
+    RawSync,
+    /// `std::sync::atomic` bypassing `tsan11rec::Atomic`.
+    RawAtomic,
+    /// Untraced time source (`std::time`, `std::thread::sleep`).
+    RawClock,
+    /// Untraced randomness (`rand`, `getrandom`, `fastrand`).
+    RawRng,
+    /// `std::net` bypassing the virtual network.
+    RawNet,
+    /// `std::fs`/stdin bypassing the virtual fd table.
+    RawFs,
+    /// Process control (`std::process::{Command, exit, id}`).
+    RawProcess,
+    /// Direct `libc` calls bypassing the instrumented syscall layer.
+    RawLibc,
+    /// `std::env` reads: un-recorded inputs.
+    RawEnv,
+    /// `Tick()` with no `Wait()` opening the critical section.
+    TickWithoutWait,
+    /// Two `Tick()`s without an intervening `Wait()`.
+    DoubleTick,
+    /// A blocking call between `Wait()` and `Tick()`.
+    BlockInCritical,
+    /// A visible operation outside the Wait/Tick critical section.
+    VisibleOpOutside,
+    /// A pointer value cast to an integer: addresses differ across
+    /// runs, so any decision fed by one desyncs replay.
+    AddressAsValue,
+    /// Iteration over a hash collection: order varies run to run.
+    HashIterOrder,
+}
+
+impl VetKind {
+    /// Stable kebab-case name (CLI output, allowlists).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            VetKind::RawSpawn => "raw-spawn",
+            VetKind::RawSync => "raw-sync",
+            VetKind::RawAtomic => "raw-atomic",
+            VetKind::RawClock => "raw-clock",
+            VetKind::RawRng => "raw-rng",
+            VetKind::RawNet => "raw-net",
+            VetKind::RawFs => "raw-fs",
+            VetKind::RawProcess => "raw-process",
+            VetKind::RawLibc => "raw-libc",
+            VetKind::RawEnv => "raw-env",
+            VetKind::TickWithoutWait => "tick-without-wait",
+            VetKind::DoubleTick => "double-tick",
+            VetKind::BlockInCritical => "block-in-critical-section",
+            VetKind::VisibleOpOutside => "visible-op-outside-critical-section",
+            VetKind::AddressAsValue => "address-as-value",
+            VetKind::HashIterOrder => "hash-iter-order",
+        }
+    }
+
+    /// Parses a [`VetKind::name`] back.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<VetKind> {
+        ALL_KINDS.iter().copied().find(|k| k.name() == s)
+    }
+
+    /// Default severity of the kind.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            VetKind::RawEnv | VetKind::HashIterOrder => Severity::Warn,
+            _ => Severity::Deny,
+        }
+    }
+}
+
+/// Every kind, for parsers and exhaustive reporting.
+pub const ALL_KINDS: &[VetKind] = &[
+    VetKind::RawSpawn,
+    VetKind::RawSync,
+    VetKind::RawAtomic,
+    VetKind::RawClock,
+    VetKind::RawRng,
+    VetKind::RawNet,
+    VetKind::RawFs,
+    VetKind::RawProcess,
+    VetKind::RawLibc,
+    VetKind::RawEnv,
+    VetKind::TickWithoutWait,
+    VetKind::DoubleTick,
+    VetKind::BlockInCritical,
+    VetKind::VisibleOpOutside,
+    VetKind::AddressAsValue,
+    VetKind::HashIterOrder,
+];
+
+impl fmt::Display for VetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One static finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VetFinding {
+    /// Lint class.
+    pub kind: VetKind,
+    /// Effective severity (downgraded to `Allow` when suppressed).
+    pub severity: Severity,
+    /// Source position.
+    pub span: SourceSpan,
+    /// The offending resolved path or construct.
+    pub path: String,
+    /// One-line description.
+    pub message: String,
+    /// The shim/device to use instead, when one exists.
+    pub suggestion: Option<String>,
+}
+
+impl fmt::Display for VetFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}: {}",
+            self.span, self.severity, self.kind, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (use {s})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Paths that look like escapes but are deterministic value types — the
+/// scanner must stay quiet about them.
+const ALLOWED_PREFIXES: &[&[&str]] = &[
+    &["std", "sync", "Arc"],
+    &["std", "sync", "Weak"],
+    &["std", "time", "Duration"],
+    &["std", "process", "ExitCode"],
+    &["core", "time", "Duration"],
+];
+
+/// The escape table: resolved-path prefix, lint kind, replacement shim.
+/// More specific prefixes come first.
+const ESCAPES: &[(&[&str], VetKind, &str)] = &[
+    (
+        &["std", "thread", "sleep"],
+        VetKind::RawClock,
+        "tsan11rec::sys::sleep_ms over the virtual clock (srr-vos/src/clock.rs)",
+    ),
+    (
+        &["std", "thread"],
+        VetKind::RawSpawn,
+        "tsan11rec::thread::spawn (crates/core/src/thread.rs)",
+    ),
+    (
+        &["std", "sync", "atomic"],
+        VetKind::RawAtomic,
+        "tsan11rec::Atomic (crates/core/src/atomic.rs)",
+    ),
+    (
+        &["std", "sync", "mpsc"],
+        VetKind::RawSync,
+        "a tsan11rec::Mutex/Condvar queue (crates/core/src/sync.rs)",
+    ),
+    (
+        &["std", "sync"],
+        VetKind::RawSync,
+        "tsan11rec::{Mutex, Condvar, RwLock, Barrier} (crates/core/src/sync.rs)",
+    ),
+    (
+        &["parking_lot"],
+        VetKind::RawSync,
+        "tsan11rec::{Mutex, Condvar} (crates/core/src/sync.rs)",
+    ),
+    (
+        &["std", "time"],
+        VetKind::RawClock,
+        "the virtual clock device (srr-vos/src/clock.rs)",
+    ),
+    (
+        &["rand"],
+        VetKind::RawRng,
+        "the virtual rng device (srr-vos/src/rng.rs)",
+    ),
+    (
+        &["getrandom"],
+        VetKind::RawRng,
+        "the virtual rng device (srr-vos/src/rng.rs)",
+    ),
+    (
+        &["fastrand"],
+        VetKind::RawRng,
+        "the virtual rng device (srr-vos/src/rng.rs)",
+    ),
+    (
+        &["libc"],
+        VetKind::RawLibc,
+        "the instrumented syscall layer tsan11rec::sys (crates/core/src/sys.rs)",
+    ),
+    (
+        &["std", "net"],
+        VetKind::RawNet,
+        "the virtual network (srr-vos/src/net.rs)",
+    ),
+    (
+        &["std", "fs"],
+        VetKind::RawFs,
+        "the virtual fd table (srr-vos/src/fd.rs)",
+    ),
+    (
+        &["std", "io", "stdin"],
+        VetKind::RawFs,
+        "a virtual fd (srr-vos/src/fd.rs)",
+    ),
+    (
+        &["std", "process", "Command"],
+        VetKind::RawProcess,
+        "nothing — subprocesses escape the recorder entirely",
+    ),
+    (
+        &["std", "process", "exit"],
+        VetKind::RawProcess,
+        "a normal return so the harness can finish the run",
+    ),
+    (
+        &["std", "process", "abort"],
+        VetKind::RawProcess,
+        "a normal return so the harness can finish the run",
+    ),
+    (
+        &["std", "process", "id"],
+        VetKind::RawProcess,
+        "a workload parameter (pids differ across record and replay)",
+    ),
+    (
+        &["std", "env"],
+        VetKind::RawEnv,
+        "explicit workload parameters (env is an un-recorded input)",
+    ),
+];
+
+fn prefix_matches(path: &[String], prefix: &[&str]) -> bool {
+    path.len() >= prefix.len() && path.iter().zip(prefix.iter()).all(|(a, b)| a == b)
+}
+
+fn escape_for(path: &[String]) -> Option<(VetKind, &'static str)> {
+    if ALLOWED_PREFIXES.iter().any(|p| prefix_matches(path, p)) {
+        return None;
+    }
+    ESCAPES
+        .iter()
+        .find(|(prefix, _, _)| prefix_matches(path, prefix))
+        .map(|&(_, kind, shim)| (kind, shim))
+}
+
+fn finding(
+    kind: VetKind,
+    file: &str,
+    line: u32,
+    col: u32,
+    path: String,
+    message: String,
+    suggestion: Option<String>,
+) -> VetFinding {
+    VetFinding {
+        kind,
+        severity: kind.severity(),
+        span: SourceSpan::new(file, line, col),
+        path,
+        message,
+        suggestion,
+    }
+}
+
+/// Family 1 over imports: flag `use` declarations that pull in a denied
+/// path. Globs of denied modules are flagged here because their uses
+/// are unresolvable later.
+fn escape_import_lints(file: &str, imports: &Imports) -> Vec<VetFinding> {
+    let mut out = Vec::new();
+    for entry in &imports.entries {
+        if let Some((kind, shim)) = escape_for(&entry.path) {
+            let path = entry.path.join("::");
+            let what = if entry.glob {
+                "glob-imports"
+            } else {
+                "imports"
+            };
+            out.push(finding(
+                kind,
+                file,
+                entry.line,
+                entry.col,
+                path.clone(),
+                format!("{what} `{path}`, which bypasses the interception layer"),
+                Some(shim.to_owned()),
+            ));
+        }
+    }
+    out
+}
+
+/// Family 1 over expressions: flag resolved paths reaching a denied
+/// module. Bare aliased identifiers only count when they are used as a
+/// call, type or constructor (otherwise they are just local names).
+fn escape_path_lints(file: &str, paths: &[PathUse]) -> Vec<VetFinding> {
+    let mut out = Vec::new();
+    for p in paths {
+        let Some((kind, shim)) = escape_for(&p.segs) else {
+            continue;
+        };
+        if p.written_len == 1
+            && !matches!(
+                p.next,
+                Some(TokenKind::Punct('('))
+                    | Some(TokenKind::Punct('<'))
+                    | Some(TokenKind::Punct('{'))
+            )
+        {
+            continue;
+        }
+        let path = p.segs.join("::");
+        out.push(finding(
+            kind,
+            file,
+            p.line,
+            p.col,
+            path.clone(),
+            format!("calls `{path}`, which bypasses the interception layer"),
+            Some(shim.to_owned()),
+        ));
+    }
+    out
+}
+
+/// A function body as a half-open token range.
+struct FnBody {
+    start: usize,
+    end: usize,
+}
+
+/// Finds every `fn` body by brace matching.
+fn fn_bodies(toks: &[Token]) -> Vec<FnBody> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].ident() == Some("fn") {
+            // Find the opening brace of the body (skipping the
+            // signature; `where` clauses do not contain braces).
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                let start = j + 1;
+                let mut depth = 1usize;
+                j += 1;
+                while j < toks.len() && depth > 0 {
+                    if toks[j].is_punct('{') {
+                        depth += 1;
+                    } else if toks[j].is_punct('}') {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                out.push(FnBody { start, end: j });
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ProtoEvent {
+    Wait,
+    Tick,
+}
+
+/// Is token `i` a raw scheduler-protocol call? Either the paper's
+/// `Wait(...)`/`Tick(...)` spelling, or `.wait(`/`.tick(`/`.tick_op(`
+/// on a receiver whose name mentions the scheduler.
+fn protocol_event(toks: &[Token], i: usize) -> Option<ProtoEvent> {
+    let id = toks[i].ident()?;
+    let called = matches!(
+        toks.get(i + 1).map(|t| &t.kind),
+        Some(TokenKind::Punct('('))
+    );
+    if !called {
+        return None;
+    }
+    match id {
+        "Wait" => Some(ProtoEvent::Wait),
+        "Tick" => Some(ProtoEvent::Tick),
+        "wait" | "tick" | "tick_op" => {
+            if i >= 2 && toks[i - 1].is_punct('.') {
+                if let Some(recv) = toks[i - 2].ident() {
+                    if recv.to_ascii_lowercase().contains("sched") {
+                        return Some(if id == "wait" {
+                            ProtoEvent::Wait
+                        } else {
+                            ProtoEvent::Tick
+                        });
+                    }
+                }
+                // `self.sched().tick(...)`: receiver is a call result.
+                if toks[i - 2].is_punct(')') {
+                    for k in (0..i.saturating_sub(2)).rev().take(6) {
+                        if let Some(name) = toks[k].ident() {
+                            if name.to_ascii_lowercase().contains("sched") {
+                                return Some(if id == "wait" {
+                                    ProtoEvent::Wait
+                                } else {
+                                    ProtoEvent::Tick
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Is token `i` a call that blocks the OS thread (illegal between
+/// `Wait()` and `Tick()`: the scheduler owns the interleaving there)?
+fn blocking_call(toks: &[Token], i: usize, paths: &[PathUse]) -> bool {
+    let Some(id) = toks[i].ident() else {
+        return false;
+    };
+    let called = matches!(
+        toks.get(i + 1).map(|t| &t.kind),
+        Some(TokenKind::Punct('('))
+    );
+    if !called {
+        return false;
+    }
+    let method = i >= 1 && toks[i - 1].is_punct('.');
+    match id {
+        "sleep" | "sleep_ms" => true,
+        "join" | "recv" | "recv_timeout" | "lock" | "read_line" => method,
+        "wait" => {
+            // Condvar-style waits block; scheduler waits were already
+            // classified as protocol events.
+            method && protocol_event(toks, i).is_none()
+        }
+        _ => paths.iter().any(|p| {
+            p.line == toks[i].line && p.col == toks[i].col && {
+                prefix_matches(&p.segs, &["std", "thread", "sleep"])
+            }
+        }),
+    }
+}
+
+/// Is token `i` a visible operation (an instrumented op or virtual
+/// device access) — something that must live *inside* a critical
+/// section in protocol-level code?
+fn visible_op(toks: &[Token], i: usize) -> bool {
+    let Some(id) = toks[i].ident() else {
+        return false;
+    };
+    let called = matches!(
+        toks.get(i + 1).map(|t| &t.kind),
+        Some(TokenKind::Punct('('))
+    );
+    if !called {
+        return false;
+    }
+    if i >= 2 && toks[i - 1].is_punct('.') {
+        if let Some(recv) = toks[i - 2].ident() {
+            return recv == "vos";
+        }
+        return false;
+    }
+    // `sys::println(...)`, `tsan11rec::sys::...`: the segment before the
+    // call chain names the instrumented syscall layer.
+    let mut j = i;
+    while j >= 2 && matches!(toks[j - 1].kind, TokenKind::PathSep) {
+        j -= 2;
+    }
+    matches!(toks[j].ident(), Some("sys" | "tsan11rec")) && j != i || id == "syscall"
+}
+
+/// Family 2: the Wait/Tick protocol state machine, per function body,
+/// only in functions that touch the raw protocol at all.
+fn protocol_lints(file: &str, toks: &[Token], paths: &[PathUse]) -> Vec<VetFinding> {
+    let mut out = Vec::new();
+    for body in fn_bodies(toks) {
+        let range = &toks[body.start..body.end];
+        let aware = (0..range.len()).any(|k| protocol_event(range, k).is_some());
+        if !aware {
+            continue;
+        }
+        let mut open = false;
+        let mut last: Option<ProtoEvent> = None;
+        for k in 0..range.len() {
+            let t = &range[k];
+            if let Some(ev) = protocol_event(range, k) {
+                match ev {
+                    ProtoEvent::Wait => open = true,
+                    ProtoEvent::Tick => {
+                        if !open {
+                            let kind = if last == Some(ProtoEvent::Tick) {
+                                VetKind::DoubleTick
+                            } else {
+                                VetKind::TickWithoutWait
+                            };
+                            let msg = if kind == VetKind::DoubleTick {
+                                "second Tick() with no intervening Wait(): the critical section was already closed"
+                            } else {
+                                "Tick() with no Wait() opening the critical section"
+                            };
+                            out.push(finding(
+                                kind,
+                                file,
+                                t.line,
+                                t.col,
+                                "Tick".to_owned(),
+                                msg.to_owned(),
+                                Some("Wait() before every Tick() (§3.1 protocol)".to_owned()),
+                            ));
+                        }
+                        open = false;
+                    }
+                }
+                last = Some(ev);
+                continue;
+            }
+            if open && blocking_call(range, k, paths) {
+                out.push(finding(
+                    VetKind::BlockInCritical,
+                    file,
+                    t.line,
+                    t.col,
+                    t.ident().unwrap_or("?").to_owned(),
+                    "blocking call inside the Wait()/Tick() critical section stalls every other thread"
+                        .to_owned(),
+                    Some("move the blocking operation outside the critical section".to_owned()),
+                ));
+            }
+            if !open && visible_op(range, k) {
+                out.push(finding(
+                    VetKind::VisibleOpOutside,
+                    file,
+                    t.line,
+                    t.col,
+                    t.ident().unwrap_or("?").to_owned(),
+                    "visible operation outside the Wait()/Tick() critical section is invisible to the recorder"
+                        .to_owned(),
+                    Some("wrap the operation in Wait()/Tick() (§3.1 protocol)".to_owned()),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Family 3a: a pointer cast to an address-sized integer. Looks for
+/// `as usize`-style casts with pointer evidence in the same expression
+/// (`as *const`/`as *mut`, `.as_ptr()`, or a `*_ptr`/`addr` name).
+fn address_as_value_lints(file: &str, toks: &[Token]) -> Vec<VetFinding> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].ident() != Some("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1).and_then(Token::ident) else {
+            continue;
+        };
+        if !matches!(target, "usize" | "isize" | "u64" | "i64" | "u128") {
+            continue;
+        }
+        // Scan backwards for pointer evidence, bounded to the
+        // expression (stop at statement/block boundaries).
+        let mut evidence = false;
+        let mut back = 0usize;
+        let mut j = i;
+        while j > 0 && back < 16 {
+            j -= 1;
+            back += 1;
+            match &toks[j].kind {
+                TokenKind::Punct(';') | TokenKind::Punct('{') | TokenKind::Punct('}') => break,
+                TokenKind::Ident(id) if id == "let" => break,
+                TokenKind::Ident(id) => {
+                    if id == "as"
+                        && toks.get(j + 1).is_some_and(|t| t.is_punct('*'))
+                        && matches!(
+                            toks.get(j + 2).and_then(Token::ident),
+                            Some("const" | "mut")
+                        )
+                    {
+                        evidence = true;
+                        break;
+                    }
+                    if matches!(id.as_str(), "as_ptr" | "as_mut_ptr" | "addr_of")
+                        || id == "ptr"
+                        || id.ends_with("_ptr")
+                        || id == "addr"
+                    {
+                        evidence = true;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if evidence {
+            out.push(finding(
+                VetKind::AddressAsValue,
+                file,
+                toks[i].line,
+                toks[i].col,
+                format!("as {target}"),
+                "pointer address cast to a value: allocation addresses differ across runs (§5.5 layout nondeterminism)"
+                    .to_owned(),
+                Some("tsan11rec::sys::valloc handles / stable ids instead of addresses".to_owned()),
+            ));
+        }
+    }
+    out
+}
+
+/// Family 3b: iteration over hash collections. Tracks names bound to
+/// `HashMap`/`HashSet` per function body, then flags order-dependent
+/// iteration over them.
+fn hash_iter_lints(file: &str, toks: &[Token]) -> Vec<VetFinding> {
+    let mut out = Vec::new();
+    for body in fn_bodies(toks) {
+        let range = &toks[body.start..body.end];
+        // Names bound to a hash collection: `let [mut] NAME ... HashMap`
+        // within the statement, or `NAME: HashMap<...>` parameters.
+        let mut hashed: Vec<String> = Vec::new();
+        for k in 0..range.len() {
+            if range[k].ident() != Some("let") {
+                continue;
+            }
+            let mut n = k + 1;
+            if range.get(n).and_then(Token::ident) == Some("mut") {
+                n += 1;
+            }
+            let Some(name) = range.get(n).and_then(Token::ident) else {
+                continue;
+            };
+            let mut m = n + 1;
+            while m < range.len() && !range[m].is_punct(';') && m - n < 24 {
+                if matches!(range[m].ident(), Some("HashMap" | "HashSet")) {
+                    hashed.push(name.to_owned());
+                    break;
+                }
+                m += 1;
+            }
+        }
+        if hashed.is_empty() {
+            continue;
+        }
+        for k in 0..range.len() {
+            let Some(id) = range[k].ident() else { continue };
+            // `name.iter()` / `.keys()` / ... on a tracked name.
+            if matches!(
+                id,
+                "iter" | "iter_mut" | "keys" | "values" | "values_mut" | "into_iter" | "drain"
+            ) && k >= 2
+                && range[k - 1].is_punct('.')
+            {
+                if let Some(recv) = range[k - 2].ident() {
+                    if hashed.iter().any(|h| h == recv) {
+                        out.push(finding(
+                            VetKind::HashIterOrder,
+                            file,
+                            range[k].line,
+                            range[k].col,
+                            format!("{recv}.{id}()"),
+                            format!(
+                                "iteration over hash collection `{recv}`: order varies run to run, so any recorded decision it feeds will not replay"
+                            ),
+                            Some("a BTreeMap/BTreeSet or an explicitly sorted view".to_owned()),
+                        ));
+                    }
+                }
+            }
+            // `for x in [&]name {`.
+            if id == "in" {
+                let mut n = k + 1;
+                while n < range.len()
+                    && matches!(range[n].kind, TokenKind::Punct('&') | TokenKind::Punct('*'))
+                {
+                    n += 1;
+                }
+                if range.get(n).and_then(Token::ident) == Some("mut") {
+                    n += 1;
+                }
+                if let Some(name) = range.get(n).and_then(Token::ident) {
+                    if hashed.iter().any(|h| h == name)
+                        && range.get(n + 1).is_some_and(|t| t.is_punct('{'))
+                    {
+                        out.push(finding(
+                            VetKind::HashIterOrder,
+                            file,
+                            range[n].line,
+                            range[n].col,
+                            format!("for _ in {name}"),
+                            format!(
+                                "iteration over hash collection `{name}`: order varies run to run, so any recorded decision it feeds will not replay"
+                            ),
+                            Some("a BTreeMap/BTreeSet or an explicitly sorted view".to_owned()),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs every lint family over one lexed file. Returns findings sorted
+/// by position, deduplicated by (kind, line, path).
+#[must_use]
+pub fn scan_tokens(file: &str, lexed: &Lexed) -> Vec<VetFinding> {
+    let imports = collect_imports(&lexed.tokens);
+    let paths = collect_paths(&lexed.tokens, &imports);
+    let mut findings = escape_import_lints(file, &imports);
+    findings.extend(escape_path_lints(file, &paths));
+    findings.extend(protocol_lints(file, &lexed.tokens, &paths));
+    findings.extend(address_as_value_lints(file, &lexed.tokens));
+    findings.extend(hash_iter_lints(file, &lexed.tokens));
+    findings.sort_by_key(|a| (a.span.line, a.span.col, a.kind));
+    findings.dedup_by(|a, b| a.kind == b.kind && a.span.line == b.span.line && a.path == b.path);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan(src: &str) -> Vec<VetFinding> {
+        scan_tokens("t.rs", &lex(src))
+    }
+
+    fn kinds(src: &str) -> Vec<VetKind> {
+        scan(src).into_iter().map(|f| f.kind).collect()
+    }
+
+    #[test]
+    fn direct_and_imported_escapes_are_flagged() {
+        let ks = kinds("fn f() { std::thread::spawn(|| {}); }");
+        assert_eq!(ks, vec![VetKind::RawSpawn]);
+        let ks = kinds("use std::time::Instant;\nfn f() { let t = Instant::now(); }");
+        assert_eq!(ks, vec![VetKind::RawClock, VetKind::RawClock]);
+        let ks = kinds("use std::sync::atomic::*;");
+        assert_eq!(ks, vec![VetKind::RawAtomic]);
+    }
+
+    #[test]
+    fn deterministic_value_types_pass() {
+        assert!(kinds(
+            "use std::sync::Arc;\nuse std::time::Duration;\nfn f() { let a = Arc::new(1); let d = Duration::from_millis(5); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn shim_paths_pass() {
+        assert!(kinds(
+            "use tsan11rec::{thread, Mutex};\nfn f() { let t = thread::spawn(|| {}); t.join(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn sleep_is_a_clock_escape_not_a_spawn_one() {
+        let fs = scan("fn f() { std::thread::sleep(std::time::Duration::from_millis(1)); }");
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].kind, VetKind::RawClock);
+    }
+
+    #[test]
+    fn protocol_misuse_detected() {
+        let ks = kinds(
+            "fn driver(sched: &Sched, tid: Tid) {\n  sched.tick(tid);\n  sched.tick(tid);\n  sched.wait(tid);\n  std::thread::sleep(d);\n  sched.tick(tid);\n}",
+        );
+        assert!(ks.contains(&VetKind::TickWithoutWait), "{ks:?}");
+        assert!(ks.contains(&VetKind::DoubleTick), "{ks:?}");
+        assert!(ks.contains(&VetKind::BlockInCritical), "{ks:?}");
+    }
+
+    #[test]
+    fn visible_op_outside_critical_section() {
+        let ks = kinds(
+            "fn driver(sched: &Sched, tid: Tid) {\n  sys::println(\"early\");\n  sched.wait(tid);\n  sched.tick(tid);\n}",
+        );
+        assert!(ks.contains(&VetKind::VisibleOpOutside), "{ks:?}");
+    }
+
+    #[test]
+    fn condvar_wait_is_not_protocol_misuse() {
+        assert!(kinds("fn f(c: &Condvar, g: G) { let g = c.wait(g); }").is_empty());
+    }
+
+    #[test]
+    fn address_as_value_needs_pointer_evidence() {
+        let ks = kinds("fn f(x: &u8) { let a = x as *const u8 as usize; }");
+        assert_eq!(ks, vec![VetKind::AddressAsValue]);
+        let ks = kinds("fn f(v: &Vec<u8>) { let a = v.as_ptr() as usize; }");
+        assert_eq!(ks, vec![VetKind::AddressAsValue]);
+        assert!(kinds("fn f(n: u32) { let a = n as usize; }").is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_btree_is_not() {
+        let ks = kinds(
+            "fn f() { let m = HashMap::new(); for k in &m { use_it(k); } let s: HashSet<u32> = HashSet::new(); let v = s.iter(); }",
+        );
+        assert_eq!(ks, vec![VetKind::HashIterOrder, VetKind::HashIterOrder]);
+        assert!(kinds("fn f() { let m = BTreeMap::new(); for k in &m { g(k); } }").is_empty());
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in ALL_KINDS {
+            assert_eq!(VetKind::parse(k.name()), Some(*k));
+        }
+        assert_eq!(VetKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn findings_display_with_span_and_suggestion() {
+        let fs = scan("fn f() { std::thread::spawn(|| {}); }");
+        let line = fs[0].to_string();
+        assert!(line.starts_with("t.rs:1:10"), "{line}");
+        assert!(line.contains("[deny] raw-spawn"), "{line}");
+        assert!(line.contains("tsan11rec::thread::spawn"), "{line}");
+    }
+}

@@ -1,0 +1,335 @@
+//! `use`-declaration collection and path resolution.
+//!
+//! The lints match *resolved* paths (`Instant::now()` must flag
+//! `std::time::Instant::now` even when `Instant` was imported), so this
+//! module walks the token stream once to build an alias map from every
+//! `use` declaration — including groups, renames and globs — and then
+//! extracts every path expression with the aliases expanded.
+
+use std::collections::HashMap;
+
+use crate::lexer::{Token, TokenKind};
+
+/// One leaf of a `use` tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UseEntry {
+    /// Full path of the imported item (`["std", "time", "Instant"]`).
+    pub path: Vec<String>,
+    /// Local name it is bound to (`Instant`, or the `as` rename).
+    pub alias: String,
+    /// `use foo::*;` — everything in `path` is in scope unnamed.
+    pub glob: bool,
+    /// 1-based line of the leaf segment.
+    pub line: u32,
+    /// 1-based column of the leaf segment.
+    pub col: u32,
+}
+
+/// All imports of one file plus the token ranges the `use` declarations
+/// occupy (so the path scan can skip them).
+#[derive(Clone, Debug, Default)]
+pub struct Imports {
+    /// Every imported leaf.
+    pub entries: Vec<UseEntry>,
+    /// Local alias -> full path.
+    pub aliases: HashMap<String, Vec<String>>,
+    /// Half-open token index ranges covered by `use` declarations.
+    pub spans: Vec<(usize, usize)>,
+}
+
+impl Imports {
+    fn inside_use(&self, idx: usize) -> bool {
+        self.spans.iter().any(|&(a, b)| idx >= a && idx < b)
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "unsafe", "use", "where", "while",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Parses one `use` tree starting at `i` (just past `use` or inside a
+/// group), appending leaves to `out`. Returns the index one past the
+/// tree (at `,`, `}` or `;` — not consumed).
+fn parse_use_tree(
+    toks: &[Token],
+    mut i: usize,
+    prefix: &[String],
+    out: &mut Vec<UseEntry>,
+) -> usize {
+    let mut path: Vec<String> = prefix.to_vec();
+    loop {
+        match toks.get(i).map(|t| &t.kind) {
+            Some(TokenKind::Ident(seg)) if seg == "as" => {
+                // Rename of the path collected so far.
+                if let Some(TokenKind::Ident(alias)) = toks.get(i + 1).map(|t| &t.kind) {
+                    let (line, col) = (toks[i + 1].line, toks[i + 1].col);
+                    out.push(UseEntry {
+                        path: path.clone(),
+                        alias: alias.clone(),
+                        glob: false,
+                        line,
+                        col,
+                    });
+                    return i + 2;
+                }
+                return i + 1;
+            }
+            Some(TokenKind::Ident(seg)) => {
+                let (line, col) = (toks[i].line, toks[i].col);
+                if seg == "self" {
+                    // `use std::sync::{self, Arc}`: binds the module.
+                    if let Some(last) = path.last().cloned() {
+                        out.push(UseEntry {
+                            path: path.clone(),
+                            alias: last,
+                            glob: false,
+                            line,
+                            col,
+                        });
+                    }
+                    return i + 1;
+                }
+                path.push(seg.clone());
+                i += 1;
+                if matches!(toks.get(i).map(|t| &t.kind), Some(TokenKind::PathSep)) {
+                    i += 1;
+                    continue;
+                }
+                if matches!(toks.get(i).map(|t| &t.kind), Some(TokenKind::Ident(a)) if a == "as") {
+                    continue; // handled by the `as` arm
+                }
+                out.push(UseEntry {
+                    path: path.clone(),
+                    alias: seg.clone(),
+                    glob: false,
+                    line,
+                    col,
+                });
+                return i;
+            }
+            Some(TokenKind::Punct('{')) => {
+                i += 1;
+                loop {
+                    i = parse_use_tree(toks, i, &path, out);
+                    match toks.get(i).map(|t| &t.kind) {
+                        Some(TokenKind::Punct(',')) => i += 1,
+                        Some(TokenKind::Punct('}')) => return i + 1,
+                        _ => return i,
+                    }
+                }
+            }
+            Some(TokenKind::Punct('*')) => {
+                let (line, col) = (toks[i].line, toks[i].col);
+                out.push(UseEntry {
+                    path: path.clone(),
+                    alias: String::new(),
+                    glob: true,
+                    line,
+                    col,
+                });
+                return i + 1;
+            }
+            Some(TokenKind::PathSep) => i += 1, // leading `::std`
+            _ => return i,
+        }
+    }
+}
+
+/// Collects every `use` declaration of the file.
+#[must_use]
+pub fn collect_imports(toks: &[Token]) -> Imports {
+    let mut imports = Imports::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].ident() == Some("use") {
+            let start = i;
+            let mut leaves = Vec::new();
+            i = parse_use_tree(toks, i + 1, &[], &mut leaves);
+            // Consume through the terminating `;` if present.
+            while i < toks.len() && !toks[i].is_punct(';') {
+                i += 1;
+            }
+            let end = (i + 1).min(toks.len());
+            imports.spans.push((start, end));
+            for leaf in &leaves {
+                if !leaf.glob && !leaf.alias.is_empty() {
+                    imports
+                        .aliases
+                        .insert(leaf.alias.clone(), leaf.path.clone());
+                }
+            }
+            imports.entries.extend(leaves);
+        }
+        i += 1;
+    }
+    imports
+}
+
+/// One path expression found in code, aliases already expanded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathUse {
+    /// Resolved segments.
+    pub segs: Vec<String>,
+    /// 1-based line of the first segment.
+    pub line: u32,
+    /// 1-based column of the first segment.
+    pub col: u32,
+    /// Number of segments as written (1 = bare identifier).
+    pub written_len: usize,
+    /// The token immediately after the path, for call/type heuristics.
+    pub next: Option<TokenKind>,
+}
+
+/// Extracts every path expression outside `use` declarations, resolving
+/// the first segment through the alias map. Bare identifiers are kept
+/// only when aliased (otherwise they are just local names).
+#[must_use]
+pub fn collect_paths(toks: &[Token], imports: &Imports) -> Vec<PathUse> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if imports.inside_use(i) {
+            i += 1;
+            continue;
+        }
+        // A path starts at an identifier (or a leading `::`), not after
+        // `.` (field/method) and not as a definition name.
+        let leading_sep = matches!(toks[i].kind, TokenKind::PathSep);
+        let start = if leading_sep { i + 1 } else { i };
+        let Some(first) = toks.get(start).and_then(Token::ident) else {
+            i += 1;
+            continue;
+        };
+        if is_keyword(first) {
+            i += 1;
+            continue;
+        }
+        if i > 0 {
+            if toks[i - 1].is_punct('.') {
+                i += 1;
+                continue;
+            }
+            if let Some(prev) = toks[i - 1].ident() {
+                if matches!(
+                    prev,
+                    "fn" | "struct" | "enum" | "trait" | "mod" | "type" | "let" | "mut"
+                ) {
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        let (line, col) = (toks[start].line, toks[start].col);
+        let mut segs = vec![first.to_owned()];
+        let mut j = start + 1;
+        while matches!(toks.get(j).map(|t| &t.kind), Some(TokenKind::PathSep)) {
+            match toks.get(j + 1).and_then(Token::ident) {
+                // `Vec::<u8>` turbofish: the path ends before `<`.
+                Some(seg) if !is_keyword(seg) => {
+                    segs.push(seg.to_owned());
+                    j += 2;
+                }
+                _ => break,
+            }
+        }
+        let written_len = segs.len();
+        if !leading_sep {
+            if let Some(full) = imports.aliases.get(&segs[0]) {
+                let mut resolved = full.clone();
+                resolved.extend(segs.drain(1..));
+                segs = resolved;
+            }
+        }
+        out.push(PathUse {
+            segs,
+            line,
+            col,
+            written_len,
+            next: toks.get(j).map(|t| t.kind.clone()),
+        });
+        i = j.max(i + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn imports_of(src: &str) -> Imports {
+        collect_imports(&lex(src).tokens)
+    }
+
+    #[test]
+    fn flat_and_renamed_imports() {
+        let imp = imports_of("use std::thread;\nuse std::thread::spawn as sp;");
+        assert_eq!(imp.aliases["thread"], vec!["std", "thread"]);
+        assert_eq!(imp.aliases["sp"], vec!["std", "thread", "spawn"]);
+    }
+
+    #[test]
+    fn groups_nested_groups_and_globs() {
+        let imp = imports_of(
+            "use std::sync::{Arc, atomic::{AtomicU64, Ordering}, Mutex as StdMutex};\nuse std::time::*;",
+        );
+        assert_eq!(imp.aliases["Arc"], vec!["std", "sync", "Arc"]);
+        assert_eq!(
+            imp.aliases["AtomicU64"],
+            vec!["std", "sync", "atomic", "AtomicU64"]
+        );
+        assert_eq!(
+            imp.aliases["Ordering"],
+            vec!["std", "sync", "atomic", "Ordering"]
+        );
+        assert_eq!(imp.aliases["StdMutex"], vec!["std", "sync", "Mutex"]);
+        let glob = imp.entries.iter().find(|e| e.glob).expect("glob entry");
+        assert_eq!(glob.path, vec!["std", "time"]);
+    }
+
+    #[test]
+    fn self_in_group_binds_the_module() {
+        let imp = imports_of("use std::sync::{self, Arc};");
+        assert_eq!(imp.aliases["sync"], vec!["std", "sync"]);
+        assert_eq!(imp.aliases["Arc"], vec!["std", "sync", "Arc"]);
+    }
+
+    #[test]
+    fn paths_resolve_through_aliases() {
+        let lexed = lex("use std::time::Instant;\nfn f() { let t = Instant::now(); }");
+        let imp = collect_imports(&lexed.tokens);
+        let paths = collect_paths(&lexed.tokens, &imp);
+        let inst = paths
+            .iter()
+            .find(|p| p.segs.first().map(String::as_str) == Some("std"))
+            .expect("resolved path");
+        assert_eq!(inst.segs, vec!["std", "time", "Instant", "now"]);
+        assert_eq!(inst.written_len, 2);
+        assert_eq!(inst.next, Some(TokenKind::Punct('(')));
+    }
+
+    #[test]
+    fn use_declarations_are_not_reported_as_paths() {
+        let lexed = lex("use std::thread;");
+        let imp = collect_imports(&lexed.tokens);
+        assert!(collect_paths(&lexed.tokens, &imp).is_empty());
+    }
+
+    #[test]
+    fn method_calls_and_fields_are_not_paths() {
+        let lexed = lex("fn f() { x.spawn(); let y = a.b; }");
+        let imp = collect_imports(&lexed.tokens);
+        let paths = collect_paths(&lexed.tokens, &imp);
+        assert!(
+            !paths.iter().any(|p| p.segs == vec!["spawn".to_owned()]),
+            "{paths:?}"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+// Golden fixture: escape hatches reached through imports, aliases and
+// direct paths. Every finding here must stay byte-stable — the golden
+// test pins the full report (see golden.txt; UPDATE_GOLDEN=1 refreshes).
+
+use std::thread;
+use std::time::Instant as Clock;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+fn worker() {
+    let handle = thread::spawn(|| {});
+    let started = Clock::now();
+    let counter = AtomicU64::new(0);
+    let shared = Arc::new(0u64);
+    let roll = rand::random::<u64>();
+    let bytes = std::fs::read("input.txt");
+    // vet: allow(raw-clock) fixture: inline waiver exercised by the golden test
+    let waved = std::time::SystemTime::now();
+    let _ = (handle, started, counter, shared, roll, bytes, waved);
+}

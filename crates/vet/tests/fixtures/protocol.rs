@@ -1,0 +1,17 @@
+// Golden fixture: Wait/Tick protocol misuse inside a scheduler driver.
+// The bad driver trips every protocol lint; the good driver below it
+// must stay silent.
+
+fn bad_driver(sched: &Scheduler, tid: Tid) {
+    sys::println("before the critical section");
+    sched.tick(tid);
+    sched.tick(tid);
+    sched.wait(tid);
+    std::thread::sleep(nap());
+    sched.tick(tid);
+}
+
+fn good_driver(sched: &Scheduler, tid: Tid) {
+    sched.wait(tid);
+    sched.tick(tid);
+}

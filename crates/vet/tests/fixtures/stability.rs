@@ -1,0 +1,20 @@
+// Golden fixture: replay-stability hazards — addresses leaking into
+// recorded values (§5.5) and hash-iteration order feeding visible state.
+
+use std::collections::{HashMap, HashSet};
+
+fn addresses(buf: &[u8]) -> usize {
+    let key = buf.as_ptr() as usize;
+    key
+}
+
+fn ordering() {
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    seen.insert(1, 2);
+    for (k, v) in &seen {
+        record(*k, *v);
+    }
+    let ids: HashSet<u64> = HashSet::new();
+    let first = ids.iter().next();
+    let _ = first;
+}

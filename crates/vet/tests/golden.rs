@@ -1,0 +1,87 @@
+//! Golden-output test: the analyzer's full report over the committed
+//! fixtures is pinned byte-for-byte. Any lint change that moves a span,
+//! reword, or new finding shows up as a golden diff that has to be
+//! reviewed and regenerated deliberately:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p srr-vet --test golden
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use srr_vet::{vet_source, Allowlist};
+
+const FIXTURES: &[&str] = &["escapes.rs", "protocol.rs", "stability.rs"];
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn render_report() -> String {
+    let dir = fixture_dir();
+    let mut out = String::new();
+    for name in FIXTURES {
+        let src = std::fs::read_to_string(dir.join(name))
+            .unwrap_or_else(|e| panic!("read fixture {name}: {e}"));
+        let (active, allowed) = vet_source(name, &src, &Allowlist::default());
+        out.push_str(&format!("== {name} ==\n"));
+        for f in &active {
+            out.push_str(&format!("{f}\n"));
+        }
+        for f in &allowed {
+            out.push_str(&format!("{f} [allowed]\n"));
+        }
+    }
+    out
+}
+
+#[test]
+fn fixture_reports_match_golden_output() {
+    let actual = render_report();
+    let golden_path = fixture_dir().join("golden.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &actual).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden.txt missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        actual, golden,
+        "vet output drifted from golden.txt; rerun with UPDATE_GOLDEN=1 \
+         and review the diff"
+    );
+}
+
+#[test]
+fn golden_fixtures_cover_every_lint_family() {
+    // Guards the fixtures themselves: if an edit waters one down, the
+    // golden file would still "match" — so assert the families directly.
+    let report = render_report();
+    for needle in [
+        "raw-spawn",          // escape: std::thread
+        "raw-clock",          // escape: std::time
+        "raw-atomic",         // escape: std::sync::atomic
+        "raw-rng",            // escape: rand
+        "raw-fs",             // escape: std::fs
+        "tick-without-wait",  // protocol
+        "double-tick",        // protocol
+        "block-in-critical",  // protocol
+        "visible-op-outside", // protocol
+        "address-as-value",   // stability (§5.5)
+        "hash-iter-order",    // stability
+        "[allowed]",          // inline waiver path
+    ] {
+        assert!(
+            report.contains(needle),
+            "fixtures lost coverage of {needle}:\n{report}"
+        );
+    }
+    // The good driver must stay silent: no finding may point past the
+    // bad driver's last line in protocol.rs.
+    for line in report.lines() {
+        if let Some(rest) = line.strip_prefix("protocol.rs:") {
+            let lineno: usize = rest.split(':').next().unwrap().parse().unwrap();
+            assert!(lineno <= 12, "good_driver tripped a lint: {line}");
+        }
+    }
+}

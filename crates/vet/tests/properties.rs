@@ -1,0 +1,168 @@
+//! Property tests for the vet analyzer:
+//!
+//! * allowlist parse/render is a roundtrip over arbitrary well-formed
+//!   entries, and parsing is insensitive to comments/blank lines;
+//! * finding spans are *stable under formatting-only edits* — blank
+//!   lines shift line numbers by exactly the number of lines inserted,
+//!   trailing whitespace changes nothing, and uniform indentation
+//!   shifts only columns. Span stability is what makes checked-in
+//!   allowlists and golden files survive rustfmt churn.
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use srr_vet::allow::AllowEntry;
+use srr_vet::{glob_match, vet_source, Allowlist, ALL_KINDS};
+
+/// Glob alphabet: no whitespace (token separator) and no `#` (comment).
+const GLYPHS: &[char] = &['a', 'b', 'z', '*', '?', '/', '.', '-', '_', '0'];
+/// Reason vocabulary (joined with single spaces, the canonical form
+/// `split_whitespace` + `join(" ")` normalizes to).
+const WORDS: &[&str] = &[
+    "host-side",
+    "io",
+    "fixture",
+    "staging",
+    "pid-unique",
+    "legacy",
+];
+
+fn entry_strategy() -> impl Strategy<Value = AllowEntry> {
+    (
+        0usize..=ALL_KINDS.len(),
+        collection::vec(0usize..GLYPHS.len(), 1..12),
+        collection::vec(0usize..WORDS.len(), 0..4),
+    )
+        .prop_map(|(k, glyphs, words)| AllowEntry {
+            kind: if k == ALL_KINDS.len() {
+                "*".to_owned()
+            } else {
+                ALL_KINDS[k].name().to_owned()
+            },
+            file_glob: glyphs.into_iter().map(|g| GLYPHS[g]).collect(),
+            reason: words
+                .into_iter()
+                .map(|w| WORDS[w])
+                .collect::<Vec<_>>()
+                .join(" "),
+        })
+}
+
+fn allowlist_strategy() -> impl Strategy<Value = Allowlist> {
+    collection::vec(entry_strategy(), 0..6).prop_map(|entries| Allowlist { entries })
+}
+
+/// Small sources that each trip at least one lint family; spans must
+/// move predictably when these are reformatted.
+const SNIPPETS: &[&str] = &[
+    "use std::thread;\nfn f() {\n    thread::spawn(|| {});\n}\n",
+    "fn drive(sched: &Sched, tid: Tid) {\n    sched.tick(tid);\n    sched.wait(tid);\n    sched.tick(tid);\n}\n",
+    "fn g(buf: &[u8]) -> usize {\n    buf.as_ptr() as usize\n}\n",
+    "use std::collections::HashMap;\nfn h() {\n    let m: HashMap<u8, u8> = HashMap::new();\n    for x in &m {\n        let _ = x;\n    }\n}\n",
+];
+
+/// (kind, line, col) triples of the active findings — the identity the
+/// stability properties compare.
+fn spans(src: &str) -> Vec<(&'static str, u32, u32)> {
+    let (active, _) = vet_source("prop.rs", src, &Allowlist::default());
+    active
+        .iter()
+        .map(|f| (f.kind.name(), f.span.line, f.span.col))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn allowlist_parse_render_roundtrip(list in allowlist_strategy()) {
+        let reparsed = Allowlist::parse(&list.render()).unwrap();
+        prop_assert_eq!(reparsed, list);
+    }
+
+    #[test]
+    fn allowlist_parse_skips_comments_blanks_and_padding(
+        list in allowlist_strategy(),
+        noise in 0usize..3,
+    ) {
+        let mut text = String::new();
+        for e in &list.entries {
+            for _ in 0..noise {
+                text.push_str("# noise\n\n");
+            }
+            text.push_str(&format!("  {e}  \n"));
+        }
+        text.push_str("# trailing comment\n");
+        prop_assert_eq!(Allowlist::parse(&text).unwrap(), list);
+    }
+
+    #[test]
+    fn prepended_blank_lines_shift_finding_lines_exactly(
+        idx in 0usize..4,
+        k in 0usize..9,
+    ) {
+        let base = spans(SNIPPETS[idx]);
+        prop_assert!(!base.is_empty(), "snippet {idx} must trip a lint");
+        let padded = format!("{}{}", "\n".repeat(k), SNIPPETS[idx]);
+        let shifted = spans(&padded);
+        prop_assert_eq!(shifted.len(), base.len());
+        for (b, s) in base.iter().zip(&shifted) {
+            prop_assert_eq!(b.0, s.0, "kind changed under blank-line padding");
+            prop_assert_eq!(b.1 + k as u32, s.1, "line must shift by exactly {}", k);
+            prop_assert_eq!(b.2, s.2, "column must not move");
+        }
+    }
+
+    #[test]
+    fn trailing_whitespace_is_invisible_to_spans(
+        idx in 0usize..4,
+        pad in 1usize..5,
+        extra_newlines in 0usize..4,
+    ) {
+        let base = spans(SNIPPETS[idx]);
+        let formatted: String = SNIPPETS[idx]
+            .lines()
+            .map(|l| format!("{l}{}\n", " ".repeat(pad)))
+            .collect::<String>()
+            + &"\n".repeat(extra_newlines);
+        prop_assert_eq!(spans(&formatted), base);
+    }
+
+    #[test]
+    fn uniform_indent_shifts_columns_only(idx in 0usize..4, n in 1usize..7) {
+        let base = spans(SNIPPETS[idx]);
+        let indented: String = SNIPPETS[idx]
+            .lines()
+            .map(|l| {
+                if l.is_empty() {
+                    "\n".to_owned()
+                } else {
+                    format!("{}{l}\n", " ".repeat(n))
+                }
+            })
+            .collect();
+        let shifted = spans(&indented);
+        prop_assert_eq!(shifted.len(), base.len());
+        for (b, s) in base.iter().zip(&shifted) {
+            prop_assert_eq!(b.0, s.0);
+            prop_assert_eq!(b.1, s.1, "indentation must not change lines");
+            prop_assert_eq!(b.2 + n as u32, s.2, "column must shift by exactly {}", n);
+        }
+    }
+
+    #[test]
+    fn glob_literals_match_themselves_and_star_matches_all(
+        glyphs in collection::vec(0usize..GLYPHS.len(), 0..16),
+    ) {
+        // Literal text: strip the wildcard glyphs out of the sample.
+        let text: String = glyphs
+            .into_iter()
+            .map(|g| GLYPHS[g])
+            .filter(|c| *c != '*' && *c != '?')
+            .collect();
+        prop_assert!(glob_match(&text, &text), "literal self-match: {:?}", text);
+        prop_assert!(glob_match("*", &text));
+        prop_assert!(glob_match(&format!("{text}*"), &text));
+        prop_assert!(glob_match(&format!("*{text}"), &text));
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`apps`] — every workload of the paper's evaluation.
 //! * [`predict`] — predictive race detection: the weak partial order,
 //!   witness-schedule synthesis, and replay-confirmed classification.
+//! * [`vet`] — the static recording-soundness analyzer: flags escape
+//!   hatches, Wait/Tick protocol misuse and replay-stability hazards
+//!   in workload source before anything is recorded.
 //! * [`substrates`] — the underlying vector-clock, memory-model,
 //!   race-detection and demo-format crates.
 //!
@@ -44,6 +47,7 @@
 pub use srr_apps as apps;
 pub use srr_predict as predict;
 pub use srr_rr as rr;
+pub use srr_vet as vet;
 pub use srr_vos as vos;
 pub use tsan11rec;
 
