@@ -10,12 +10,12 @@
 #
 # Usage: ci/check_bench.sh [threshold]   (default 0.25 = ±25%)
 set -euo pipefail
-cd "$(dirname "$0")/.."
+. "$(dirname "$0")/lib.sh"
 
 THRESHOLD="${1:-0.25}"
 
 for table in table1 table2 table3 table5; do
-  echo "=== bench $table (--quick) ==="
+  section "bench $table (--quick)"
   cargo bench -p srr-bench --bench "$table" -- --quick
 done
 
@@ -24,8 +24,7 @@ cargo run --release -p srr-bench --bin check_bench -- \
 
 # Produce a sample Chrome trace (uploaded as a CI artifact) and check it
 # is well-formed enough to load in a viewer.
-echo "=== sample chrome trace ==="
-cargo run --release -p srr-apps --bin srr -- \
-  trace barrier --tool queue --seed 3 --out trace_sample.json
+section "sample chrome trace"
+srr trace barrier --tool queue --seed 3 --out trace_sample.json
 grep -q '"traceEvents"' trace_sample.json
 echo "trace_sample.json OK"

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# CI explore smoke: run the parallel exploration farm over two racy
+# workloads on a pinned seed range and diff the deduped signature corpus
+# against the committed expectations — if a known signature goes
+# missing, the farm lost a finding it used to make. Then re-run one
+# workload through real child-process workers and assert worker-count
+# invariance (the deterministic shard plan's whole contract), and gate
+# the explore bench against the committed baseline.
+#
+# Usage: ci/check_explore.sh [threshold]   (default 0.6 = ±60%: the
+# runs/sec rows are machine-dependent; the distinct-signature row is
+# deterministic and is really gated by the expectations diff above)
+set -euo pipefail
+. "$(dirname "$0")/lib.sh"
+
+THRESHOLD="${1:-0.6}"
+EXPECTED=ci/explore_expected.txt
+ACTUAL="$(tmpfile)"
+
+# explore_sigs WORKLOAD WORKERS OUTFILE — run the farm over the pinned
+# seed×strategy space, assert the findings exit code, and append sorted
+# "workload signature" lines to OUTFILE.
+explore_sigs() {
+  local workload="$1" workers="$2" outfile="$3" out got=0
+  out="$(srr explore "$workload" --runs 24 --shard 6 \
+    --strategies rnd,queue --workers "$workers" --json)" || got=$?
+  [ "$got" -eq 2 ] ||
+    fail "explore $workload (workers=$workers) exited $got, expected 2 (known races gone?)"
+  printf '%s\n' "$out" |
+    grep -oE '"signature": "[^"]*"' |
+    sed -e 's/"signature": "//' -e 's/"$//' -e "s/^/$workload /" |
+    sort >>"$outfile"
+}
+
+for workload in barrier dekker-fences; do
+  section "srr explore $workload (fixed seeds, rnd+queue)"
+  explore_sigs "$workload" 1 "$ACTUAL"
+done
+
+if ! diff -u "$EXPECTED" "$ACTUAL"; then
+  fail "exploration corpus drifted from $EXPECTED — a known signature is missing or a new one needs vetting"
+fi
+
+# Worker-count invariance through real child processes: the shard plan
+# is a pure function and corpus dedup keeps the best demo per signature,
+# so the parallel farm must land on exactly the serial signature set.
+section "worker-count invariance (1 vs 2 workers)"
+PAR="$(tmpfile)"
+explore_sigs barrier 2 "$PAR"
+if ! diff -u <(grep '^barrier ' "$ACTUAL") "$PAR"; then
+  fail "--workers 2 found a different signature set than --workers 1"
+fi
+
+# Throughput gate: the quick explore bench vs the committed baseline —
+# runs/sec, time-to-first-confirmed-race, and orchestration overhead.
+section "bench explore (--quick)"
+cargo bench -p srr-bench --bench explore -- --quick
+cargo run --release -p srr-bench --bin check_bench -- \
+  --threshold "$THRESHOLD" bench/baseline.json BENCH_explore.json
+
+echo "explore smoke OK"

@@ -11,21 +11,16 @@
 #
 # Usage: ci/check_predict.sh
 set -euo pipefail
-cd "$(dirname "$0")/.."
+. "$(dirname "$0")/lib.sh"
 
 EXPECTED=ci/predict_expected.txt
-ACTUAL="$(mktemp)"
-trap 'rm -f "$ACTUAL"' EXIT
+ACTUAL="$(tmpfile)"
 
 run_one() {
   local workload="$1" want_exit="$2" out got=0
-  echo "=== srr predict $workload --json ==="
-  out="$(cargo run --release -q -p srr-apps --bin srr -- \
-    predict "$workload" --json --seed 7)" || got=$?
-  if [ "$got" -ne "$want_exit" ]; then
-    echo "FAIL: predict $workload exited $got, expected $want_exit" >&2
-    exit 1
-  fi
+  section "srr predict $workload --json"
+  out="$(srr predict "$workload" --json --seed 7)" || got=$?
+  [ "$got" -eq "$want_exit" ] || fail "predict $workload exited $got, expected $want_exit"
   # Normalize: keep the grading counters and per-race classifications,
   # prefixed with the workload name.
   printf '%s\n' "$out" |
@@ -38,7 +33,6 @@ run_one hidden_handoff 2
 run_one atomic_guard 0
 
 if ! diff -u "$EXPECTED" "$ACTUAL"; then
-  echo "FAIL: prediction classifications drifted from $EXPECTED" >&2
-  exit 1
+  fail "prediction classifications drifted from $EXPECTED"
 fi
 echo "predict smoke OK"

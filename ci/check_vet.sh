@@ -17,53 +17,40 @@
 #
 # Usage: ci/check_vet.sh
 set -euo pipefail
-cd "$(dirname "$0")/.."
+. "$(dirname "$0")/lib.sh"
 
-SRR=(cargo run --release -q -p srr-apps --bin srr --)
-
-echo "=== srr vet examples (allowlisted: must pass) ==="
+section "srr vet examples (allowlisted: must pass)"
 got=0
-"${SRR[@]}" vet examples --allow ci/vet_allow.txt || got=$?
-if [ "$got" -ne 0 ]; then
-  echo "FAIL: vet examples exited $got, expected 0 (allowlist drift?)" >&2
-  exit 1
-fi
+srr vet examples --allow ci/vet_allow.txt || got=$?
+[ "$got" -eq 0 ] || fail "vet examples exited $got, expected 0 (allowlist drift?)"
 
-echo "=== srr vet crates/apps (hazard fixtures: must gate) ==="
-OUT="$(mktemp)"
-trap 'rm -f "$OUT"' EXIT
+section "srr vet crates/apps (hazard fixtures: must gate)"
+OUT="$(tmpfile)"
 got=0
-"${SRR[@]}" vet crates/apps --allow ci/vet_allow.txt >"$OUT" 2>&1 || got=$?
+srr vet crates/apps --allow ci/vet_allow.txt >"$OUT" 2>&1 || got=$?
 if [ "$got" -ne 2 ]; then
   cat "$OUT" >&2
-  echo "FAIL: vet crates/apps exited $got, expected 2 (fixtures unflagged?)" >&2
-  exit 1
+  fail "vet crates/apps exited $got, expected 2 (fixtures unflagged?)"
 fi
 for kind in raw-clock raw-spawn; do
   if ! grep -q "hazards.rs.*\[deny\] $kind" "$OUT"; then
     cat "$OUT" >&2
-    echo "FAIL: expected a deny $kind finding in crates/apps/src/hazards.rs" >&2
-    exit 1
+    fail "expected a deny $kind finding in crates/apps/src/hazards.rs"
   fi
 done
 if grep -q "httpd.rs.*\[deny\]" "$OUT"; then
   cat "$OUT" >&2
-  echo "FAIL: allowlisted httpd sleeps must not gate" >&2
-  exit 1
+  fail "allowlisted httpd sleeps must not gate"
 fi
 
-echo "=== srr vet --json (escape map names the fixture kinds) ==="
+section "srr vet --json (escape map names the fixture kinds)"
 got=0
-"${SRR[@]}" vet crates/apps/src/hazards.rs --allow none --json >"$OUT" 2>/dev/null || got=$?
-if [ "$got" -ne 2 ]; then
-  echo "FAIL: vet --json exited $got, expected 2" >&2
-  exit 1
-fi
+srr vet crates/apps/src/hazards.rs --allow none --json >"$OUT" 2>/dev/null || got=$?
+[ "$got" -eq 2 ] || fail "vet --json exited $got, expected 2"
 for kind in raw-clock raw-spawn; do
   if ! grep -q "\"$kind\"" "$OUT"; then
     cat "$OUT" >&2
-    echo "FAIL: escape map must contain a \"$kind\" finding" >&2
-    exit 1
+    fail "escape map must contain a \"$kind\" finding"
   fi
 done
 

@@ -1,0 +1,36 @@
+# Shared helpers for the ci/check_*.sh smoke scripts. Source it right
+# after `set -euo pipefail`:
+#
+#     . "$(dirname "$0")/lib.sh"
+#
+# Sourcing cd's to the repo root (every script assumes repo-relative
+# paths) and installs an EXIT trap that removes tmpfile() files.
+#
+# Provides:
+#     section TITLE...        "=== TITLE ===" banner for log grouping
+#     fail MSG...             print "FAIL: MSG" to stderr and exit 1
+#     srr ARGS...             the release `srr` binary, quietly, via cargo
+#     tmpfile                 mktemp a file, cleaned up on script exit
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+
+section() { echo "=== $* ==="; }
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+srr() { cargo run --release -q -p srr-apps --bin srr -- "$@"; }
+
+_CI_TMPFILES=()
+_ci_cleanup() { rm -f "${_CI_TMPFILES[@]+"${_CI_TMPFILES[@]}"}"; }
+trap _ci_cleanup EXIT
+
+tmpfile() {
+  local f
+  f="$(mktemp)"
+  _CI_TMPFILES+=("$f")
+  printf '%s\n' "$f"
+}

@@ -5,7 +5,9 @@
 //! srr run       <workload> [--tool TOOL] [--seed N]
 //! srr record    <workload> [--tool queue|random] [--seed N] [--sparse SET] --out DIR
 //! srr replay    <workload> --demo DIR
-//! srr explore   <litmus> [--runs N]    # race hunting across seeds
+//! srr explore   <workload> [--runs N] [--workers N] [--strategies LIST]
+//!               [--shard N] [--corpus DIR] [--predict] [--json] [--out FILE]
+//!                                      # parallel race-hunting farm
 //! srr analyze   <workload> [--tool TOOL] [--seed N] [--json]  # offline sync analysis
 //! srr predict   <workload> [--seed N] [--json]   # predictive race detection
 //! srr lint-demo --demo DIR             # validate a serialized demo
@@ -18,15 +20,28 @@
 //! Sparse sets: default, games, none, comprehensive.
 //!
 //! Exit codes: `0` success, `1` usage or execution error, `2` clean run
-//! with findings (`analyze` hazards, `predict` confirmations, `lint-demo`
-//! diagnostics, `vet` deny findings) — see [`findings_exit`], the one
-//! place the convention lives.
+//! with findings (`explore` signatures, `analyze` hazards, `predict`
+//! confirmations, `lint-demo` diagnostics, `vet` deny findings) — see
+//! [`findings_exit`], the one place the convention lives.
+//!
+//! `explore` runs the srr-explore work-stealing farm: the seed×strategy
+//! space is sharded, workers (in-process at `--workers 1`, one
+//! `explore-worker` child process each above that) stream findings back
+//! over a line protocol, and the deduplicated corpus keeps the smallest
+//! reproduction per signature. `explore-worker` is the hidden worker
+//! entry point: it reads `TASK` lines on stdin and answers
+//! `FIND`/`DONE` on stdout until `EXIT`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use srr_apps::harness::Tool;
-use srr_apps::{client, game, hazards, httpd, litmus, pbzip, predictor, ptrmap};
+use srr_apps::{client, explorer, game, hazards, httpd, litmus, pbzip, predictor, ptrmap};
+use srr_explore::{
+    run_farm, serve_worker, Corpus, ProcessSpawner, RaceTarget, ShardPlan, ShardRunner,
+    ThreadSpawner,
+};
+use srr_obs::FarmCounters;
 use srr_predict::Classification;
 use srr_vet::Allowlist;
 use tsan11rec::obs::Json;
@@ -172,6 +187,65 @@ fn parse_sparse(s: &str) -> Result<SparseConfig, String> {
     })
 }
 
+/// Parses the `--strategies` list (comma-separated farm strategy
+/// names); defaults to all four in canonical order.
+fn parse_strategies(list: Option<&str>) -> Result<Vec<String>, String> {
+    let Some(list) = list else {
+        return Ok(explorer::FARM_STRATEGIES
+            .iter()
+            .map(|s| s.name.to_owned())
+            .collect());
+    };
+    let strategies: Vec<String> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| explorer::parse_strategy(s).map(|st| st.name.to_owned()))
+        .collect::<Result<_, _>>()?;
+    if strategies.is_empty() {
+        return Err("--strategies needs at least one strategy".to_owned());
+    }
+    Ok(strategies)
+}
+
+/// The `srr explore` JSON report: farm counters plus the deduplicated
+/// signature corpus (`srr stats` renders it back).
+fn explore_json(
+    workload: &str,
+    strategies: &[String],
+    counters: &FarmCounters,
+    corpus: &Corpus,
+) -> Json {
+    let signatures = corpus
+        .iter()
+        .map(|(sig, e)| {
+            let mut fields = vec![
+                ("signature".to_owned(), Json::Str(sig.encode())),
+                ("kind".to_owned(), Json::Str(sig.kind.tag().to_owned())),
+                ("detail".to_owned(), Json::Str(sig.detail.clone())),
+                ("strategy".to_owned(), Json::Str(e.strategy.clone())),
+                ("seed".to_owned(), Json::Num(e.seed as f64)),
+            ];
+            if let Some(b) = e.demo_bytes {
+                fields.push(("demo_bytes".to_owned(), Json::Num(b as f64)));
+            }
+            if let Some(d) = &e.demo_subdir {
+                fields.push(("demo".to_owned(), Json::Str(d.clone())));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("workload".to_owned(), Json::Str(workload.to_owned())),
+        (
+            "strategies".to_owned(),
+            Json::Arr(strategies.iter().map(|s| Json::Str(s.clone())).collect()),
+        ),
+        ("farm".to_owned(), counters.to_json()),
+        ("signatures".to_owned(), Json::Arr(signatures)),
+    ])
+}
+
 #[derive(Debug, Default)]
 struct Args {
     positional: Vec<String>,
@@ -185,6 +259,11 @@ struct Args {
     allow: Option<String>,
     vet: Option<PathBuf>,
     json: bool,
+    workers: Option<usize>,
+    corpus: Option<PathBuf>,
+    strategies: Option<String>,
+    shard: Option<u64>,
+    predict: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -225,12 +304,29 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--allow" => args.allow = Some(flag("--allow")?),
             "--vet" => args.vet = Some(PathBuf::from(flag("--vet")?)),
             "--json" => args.json = true,
+            "--workers" => {
+                args.workers = Some(
+                    flag("--workers")?
+                        .parse()
+                        .map_err(|_| "bad --workers".to_owned())?,
+                );
+            }
+            "--corpus" => args.corpus = Some(PathBuf::from(flag("--corpus")?)),
+            "--strategies" => args.strategies = Some(flag("--strategies")?),
+            "--shard" => {
+                args.shard = Some(
+                    flag("--shard")?
+                        .parse()
+                        .map_err(|_| "bad --shard".to_owned())?,
+                );
+            }
+            "--predict" => args.predict = true,
             // Any dash-prefixed token is a (mis)spelled flag, never a
             // workload name — `-seed` must not silently become a
             // positional and mask the user's intent.
             other if other.starts_with('-') => {
-                let valid =
-                    "--tool --seed --out --demo --sparse --runs --ring --allow --vet --json";
+                let valid = "--tool --seed --out --demo --sparse --runs --ring --allow --vet \
+                             --json --workers --corpus --strategies --shard --predict";
                 return Err(format!("unknown flag `{other}` (valid flags: {valid})"));
             }
             other => args.positional.push(other.to_owned()),
@@ -301,7 +397,8 @@ fn usage() -> String {
         "  srr run       <workload> [--tool TOOL] [--seed N]",
         "  srr record    <workload> [--tool queue|random] [--seed N] [--sparse SET] --out DIR",
         "  srr replay    <workload> --demo DIR",
-        "  srr explore   <workload> [--runs N]",
+        "  srr explore   <workload> [--runs N] [--workers N] [--strategies LIST]",
+        "                [--shard N] [--corpus DIR] [--predict] [--json] [--out FILE]",
         "  srr analyze   <workload> [--tool TOOL] [--seed N] [--json]",
         "  srr predict   <workload> [--seed N] [--json]",
         "  srr lint-demo --demo DIR",
@@ -312,6 +409,12 @@ fn usage() -> String {
         "tools: native, tsan11, rr, tsan11+rr, rnd, queue, pct, delay",
         "sparse sets: default, games, none, comprehensive",
         "",
+        "explore shards the seed×strategy space (--strategies rnd,pct,delay,queue)",
+        "across --workers worker processes with work stealing, dedups findings into",
+        "a corpus keyed by signature (smallest reproduction wins; --corpus persists",
+        "it), and with --predict feeds `srr predict` candidates back as directed",
+        "search targets. Exit 2 when distinct signatures were found.",
+        "",
         "vet scans workload source for recording-soundness escapes (raw clocks,",
         "rogue threads, Wait/Tick misuse, address-as-value); --allow defaults to",
         "ci/vet_allow.txt when present. `stats --vet` joins a trace's desync",
@@ -320,7 +423,7 @@ fn usage() -> String {
         "exit codes:",
         "  0  success",
         "  1  usage or execution error",
-        "  2  clean run with findings (analyze hazards, predict confirmations, lint-demo diagnostics, vet deny findings)",
+        "  2  clean run with findings (explore signatures, analyze hazards, predict confirmations, lint-demo diagnostics, vet deny findings)",
     ]
     .join("\n")
 }
@@ -414,30 +517,164 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             let name = args.positional.first().ok_or("explore needs a workload")?;
             let w = find_workload(name)?;
             let runs = args.runs.unwrap_or(200);
-            let (tool, _) = config_for(&args, Tool::Rnd)?;
-            println!("exploring `{}` under {tool}: {runs} seeds", w.name);
-            let mut racy = 0u64;
-            let mut first_seed = None;
-            for seed in 0..runs {
-                let config = tool.config([seed, seed.wrapping_mul(0x9E37) + 1]);
-                let setup = w.setup;
-                let report = Execution::new(config).setup(setup).run(w.program);
-                if report.races > 0 {
-                    racy += 1;
-                    first_seed.get_or_insert(seed);
+            let shard = args.shard.unwrap_or(25);
+            if shard == 0 {
+                return Err("--shard must be positive".to_owned());
+            }
+            let workers = args.workers.unwrap_or(1).max(1);
+            let strategies = parse_strategies(args.strategies.as_deref())?;
+
+            // Predict feedback: candidate pairs (everything the weak
+            // partial order did not prove infeasible) become directed
+            // shards, scheduled before the undirected sweep.
+            let mut targets: Vec<RaceTarget> = Vec::new();
+            if args.predict {
+                let seed = args.seed.unwrap_or(1);
+                let (setup, program) = (w.setup, w.program);
+                let run = predictor::run_prediction_in_world(
+                    [seed, seed.wrapping_mul(0x9E37) + 1],
+                    setup,
+                    move || program,
+                );
+                for r in &run.predictions.races {
+                    if r.classification == Classification::Infeasible {
+                        continue;
+                    }
+                    let t = RaceTarget {
+                        label: r.loc_label.clone(),
+                        a: r.tids.0,
+                        b: r.tids.1,
+                    };
+                    if !targets.contains(&t) {
+                        targets.push(t);
+                    }
+                }
+                if !args.json {
+                    println!(
+                        "predict feedback: {} directed target(s) from seed {seed}",
+                        targets.len()
+                    );
                 }
             }
-            println!(
-                "races in {racy}/{runs} runs ({:.1}%)",
-                100.0 * racy as f64 / runs as f64
-            );
-            if let Some(seed) = first_seed {
+
+            let mut corpus = match &args.corpus {
+                Some(dir) => Corpus::open(dir)
+                    .map_err(|e| format!("opening corpus {}: {e}", dir.display()))?,
+                None => Corpus::in_memory(),
+            };
+            // Workers spool finding demos next to the corpus; the corpus
+            // copies the winners out and the spool is discarded.
+            let spool = args.corpus.as_ref().map(|d| d.join(".spool"));
+            if let Some(s) = &spool {
+                std::fs::create_dir_all(s).map_err(|e| format!("creating spool: {e}"))?;
+            }
+
+            let plan = ShardPlan::build(w.name, &strategies, 0, runs, shard, &targets);
+            if !args.json {
                 println!(
-                    "first racy seed: {seed}  (re-run: srr run {} --tool {} --seed {seed})",
+                    "exploring `{}`: {} run(s) in {} shard(s) ({}) across {workers} worker(s)",
                     w.name,
-                    tool.label()
+                    plan.total_runs(),
+                    plan.tasks.len(),
+                    strategies.join(","),
                 );
             }
+            // Live progress to stderr, at most once a second — stdout
+            // stays clean for the report.
+            let mut last_tick = std::time::Instant::now();
+            let mut ticker = |c: &FarmCounters| {
+                if last_tick.elapsed().as_secs_f64() >= 1.0 {
+                    last_tick = std::time::Instant::now();
+                    eprintln!("{}", c.render());
+                }
+            };
+            let progress: Option<&mut dyn FnMut(&FarmCounters)> =
+                if args.json { None } else { Some(&mut ticker) };
+
+            let outcome = if workers == 1 {
+                // In-process farm: the engine is single-threaded per
+                // process, so one worker runs the shards right here over
+                // the same protocol the process transport uses.
+                let (setup, program) = (w.setup, w.program);
+                let spool_dir = spool.clone();
+                let runner: std::sync::Arc<ShardRunner> = std::sync::Arc::new(move |task| {
+                    explorer::run_shard(task, setup, program, spool_dir.as_deref())
+                });
+                run_farm(&plan, 1, &ThreadSpawner { runner }, &mut corpus, progress)
+            } else {
+                let bin = match std::env::var_os("SRR_EXPLORE_WORKER_BIN") {
+                    Some(p) => PathBuf::from(p),
+                    None => std::env::current_exe()
+                        .map_err(|e| format!("resolving worker binary: {e}"))?,
+                };
+                let spool_dir = spool.clone();
+                let spawner = ProcessSpawner {
+                    make: move |_index| {
+                        let mut c = std::process::Command::new(&bin);
+                        c.arg("explore-worker");
+                        if let Some(s) = &spool_dir {
+                            c.arg("--out").arg(s);
+                        }
+                        c
+                    },
+                };
+                run_farm(&plan, workers, &spawner, &mut corpus, progress)
+            }
+            .map_err(|e| format!("exploration farm: {e}"))?;
+
+            if let Some(s) = &spool {
+                let _ = std::fs::remove_dir_all(s);
+            }
+            for e in &outcome.errors {
+                eprintln!("explore: {e}");
+            }
+
+            let doc = explore_json(w.name, &strategies, &outcome.counters, &corpus);
+            if let Some(out) = &args.out {
+                std::fs::write(out, doc.to_pretty())
+                    .map_err(|e| format!("writing {}: {e}", out.display()))?;
+            }
+            if args.json {
+                println!("{}", doc.to_pretty());
+            } else {
+                println!("{}", outcome.counters.render());
+                for (sig, entry) in corpus.iter() {
+                    let mut line =
+                        format!("  {sig}  strategy={} seed={}", entry.strategy, entry.seed);
+                    if let Some(b) = entry.demo_bytes {
+                        line.push_str(&format!(" demo={b}B"));
+                    }
+                    if let Some(d) = &entry.demo_subdir {
+                        line.push_str(&format!(" ({d})"));
+                    }
+                    println!("{line}");
+                }
+                if let Some(dir) = &args.corpus {
+                    println!("corpus: {} entr(ies) in {}", corpus.len(), dir.display());
+                }
+            }
+            Ok(findings_exit(corpus.len(), "distinct signature"))
+        }
+        // Hidden: the farm's worker entry point. Reads TASK lines on
+        // stdin, answers FIND/DONE on stdout until EXIT (see
+        // srr-explore's protocol module). `--out` is the demo spool.
+        "explore-worker" => {
+            let spool = args.out.clone();
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_worker(
+                std::io::BufRead::lines(stdin.lock()).map_while(Result::ok),
+                |line| {
+                    use std::io::Write as _;
+                    let mut out = stdout.lock();
+                    let _ = writeln!(out, "{line}");
+                    let _ = out.flush();
+                },
+                |task| {
+                    let w = find_workload(&task.workload)?;
+                    explorer::run_shard(task, w.setup, w.program, spool.as_deref())
+                },
+            );
             Ok(EXIT_OK)
         }
         "analyze" => {
@@ -841,6 +1078,27 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             if is_bench {
                 println!("{} row(s)", rows.len());
             }
+            // Exploration-farm documents (`srr explore --out`): render
+            // the counters and the deduplicated signature corpus.
+            if let Some(farm) = doc.get("farm") {
+                println!("farm: {}", FarmCounters::from_json(farm).render());
+            }
+            if let Some(sigs) = doc.get("signatures").and_then(Json::as_array) {
+                println!("{} distinct signature(s):", sigs.len());
+                for s in sigs {
+                    let mut line = format!(
+                        "  {}({})  strategy={} seed={}",
+                        str_of(s, "kind"),
+                        str_of(s, "detail"),
+                        str_of(s, "strategy"),
+                        num_of(s, "seed").unwrap_or(0.0),
+                    );
+                    if let Some(b) = num_of(s, "demo_bytes") {
+                        line.push_str(&format!(" demo={b:.0}B"));
+                    }
+                    println!("{line}");
+                }
+            }
             // Desync ↔ escape-map cross-link: only when the document
             // actually carries desync diagnostics (`srr trace` embeds
             // them when a replay diverged) — never an empty section.
@@ -1019,6 +1277,117 @@ mod tests {
             run_command(&argv(&["predict"])).is_err(),
             "missing workload"
         );
+    }
+
+    #[test]
+    fn parse_strategies_defaults_and_validates() {
+        assert_eq!(
+            parse_strategies(None).unwrap(),
+            vec!["rnd", "pct", "delay", "queue"]
+        );
+        assert_eq!(
+            parse_strategies(Some("queue, rnd")).unwrap(),
+            vec!["queue", "rnd"]
+        );
+        assert!(parse_strategies(Some("bogus")).is_err());
+        assert!(parse_strategies(Some(",")).is_err());
+    }
+
+    #[test]
+    fn explore_runs_the_farm_in_process() {
+        // workers=1 runs shards in-process (no subprocess — under `cargo
+        // test` current_exe is the test harness, which must never be
+        // spawned). The racy litmus gates with the findings exit code…
+        let code = run_command(&argv(&[
+            "explore",
+            "barrier",
+            "--runs",
+            "12",
+            "--shard",
+            "6",
+            "--strategies",
+            "rnd",
+            "--json",
+        ]))
+        .expect("explore runs");
+        assert_eq!(code, EXIT_FINDINGS);
+        // …and a guarded workload explores clean.
+        let code = run_command(&argv(&[
+            "explore",
+            "atomic_guard",
+            "--runs",
+            "4",
+            "--strategies",
+            "queue",
+            "--json",
+        ]))
+        .expect("explore runs");
+        assert_eq!(code, EXIT_OK);
+        // Usage errors stay errors.
+        assert!(run_command(&argv(&["explore"])).is_err());
+        assert!(run_command(&argv(&["explore", "barrier", "--shard", "0"])).is_err());
+        assert!(run_command(&argv(&["explore", "barrier", "--strategies", "nope"])).is_err());
+    }
+
+    #[test]
+    fn explore_report_round_trips_through_stats() {
+        let out = std::env::temp_dir().join(format!("srr-explore-doc-{}.json", std::process::id()));
+        let code = run_command(&argv(&[
+            "explore",
+            "barrier",
+            "--runs",
+            "8",
+            "--strategies",
+            "queue",
+            "--json",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .expect("explore runs");
+        assert_eq!(code, EXIT_FINDINGS);
+        let doc = Json::parse(&std::fs::read_to_string(&out).unwrap()).expect("valid JSON");
+        assert!(doc.get("farm").is_some(), "farm counters embedded");
+        let sigs = doc
+            .get("signatures")
+            .and_then(Json::as_array)
+            .expect("signatures");
+        assert!(!sigs.is_empty());
+        // `srr stats` renders the farm document without error.
+        assert_eq!(
+            run_command(&argv(&["stats", out.to_str().unwrap()])),
+            Ok(EXIT_OK)
+        );
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn explore_predict_feedback_arms_directed_shards() {
+        let out =
+            std::env::temp_dir().join(format!("srr-explore-pred-{}.json", std::process::id()));
+        run_command(&argv(&[
+            "explore",
+            "hidden_handoff",
+            "--runs",
+            "6",
+            "--strategies",
+            "queue",
+            "--predict",
+            "--json",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .expect("explore runs");
+        let doc = Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let targeted = doc
+            .get("farm")
+            .and_then(|f| f.get("targeted_runs"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        assert!(
+            targeted > 0.0,
+            "predict candidates became directed shards: {doc:?}"
+        );
+        let _ = std::fs::remove_file(&out);
     }
 
     #[test]

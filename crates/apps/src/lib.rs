@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod explorer;
 pub mod game;
 pub mod harness;
 pub mod hazards;

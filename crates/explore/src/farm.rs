@@ -1,0 +1,688 @@
+//! The work-stealing orchestrator.
+//!
+//! The farm owns a queue of [`Task`] shards (from a [`ShardPlan`]) and a
+//! pool of workers. Dispatch is pull-based work stealing in the
+//! master/worker shape: every worker holds exactly one outstanding
+//! shard, and whichever worker finishes first takes the next shard off
+//! the shared queue — fast workers naturally steal the slow ones'
+//! share. Findings stream back over the line protocol and are folded
+//! into a [`Corpus`] (global dedup + minimization) and
+//! [`FarmCounters`] (live progress) as they arrive.
+//!
+//! Workers are abstracted behind [`WorkerSpawner`]/[`WorkerHandle`] with
+//! two transports:
+//!
+//! * [`ProcessSpawner`] — one OS process per worker (the real farm;
+//!   `srr explore` points it at its own binary's `explore-worker`
+//!   entry). A reader thread per worker forwards stdout lines into the
+//!   shared event channel.
+//! * [`ThreadSpawner`] — one thread per worker running the same
+//!   protocol loop ([`serve_worker`]) over in-memory line channels.
+//!   Used by the in-process mode, benches, and the determinism property
+//!   tests; it exercises the exact same encode/decode path as the
+//!   process transport.
+//!
+//! A worker that dies mid-shard has its shard re-queued once (a second
+//! loss is reported as an error, not retried — a shard that kills every
+//! worker it touches would otherwise crash-loop the farm).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use srr_obs::FarmCounters;
+
+use crate::corpus::Corpus;
+use crate::protocol::{Finding, ShardDone, Task, WorkerMsg, EXIT_LINE};
+use crate::shard::ShardPlan;
+use crate::signature::SignatureKind;
+
+/// An event from a worker, tagged with its pool index.
+#[derive(Debug)]
+pub enum Event {
+    /// One protocol line from the worker's output.
+    Line(usize, String),
+    /// The worker's output closed (exit or crash).
+    Eof(usize),
+}
+
+/// A connected worker the farm can assign shards to.
+pub trait WorkerHandle: Send {
+    /// Sends one protocol line to the worker's input.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the worker's input pipe is gone (the worker died).
+    fn send_line(&mut self, line: &str) -> io::Result<()>;
+
+    /// Closes the worker's input and reaps it.
+    fn finish(self: Box<Self>);
+}
+
+/// Spawns pool workers wired to the farm's event channel.
+pub trait WorkerSpawner {
+    /// Spawns worker `index`, forwarding its output into `events`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the worker cannot be started.
+    fn spawn(&self, index: usize, events: mpsc::Sender<Event>)
+        -> io::Result<Box<dyn WorkerHandle>>;
+}
+
+// ---------------------------------------------------------------------
+// Process transport
+// ---------------------------------------------------------------------
+
+/// Spawns one OS process per worker; `make(index)` builds the command
+/// (stdin/stdout are taken over by the protocol, stderr is inherited).
+pub struct ProcessSpawner<F: Fn(usize) -> std::process::Command> {
+    /// Builds the worker command for a pool index.
+    pub make: F,
+}
+
+struct ProcessHandle {
+    stdin: Option<std::process::ChildStdin>,
+    child: std::process::Child,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerHandle for ProcessHandle {
+    fn send_line(&mut self, line: &str) -> io::Result<()> {
+        let stdin = self
+            .stdin
+            .as_mut()
+            .ok_or_else(|| io::Error::other("worker stdin closed"))?;
+        writeln!(stdin, "{line}")?;
+        stdin.flush()
+    }
+
+    fn finish(mut self: Box<Self>) {
+        drop(self.stdin.take());
+        let _ = self.child.wait();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+impl<F: Fn(usize) -> std::process::Command> WorkerSpawner for ProcessSpawner<F> {
+    fn spawn(
+        &self,
+        index: usize,
+        events: mpsc::Sender<Event>,
+    ) -> io::Result<Box<dyn WorkerHandle>> {
+        let mut cmd = (self.make)(index);
+        cmd.stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped());
+        let mut child = cmd.spawn()?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| io::Error::other("no child stdout"))?;
+        let reader = std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                match line {
+                    Ok(line) => {
+                        if events.send(Event::Line(index, line)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            let _ = events.send(Event::Eof(index));
+        });
+        Ok(Box::new(ProcessHandle {
+            stdin: child.stdin.take(),
+            child,
+            reader: Some(reader),
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread transport
+// ---------------------------------------------------------------------
+
+/// What one shard produced, before protocol encoding — returned by
+/// worker-side shard runners and turned into `FIND`+`DONE` lines by
+/// [`serve_worker`].
+#[derive(Clone, Debug, Default)]
+pub struct ShardOutput {
+    /// Findings to report (task ids are filled in by the server loop).
+    pub findings: Vec<Finding>,
+    /// Seeds actually run.
+    pub runs: u64,
+    /// Runs that detected at least one race.
+    pub races: u64,
+    /// Runs executed with a directed target armed.
+    pub targeted: u64,
+    /// Directed runs whose target pair raced.
+    pub target_hits: u64,
+}
+
+/// The shard runner used by thread workers and process-worker mains: a
+/// function from a task to its output (or a worker-side error).
+pub type ShardRunner = dyn Fn(&Task) -> Result<ShardOutput, String> + Send + Sync;
+
+/// Spawns one thread per worker, running [`serve_worker`] over
+/// in-memory line channels with a shared [`ShardRunner`].
+pub struct ThreadSpawner {
+    /// The shard runner every thread worker shares.
+    pub runner: std::sync::Arc<ShardRunner>,
+}
+
+struct ThreadHandle {
+    lines: Option<mpsc::Sender<String>>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerHandle for ThreadHandle {
+    fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.lines
+            .as_ref()
+            .ok_or_else(|| io::Error::other("worker input closed"))?
+            .send(line.to_owned())
+            .map_err(|_| io::Error::other("worker thread gone"))
+    }
+
+    fn finish(mut self: Box<Self>) {
+        drop(self.lines.take());
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl WorkerSpawner for ThreadSpawner {
+    fn spawn(
+        &self,
+        index: usize,
+        events: mpsc::Sender<Event>,
+    ) -> io::Result<Box<dyn WorkerHandle>> {
+        let (tx, rx) = mpsc::channel::<String>();
+        let runner = self.runner.clone();
+        let join = std::thread::spawn(move || {
+            serve_worker(
+                rx,
+                |line| {
+                    let _ = events.send(Event::Line(index, line.to_owned()));
+                },
+                |task| runner(task),
+            );
+            let _ = events.send(Event::Eof(index));
+        });
+        Ok(Box::new(ThreadHandle {
+            lines: Some(tx),
+            join: Some(join),
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker-side protocol loop
+// ---------------------------------------------------------------------
+
+/// The worker side of the protocol: decode `TASK` lines, run shards,
+/// emit `FIND`/`DONE` (or `ERR` + an empty `DONE`, so the orchestrator's
+/// outstanding-shard bookkeeping never dangles) until `EXIT` or input
+/// EOF. Shared by thread workers and `srr explore-worker`.
+pub fn serve_worker<I, E, R>(lines: I, mut emit: E, mut run: R)
+where
+    I: IntoIterator<Item = String>,
+    E: FnMut(&str),
+    R: FnMut(&Task) -> Result<ShardOutput, String>,
+{
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == EXIT_LINE {
+            break;
+        }
+        let (task_id, result) = match Task::decode(line) {
+            Ok(task) => {
+                let started = Instant::now();
+                let result = run(&task);
+                (task.id, result.map(|out| (out, started.elapsed())))
+            }
+            Err(e) => (0, Err(e)),
+        };
+        match result {
+            Ok((out, elapsed)) => {
+                for mut f in out.findings {
+                    f.task_id = task_id;
+                    emit(&WorkerMsg::Finding(f).encode());
+                }
+                emit(
+                    &WorkerMsg::Done(ShardDone {
+                        task_id,
+                        runs: out.runs,
+                        races: out.races,
+                        targeted: out.targeted,
+                        target_hits: out.target_hits,
+                        wall_ms: elapsed.as_secs_f64() * 1e3,
+                    })
+                    .encode(),
+                );
+            }
+            Err(message) => {
+                emit(&WorkerMsg::Error { message }.encode());
+                emit(
+                    &WorkerMsg::Done(ShardDone {
+                        task_id,
+                        ..ShardDone::default()
+                    })
+                    .encode(),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The orchestrator
+// ---------------------------------------------------------------------
+
+/// Everything a farm session produced.
+#[derive(Debug)]
+pub struct FarmOutcome {
+    /// Aggregated progress counters.
+    pub counters: FarmCounters,
+    /// Worker-side and protocol errors observed (the farm keeps going).
+    pub errors: Vec<String>,
+}
+
+/// Runs `plan` over `workers` workers from `spawner`, folding findings
+/// into `corpus`. `progress` (if given) is invoked after every folded
+/// worker message with the counters so far.
+///
+/// # Errors
+///
+/// Fails when no worker can be spawned or every worker dies with shards
+/// still queued. Worker-side errors that leave the pool alive are
+/// collected into [`FarmOutcome::errors`] instead.
+pub fn run_farm(
+    plan: &ShardPlan,
+    workers: usize,
+    spawner: &dyn WorkerSpawner,
+    corpus: &mut Corpus,
+    mut progress: Option<&mut dyn FnMut(&FarmCounters)>,
+) -> Result<FarmOutcome, String> {
+    let started = Instant::now();
+    let mut counters = FarmCounters::default();
+    let mut errors = Vec::new();
+    let mut queue: VecDeque<Task> = plan.tasks.iter().cloned().collect();
+    let by_id: HashMap<u64, Task> = plan.tasks.iter().map(|t| (t.id, t.clone())).collect();
+    let pool = workers.clamp(1, queue.len().max(1));
+    counters.workers = pool as u64;
+    if queue.is_empty() {
+        counters.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        return Ok(FarmOutcome { counters, errors });
+    }
+
+    let (events_tx, events) = mpsc::channel::<Event>();
+    let mut handles: Vec<Option<Box<dyn WorkerHandle>>> = Vec::with_capacity(pool);
+    for index in 0..pool {
+        match spawner.spawn(index, events_tx.clone()) {
+            Ok(h) => handles.push(Some(h)),
+            Err(e) => {
+                if handles.is_empty() && index + 1 == pool {
+                    return Err(format!("spawning worker {index}: {e}"));
+                }
+                errors.push(format!("spawning worker {index}: {e}"));
+                handles.push(None);
+            }
+        }
+    }
+    drop(events_tx);
+    if handles.iter().all(Option::is_none) {
+        return Err("no exploration worker could be spawned".to_owned());
+    }
+
+    // outstanding[w] = the shard worker w is running; exited[w] = EXIT
+    // already sent. A shard lost to a worker death is re-queued once.
+    let mut outstanding: Vec<Option<u64>> = vec![None; pool];
+    let mut exited = vec![false; pool];
+    let mut requeued: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut alive = handles.iter().filter(|h| h.is_some()).count();
+
+    fn dispatch(
+        w: usize,
+        queue: &mut VecDeque<Task>,
+        handles: &mut [Option<Box<dyn WorkerHandle>>],
+        outstanding: &mut [Option<u64>],
+        exited: &mut [bool],
+        errors: &mut Vec<String>,
+    ) {
+        let Some(handle) = handles[w].as_mut() else {
+            return;
+        };
+        if let Some(task) = queue.pop_front() {
+            match handle.send_line(&task.encode()) {
+                Ok(()) => outstanding[w] = Some(task.id),
+                Err(e) => {
+                    // The reader side will deliver Eof; the shard goes
+                    // back on the queue for a healthy worker.
+                    errors.push(format!("worker {w}: sending shard {}: {e}", task.id));
+                    queue.push_front(task);
+                }
+            }
+        } else if !exited[w] {
+            exited[w] = true;
+            let _ = handle.send_line(EXIT_LINE);
+        }
+    }
+
+    // Idle workers steal work up front; after that, on every DONE.
+    for w in 0..pool {
+        dispatch(
+            w,
+            &mut queue,
+            &mut handles,
+            &mut outstanding,
+            &mut exited,
+            &mut errors,
+        );
+    }
+
+    while alive > 0 {
+        let Ok(event) = events.recv() else {
+            break;
+        };
+        match event {
+            Event::Line(w, line) => {
+                match WorkerMsg::decode(&line) {
+                    Ok(WorkerMsg::Finding(f)) => {
+                        counters.findings += 1;
+                        if f.signature.kind == SignatureKind::Race
+                            && counters.time_to_first_race_ms.is_none()
+                        {
+                            counters.time_to_first_race_ms =
+                                Some(started.elapsed().as_secs_f64() * 1e3);
+                        }
+                        let workload = by_id
+                            .get(&f.task_id)
+                            .map_or("?", |t| t.workload.as_str())
+                            .to_owned();
+                        if let Err(e) = corpus.offer(&workload, &f) {
+                            errors.push(format!("corpus: {e}"));
+                        }
+                        counters.distinct_signatures = corpus.len() as u64;
+                    }
+                    Ok(WorkerMsg::Done(d)) => {
+                        counters.runs += d.runs;
+                        counters.shards += 1;
+                        counters.targeted_runs += d.targeted;
+                        counters.target_hits += d.target_hits;
+                        outstanding[w] = None;
+                        dispatch(
+                            w,
+                            &mut queue,
+                            &mut handles,
+                            &mut outstanding,
+                            &mut exited,
+                            &mut errors,
+                        );
+                    }
+                    Ok(WorkerMsg::Error { message }) => {
+                        errors.push(format!("worker {w}: {message}"));
+                    }
+                    Err(e) => {
+                        errors.push(format!("worker {w}: protocol: {e}"));
+                    }
+                }
+                counters.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                if let Some(cb) = progress.as_deref_mut() {
+                    cb(&counters);
+                }
+            }
+            Event::Eof(w) => {
+                if let Some(handle) = handles[w].take() {
+                    handle.finish();
+                    alive -= 1;
+                }
+                if let Some(lost) = outstanding[w].take() {
+                    if requeued.insert(lost) {
+                        errors.push(format!("worker {w} died; re-queueing shard {lost}"));
+                        if let Some(task) = by_id.get(&lost) {
+                            queue.push_front(task.clone());
+                        }
+                    } else {
+                        errors.push(format!(
+                            "shard {lost} lost twice (worker {w} died); giving it up"
+                        ));
+                    }
+                }
+                // The re-queued shard (or remaining queue) needs a home:
+                // hand it to any idle worker that hasn't been told to
+                // exit yet.
+                for idle in 0..pool {
+                    if handles[idle].is_some() && outstanding[idle].is_none() && !exited[idle] {
+                        dispatch(
+                            idle,
+                            &mut queue,
+                            &mut handles,
+                            &mut outstanding,
+                            &mut exited,
+                            &mut errors,
+                        );
+                    }
+                }
+            }
+        }
+        // All shards done and none outstanding: release idle workers.
+        if queue.is_empty() && outstanding.iter().all(Option::is_none) {
+            for w in 0..pool {
+                if let Some(handle) = handles[w].as_mut() {
+                    if !exited[w] {
+                        exited[w] = true;
+                        let _ = handle.send_line(EXIT_LINE);
+                    }
+                }
+            }
+        }
+    }
+
+    for handle in handles.into_iter().flatten() {
+        handle.finish();
+    }
+    if !queue.is_empty() {
+        return Err(format!(
+            "every worker died with {} shard(s) still queued ({} error(s): {})",
+            queue.len(),
+            errors.len(),
+            errors.join("; ")
+        ));
+    }
+    counters.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    counters.distinct_signatures = corpus.len() as u64;
+    Ok(FarmOutcome { counters, errors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardPlan;
+    use crate::signature::Signature;
+    use srr_racedet::{AccessKind, RaceSignature};
+    use std::sync::Arc;
+
+    /// Deterministic synthetic runner: seed `s` under strategy `st`
+    /// "finds a race" when `s % 7 == 0`, a deadlock when `s % 11 == 0`,
+    /// with demo bytes a pure function of `(s, st)`.
+    fn synthetic_runner() -> Arc<ShardRunner> {
+        Arc::new(|task: &Task| {
+            let mut out = ShardOutput::default();
+            for seed in task.seed_lo..task.seed_hi {
+                out.runs += 1;
+                if task.target.is_some() {
+                    out.targeted += 1;
+                    if seed % 13 == 0 {
+                        out.target_hits += 1;
+                    }
+                }
+                if seed % 7 == 0 {
+                    out.races += 1;
+                    out.findings.push(Finding {
+                        task_id: 0,
+                        signature: Signature::race(&RaceSignature {
+                            label: format!("cell{}", seed % 3),
+                            tids: (0, 1),
+                            kinds: (AccessKind::Write, AccessKind::Write),
+                        }),
+                        strategy: task.strategy.clone(),
+                        seed,
+                        demo_bytes: Some(100 + (seed * 31 + task.strategy.len() as u64) % 400),
+                        demo_path: None,
+                    });
+                }
+                if seed % 11 == 0 {
+                    out.findings.push(Finding {
+                        task_id: 0,
+                        signature: Signature::deadlock(&["la".into(), "lb".into()]),
+                        strategy: task.strategy.clone(),
+                        seed,
+                        demo_bytes: None,
+                        demo_path: None,
+                    });
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    type RunResult = (FarmOutcome, Vec<Signature>, Vec<(u64, Option<u64>)>);
+
+    fn run(workers: usize, seeds: u64) -> RunResult {
+        let plan = ShardPlan::build(
+            "w",
+            &["rnd".to_owned(), "queue".to_owned()],
+            0,
+            seeds,
+            8,
+            &[],
+        );
+        let spawner = ThreadSpawner {
+            runner: synthetic_runner(),
+        };
+        let mut corpus = Corpus::in_memory();
+        let outcome = run_farm(&plan, workers, &spawner, &mut corpus, None).expect("farm runs");
+        let entries = corpus.iter().map(|(_, e)| (e.seed, e.demo_bytes)).collect();
+        (outcome, corpus.signatures(), entries)
+    }
+
+    #[test]
+    fn farm_collects_deduped_findings() {
+        let (outcome, sigs, _) = run(2, 40);
+        // Seeds 0..40: races at 0,7,14,21,28,35 → labels cell0/cell1/cell2
+        // all hit; one deadlock signature.
+        assert_eq!(sigs.len(), 4, "{sigs:?}");
+        assert_eq!(outcome.counters.runs, 80, "2 strategies × 40 seeds");
+        assert_eq!(outcome.counters.distinct_signatures, 4);
+        assert!(outcome.counters.findings > 4, "raw findings pre-dedup");
+        assert!(outcome.counters.time_to_first_race_ms.is_some());
+        assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_result() {
+        let (_, sigs1, entries1) = run(1, 50);
+        let (_, sigs2, entries2) = run(2, 50);
+        let (_, sigs4, entries4) = run(4, 50);
+        assert_eq!(sigs1, sigs2);
+        assert_eq!(sigs1, sigs4);
+        assert_eq!(entries1, entries2, "corpus winners must match too");
+        assert_eq!(entries1, entries4);
+    }
+
+    #[test]
+    fn directed_shards_count_targets() {
+        let plan = ShardPlan::build(
+            "w",
+            &["rnd".to_owned()],
+            0,
+            16,
+            16,
+            &[crate::protocol::RaceTarget {
+                label: "cell0".into(),
+                a: 0,
+                b: 1,
+            }],
+        );
+        let spawner = ThreadSpawner {
+            runner: synthetic_runner(),
+        };
+        let mut corpus = Corpus::in_memory();
+        let outcome = run_farm(&plan, 2, &spawner, &mut corpus, None).unwrap();
+        assert_eq!(outcome.counters.targeted_runs, 16);
+        assert_eq!(outcome.counters.target_hits, 2, "seeds 0 and 13");
+    }
+
+    #[test]
+    fn worker_errors_are_collected_not_fatal() {
+        let runner: Arc<ShardRunner> = Arc::new(|task: &Task| {
+            if task.seed_lo == 0 {
+                Err("synthetic worker failure".to_owned())
+            } else {
+                Ok(ShardOutput {
+                    runs: task.runs(),
+                    ..ShardOutput::default()
+                })
+            }
+        });
+        let plan = ShardPlan::build("w", &["rnd".to_owned()], 0, 20, 10, &[]);
+        let spawner = ThreadSpawner { runner };
+        let mut corpus = Corpus::in_memory();
+        let outcome = run_farm(&plan, 2, &spawner, &mut corpus, None).unwrap();
+        assert_eq!(outcome.errors.len(), 1, "{:?}", outcome.errors);
+        assert!(outcome.errors[0].contains("synthetic worker failure"));
+        assert_eq!(outcome.counters.runs, 10, "healthy shard still ran");
+    }
+
+    #[test]
+    fn progress_callback_sees_monotonic_counters() {
+        let plan = ShardPlan::build("w", &["rnd".to_owned()], 0, 24, 8, &[]);
+        let spawner = ThreadSpawner {
+            runner: synthetic_runner(),
+        };
+        let mut corpus = Corpus::in_memory();
+        let mut last_runs = 0;
+        let mut calls = 0;
+        let mut cb = |c: &FarmCounters| {
+            assert!(c.runs >= last_runs);
+            last_runs = c.runs;
+            calls += 1;
+        };
+        run_farm(&plan, 1, &spawner, &mut corpus, Some(&mut cb)).unwrap();
+        assert!(calls >= 3, "one call per DONE at minimum");
+        assert_eq!(last_runs, 24);
+    }
+
+    #[test]
+    fn empty_plan_returns_empty_counters() {
+        let plan = ShardPlan::default();
+        let spawner = ThreadSpawner {
+            runner: synthetic_runner(),
+        };
+        let mut corpus = Corpus::in_memory();
+        let outcome = run_farm(&plan, 4, &spawner, &mut corpus, None).unwrap();
+        assert_eq!(outcome.counters.runs, 0);
+    }
+
+    #[test]
+    fn serve_worker_answers_err_plus_done_on_bad_task() {
+        let mut lines = Vec::new();
+        serve_worker(
+            vec!["TASK id=zzz".to_owned(), EXIT_LINE.to_owned()],
+            |l| lines.push(l.to_owned()),
+            |_| Ok(ShardOutput::default()),
+        );
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].starts_with("ERR "));
+        assert!(lines[1].starts_with("DONE "));
+    }
+}

@@ -1,0 +1,47 @@
+//! srr-explore: the parallel exploration farm behind `srr explore`.
+//!
+//! The farm turns seed search — the paper's "run the program thousands
+//! of times under controlled schedulers until something interesting
+//! happens" loop — from a serial for-loop into a work-stealing pool of
+//! workers:
+//!
+//! * [`shard`] slices the seed×strategy space into independent tasks
+//!   (a pure function of its inputs, so plans are reproducible),
+//! * [`protocol`] is the line-oriented pipe protocol between the
+//!   orchestrator and its workers (`TASK`/`FIND`/`DONE`/`ERR`/`EXIT`),
+//! * [`signature`] generalizes srr-racedet's per-run race dedup key
+//!   into a cross-run corpus identity covering races, deadlocks,
+//!   replay desyncs, and panics,
+//! * [`corpus`] keeps one minimal entry per signature (smallest demo
+//!   wins) on disk or in memory,
+//! * [`farm`] is the orchestrator: dispatch, work stealing, crash
+//!   re-queueing, live [`srr_obs::FarmCounters`] progress.
+//!
+//! The crate deliberately does not depend on the runtime
+//! (tsan11rec-core) or the CLI: workers run *somewhere else* (another
+//! process or a caller-supplied closure), and the farm only speaks the
+//! protocol. That keeps the orchestrator testable with synthetic
+//! runners and lets `srr` wire the real execution engine in at the
+//! binary layer.
+//!
+//! The invariant the whole design hangs on: for a fixed [`ShardPlan`],
+//! the signature set and the corpus winners are identical at any worker
+//! count, because tasks are independent and the corpus winner per
+//! signature is a total order (`(demo size, seed, strategy)`) over
+//! findings — never arrival order. `tests/farm_determinism.rs` checks
+//! this by property.
+
+pub mod corpus;
+pub mod farm;
+pub mod protocol;
+pub mod shard;
+pub mod signature;
+
+pub use corpus::{Corpus, CorpusEntry, Offered};
+pub use farm::{
+    run_farm, serve_worker, Event, FarmOutcome, ProcessSpawner, ShardOutput, ShardRunner,
+    ThreadSpawner, WorkerHandle, WorkerSpawner,
+};
+pub use protocol::{Finding, RaceTarget, ShardDone, Task, WorkerMsg, EXIT_LINE};
+pub use shard::ShardPlan;
+pub use signature::{Signature, SignatureKind};

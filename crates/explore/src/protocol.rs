@@ -1,0 +1,379 @@
+//! The line-oriented pipe protocol between orchestrator and workers.
+//!
+//! One message per line, space-delimited `key=value` tokens after a
+//! leading verb; values are percent-escaped (see [`crate::signature`])
+//! so labels and paths with whitespace survive. The orchestrator writes
+//! to a worker's stdin and reads its stdout:
+//!
+//! ```text
+//! > TASK id=3 workload=httpd strategy=rnd seeds=100..150 target=cell:0:2
+//! < FIND task=3 sig=race:counter%7C0,1%7Crw strategy=rnd seed=104 demo_bytes=412 demo=/tmp/w0/f0
+//! < DONE task=3 runs=50 races=2 targeted=50 hits=1 ms=18.3
+//! > EXIT
+//! ```
+//!
+//! `TASK` assigns a shard (a seed range under one strategy, optionally
+//! with a directed race target armed); the worker answers with zero or
+//! more `FIND` lines and exactly one `DONE`, then waits for the next
+//! task. `ERR` reports a worker-side failure without killing the
+//! session. Anything unparseable is a protocol error — the orchestrator
+//! treats the worker as poisoned and re-queues its shard elsewhere.
+
+use std::fmt;
+
+use crate::signature::{escape, unescape, Signature};
+
+/// A directed search target: a predicted race to confirm, armed as the
+/// race detector's target pair during the shard's runs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RaceTarget {
+    /// Location label of the predicted race.
+    pub label: String,
+    /// One predicted thread.
+    pub a: u32,
+    /// The other predicted thread.
+    pub b: u32,
+}
+
+impl fmt::Display for RaceTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.label, self.a, self.b)
+    }
+}
+
+/// One work unit: a contiguous seed range of one workload under one
+/// strategy, optionally directed at a predicted race.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Task {
+    /// Unique id within the session (echoed in every worker message).
+    pub id: u64,
+    /// Workload name (interpreted by the worker, not by the farm).
+    pub workload: String,
+    /// Strategy label (`rnd`, `pct`, `delay`, `queue`, …).
+    pub strategy: String,
+    /// First seed of the shard (inclusive).
+    pub seed_lo: u64,
+    /// One past the last seed of the shard.
+    pub seed_hi: u64,
+    /// Directed search target, when the shard confirms a prediction.
+    pub target: Option<RaceTarget>,
+}
+
+impl Task {
+    /// Number of seeds in the shard.
+    #[must_use]
+    pub fn runs(&self) -> u64 {
+        self.seed_hi.saturating_sub(self.seed_lo)
+    }
+
+    /// Encodes as a `TASK` line (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut line = format!(
+            "TASK id={} workload={} strategy={} seeds={}..{}",
+            self.id,
+            escape(&self.workload),
+            escape(&self.strategy),
+            self.seed_lo,
+            self.seed_hi
+        );
+        if let Some(t) = &self.target {
+            line.push_str(&format!(" target={}:{}:{}", escape(&t.label), t.a, t.b));
+        }
+        line
+    }
+
+    /// Decodes a `TASK` line.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the verb, a required field, or the seed range is
+    /// missing or malformed.
+    pub fn decode(line: &str) -> Result<Task, String> {
+        let rest = line
+            .strip_prefix("TASK ")
+            .ok_or_else(|| format!("not a TASK line: `{line}`"))?;
+        let fields = parse_fields(rest)?;
+        let seeds = require(&fields, "seeds", line)?;
+        let (lo, hi) = seeds
+            .split_once("..")
+            .ok_or_else(|| format!("bad seed range `{seeds}`"))?;
+        let target = match fields.iter().find(|(k, _)| k == "target") {
+            Some((_, v)) => {
+                let mut parts = v.rsplitn(3, ':');
+                let b = parts.next().and_then(|p| p.parse().ok());
+                let a = parts.next().and_then(|p| p.parse().ok());
+                let label = parts.next();
+                match (label, a, b) {
+                    (Some(label), Some(a), Some(b)) => Some(RaceTarget {
+                        label: unescape(label)?,
+                        a,
+                        b,
+                    }),
+                    _ => return Err(format!("bad target `{v}`")),
+                }
+            }
+            None => None,
+        };
+        Ok(Task {
+            id: parse_num(&require(&fields, "id", line)?)?,
+            workload: unescape(&require(&fields, "workload", line)?)?,
+            strategy: unescape(&require(&fields, "strategy", line)?)?,
+            seed_lo: parse_num(lo)?,
+            seed_hi: parse_num(hi)?,
+            target,
+        })
+    }
+}
+
+/// One finding reported by a worker: a signature observed at a concrete
+/// `(strategy, seed)`, with the recorded demo when the strategy records.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    /// The task that produced the finding.
+    pub task_id: u64,
+    /// The finding's corpus signature.
+    pub signature: Signature,
+    /// Strategy that hit it.
+    pub strategy: String,
+    /// Seed that hit it.
+    pub seed: u64,
+    /// Serialized demo size in bytes (`None` when the strategy cannot
+    /// record — the corpus then keeps the reproduction recipe only).
+    pub demo_bytes: Option<u64>,
+    /// Worker-local spool directory holding the demo, when recorded.
+    pub demo_path: Option<String>,
+}
+
+/// Per-shard completion summary.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardDone {
+    /// The completed task.
+    pub task_id: u64,
+    /// Seeds actually run.
+    pub runs: u64,
+    /// Runs that detected at least one race.
+    pub races: u64,
+    /// Runs executed with a directed target armed.
+    pub targeted: u64,
+    /// Directed runs whose target pair raced.
+    pub target_hits: u64,
+    /// Worker-side wall time for the shard, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// A message from worker to orchestrator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerMsg {
+    /// A deduplicatable finding.
+    Finding(Finding),
+    /// A shard finished.
+    Done(ShardDone),
+    /// A worker-side error (the worker stays usable).
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl WorkerMsg {
+    /// Encodes as a protocol line (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            WorkerMsg::Finding(f) => {
+                let mut line = format!(
+                    "FIND task={} sig={} strategy={} seed={}",
+                    f.task_id,
+                    f.signature.encode(),
+                    escape(&f.strategy),
+                    f.seed
+                );
+                if let Some(b) = f.demo_bytes {
+                    line.push_str(&format!(" demo_bytes={b}"));
+                }
+                if let Some(p) = &f.demo_path {
+                    line.push_str(&format!(" demo={}", escape(p)));
+                }
+                line
+            }
+            WorkerMsg::Done(d) => format!(
+                "DONE task={} runs={} races={} targeted={} hits={} ms={}",
+                d.task_id, d.runs, d.races, d.targeted, d.target_hits, d.wall_ms
+            ),
+            WorkerMsg::Error { message } => format!("ERR msg={}", escape(message)),
+        }
+    }
+
+    /// Decodes a worker line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown verb or missing/malformed fields.
+    pub fn decode(line: &str) -> Result<WorkerMsg, String> {
+        if let Some(rest) = line.strip_prefix("FIND ") {
+            let fields = parse_fields(rest)?;
+            let lookup = |k: &str| {
+                fields
+                    .iter()
+                    .find(|(key, _)| key == k)
+                    .map(|(_, v)| v.clone())
+            };
+            return Ok(WorkerMsg::Finding(Finding {
+                task_id: parse_num(&require(&fields, "task", line)?)?,
+                signature: Signature::decode(&require(&fields, "sig", line)?)?,
+                strategy: unescape(&require(&fields, "strategy", line)?)?,
+                seed: parse_num(&require(&fields, "seed", line)?)?,
+                demo_bytes: match lookup("demo_bytes") {
+                    Some(v) => Some(parse_num(&v)?),
+                    None => None,
+                },
+                demo_path: match lookup("demo") {
+                    Some(v) => Some(unescape(&v)?),
+                    None => None,
+                },
+            }));
+        }
+        if let Some(rest) = line.strip_prefix("DONE ") {
+            let fields = parse_fields(rest)?;
+            return Ok(WorkerMsg::Done(ShardDone {
+                task_id: parse_num(&require(&fields, "task", line)?)?,
+                runs: parse_num(&require(&fields, "runs", line)?)?,
+                races: parse_num(&require(&fields, "races", line)?)?,
+                targeted: parse_num(&require(&fields, "targeted", line)?)?,
+                target_hits: parse_num(&require(&fields, "hits", line)?)?,
+                wall_ms: require(&fields, "ms", line)?
+                    .parse()
+                    .map_err(|_| format!("bad ms in `{line}`"))?,
+            }));
+        }
+        if let Some(rest) = line.strip_prefix("ERR ") {
+            let fields = parse_fields(rest)?;
+            return Ok(WorkerMsg::Error {
+                message: unescape(&require(&fields, "msg", line)?)?,
+            });
+        }
+        Err(format!("unknown worker message: `{line}`"))
+    }
+}
+
+/// The orchestrator's shutdown line.
+pub const EXIT_LINE: &str = "EXIT";
+
+fn parse_fields(rest: &str) -> Result<Vec<(String, String)>, String> {
+    rest.split_ascii_whitespace()
+        .map(|tok| {
+            tok.split_once('=')
+                .map(|(k, v)| (k.to_owned(), v.to_owned()))
+                .ok_or_else(|| format!("field `{tok}` is not key=value"))
+        })
+        .collect()
+}
+
+fn require(fields: &[(String, String)], key: &str, line: &str) -> Result<String, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| format!("missing `{key}` in `{line}`"))
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad number `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::SignatureKind;
+
+    #[test]
+    fn task_roundtrips_with_and_without_target() {
+        let plain = Task {
+            id: 7,
+            workload: "mixed_counter".into(),
+            strategy: "rnd".into(),
+            seed_lo: 100,
+            seed_hi: 150,
+            target: None,
+        };
+        assert_eq!(Task::decode(&plain.encode()).unwrap(), plain);
+        assert_eq!(plain.runs(), 50);
+        let directed = Task {
+            target: Some(RaceTarget {
+                label: "cell with space".into(),
+                a: 0,
+                b: 2,
+            }),
+            ..plain.clone()
+        };
+        let line = directed.encode();
+        assert!(!line.contains("cell with"), "label must be escaped: {line}");
+        assert_eq!(Task::decode(&line).unwrap(), directed);
+    }
+
+    #[test]
+    fn finding_roundtrips_with_optional_demo() {
+        let full = WorkerMsg::Finding(Finding {
+            task_id: 3,
+            signature: Signature {
+                kind: SignatureKind::Race,
+                detail: "counter|0,1|ww".into(),
+            },
+            strategy: "queue".into(),
+            seed: 42,
+            demo_bytes: Some(812),
+            demo_path: Some("/tmp/spool w0/f1".into()),
+        });
+        assert_eq!(WorkerMsg::decode(&full.encode()).unwrap(), full);
+        let bare = WorkerMsg::Finding(Finding {
+            task_id: 3,
+            signature: Signature {
+                kind: SignatureKind::Deadlock,
+                detail: "a+b".into(),
+            },
+            strategy: "pct".into(),
+            seed: 9,
+            demo_bytes: None,
+            demo_path: None,
+        });
+        assert_eq!(WorkerMsg::decode(&bare.encode()).unwrap(), bare);
+    }
+
+    #[test]
+    fn done_and_err_roundtrip() {
+        let done = WorkerMsg::Done(ShardDone {
+            task_id: 5,
+            runs: 50,
+            races: 3,
+            targeted: 50,
+            target_hits: 1,
+            wall_ms: 18.25,
+        });
+        assert_eq!(WorkerMsg::decode(&done.encode()).unwrap(), done);
+        let err = WorkerMsg::Error {
+            message: "workload `nope` unknown".into(),
+        };
+        assert_eq!(WorkerMsg::decode(&err.encode()).unwrap(), err);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_context() {
+        for bad in [
+            "NOPE x=1",
+            "TASK id=1",                                   // missing fields
+            "TASK id=x workload=w strategy=s seeds=0..9",  // bad number
+            "TASK id=1 workload=w strategy=s seeds=00-99", // bad range
+            "TASK id=1 workload=w strategy=s seeds=0..9 target=broken",
+            "FIND task=1 sig=race:x strategy=s", // missing seed
+            "DONE task=1 runs=5 races=0 targeted=0 hits=0", // missing ms
+            "FIND task=1 sig=nokind strategy=s seed=2",
+        ] {
+            let err = match bad.split_once(' ').map(|(v, _)| v) {
+                Some("TASK") => Task::decode(bad).unwrap_err(),
+                _ => WorkerMsg::decode(bad).unwrap_err(),
+            };
+            assert!(!err.is_empty(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Sharding the seed×strategy space into work units.
+//!
+//! The plan is a pure function of its inputs, so every farm session over
+//! the same `(workload, strategies, seed range, shard size, targets)`
+//! produces the same task list — the determinism anchor for the
+//! worker-count invariance property: the signature set is the union of
+//! per-task results and tasks never depend on each other.
+//!
+//! Shards interleave strategies round-robin over consecutive seed
+//! chunks so early wall-clock time covers every strategy (a farm killed
+//! after a minute has tried rnd, pct, delay *and* queue rather than
+//! having burned the whole budget on the first strategy). Directed
+//! tasks (predict feedback) are scheduled first: a candidate race with
+//! a witness is the cheapest confirmed-race lead the farm has.
+
+use crate::protocol::{RaceTarget, Task};
+
+/// The ordered task list of one farm session.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Tasks in dispatch order (directed tasks first).
+    pub tasks: Vec<Task>,
+}
+
+impl ShardPlan {
+    /// Builds the plan for `workload`: every strategy over `seed_lo..seed_hi`
+    /// in chunks of `shard_size`, plus one directed shard per
+    /// `(target, strategy)` pair over the first chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `strategies` is empty or `shard_size` is zero.
+    #[must_use]
+    pub fn build(
+        workload: &str,
+        strategies: &[String],
+        seed_lo: u64,
+        seed_hi: u64,
+        shard_size: u64,
+        targets: &[RaceTarget],
+    ) -> ShardPlan {
+        assert!(!strategies.is_empty(), "need at least one strategy");
+        assert!(shard_size > 0, "shard size must be positive");
+        let mut tasks = Vec::new();
+        let mut id = 0u64;
+        let mut task = |strategy: &String, lo: u64, hi: u64, target: Option<&RaceTarget>| {
+            let t = Task {
+                id,
+                workload: workload.to_owned(),
+                strategy: strategy.clone(),
+                seed_lo: lo,
+                seed_hi: hi,
+                target: target.cloned(),
+            };
+            id += 1;
+            t
+        };
+        // Directed shards first: confirm predictions over the first chunk
+        // of the seed range under every strategy.
+        let first_hi = seed_hi.min(seed_lo.saturating_add(shard_size));
+        for target in targets {
+            for strategy in strategies {
+                tasks.push(task(strategy, seed_lo, first_hi, Some(target)));
+            }
+        }
+        // Undirected sweep: chunk × strategy, strategy-major within each
+        // chunk (the round-robin interleave).
+        let mut lo = seed_lo;
+        while lo < seed_hi {
+            let hi = seed_hi.min(lo.saturating_add(shard_size));
+            for strategy in strategies {
+                tasks.push(task(strategy, lo, hi, None));
+            }
+            lo = hi;
+        }
+        ShardPlan { tasks }
+    }
+
+    /// Total seeds the plan will run (directed shards included).
+    #[must_use]
+    pub fn total_runs(&self) -> u64 {
+        self.tasks.iter().map(Task::runs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strategies(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn plan_chunks_and_interleaves_strategies() {
+        let plan = ShardPlan::build("w", &strategies(&["rnd", "queue"]), 0, 25, 10, &[]);
+        // 3 chunks (0..10, 10..20, 20..25) × 2 strategies.
+        assert_eq!(plan.tasks.len(), 6);
+        assert_eq!(plan.total_runs(), 50);
+        // First two tasks cover both strategies over the first chunk.
+        assert_eq!(plan.tasks[0].strategy, "rnd");
+        assert_eq!(plan.tasks[1].strategy, "queue");
+        assert_eq!((plan.tasks[0].seed_lo, plan.tasks[0].seed_hi), (0, 10));
+        assert_eq!((plan.tasks[1].seed_lo, plan.tasks[1].seed_hi), (0, 10));
+        // The tail chunk is short, not padded.
+        assert_eq!((plan.tasks[4].seed_lo, plan.tasks[4].seed_hi), (20, 25));
+        // Ids are unique and sequential.
+        for (i, t) in plan.tasks.iter().enumerate() {
+            assert_eq!(t.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn directed_shards_come_first() {
+        let target = RaceTarget {
+            label: "cell".into(),
+            a: 0,
+            b: 2,
+        };
+        let plan = ShardPlan::build(
+            "w",
+            &strategies(&["rnd", "queue"]),
+            0,
+            20,
+            10,
+            std::slice::from_ref(&target),
+        );
+        assert_eq!(plan.tasks.len(), 2 + 4);
+        assert_eq!(plan.tasks[0].target.as_ref(), Some(&target));
+        assert_eq!(plan.tasks[1].target.as_ref(), Some(&target));
+        assert!(plan.tasks[2..].iter().all(|t| t.target.is_none()));
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let build = || ShardPlan::build("w", &strategies(&["rnd", "pct", "delay"]), 5, 64, 7, &[]);
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn empty_seed_range_yields_directed_tasks_only() {
+        let plan = ShardPlan::build("w", &strategies(&["rnd"]), 10, 10, 5, &[]);
+        assert!(plan.tasks.is_empty());
+        assert_eq!(plan.total_runs(), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Corpus signatures: one cross-run identity per distinct finding.
+//!
+//! srr-racedet's report dedup key — `(location, pair, kind)` — only
+//! covers data races inside one run. The farm needs an identity that
+//! also covers deadlocks, replay desyncs, and panics, survives the trip
+//! over the worker pipe protocol, and sorts deterministically so the
+//! signature *set* of a session can be compared across worker counts.
+//! A [`Signature`] is a kind tag plus a normalized detail string:
+//!
+//! ```text
+//! race:counter|0,1|rw          # RaceSignature::key()
+//! deadlock:lock-a+lock-b       # sorted lock labels
+//! desync:SYSCALL|syscall-kind  # diverged stream + violated constraint
+//! panic:index out of bounds    # first line of the panic payload
+//! ```
+//!
+//! The encoded form ([`Signature::encode`]) percent-escapes whitespace,
+//! `%`, and control bytes so a signature is always a single
+//! space-delimited token on the wire.
+
+use std::fmt;
+
+use srr_racedet::RaceSignature;
+
+/// What kind of finding a signature identifies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SignatureKind {
+    /// A data race (FastTrack fired).
+    Race,
+    /// A program deadlock (all live threads disabled).
+    Deadlock,
+    /// A replay desynchronisation (a demo constraint could not be
+    /// enforced).
+    Desync,
+    /// A program thread panicked.
+    Panic,
+}
+
+impl SignatureKind {
+    /// The tag used in the encoded form.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            SignatureKind::Race => "race",
+            SignatureKind::Deadlock => "deadlock",
+            SignatureKind::Desync => "desync",
+            SignatureKind::Panic => "panic",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<SignatureKind> {
+        Some(match tag {
+            "race" => SignatureKind::Race,
+            "deadlock" => SignatureKind::Deadlock,
+            "desync" => SignatureKind::Desync,
+            "panic" => SignatureKind::Panic,
+            _ => return None,
+        })
+    }
+}
+
+/// The cross-run identity of one finding (see the module docs for the
+/// format). Ordered so signature sets sort deterministically.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signature {
+    /// The finding kind.
+    pub kind: SignatureKind,
+    /// Kind-specific normalized detail.
+    pub detail: String,
+}
+
+impl Signature {
+    /// A race signature, from racedet's normalized key.
+    #[must_use]
+    pub fn race(sig: &RaceSignature) -> Signature {
+        Signature {
+            kind: SignatureKind::Race,
+            detail: sig.key(),
+        }
+    }
+
+    /// A deadlock signature over the lock labels involved (sorted so the
+    /// acquisition order does not split identities).
+    #[must_use]
+    pub fn deadlock(labels: &[String]) -> Signature {
+        let mut sorted: Vec<&str> = labels.iter().map(String::as_str).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        Signature {
+            kind: SignatureKind::Deadlock,
+            detail: sorted.join("+"),
+        }
+    }
+
+    /// A desync signature: the diverged demo stream and the violated
+    /// constraint (tick offsets are deliberately excluded — the same
+    /// root cause desyncs at different ticks across seeds).
+    #[must_use]
+    pub fn desync(stream: &str, constraint: &str) -> Signature {
+        Signature {
+            kind: SignatureKind::Desync,
+            detail: format!("{stream}|{constraint}"),
+        }
+    }
+
+    /// A panic signature over the first line of the payload.
+    #[must_use]
+    pub fn panic(message: &str) -> Signature {
+        Signature {
+            kind: SignatureKind::Panic,
+            detail: message.lines().next().unwrap_or("").to_owned(),
+        }
+    }
+
+    /// Encodes into the single-token wire form `kind:escaped-detail`.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        format!("{}:{}", self.kind.tag(), escape(&self.detail))
+    }
+
+    /// Decodes the wire form produced by [`Signature::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown kind tag, a missing `:` separator, or a
+    /// malformed percent escape.
+    pub fn decode(token: &str) -> Result<Signature, String> {
+        let (tag, detail) = token
+            .split_once(':')
+            .ok_or_else(|| format!("signature `{token}` has no kind tag"))?;
+        let kind = SignatureKind::from_tag(tag)
+            .ok_or_else(|| format!("unknown signature kind `{tag}`"))?;
+        Ok(Signature {
+            kind,
+            detail: unescape(detail)?,
+        })
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.kind.tag(), self.detail)
+    }
+}
+
+/// Percent-escapes whitespace, `%`, and control bytes so the result is a
+/// single space-delimited token that survives the line protocol.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        if b == b'%' || b.is_ascii_whitespace() || b.is_ascii_control() {
+            out.push('%');
+            out.push_str(&format!("{b:02X}"));
+        } else {
+            out.push(b as char);
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`].
+///
+/// # Errors
+///
+/// Fails on a truncated or non-hex percent escape, or when the unescaped
+/// bytes are not UTF-8.
+pub fn unescape(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| format!("truncated escape in `{s}`"))?;
+            let hex = std::str::from_utf8(hex).map_err(|_| format!("bad escape in `{s}`"))?;
+            out.push(
+                u8::from_str_radix(hex, 16).map_err(|_| format!("bad escape `%{hex}` in `{s}`"))?,
+            );
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("escaped token `{s}` is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srr_racedet::AccessKind;
+
+    fn race_sig() -> Signature {
+        Signature::race(&RaceSignature {
+            label: "counter cell".to_owned(),
+            tids: (0, 2),
+            kinds: (AccessKind::Read, AccessKind::Write),
+        })
+    }
+
+    #[test]
+    fn race_signature_embeds_the_racedet_key() {
+        let sig = race_sig();
+        assert_eq!(sig.kind, SignatureKind::Race);
+        assert_eq!(sig.detail, "counter cell|0,2|rw");
+        assert_eq!(sig.to_string(), "race(counter cell|0,2|rw)");
+    }
+
+    #[test]
+    fn deadlock_signature_sorts_and_dedups_labels() {
+        let a = Signature::deadlock(&["lock-b".into(), "lock-a".into()]);
+        let b = Signature::deadlock(&["lock-a".into(), "lock-b".into(), "lock-a".into()]);
+        assert_eq!(a, b);
+        assert_eq!(a.detail, "lock-a+lock-b");
+    }
+
+    #[test]
+    fn desync_and_panic_signatures_normalize() {
+        let d = Signature::desync("SYSCALL", "syscall-kind");
+        assert_eq!(d.detail, "SYSCALL|syscall-kind");
+        let p = Signature::panic("boom at tick 9\nbacktrace:\n ...");
+        assert_eq!(p.detail, "boom at tick 9");
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_awkward_details() {
+        for sig in [
+            race_sig(),
+            Signature::deadlock(&["a b".into(), "c%d".into()]),
+            Signature::panic("spaces, %percent, and\ttabs"),
+            Signature::desync("QUEUE", "tick order"),
+        ] {
+            let token = sig.encode();
+            assert!(
+                !token.contains(' ') && !token.contains('\t') && !token.contains('\n'),
+                "token must be space-free: {token}"
+            );
+            assert_eq!(Signature::decode(&token).unwrap(), sig, "{token}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_tokens() {
+        assert!(Signature::decode("no-separator").is_err());
+        assert!(Signature::decode("bogus:detail").is_err());
+        assert!(Signature::decode("race:bad%G1escape").is_err());
+        assert!(Signature::decode("race:truncated%2").is_err());
+    }
+
+    #[test]
+    fn signatures_sort_deterministically() {
+        let mut sigs = [
+            Signature::panic("z"),
+            Signature::race(&RaceSignature {
+                label: "a".into(),
+                tids: (0, 1),
+                kinds: (AccessKind::Write, AccessKind::Write),
+            }),
+            Signature::deadlock(&["m".into()]),
+        ];
+        sigs.sort();
+        assert_eq!(sigs[0].kind, SignatureKind::Race);
+        assert_eq!(sigs[1].kind, SignatureKind::Deadlock);
+        assert_eq!(sigs[2].kind, SignatureKind::Panic);
+    }
+}

@@ -1,0 +1,153 @@
+//! Exploration-farm progress counters.
+//!
+//! The `srr explore` orchestrator folds every worker message into a
+//! [`FarmCounters`]: total runs, findings before and after signature
+//! dedup, and the two throughput figures the C11Tester line of work
+//! treats as the bug-finding metric — runs per second and wall time to
+//! the first confirmed race. The counters serialize into the farm's JSON
+//! report (and `BENCH_explore.json`) through [`FarmCounters::to_json`]
+//! and render back out of either document in `srr stats`.
+
+use crate::json::Json;
+
+/// Aggregated progress of one exploration-farm session.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FarmCounters {
+    /// Worker processes (or threads) the farm ran with.
+    pub workers: u64,
+    /// Completed runs across all workers.
+    pub runs: u64,
+    /// Shards (work units) completed.
+    pub shards: u64,
+    /// Raw findings reported by workers, before signature dedup.
+    pub findings: u64,
+    /// Distinct corpus signatures after dedup.
+    pub distinct_signatures: u64,
+    /// Runs executed with a directed race target armed (predict feedback).
+    pub targeted_runs: u64,
+    /// Directed runs whose armed target pair actually raced.
+    pub target_hits: u64,
+    /// Wall-clock duration of the farm session, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Wall-clock milliseconds from farm start to the first confirmed
+    /// race finding (`None` when no race was found).
+    pub time_to_first_race_ms: Option<f64>,
+}
+
+impl FarmCounters {
+    /// Completed runs per wall-clock second (0 before any time passes).
+    #[must_use]
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.elapsed_ms <= 0.0 {
+            0.0
+        } else {
+            self.runs as f64 / (self.elapsed_ms / 1_000.0)
+        }
+    }
+
+    /// The counters as a JSON object (the `"farm"` section of the
+    /// explore report).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workers".to_owned(), Json::Num(self.workers as f64)),
+            ("runs".to_owned(), Json::Num(self.runs as f64)),
+            ("shards".to_owned(), Json::Num(self.shards as f64)),
+            ("findings".to_owned(), Json::Num(self.findings as f64)),
+            (
+                "distinct_signatures".to_owned(),
+                Json::Num(self.distinct_signatures as f64),
+            ),
+            (
+                "targeted_runs".to_owned(),
+                Json::Num(self.targeted_runs as f64),
+            ),
+            ("target_hits".to_owned(), Json::Num(self.target_hits as f64)),
+            ("elapsed_ms".to_owned(), Json::Num(self.elapsed_ms)),
+            ("runs_per_sec".to_owned(), Json::Num(self.runs_per_sec())),
+            (
+                "time_to_first_race_ms".to_owned(),
+                match self.time_to_first_race_ms {
+                    Some(ms) => Json::Num(ms),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Reads counters back out of a `"farm"` JSON object (fields default
+    /// to zero / `None` when absent, so older documents still render).
+    #[must_use]
+    pub fn from_json(doc: &Json) -> FarmCounters {
+        let num = |k: &str| doc.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        FarmCounters {
+            workers: num("workers") as u64,
+            runs: num("runs") as u64,
+            shards: num("shards") as u64,
+            findings: num("findings") as u64,
+            distinct_signatures: num("distinct_signatures") as u64,
+            targeted_runs: num("targeted_runs") as u64,
+            target_hits: num("target_hits") as u64,
+            elapsed_ms: num("elapsed_ms"),
+            time_to_first_race_ms: doc.get("time_to_first_race_ms").and_then(Json::as_f64),
+        }
+    }
+
+    /// One-line progress rendering, used for the live farm ticker and the
+    /// `srr stats` farm section.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ttfr = match self.time_to_first_race_ms {
+            Some(ms) => format!("{ms:.0} ms"),
+            None => "-".to_owned(),
+        };
+        format!(
+            "workers {}  runs {}  {:.0} runs/sec  sigs {} ({} raw)  first race {}  targeted {}/{}",
+            self.workers,
+            self.runs,
+            self.runs_per_sec(),
+            self.distinct_signatures,
+            self.findings,
+            ttfr,
+            self.target_hits,
+            self.targeted_runs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_derivation_and_roundtrip() {
+        let c = FarmCounters {
+            workers: 4,
+            runs: 500,
+            shards: 10,
+            findings: 40,
+            distinct_signatures: 3,
+            targeted_runs: 16,
+            target_hits: 2,
+            elapsed_ms: 2_000.0,
+            time_to_first_race_ms: Some(130.5),
+        };
+        assert!((c.runs_per_sec() - 250.0).abs() < 1e-9);
+        let back = FarmCounters::from_json(&c.to_json());
+        assert_eq!(back, c);
+        let rendered = c.render();
+        assert!(rendered.contains("250 runs/sec"), "{rendered}");
+        assert!(rendered.contains("sigs 3"), "{rendered}");
+    }
+
+    #[test]
+    fn zero_time_and_missing_fields_are_safe() {
+        let c = FarmCounters::default();
+        assert_eq!(c.runs_per_sec(), 0.0);
+        assert!(c.render().contains("first race -"));
+        let sparse = Json::parse(r#"{"runs": 7}"#).unwrap();
+        let back = FarmCounters::from_json(&sparse);
+        assert_eq!(back.runs, 7);
+        assert_eq!(back.time_to_first_race_ms, None);
+    }
+}

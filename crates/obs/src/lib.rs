@@ -15,6 +15,7 @@
 mod chrome;
 mod diag;
 mod event;
+mod farm;
 mod hist;
 mod json;
 mod report;
@@ -23,6 +24,7 @@ mod ring;
 pub use chrome::{chrome_trace, text_timeline};
 pub use diag::{first_divergence, DesyncDiagnostics, TickDiff};
 pub use event::{EventKind, ObsEvent, ObsOp, StreamId, SysKind};
+pub use farm::FarmCounters;
 pub use hist::Histogram;
 pub use json::Json;
 pub use report::{ObsReport, StreamCounter, ThreadTrace};

@@ -47,7 +47,10 @@ use std::fmt;
 use srr_vclock::{Epoch, TidIndex, VectorClock};
 
 /// Whether an access reads or writes the location.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+///
+/// `Read < Write` (declaration order) — [`RaceSignature`] relies on the
+/// ordering to normalize unordered access-kind pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AccessKind {
     /// A plain load.
     Read,
@@ -196,6 +199,25 @@ pub struct RaceReport {
     pub current_kind: AccessKind,
 }
 
+impl RaceReport {
+    /// The report's corpus-stable identity: the detector's
+    /// `(location, pair, kind)` dedup key normalized for cross-run
+    /// comparison. Locations travel by registration label (raw
+    /// [`LocationId`]s are per-run), the thread pair is unordered, and so
+    /// is the access-kind pair — a read racing a prior write and a write
+    /// racing a prior read at the same site are the same bug.
+    #[must_use]
+    pub fn signature(&self) -> RaceSignature {
+        let (a, b) = (self.prior_epoch.tid(), self.current_tid);
+        let (ka, kb) = (self.prior_kind, self.current_kind);
+        RaceSignature {
+            label: self.label.clone(),
+            tids: (a.min(b), a.max(b)),
+            kinds: (ka.min(kb), ka.max(kb)),
+        }
+    }
+}
+
 impl fmt::Display for RaceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -203,6 +225,46 @@ impl fmt::Display for RaceReport {
             "data race on `{}`: {} by thread {} races with prior {} at {}",
             self.label, self.current_kind, self.current_tid, self.prior_kind, self.prior_epoch
         )
+    }
+}
+
+/// Normalized cross-run identity of a data race (see
+/// [`RaceReport::signature`]). Ordered and hashable so signature sets
+/// from different runs, seeds, and machines can be compared directly;
+/// the exploration corpus generalizes this key to deadlocks and desyncs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RaceSignature {
+    /// Label the location was registered with.
+    pub label: String,
+    /// Racing thread pair, normalized `min ≤ max`.
+    pub tids: (TidIndex, TidIndex),
+    /// Access kinds of the two sides, normalized `Read` before `Write`.
+    pub kinds: (AccessKind, AccessKind),
+}
+
+impl RaceSignature {
+    /// Compact single-token key: `label|t0,t1|rw` with `r`/`w` for the
+    /// normalized kinds.
+    #[must_use]
+    pub fn key(&self) -> String {
+        let k = |kind: AccessKind| match kind {
+            AccessKind::Read => 'r',
+            AccessKind::Write => 'w',
+        };
+        format!(
+            "{}|{},{}|{}{}",
+            self.label,
+            self.tids.0,
+            self.tids.1,
+            k(self.kinds.0),
+            k(self.kinds.1)
+        )
+    }
+}
+
+impl fmt::Display for RaceSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key())
     }
 }
 
@@ -408,6 +470,27 @@ mod tests {
         assert_eq!(r.current_tid, 1);
         assert_eq!(r.prior_kind, AccessKind::Write);
         assert_eq!(r.label, "x");
+    }
+
+    #[test]
+    fn signatures_normalize_pair_and_kind_order() {
+        // The same race seen from either side must produce one signature.
+        let mut det = RaceDetector::new();
+        let loc = det.register_location("x");
+        let cs = clocks(3);
+        det.on_access(loc, 2, &cs[2], AccessKind::Write);
+        det.on_access(loc, 0, &cs[0], AccessKind::Read);
+        let sig = det.reports()[0].signature();
+        assert_eq!(sig.tids, (0, 2), "unordered thread pair");
+        assert_eq!(sig.kinds, (AccessKind::Read, AccessKind::Write));
+        assert_eq!(sig.key(), "x|0,2|rw");
+        assert_eq!(sig.to_string(), sig.key());
+        // Mirror-image report (read first, racing write second).
+        let mut det2 = RaceDetector::new();
+        let loc2 = det2.register_location("x");
+        det2.on_access(loc2, 0, &cs[0], AccessKind::Read);
+        det2.on_access(loc2, 2, &cs[2], AccessKind::Write);
+        assert_eq!(det2.reports()[0].signature(), sig);
     }
 
     #[test]
