@@ -7,13 +7,14 @@
 //! srr replay    <workload> --demo DIR
 //! srr explore   <workload> [--runs N] [--workers N] [--strategies LIST]
 //!               [--shard N] [--corpus DIR] [--predict] [--json] [--out FILE]
-//!                                      # parallel race-hunting farm
+//!               [--metrics-out DIR]      # parallel race-hunting farm
 //! srr analyze   <workload> [--tool TOOL] [--seed N] [--json]  # offline sync analysis
 //! srr predict   <workload> [--seed N] [--json]   # predictive race detection
 //! srr lint-demo --demo DIR             # validate a serialized demo
 //! srr vet       <path>... [--allow FILE|none] [--json] [--out FILE]  # static soundness scan
-//! srr trace     <workload> [--demo DIR] [--ring N] [--out FILE]  # Chrome trace
-//! srr stats     <report.json> [--vet FILE]  # pretty-print a report (+ desync root causes)
+//! srr trace     <workload> [--demo DIR] [--ring N] [-o FILE]  # Chrome trace
+//! srr profile   <workload> --demo DIR [--json] [-o FILE] [--folded FILE]  # causal profiler
+//! srr stats     <report.json> [--vet FILE] [-o FILE]  # pretty-print a report
 //! ```
 //!
 //! Tools: native, tsan11, rr, tsan11+rr, rnd, queue, pct, delay.
@@ -41,7 +42,7 @@ use srr_explore::{
     run_farm, serve_worker, Corpus, ProcessSpawner, RaceTarget, ShardPlan, ShardRunner,
     ThreadSpawner,
 };
-use srr_obs::FarmCounters;
+use srr_obs::{FarmCounters, MetricsRegistry};
 use srr_predict::Classification;
 use srr_vet::Allowlist;
 use tsan11rec::obs::Json;
@@ -264,6 +265,8 @@ struct Args {
     strategies: Option<String>,
     shard: Option<u64>,
     predict: bool,
+    folded: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -284,7 +287,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|_| "bad --seed".to_owned())?,
                 );
             }
-            "--out" => args.out = Some(PathBuf::from(flag("--out")?)),
+            // `-o` is the one blessed short flag (shared by trace,
+            // profile and stats); it must match before the single-dash
+            // rejection below.
+            "--out" | "-o" => args.out = Some(PathBuf::from(flag("--out")?)),
             "--demo" => args.demo = Some(PathBuf::from(flag("--demo")?)),
             "--sparse" => args.sparse = Some(flag("--sparse")?),
             "--runs" => {
@@ -321,12 +327,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "--predict" => args.predict = true,
+            "--folded" => args.folded = Some(PathBuf::from(flag("--folded")?)),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(flag("--metrics-out")?)),
             // Any dash-prefixed token is a (mis)spelled flag, never a
             // workload name — `-seed` must not silently become a
             // positional and mask the user's intent.
             other if other.starts_with('-') => {
                 let valid = "--tool --seed --out --demo --sparse --runs --ring --allow --vet \
-                             --json --workers --corpus --strategies --shard --predict";
+                             --json --workers --corpus --strategies --shard --predict \
+                             --folded --metrics-out -o";
                 return Err(format!("unknown flag `{other}` (valid flags: {valid})"));
             }
             other => args.positional.push(other.to_owned()),
@@ -388,6 +397,41 @@ fn findings_exit(count: usize, noun: &str) -> u8 {
     EXIT_FINDINGS
 }
 
+/// Maps a demo's recorded strategy back to the tool that replays it —
+/// the one place the mapping lives (`replay`, `trace` and `profile` all
+/// route through here).
+fn tool_for_demo(demo: &Demo) -> Result<Tool, String> {
+    Ok(match demo.header.strategy.as_str() {
+        "random" => Tool::RndRec,
+        "queue" => Tool::QueueRec,
+        "slice" => Tool::Rr,
+        other => return Err(format!("demo has unknown strategy `{other}`")),
+    })
+}
+
+/// Writes a report file, mapping IO errors to the CLI error shape.
+fn write_output(path: &Path, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// The shared `-o/--out FILE` sink for report-producing commands
+/// (`trace` always names a file; `profile` and `stats` print to stdout
+/// unless one is given). File writes get a one-line stderr note so
+/// stdout stays clean either way.
+fn emit_report(out: Option<&Path>, what: &str, contents: &str) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            write_output(path, contents)?;
+            eprintln!("{what}: {}", path.display());
+            Ok(())
+        }
+        None => {
+            print!("{contents}");
+            Ok(())
+        }
+    }
+}
+
 fn usage() -> String {
     [
         "srr — sparse record/replay front end",
@@ -399,12 +443,14 @@ fn usage() -> String {
         "  srr replay    <workload> --demo DIR",
         "  srr explore   <workload> [--runs N] [--workers N] [--strategies LIST]",
         "                [--shard N] [--corpus DIR] [--predict] [--json] [--out FILE]",
+        "                [--metrics-out DIR]",
         "  srr analyze   <workload> [--tool TOOL] [--seed N] [--json]",
         "  srr predict   <workload> [--seed N] [--json]",
         "  srr lint-demo --demo DIR",
         "  srr vet       <path>... [--allow FILE|none] [--json] [--out FILE]",
-        "  srr trace     <workload> [--demo DIR] [--ring N] [--out FILE]",
-        "  srr stats     <report.json> [--vet FILE]",
+        "  srr trace     <workload> [--demo DIR] [--ring N] [-o FILE]",
+        "  srr profile   <workload> --demo DIR [--ring N] [--json] [-o FILE] [--folded FILE]",
+        "  srr stats     <report.json> [--vet FILE] [-o FILE]",
         "",
         "tools: native, tsan11, rr, tsan11+rr, rnd, queue, pct, delay",
         "sparse sets: default, games, none, comprehensive",
@@ -414,6 +460,15 @@ fn usage() -> String {
         "a corpus keyed by signature (smallest reproduction wins; --corpus persists",
         "it), and with --predict feeds `srr predict` candidates back as directed",
         "search targets. Exit 2 when distinct signatures were found.",
+        "",
+        "profile replays a recorded demo and walks the critical path backwards",
+        "through the sync trace, attributing every logical tick to a bucket: lock",
+        "wait/held time per lock site, condvar waits, join stalls, per-thread",
+        "on-CPU time. Bucket totals sum exactly to the replay's tick count and",
+        "`--json` output is byte-identical across runs of the same demo.",
+        "`--folded FILE` writes flamegraph-style folded stacks. `explore",
+        "--metrics-out DIR` snapshots the unified metrics registry once a second",
+        "and leaves metrics.json + metrics.prom behind.",
         "",
         "vet scans workload source for recording-soundness escapes (raw clocks,",
         "rogue threads, Wait/Tick misuse, address-as-value); --allow defaults to",
@@ -492,12 +547,7 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             let w = find_workload(name)?;
             let demo = Demo::load_dir(&dir).map_err(|e| format!("loading demo: {e}"))?;
             let strategy = demo.header.strategy.clone();
-            let tool = match strategy.as_str() {
-                "random" => Tool::RndRec,
-                "queue" => Tool::QueueRec,
-                "slice" => Tool::Rr,
-                other => return Err(format!("demo has unknown strategy `{other}`")),
-            };
+            let tool = tool_for_demo(&demo)?;
             let mut config = tool.config(demo.header.seeds);
             if let Some(s) = &args.sparse {
                 config = config.with_sparse(parse_sparse(s)?);
@@ -579,17 +629,41 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                     strategies.join(","),
                 );
             }
+            // The unified metrics plane: with `--metrics-out DIR` the
+            // ticker snapshots the registry once a second and the final
+            // counters land as metrics.json + metrics.prom.
+            let registry = MetricsRegistry::new();
+            let metrics_dir = args.metrics_out.clone();
+            if let Some(d) = &metrics_dir {
+                std::fs::create_dir_all(d).map_err(|e| format!("creating {}: {e}", d.display()))?;
+            }
             // Live progress to stderr, at most once a second — stdout
-            // stays clean for the report.
+            // stays clean for the report, and the `#` prefix marks the
+            // line as human chatter (the data travels via --metrics-out
+            // and the JSON report).
             let mut last_tick = std::time::Instant::now();
+            let mut snap_idx = 0u32;
+            let quiet = args.json;
             let mut ticker = |c: &FarmCounters| {
                 if last_tick.elapsed().as_secs_f64() >= 1.0 {
                     last_tick = std::time::Instant::now();
-                    eprintln!("{}", c.render());
+                    if !quiet {
+                        eprintln!("# {}", c.render());
+                    }
+                    if let Some(dir) = &metrics_dir {
+                        c.publish(&registry);
+                        snap_idx += 1;
+                        let path = dir.join(format!("snapshot_{snap_idx:04}.json"));
+                        let _ = std::fs::write(&path, registry.snapshot_json().to_pretty());
+                    }
                 }
             };
             let progress: Option<&mut dyn FnMut(&FarmCounters)> =
-                if args.json { None } else { Some(&mut ticker) };
+                if args.json && args.metrics_out.is_none() {
+                    None
+                } else {
+                    Some(&mut ticker)
+                };
 
             let outcome = if workers == 1 {
                 // In-process farm: the engine is single-threaded per
@@ -627,6 +701,15 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             }
             for e in &outcome.errors {
                 eprintln!("explore: {e}");
+            }
+            if let Some(dir) = &args.metrics_out {
+                outcome.counters.publish(&registry);
+                write_output(
+                    &dir.join("metrics.json"),
+                    &registry.snapshot_json().to_pretty(),
+                )?;
+                write_output(&dir.join("metrics.prom"), &registry.prometheus_text())?;
+                eprintln!("# metrics: {}", dir.display());
             }
 
             let doc = explore_json(w.name, &strategies, &outcome.counters, &corpus);
@@ -934,12 +1017,7 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             let setup = w.setup;
             let report = if let Some(dir) = &args.demo {
                 let demo = Demo::load_dir(dir).map_err(|e| format!("loading demo: {e}"))?;
-                let tool = match demo.header.strategy.as_str() {
-                    "random" => Tool::RndRec,
-                    "queue" => Tool::QueueRec,
-                    "slice" => Tool::Rr,
-                    other => return Err(format!("demo has unknown strategy `{other}`")),
-                };
+                let tool = tool_for_demo(&demo)?;
                 let mut config = tool.config(demo.header.seeds);
                 if let Some(sp) = &args.sparse {
                     config = config.with_sparse(parse_sparse(sp)?);
@@ -970,8 +1048,7 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             if let (Some(diag), Json::Obj(fields)) = (&report.obs.desync, &mut trace) {
                 fields.push(("desync".to_owned(), diag.to_json()));
             }
-            std::fs::write(&out, trace.to_pretty())
-                .map_err(|e| format!("writing {}: {e}", out.display()))?;
+            write_output(&out, &trace.to_pretty())?;
             println!("outcome:      {:?}", report.outcome);
             println!("tick latency: {}", report.obs.tick_latency.summary());
             println!("run lengths:  {}", report.obs.run_lengths.summary());
@@ -996,6 +1073,68 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             println!("chrome trace: {} ({events} events)", out.display());
             Ok(EXIT_OK)
         }
+        "profile" => {
+            use std::fmt::Write as _;
+            let name = args.positional.first().ok_or("profile needs a workload")?;
+            let w = find_workload(name)?;
+            let dir = args
+                .demo
+                .clone()
+                .ok_or("profile needs --demo DIR (record one with `srr record`)")?;
+            let demo = Demo::load_dir(&dir).map_err(|e| format!("loading demo: {e}"))?;
+            let tool = tool_for_demo(&demo)?;
+            let mut config = tool.config(demo.header.seeds);
+            if let Some(sp) = &args.sparse {
+                config = config.with_sparse(parse_sparse(sp)?);
+            }
+            let spec = TraceSpec::new().with_ring_capacity(args.ring.unwrap_or(256));
+            let setup = w.setup;
+            let report = Execution::new(
+                config
+                    .with_trace(spec)
+                    .with_schedule_trace()
+                    .with_sync_trace(),
+            )
+            .setup(setup)
+            .replay(&demo, w.program);
+            if let Some(diag) = &report.obs.desync {
+                eprintln!(
+                    "warning: replay desynced — profile covers the ticks before divergence\n{}",
+                    diag.render()
+                );
+            }
+            let prof = srr_obs::profile(&report.profile_input());
+            if let Some(folded) = &args.folded {
+                write_output(folded, &prof.folded_stacks())?;
+                eprintln!("folded stacks: {}", folded.display());
+            }
+            let contents = if args.json {
+                // The JSON document is purely logical (ticks and sync
+                // structure, never wall time): the same demo profiles to
+                // byte-identical output on every run.
+                format!("{}\n", prof.to_json().to_pretty())
+            } else {
+                let mut text = String::new();
+                let _ = writeln!(
+                    text,
+                    "profiling `{}` replaying {} ({} demo)",
+                    w.name,
+                    dir.display(),
+                    demo.header.strategy,
+                );
+                text.push_str(&prof.render_text());
+                let _ = writeln!(
+                    text,
+                    "exact: bucket totals sum to {} of {} replay tick(s)",
+                    prof.attributed_ticks(),
+                    prof.total_ticks,
+                );
+                let _ = writeln!(text, "tick latency: {}", report.obs.tick_latency.summary());
+                text
+            };
+            emit_report(args.out.as_deref(), "profile", &contents)?;
+            Ok(EXIT_OK)
+        }
         "stats" => {
             let path = args
                 .positional
@@ -1003,6 +1142,13 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                 .ok_or("stats needs a report path (BENCH_*.json or trace_*.json)")?;
             let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let doc = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            // The whole report accumulates here so `-o FILE` captures it
+            // verbatim; without `-o` it lands on stdout unchanged.
+            use std::fmt::Write as _;
+            let mut buf = String::new();
+            macro_rules! statln {
+                ($($t:tt)*) => {{ let _ = writeln!(buf, $($t)*); }}
+            }
             let str_of =
                 |v: &Json, k: &str| v.get(k).and_then(Json::as_str).unwrap_or("-").to_owned();
             let num_of = |v: &Json, k: &str| v.get(k).and_then(Json::as_f64);
@@ -1010,7 +1156,7 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             // trace file passed for `--vet` analysis gets no empty table.
             let is_bench = doc.get("rows").is_some() || doc.get("table").is_some();
             if is_bench {
-                println!(
+                statln!(
                     "{} — {} (quick: {}, runs: {}, scale: {})",
                     str_of(&doc, "table"),
                     str_of(&doc, "title"),
@@ -1053,7 +1199,7 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                         num_of(row, "async_entries").unwrap_or(0.0),
                     ));
                 }
-                println!("{line}");
+                statln!("{line}");
             }
             // Top-level counters some tables attach as notes (race
             // suppression, prediction outcomes).
@@ -1073,18 +1219,18 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                 }
             }
             if !extras.is_empty() {
-                println!("totals: {}", extras.join(", "));
+                statln!("totals: {}", extras.join(", "));
             }
             if is_bench {
-                println!("{} row(s)", rows.len());
+                statln!("{} row(s)", rows.len());
             }
             // Exploration-farm documents (`srr explore --out`): render
             // the counters and the deduplicated signature corpus.
             if let Some(farm) = doc.get("farm") {
-                println!("farm: {}", FarmCounters::from_json(farm).render());
+                statln!("farm: {}", FarmCounters::from_json(farm).render());
             }
             if let Some(sigs) = doc.get("signatures").and_then(Json::as_array) {
-                println!("{} distinct signature(s):", sigs.len());
+                statln!("{} distinct signature(s):", sigs.len());
                 for s in sigs {
                     let mut line = format!(
                         "  {}({})  strategy={} seed={}",
@@ -1096,7 +1242,7 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                     if let Some(b) = num_of(s, "demo_bytes") {
                         line.push_str(&format!(" demo={b:.0}B"));
                     }
-                    println!("{line}");
+                    statln!("{line}");
                 }
             }
             // Desync ↔ escape-map cross-link: only when the document
@@ -1108,6 +1254,7 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                     eprintln!(
                         "no desync recorded in {path} — vet cross-link skipped (replay was clean?)"
                     );
+                    emit_report(args.out.as_deref(), "stats", &buf)?;
                     return Ok(EXIT_OK);
                 };
                 let vet_text = std::fs::read_to_string(vet_path)
@@ -1120,21 +1267,21 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                     .and_then(Json::as_str)
                     .unwrap_or("?")
                     .to_owned();
-                println!(
+                statln!(
                     "--- desync root causes (stream {stream} @ entry {}, constraint `{}`) ---",
                     num_of(desync, "offset").unwrap_or(0.0),
                     str_of(desync, "constraint"),
                 );
                 let ranked = srr_vet::rank_desync_causes(&stream, &escapes);
                 if ranked.is_empty() {
-                    println!(
+                    statln!(
                         "no static escape implicates {stream}; the cause is outside the vetted \
                          source ({} escape(s) in the map)",
                         escapes.len()
                     );
                 } else {
                     for r in &ranked {
-                        println!(
+                        statln!(
                             "  [{}] {}",
                             if r.score == 2 { "primary" } else { "secondary" },
                             r.finding
@@ -1142,11 +1289,12 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                     }
                 }
             } else if desync.is_some() {
-                println!(
+                statln!(
                     "desync diagnostics present — pass `--vet vet.json` (from `srr vet --json`) \
                      to rank root causes"
                 );
             }
+            emit_report(args.out.as_deref(), "stats", &buf)?;
             Ok(EXIT_OK)
         }
         other => Err(format!(
@@ -1190,6 +1338,26 @@ mod tests {
         assert!(!a.json);
         let j = parse_args(&argv(&["hidden_handoff", "--json"])).unwrap();
         assert!(j.json);
+    }
+
+    #[test]
+    fn parse_args_short_out_alias_and_profile_flags() {
+        // `-o` is an alias for `--out`, shared by trace/profile/stats.
+        let a = parse_args(&argv(&[
+            "httpd",
+            "-o",
+            "/tmp/report.txt",
+            "--folded",
+            "/tmp/prof.folded",
+            "--metrics-out",
+            "/tmp/metrics",
+        ]))
+        .unwrap();
+        assert_eq!(a.out.as_deref(), Some(Path::new("/tmp/report.txt")));
+        assert_eq!(a.folded.as_deref(), Some(Path::new("/tmp/prof.folded")));
+        assert_eq!(a.metrics_out.as_deref(), Some(Path::new("/tmp/metrics")));
+        // `-o` still needs a value.
+        assert!(parse_args(&argv(&["httpd", "-o"])).is_err());
     }
 
     #[test]

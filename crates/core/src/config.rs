@@ -1,9 +1,10 @@
 //! Tool configuration: modes, strategies and the sparse recording set.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Duration;
 
-use srr_obs::TraceSpec;
+use srr_obs::{MetricsRegistry, TraceSpec};
 
 /// Scheduling strategy for controlled modes (§3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -266,6 +267,10 @@ pub struct Config {
     /// `ExecReport::race_target_hit` is set — how witness replays confirm
     /// a predicted race fired at the predicted pair.
     pub race_target: Option<(String, u32, u32)>,
+    /// The unified metrics plane (`srr-obs::metrics`). When set, the
+    /// scheduler, the vOS and the demo-stream accounting publish named
+    /// counters here; `None` (the default) skips registration entirely.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Config {
@@ -287,6 +292,7 @@ impl Config {
             trace: None,
             trace_access: false,
             race_target: None,
+            metrics: None,
         }
     }
 
@@ -370,6 +376,15 @@ impl Config {
     pub fn with_access_trace(mut self) -> Self {
         self.trace_sync = true;
         self.trace_access = true;
+        self
+    }
+
+    /// Attaches the unified metrics plane: scheduler wakeup/stall
+    /// counters, per-stream demo bytes and vOS totals are published onto
+    /// `registry` during the run.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
         self
     }
 

@@ -171,6 +171,7 @@ impl Execution {
         let trace_schedule = config.trace_schedule;
         let trace_sync = config.trace_sync;
         let race_target = config.race_target.clone();
+        let metrics = config.metrics.clone();
         let rt = Runtime::new(config, Arc::clone(&vos), seeds);
         if let Some((label, a, b)) = &race_target {
             rt.racedet
@@ -182,6 +183,11 @@ impl Execution {
         }
         if trace_sync && rt.mode().is_controlled() {
             rt.enable_sync_trace();
+        }
+        if let Some(reg) = &metrics {
+            if rt.mode().is_controlled() {
+                rt.sched().enable_metrics(reg);
+            }
         }
 
         match (&rec_mode, demo) {
@@ -340,6 +346,17 @@ impl Execution {
                 .unwrap_or_default(),
             obs: obs_report,
         };
+        if let Some(reg) = &metrics {
+            vos.publish_metrics(reg);
+            reg.gauge("run_ticks").set(report.ticks);
+            reg.gauge("run_visible_ops").set(report.visible_ops);
+            for s in &report.obs.streams {
+                reg.gauge(&format!("vos_stream_entries{{stream=\"{}\"}}", s.stream))
+                    .set(s.entries);
+                reg.gauge(&format!("vos_stream_bytes{{stream=\"{}\"}}", s.stream))
+                    .set(s.bytes);
+            }
+        }
         (report, produced_demo)
     }
 }

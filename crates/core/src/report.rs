@@ -179,6 +179,73 @@ impl ExecReport {
             .collect()
     }
 
+    /// The profiler's view of this run: the completed-tick schedule
+    /// (from the schedule trace) plus the critical-section-stamped sync
+    /// events, in logical time only. Feed to [`srr_obs::profile`].
+    /// Requires the run to have used `with_schedule_trace` and
+    /// `with_sync_trace`; with either off the input (and the resulting
+    /// profile) is empty.
+    #[must_use]
+    pub fn profile_input(&self) -> srr_obs::ProfileInput {
+        use srr_analysis::SyncEvent;
+        use srr_obs::ProfileEvent;
+        let mut events = Vec::with_capacity(self.sync_trace.events.len());
+        let mut mutexes = std::collections::BTreeSet::new();
+        for ev in &self.sync_trace.events {
+            match *ev {
+                SyncEvent::MutexRequest { tid, mutex, tick } => {
+                    mutexes.insert(mutex);
+                    events.push(ProfileEvent::MutexRequest { tid, mutex, tick });
+                }
+                SyncEvent::MutexAcquire { tid, mutex, tick } => {
+                    mutexes.insert(mutex);
+                    events.push(ProfileEvent::MutexAcquire { tid, mutex, tick });
+                }
+                SyncEvent::MutexRelease { tid, mutex, tick } => {
+                    mutexes.insert(mutex);
+                    events.push(ProfileEvent::MutexRelease { tid, mutex, tick });
+                }
+                SyncEvent::CondWaitBegin {
+                    tid, cond, tick, ..
+                } => events.push(ProfileEvent::CondWaitBegin { tid, cond, tick }),
+                SyncEvent::CondNotify { cond, tick, .. } => {
+                    events.push(ProfileEvent::CondNotify { cond, tick });
+                }
+                SyncEvent::ThreadSpawn { child, tick, .. } => {
+                    events.push(ProfileEvent::ThreadSpawn { child, tick });
+                }
+                SyncEvent::ThreadJoined {
+                    tid,
+                    target,
+                    tick,
+                    done,
+                } => events.push(ProfileEvent::ThreadJoin {
+                    tid,
+                    target,
+                    tick,
+                    done,
+                }),
+                // CondWaitReturn is stamped outside the critical section
+                // (its tick can vary between replays); atomics and plain
+                // accesses carry no blocking information. Neither feeds
+                // the tick arithmetic.
+                _ => {}
+            }
+        }
+        srr_obs::ProfileInput {
+            schedule: self
+                .tick_trace()
+                .into_iter()
+                .map(|(tid, tick)| (tick, tid))
+                .collect(),
+            events,
+            mutex_labels: mutexes
+                .into_iter()
+                .map(|m| (m, self.sync_trace.mutex_label(m)))
+                .collect(),
+        }
+    }
+
     /// Whether any data race was detected.
     #[must_use]
     pub fn racy(&self) -> bool {

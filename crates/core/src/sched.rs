@@ -194,6 +194,18 @@ struct SchedState {
     /// `Option` check. `Obs` takes no locks besides its own, so it is a
     /// safe leaf under the scheduler mutex.
     obs: Option<Arc<Obs>>,
+    /// Handles onto the unified metrics plane (`Config::with_metrics`).
+    /// Pre-registered at enable time so the hot path is one `Option`
+    /// check plus a relaxed atomic bump — no registry lock.
+    metrics: Option<SchedMetrics>,
+}
+
+/// Scheduler counters mirrored onto the metrics registry.
+struct SchedMetrics {
+    wakeups: srr_obs::Counter,
+    broadcasts: srr_obs::Counter,
+    spurious: srr_obs::Counter,
+    stalls: srr_obs::Counter,
 }
 
 /// The controlled scheduler shared by all threads of one execution.
@@ -250,6 +262,7 @@ impl Scheduler {
                 broadcasts: 0,
                 spurious_wakeups: 0,
                 obs: None,
+                metrics: None,
             }),
         }
     }
@@ -267,6 +280,18 @@ impl Scheduler {
     /// Attaches the structured observability collector.
     pub fn enable_obs(&self, obs: Arc<Obs>) {
         self.state.lock().obs = Some(obs);
+    }
+
+    /// Mirrors the scheduler counters onto the unified metrics plane.
+    /// Handles are registered once here; bumping them afterwards is a
+    /// single relaxed atomic op under the scheduler mutex.
+    pub fn enable_metrics(&self, registry: &srr_obs::MetricsRegistry) {
+        self.state.lock().metrics = Some(SchedMetrics {
+            wakeups: registry.counter("sched_wakeups_total"),
+            broadcasts: registry.counter("sched_broadcasts_total"),
+            spurious: registry.counter("sched_spurious_wakeups_total"),
+            stalls: registry.counter("sched_replay_stalls_total"),
+        });
     }
 
     /// The collected schedule trace, if tracing was enabled.
@@ -335,6 +360,9 @@ impl Scheduler {
             }
             if slept {
                 g.spurious_wakeups += 1;
+                if let Some(m) = &g.metrics {
+                    m.spurious.inc();
+                }
             }
             g.threads[tid.index()].in_wait = true;
             g.in_wait_count += 1;
@@ -524,6 +552,9 @@ impl Scheduler {
             }
             if slept {
                 g.spurious_wakeups += 1;
+                if let Some(m) = &g.metrics {
+                    m.spurious.inc();
+                }
             }
             g.threads[tid.index()].in_wait = true;
             g.in_wait_count += 1;
@@ -1102,6 +1133,9 @@ impl SchedState {
         if let Some(t) = target {
             if self.threads[t.index()].in_wait {
                 self.wakeups_issued += 1;
+                if let Some(m) = &self.metrics {
+                    m.wakeups.inc();
+                }
                 if let Some(obs) = &self.obs {
                     obs.sched_event(t.0, self.tick, EventKind::Wakeup { target: t.0 });
                 }
@@ -1114,6 +1148,9 @@ impl SchedState {
     /// parked threads must observe (execution failure, replay stall).
     fn wake_all(&mut self) {
         self.broadcasts += 1;
+        if let Some(m) = &self.metrics {
+            m.broadcasts.inc();
+        }
         if let Some(obs) = &self.obs {
             obs.sched_event(u32::MAX, self.tick, EventKind::Broadcast);
         }
@@ -1162,6 +1199,9 @@ impl SchedState {
                     )
                 })
                 .collect();
+            if let Some(m) = &self.metrics {
+                m.stalls.inc();
+            }
             if let Some(obs) = &self.obs {
                 obs.sched_event(u32::MAX, self.tick, EventKind::Desync);
             }

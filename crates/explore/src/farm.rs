@@ -75,8 +75,12 @@ pub trait WorkerSpawner {
 // Process transport
 // ---------------------------------------------------------------------
 
-/// Spawns one OS process per worker; `make(index)` builds the command
-/// (stdin/stdout are taken over by the protocol, stderr is inherited).
+/// Spawns one OS process per worker; `make(index)` builds the command.
+/// stdin/stdout are taken over by the TASK/FIND protocol; stderr is
+/// piped through a forwarder thread that re-emits every line onto the
+/// orchestrator's stderr prefixed with `# [wN] `, so worker diagnostics
+/// can never interleave with protocol lines or be mistaken for the
+/// farm's own telemetry (which also uses the `# ` prefix).
 pub struct ProcessSpawner<F: Fn(usize) -> std::process::Command> {
     /// Builds the worker command for a pool index.
     pub make: F,
@@ -86,6 +90,7 @@ struct ProcessHandle {
     stdin: Option<std::process::ChildStdin>,
     child: std::process::Child,
     reader: Option<std::thread::JoinHandle<()>>,
+    stderr_reader: Option<std::thread::JoinHandle<()>>,
 }
 
 impl WorkerHandle for ProcessHandle {
@@ -104,6 +109,9 @@ impl WorkerHandle for ProcessHandle {
         if let Some(reader) = self.reader.take() {
             let _ = reader.join();
         }
+        if let Some(reader) = self.stderr_reader.take() {
+            let _ = reader.join();
+        }
     }
 }
 
@@ -115,12 +123,23 @@ impl<F: Fn(usize) -> std::process::Command> WorkerSpawner for ProcessSpawner<F> 
     ) -> io::Result<Box<dyn WorkerHandle>> {
         let mut cmd = (self.make)(index);
         cmd.stdin(std::process::Stdio::piped())
-            .stdout(std::process::Stdio::piped());
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped());
         let mut child = cmd.spawn()?;
         let stdout = child
             .stdout
             .take()
             .ok_or_else(|| io::Error::other("no child stdout"))?;
+        let stderr_reader = child.stderr.take().map(|stderr| {
+            std::thread::spawn(move || {
+                for line in BufReader::new(stderr).lines() {
+                    match line {
+                        Ok(line) => eprintln!("# [w{index}] {line}"),
+                        Err(_) => break,
+                    }
+                }
+            })
+        });
         let reader = std::thread::spawn(move || {
             for line in BufReader::new(stdout).lines() {
                 match line {
@@ -138,6 +157,7 @@ impl<F: Fn(usize) -> std::process::Command> WorkerSpawner for ProcessSpawner<F> 
             stdin: child.stdin.take(),
             child,
             reader: Some(reader),
+            stderr_reader,
         }))
     }
 }

@@ -133,10 +133,56 @@ pub fn chrome_trace(report: &ObsReport) -> Json {
             events.push(rec);
         }
     }
+    events.extend(counter_tracks(report, sched_tid));
     Json::Obj(vec![
         ("traceEvents".to_owned(), Json::Arr(events)),
         ("displayTimeUnit".to_owned(), Json::Str("ms".to_owned())),
     ])
+}
+
+/// `"C"` counter records derived purely from the retained tick order, so
+/// they share the export's determinism guarantee: a stacked
+/// `sched.ticks` series (cumulative ticks per thread) and a
+/// `sched.run_length` series (current consecutive-run length), one
+/// sample per retained tick.
+fn counter_tracks(report: &ObsReport, sched_tid: u32) -> Vec<Json> {
+    let order = report.tick_order();
+    if order.is_empty() {
+        return Vec::new();
+    }
+    let mut cum: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    let mut out = Vec::with_capacity(order.len() * 2);
+    let mut run_tid = None;
+    let mut run_len = 0u64;
+    for &(tid, tick) in &order {
+        *cum.entry(tid).or_insert(0) += 1;
+        run_len = if run_tid == Some(tid) { run_len + 1 } else { 1 };
+        run_tid = Some(tid);
+        out.push(obj(vec![
+            ("ph", Json::Str("C".into())),
+            ("name", Json::Str("sched.ticks".into())),
+            ("pid", num(1)),
+            ("tid", num(u64::from(sched_tid))),
+            ("ts", num(tick)),
+            (
+                "args",
+                Json::Obj(
+                    cum.iter()
+                        .map(|(t, n)| (format!("T{t}"), num(*n)))
+                        .collect(),
+                ),
+            ),
+        ]));
+        out.push(obj(vec![
+            ("ph", Json::Str("C".into())),
+            ("name", Json::Str("sched.run_length".into())),
+            ("pid", num(1)),
+            ("tid", num(u64::from(sched_tid))),
+            ("ts", num(tick)),
+            ("args", obj(vec![("run", num(run_len))])),
+        ]));
+    }
+    out
 }
 
 fn describe(ev: &ObsEvent) -> String {
@@ -230,9 +276,21 @@ mod tests {
     fn chrome_trace_has_tracks_and_slices() {
         let json = chrome_trace(&sample_report());
         let events = json.get("traceEvents").and_then(Json::as_array).unwrap();
-        // 2 metadata (T0 + scheduler) + 1 slice; the wakeup is a timing
-        // artifact and must NOT export.
-        assert_eq!(events.len(), 3);
+        // 2 metadata (T0 + scheduler) + 1 slice + 2 counter samples for
+        // the one retained tick; the wakeup is a timing artifact and
+        // must NOT export.
+        assert_eq!(events.len(), 5);
+        let counters: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        assert!(counters
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("sched.ticks")));
+        assert!(counters
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("sched.run_length")));
         assert!(
             !events
                 .iter()

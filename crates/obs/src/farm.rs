@@ -9,6 +9,7 @@
 //! and render back out of either document in `srr stats`.
 
 use crate::json::Json;
+use crate::metrics::MetricsRegistry;
 
 /// Aggregated progress of one exploration-farm session.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -93,6 +94,27 @@ impl FarmCounters {
         }
     }
 
+    /// Publishes the counters onto the unified metrics plane (gauges for
+    /// the levels — each publish replaces the last — so periodic
+    /// snapshots track farm progress without double counting).
+    pub fn publish(&self, registry: &MetricsRegistry) {
+        registry.gauge("farm_workers").set(self.workers);
+        registry.gauge("farm_runs").set(self.runs);
+        registry.gauge("farm_shards").set(self.shards);
+        registry.gauge("farm_findings").set(self.findings);
+        registry
+            .gauge("farm_distinct_signatures")
+            .set(self.distinct_signatures);
+        registry.gauge("farm_targeted_runs").set(self.targeted_runs);
+        registry.gauge("farm_target_hits").set(self.target_hits);
+        registry
+            .gauge("farm_elapsed_ms")
+            .set(self.elapsed_ms as u64);
+        if let Some(ms) = self.time_to_first_race_ms {
+            registry.gauge("farm_time_to_first_race_ms").set(ms as u64);
+        }
+    }
+
     /// One-line progress rendering, used for the live farm ticker and the
     /// `srr stats` farm section.
     #[must_use]
@@ -138,6 +160,24 @@ mod tests {
         let rendered = c.render();
         assert!(rendered.contains("250 runs/sec"), "{rendered}");
         assert!(rendered.contains("sigs 3"), "{rendered}");
+    }
+
+    #[test]
+    fn publish_sets_gauges() {
+        let reg = MetricsRegistry::new();
+        let c = FarmCounters {
+            workers: 2,
+            runs: 9,
+            time_to_first_race_ms: Some(42.7),
+            ..FarmCounters::default()
+        };
+        c.publish(&reg);
+        assert_eq!(reg.gauge("farm_workers").get(), 2);
+        assert_eq!(reg.gauge("farm_runs").get(), 9);
+        assert_eq!(reg.gauge("farm_time_to_first_race_ms").get(), 42);
+        // Re-publishing replaces levels rather than accumulating.
+        c.publish(&reg);
+        assert_eq!(reg.gauge("farm_runs").get(), 9);
     }
 
     #[test]

@@ -49,6 +49,24 @@ impl Histogram {
         Histogram::default()
     }
 
+    /// Rebuilds a histogram from raw parts (the atomic metrics mirror).
+    /// `min` uses the `u64::MAX`-when-empty sentinel.
+    pub(crate) fn from_parts(
+        buckets: [u64; BUCKETS],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
         self.buckets[bucket_of(v)] += 1;
@@ -116,6 +134,29 @@ impl Histogram {
         self.max
     }
 
+    /// Folds `other` into `self` (bucket-wise add; sum saturates like
+    /// [`Histogram::record`]). Merging is associative and commutative, so
+    /// per-shard histograms can be combined in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*n);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        // `min` keeps the empty sentinel (u64::MAX) unless `other` has
+        // samples; `min()`/`max()` already guard the empty case.
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Raw bucket counts (bucket `b` covers `[2^(b-1), 2^b)`).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
     /// A one-line summary: `count / mean / p50 / p99 / max`.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -164,6 +205,30 @@ mod tests {
         assert_eq!(h.percentile(0.5), 4);
         // p100 clamps to the observed max.
         assert_eq!(h.percentile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_combines_and_keeps_empty_sentinel() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(3);
+        a.record(100);
+        b.record(1);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.min(), 1);
+        assert_eq!(merged.max(), 100);
+        assert_eq!(merged.sum(), 104);
+        // Merging an empty histogram changes nothing (identity element).
+        let before = format!("{a:?}");
+        a.merge(&Histogram::new());
+        assert_eq!(format!("{a:?}"), before);
+        // Empty-into-empty keeps min()/max() reporting 0.
+        let mut e = Histogram::new();
+        e.merge(&Histogram::new());
+        assert_eq!(e.min(), 0);
+        assert_eq!(e.max(), 0);
     }
 
     #[test]

@@ -18,6 +18,8 @@ mod event;
 mod farm;
 mod hist;
 mod json;
+pub mod metrics;
+pub mod profile;
 mod report;
 mod ring;
 
@@ -27,6 +29,8 @@ pub use event::{EventKind, ObsEvent, ObsOp, StreamId, SysKind};
 pub use farm::FarmCounters;
 pub use hist::Histogram;
 pub use json::Json;
+pub use metrics::{Counter, Gauge, MetricHistogram, MetricsRegistry};
+pub use profile::{profile, BucketRow, ProfileEvent, ProfileInput, ProfileReport};
 pub use report::{ObsReport, StreamCounter, ThreadTrace};
 pub use ring::EventRing;
 

@@ -131,6 +131,30 @@ impl PredictReport {
     pub fn hidden_count(&self) -> usize {
         self.races.iter().filter(|r| r.hidden).count()
     }
+
+    /// Publishes the prediction totals onto the unified metrics plane
+    /// (gauges: a re-publish after `classify_with` replaces the
+    /// pre-replay grades).
+    pub fn publish_metrics(&self, registry: &srr_obs::MetricsRegistry) {
+        registry
+            .gauge("predict_candidates")
+            .set(self.races.len() as u64);
+        registry
+            .gauge("predict_confirmed")
+            .set(self.count(Classification::Confirmed) as u64);
+        registry
+            .gauge("predict_unconfirmed")
+            .set(self.count(Classification::Unconfirmed) as u64);
+        registry
+            .gauge("predict_infeasible")
+            .set(self.count(Classification::Infeasible) as u64);
+        registry
+            .gauge("predict_hidden")
+            .set(self.hidden_count() as u64);
+        registry
+            .gauge("predict_witnesses")
+            .set(self.races.iter().filter(|r| r.witness.is_some()).count() as u64);
+    }
 }
 
 /// Runs prediction and witness synthesis (steps 1–3) over a recording.

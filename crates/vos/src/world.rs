@@ -265,6 +265,28 @@ impl Vos {
         self.inner.lock().console.clone()
     }
 
+    /// Publishes the vOS totals onto the unified metrics plane:
+    /// syscalls issued, console bytes written, GPU frames presented and
+    /// per-peer traffic. Levels go to gauges so repeated publishes
+    /// (periodic snapshots) replace rather than accumulate.
+    pub fn publish_metrics(&self, registry: &srr_obs::MetricsRegistry) {
+        let (syscalls, console_bytes) = {
+            let inner = self.inner.lock();
+            (inner.syscall_count, inner.console.len() as u64)
+        };
+        registry.gauge("vos_syscalls").set(syscalls);
+        registry.gauge("vos_console_bytes").set(console_bytes);
+        registry.gauge("vos_gpu_frames").set(self.gpu_frames());
+        for (i, p) in self.peer_summaries().iter().enumerate() {
+            registry
+                .gauge(&format!("vos_peer_bytes_rx{{peer=\"{i}\"}}"))
+                .set(p.bytes_rx);
+            registry
+                .gauge(&format!("vos_peer_bytes_tx{{peer=\"{i}\"}}"))
+                .set(p.bytes_tx);
+        }
+    }
+
     /// Per-connection traffic summaries, in connection order.
     #[must_use]
     pub fn peer_summaries(&self) -> Vec<PeerSummary> {
