@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# CI plan smoke: run the static sparsification planner over the hazard
+# corpus and diff the classified sites against the committed golden —
+# if a known Conflict disappears the planner would silently stop
+# recording a real hazard; if a Local/Guarded site flips to Conflict the
+# sparsification regressed. Then assert the end-to-end contract the plan
+# exists for: `srr predict --plan` must grade hidden_handoff identically
+# to the unplanned run while recording a strictly sparser trace, and the
+# plan bench stays within the committed baseline (the event counts are
+# deterministic, so the gate is exact).
+#
+# Regenerate the golden after an intentional planner change with:
+#     UPDATE_GOLDEN=1 ci/check_plan.sh
+#
+# Usage: ci/check_plan.sh [threshold]   (default 0.25 = ±25%; the gated
+# rows are deterministic counts, so the threshold only pads file drift)
+set -euo pipefail
+. "$(dirname "$0")/lib.sh"
+
+THRESHOLD="${1:-0.25}"
+EXPECTED=ci/plan_expected.txt
+OUT="$(tmpfile)"
+ACTUAL="$(tmpfile)"
+
+section "srr plan crates/apps/src/hazards.rs (classification golden)"
+got=0
+srr plan crates/apps/src/hazards.rs --allow none >"$OUT" 2>/dev/null || got=$?
+[ "$got" -eq 2 ] || fail "plan exited $got, expected 2 (hazard conflicts unflagged?)"
+# Normalize: strip line:col so refactors that only move code do not
+# churn the golden — the labels, classes and counts are the contract.
+{
+  grep -E '^\[' "$OUT" | sed -E 's#[^ ]*/hazards\.rs:[0-9]+:[0-9]+#hazards.rs#'
+  grep -E '^scanned ' "$OUT"
+} >"$ACTUAL"
+
+if [ "${UPDATE_GOLDEN:-0}" = "1" ]; then
+  cp "$ACTUAL" "$EXPECTED"
+  echo "regenerated $EXPECTED"
+fi
+if ! diff -u "$EXPECTED" "$ACTUAL"; then
+  fail "plan classifications drifted from $EXPECTED (UPDATE_GOLDEN=1 to regenerate)"
+fi
+
+section "predict --plan equivalence (hidden_handoff)"
+PLANFILE="$(tmpfile)"
+got=0
+srr plan crates/apps/src/hazards.rs --allow none --out "$PLANFILE" >/dev/null 2>&1 || got=$?
+[ "$got" -eq 2 ] || fail "plan --out exited $got, expected 2"
+BASE="$(tmpfile)"
+PLANNED="$(tmpfile)"
+got=0
+srr predict hidden_handoff --json --seed 7 >"$BASE" 2>/dev/null || got=$?
+[ "$got" -eq 2 ] || fail "predict exited $got, expected 2"
+got=0
+srr predict hidden_handoff --json --seed 7 --plan "$PLANFILE" >"$PLANNED" 2>/dev/null || got=$?
+[ "$got" -eq 2 ] || fail "predict --plan exited $got, expected 2"
+# The sparse recording must not change a single grade.
+norm() { grep -E '"(candidates|confirmed|unconfirmed|infeasible|classification)"' "$1"; }
+if ! diff -u <(norm "$BASE") <(norm "$PLANNED"); then
+  fail "plan-pruned prediction graded differently from the full run"
+fi
+# And the trace really was sparser: filtered events is a positive count.
+grep -qE '"plan_filtered_events": [1-9]' "$PLANNED" ||
+  fail "predict --plan filtered no plain events (plan not armed?)"
+
+section "bench plan (--quick) + baseline gate"
+cargo bench -p srr-bench --bench plan -- --quick
+cargo run --release -p srr-bench --bin check_bench -- \
+  --threshold "$THRESHOLD" bench/baseline.json BENCH_plan.json
+
+echo "plan smoke OK"

@@ -9,9 +9,10 @@
 //!               [--shard N] [--corpus DIR] [--predict] [--json] [--out FILE]
 //!               [--metrics-out DIR]      # parallel race-hunting farm
 //! srr analyze   <workload> [--tool TOOL] [--seed N] [--json]  # offline sync analysis
-//! srr predict   <workload> [--seed N] [--json]   # predictive race detection
+//! srr predict   <workload> [--seed N] [--plan FILE] [--json]  # predictive race detection
 //! srr lint-demo --demo DIR             # validate a serialized demo
 //! srr vet       <path>... [--allow FILE|none] [--json] [--out FILE]  # static soundness scan
+//! srr plan      <path>... [--allow FILE|none] [--json] [--out FILE]  # static sparsification plan
 //! srr trace     <workload> [--demo DIR] [--ring N] [-o FILE]  # Chrome trace
 //! srr profile   <workload> --demo DIR [--json] [-o FILE] [--folded FILE]  # causal profiler
 //! srr stats     <report.json> [--vet FILE] [-o FILE]  # pretty-print a report
@@ -22,8 +23,9 @@
 //!
 //! Exit codes: `0` success, `1` usage or execution error, `2` clean run
 //! with findings (`explore` signatures, `analyze` hazards, `predict`
-//! confirmations, `lint-demo` diagnostics, `vet` deny findings) — see
-//! [`findings_exit`], the one place the convention lives.
+//! confirmations, `lint-demo` diagnostics, `vet` deny findings, `plan`
+//! unallowed conflicts) — see [`findings_exit`], the one place the
+//! convention lives.
 //!
 //! `explore` runs the srr-explore work-stealing farm: the seed×strategy
 //! space is sharded, workers (in-process at `--workers 1`, one
@@ -33,6 +35,7 @@
 //! entry point: it reads `TASK` lines on stdin and answers
 //! `FIND`/`DONE` on stdout until `EXIT`.
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -43,11 +46,14 @@ use srr_explore::{
     ThreadSpawner,
 };
 use srr_obs::{FarmCounters, MetricsRegistry};
+use srr_plan::SiteClass;
 use srr_predict::Classification;
 use srr_vet::Allowlist;
 use tsan11rec::obs::Json;
 use tsan11rec::vos::Vos;
-use tsan11rec::{chrome_trace, text_timeline, Config, Demo, Execution, SparseConfig, TraceSpec};
+use tsan11rec::{
+    chrome_trace, text_timeline, AccessPlan, Config, Demo, Execution, SparseConfig, TraceSpec,
+};
 
 /// A named workload: world setup + program body.
 struct Workload {
@@ -131,6 +137,12 @@ fn workloads() -> Vec<Workload> {
             describe: "writes ordered by a real flag handoff (predict proves infeasible)",
             setup: no_setup,
             program: || (hazards::atomic_guard())(),
+        },
+        Workload {
+            name: "planned_local",
+            describe: "thread-local + lock-guarded traffic the plan filters to zero events",
+            setup: no_setup,
+            program: || (hazards::planned_local())(),
         },
         Workload {
             name: "raw_clock",
@@ -265,6 +277,7 @@ struct Args {
     strategies: Option<String>,
     shard: Option<u64>,
     predict: bool,
+    plan: Option<PathBuf>,
     folded: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
 }
@@ -327,6 +340,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "--predict" => args.predict = true,
+            "--plan" => args.plan = Some(PathBuf::from(flag("--plan")?)),
             "--folded" => args.folded = Some(PathBuf::from(flag("--folded")?)),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(flag("--metrics-out")?)),
             // Any dash-prefixed token is a (mis)spelled flag, never a
@@ -334,7 +348,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             // positional and mask the user's intent.
             other if other.starts_with('-') => {
                 let valid = "--tool --seed --out --demo --sparse --runs --ring --allow --vet \
-                             --json --workers --corpus --strategies --shard --predict \
+                             --json --workers --corpus --strategies --shard --predict --plan \
                              --folded --metrics-out -o";
                 return Err(format!("unknown flag `{other}` (valid flags: {valid})"));
             }
@@ -432,6 +446,54 @@ fn emit_report(out: Option<&Path>, what: &str, contents: &str) -> Result<(), Str
     }
 }
 
+/// The shared `--json` / `--out FILE` sink for the JSON-document
+/// commands (`explore`, `analyze`, `predict`, `vet`, `plan`): `--out`
+/// captures the pretty-printed document on disk, `--json` routes it to
+/// stdout. Returns `true` when the caller still owes the user a
+/// human-readable rendering (`--json` was not given). One helper so the
+/// previously hand-rolled per-command paths cannot drift.
+fn emit_json_doc(doc: &Json, json: bool, out: Option<&Path>) -> Result<bool, String> {
+    if let Some(path) = out {
+        write_output(path, &doc.to_pretty())?;
+    }
+    if json {
+        println!("{}", doc.to_pretty());
+    }
+    Ok(!json)
+}
+
+/// Allowlist resolution shared by `vet` and `plan`: `--allow none` >
+/// `--allow FILE` > the checked-in default when running from the repo
+/// root. Returns the list plus a printable origin.
+fn resolve_allowlist(allow: Option<&str>) -> Result<(Allowlist, Option<String>), String> {
+    let default_allow = Path::new("ci/vet_allow.txt");
+    Ok(match allow {
+        Some("none") => (Allowlist::default(), None),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading allowlist {path}: {e}"))?;
+            (Allowlist::parse(&text)?, Some(path.to_owned()))
+        }
+        None if default_allow.exists() => {
+            let text = std::fs::read_to_string(default_allow)
+                .map_err(|e| format!("reading {}: {e}", default_allow.display()))?;
+            (
+                Allowlist::parse(&text)?,
+                Some(default_allow.display().to_string()),
+            )
+        }
+        None => (Allowlist::default(), None),
+    })
+}
+
+/// Loads a `--plan FILE` document (produced by `srr plan --json`/`--out`).
+fn load_plan(path: &Path) -> Result<srr_plan::PlanReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading plan {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parsing plan {}: {e}", path.display()))?;
+    srr_plan::plan_from_json(&doc).map_err(|e| format!("plan {}: {e}", path.display()))
+}
+
 fn usage() -> String {
     [
         "srr — sparse record/replay front end",
@@ -442,12 +504,13 @@ fn usage() -> String {
         "  srr record    <workload> [--tool queue|random] [--seed N] [--sparse SET] --out DIR",
         "  srr replay    <workload> --demo DIR",
         "  srr explore   <workload> [--runs N] [--workers N] [--strategies LIST]",
-        "                [--shard N] [--corpus DIR] [--predict] [--json] [--out FILE]",
-        "                [--metrics-out DIR]",
-        "  srr analyze   <workload> [--tool TOOL] [--seed N] [--json]",
-        "  srr predict   <workload> [--seed N] [--json]",
+        "                [--shard N] [--corpus DIR] [--predict] [--plan FILE] [--json]",
+        "                [--out FILE] [--metrics-out DIR]",
+        "  srr analyze   <workload> [--tool TOOL] [--seed N] [--json] [--out FILE]",
+        "  srr predict   <workload> [--seed N] [--plan FILE] [--json]",
         "  srr lint-demo --demo DIR",
         "  srr vet       <path>... [--allow FILE|none] [--json] [--out FILE]",
+        "  srr plan      <path>... [--allow FILE|none] [--json] [--out FILE]",
         "  srr trace     <workload> [--demo DIR] [--ring N] [-o FILE]",
         "  srr profile   <workload> --demo DIR [--ring N] [--json] [-o FILE] [--folded FILE]",
         "  srr stats     <report.json> [--vet FILE] [-o FILE]",
@@ -475,10 +538,20 @@ fn usage() -> String {
         "ci/vet_allow.txt when present. `stats --vet` joins a trace's desync",
         "diagnostics against the vet escape map to rank likely root causes.",
         "",
+        "plan runs the static sparsification planner (thread-escape + lockset",
+        "analysis) over workload source and classifies every labeled plain-access",
+        "site local/guarded/conflict. The JSON plan feeds back in three places:",
+        "`predict --plan` arms sparse recording, prunes statically proven candidate",
+        "pairs and cross-checks static lock cycles against the dynamic Goodlock",
+        "pass (static-only cycles are new findings); `explore --plan` seeds the",
+        "conflict sites as directed shards. Exit 2 on unallowed conflicts or",
+        "static lock cycles; `// plan: allow(conflict)` markers or the vet",
+        "allowlist-file format waive the gate (never the recording).",
+        "",
         "exit codes:",
         "  0  success",
         "  1  usage or execution error",
-        "  2  clean run with findings (explore signatures, analyze hazards, predict confirmations, lint-demo diagnostics, vet deny findings)",
+        "  2  clean run with findings (explore signatures, analyze hazards, predict confirmations, lint-demo diagnostics, vet deny findings, plan conflicts)",
     ]
     .join("\n")
 }
@@ -574,10 +647,48 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             let workers = args.workers.unwrap_or(1).max(1);
             let strategies = parse_strategies(args.strategies.as_deref())?;
 
+            // Plan feedback: every statically classified `Conflict`
+            // site is a directed target — the plan already proved these
+            // are the only label/context pairs that can race, so they
+            // get shards before the undirected sweep (and before any
+            // dynamic predict feedback below).
+            let mut targets: Vec<RaceTarget> = Vec::new();
+            if let Some(path) = &args.plan {
+                let plan_report = load_plan(path)?;
+                let mut conflict_sites = 0usize;
+                for s in &plan_report.sites {
+                    if !(s.kind.is_plain() && matches!(s.class, SiteClass::Conflict)) {
+                        continue;
+                    }
+                    conflict_sites += 1;
+                    // `contexts` are tid hints (0 = fn body, k = k-th
+                    // spawn); a single-context conflict is a looped
+                    // spawn racing with itself, so both sides share it.
+                    let ctxs: Vec<u32> = if s.contexts.len() == 1 {
+                        vec![s.contexts[0], s.contexts[0]]
+                    } else {
+                        s.contexts.clone()
+                    };
+                    for (i, &a) in ctxs.iter().enumerate() {
+                        for &b in &ctxs[i + 1..] {
+                            let t = RaceTarget::normalized(&s.label, a, b);
+                            if !targets.contains(&t) {
+                                targets.push(t);
+                            }
+                        }
+                    }
+                }
+                if !args.json {
+                    println!(
+                        "plan feedback: {} directed target(s) from {conflict_sites} conflict site(s)",
+                        targets.len()
+                    );
+                }
+            }
+
             // Predict feedback: candidate pairs (everything the weak
             // partial order did not prove infeasible) become directed
             // shards, scheduled before the undirected sweep.
-            let mut targets: Vec<RaceTarget> = Vec::new();
             if args.predict {
                 let seed = args.seed.unwrap_or(1);
                 let (setup, program) = (w.setup, w.program);
@@ -586,15 +697,14 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                     setup,
                     move || program,
                 );
+                let before = targets.len();
                 for r in &run.predictions.races {
                     if r.classification == Classification::Infeasible {
                         continue;
                     }
-                    let t = RaceTarget {
-                        label: r.loc_label.clone(),
-                        a: r.tids.0,
-                        b: r.tids.1,
-                    };
+                    // Canonical pair order so plan-seeded and predicted
+                    // targets for the same pair dedupe.
+                    let t = RaceTarget::normalized(&r.loc_label, r.tids.0, r.tids.1);
                     if !targets.contains(&t) {
                         targets.push(t);
                     }
@@ -602,7 +712,7 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                 if !args.json {
                     println!(
                         "predict feedback: {} directed target(s) from seed {seed}",
-                        targets.len()
+                        targets.len() - before
                     );
                 }
             }
@@ -713,13 +823,7 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             }
 
             let doc = explore_json(w.name, &strategies, &outcome.counters, &corpus);
-            if let Some(out) = &args.out {
-                std::fs::write(out, doc.to_pretty())
-                    .map_err(|e| format!("writing {}: {e}", out.display()))?;
-            }
-            if args.json {
-                println!("{}", doc.to_pretty());
-            } else {
+            if emit_json_doc(&doc, args.json, args.out.as_deref())? {
                 println!("{}", outcome.counters.render());
                 for (sig, entry) in corpus.iter() {
                     let mut line =
@@ -776,43 +880,41 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             let report = Execution::new(config.with_access_trace())
                 .setup(setup)
                 .run(w.program);
-            if args.json {
-                let doc = Json::Obj(vec![
-                    ("workload".to_owned(), Json::Str(w.name.to_owned())),
-                    ("tool".to_owned(), Json::Str(tool.label().to_owned())),
-                    (
-                        "sync_events".to_owned(),
-                        Json::Num(report.sync_trace.events.len() as f64),
+            let doc = Json::Obj(vec![
+                ("workload".to_owned(), Json::Str(w.name.to_owned())),
+                ("tool".to_owned(), Json::Str(tool.label().to_owned())),
+                (
+                    "sync_events".to_owned(),
+                    Json::Num(report.sync_trace.events.len() as f64),
+                ),
+                ("races".to_owned(), Json::Num(report.races as f64)),
+                ("suppressed".to_owned(), Json::Num(report.suppressed as f64)),
+                (
+                    "findings".to_owned(),
+                    Json::Arr(
+                        report
+                            .analysis
+                            .iter()
+                            .map(|f| {
+                                Json::Obj(vec![
+                                    ("kind".to_owned(), Json::Str(f.kind.name().to_owned())),
+                                    ("message".to_owned(), Json::Str(f.message.clone())),
+                                ])
+                            })
+                            .collect(),
                     ),
-                    ("races".to_owned(), Json::Num(report.races as f64)),
-                    ("suppressed".to_owned(), Json::Num(report.suppressed as f64)),
-                    (
-                        "findings".to_owned(),
-                        Json::Arr(
-                            report
-                                .analysis
-                                .iter()
-                                .map(|f| {
-                                    Json::Obj(vec![
-                                        ("kind".to_owned(), Json::Str(f.kind.name().to_owned())),
-                                        ("message".to_owned(), Json::Str(f.message.clone())),
-                                    ])
-                                })
-                                .collect(),
-                        ),
-                    ),
-                ]);
-                println!("{}", doc.to_pretty());
-                return Ok(findings_exit(report.analysis.len(), "finding"));
-            }
-            print_report(&report);
-            println!("--- analysis --");
-            println!("sync events:  {}", report.sync_trace.events.len());
-            if report.analysis.is_empty() {
-                println!("no findings");
-            }
-            for f in &report.analysis {
-                println!("[{}] {}", f.kind.name(), f.message);
+                ),
+            ]);
+            if emit_json_doc(&doc, args.json, args.out.as_deref())? {
+                print_report(&report);
+                println!("--- analysis --");
+                println!("sync events:  {}", report.sync_trace.events.len());
+                if report.analysis.is_empty() {
+                    println!("no findings");
+                }
+                for f in &report.analysis {
+                    println!("[{}] {}", f.kind.name(), f.message);
+                }
             }
             Ok(findings_exit(report.analysis.len(), "finding"))
         }
@@ -821,6 +923,7 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             let w = find_workload(name)?;
             let seed = args.seed.unwrap_or(1);
             let seeds = [seed, seed.wrapping_mul(0x9E37) + 1];
+            let plan_report = args.plan.as_deref().map(load_plan).transpose()?;
             if !args.json {
                 println!(
                     "predicting races in `{}` (queue record + witness replay, seed {seed})",
@@ -828,7 +931,54 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                 );
             }
             let (setup, program) = (w.setup, w.program);
-            let run = predictor::run_prediction_in_world(seeds, setup, move || program);
+            // Under `--plan` the recording runs sparse (statically
+            // proven plain sites never hit the trace ring) and the
+            // proven labels are pruned before witness synthesis.
+            let run = match &plan_report {
+                Some(p) => {
+                    let proven = p.proven_labels();
+                    let plan = AccessPlan::new(p.recorded_labels(), p.known_labels());
+                    predictor::run_prediction_in_world_with(
+                        seeds,
+                        setup,
+                        move || program,
+                        Some(plan),
+                        move |label| !proven.contains(label),
+                    )
+                }
+                None => predictor::run_prediction_in_world(seeds, setup, move || program),
+            };
+            if run.record.plan.is_stale() {
+                eprintln!(
+                    "warning: plan is stale — {} unplanned label(s) recorded fail-open: {}",
+                    run.record.plan.unplanned.len(),
+                    run.record.plan.unplanned.join(", ")
+                );
+            }
+            // Static/dynamic lock-cycle cross-check: a static cycle the
+            // recorded trace's Goodlock pass never saw is a *new*
+            // finding — the observed schedule simply never interleaved
+            // those locks.
+            let static_only: Vec<Vec<String>> = plan_report
+                .as_ref()
+                .map(|p| {
+                    let dynamic: Vec<BTreeSet<String>> = run
+                        .record
+                        .analysis
+                        .iter()
+                        .filter(|f| f.kind == srr_analysis::FindingKind::PotentialDeadlock)
+                        .map(|f| f.labels.iter().cloned().collect())
+                        .collect();
+                    p.lock_cycles
+                        .iter()
+                        .filter(|c| {
+                            let set: BTreeSet<String> = c.iter().cloned().collect();
+                            !dynamic.iter().any(|d| d.is_superset(&set))
+                        })
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default();
             let confirmed = run.predictions.count(Classification::Confirmed);
             let unconfirmed = run.predictions.count(Classification::Unconfirmed);
             let infeasible = run.predictions.count(Classification::Infeasible);
@@ -847,62 +997,89 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                     println!("witness demo: {}", dir.display());
                 }
             }
-            if args.json {
-                let races = run
-                    .predictions
-                    .races
-                    .iter()
-                    .map(|r| {
-                        Json::Obj(vec![
-                            ("loc".to_owned(), Json::Str(r.loc_label.clone())),
-                            (
-                                "tids".to_owned(),
-                                Json::Arr(vec![
-                                    Json::Num(f64::from(r.tids.0)),
-                                    Json::Num(f64::from(r.tids.1)),
-                                ]),
-                            ),
-                            (
-                                "writes".to_owned(),
-                                Json::Arr(vec![Json::Bool(r.writes.0), Json::Bool(r.writes.1)]),
-                            ),
-                            ("hidden".to_owned(), Json::Bool(r.hidden)),
-                            (
-                                "classification".to_owned(),
-                                Json::Str(r.classification.name().to_owned()),
-                            ),
-                        ])
-                    })
-                    .collect();
-                let doc = Json::Obj(vec![
-                    ("workload".to_owned(), Json::Str(w.name.to_owned())),
-                    ("seed".to_owned(), Json::Num(seed as f64)),
-                    (
-                        "recorded_races".to_owned(),
-                        Json::Num(run.record.races as f64),
+            // Static-only cycles gate alongside the confirmed races,
+            // but only under `--plan` (the vector is empty otherwise).
+            let gate = confirmed + static_only.len();
+            let noun = if static_only.is_empty() {
+                "confirmed race"
+            } else {
+                "finding"
+            };
+            let races = run
+                .predictions
+                .races
+                .iter()
+                .map(|r| {
+                    Json::Obj(vec![
+                        ("loc".to_owned(), Json::Str(r.loc_label.clone())),
+                        (
+                            "tids".to_owned(),
+                            Json::Arr(vec![
+                                Json::Num(f64::from(r.tids.0)),
+                                Json::Num(f64::from(r.tids.1)),
+                            ]),
+                        ),
+                        (
+                            "writes".to_owned(),
+                            Json::Arr(vec![Json::Bool(r.writes.0), Json::Bool(r.writes.1)]),
+                        ),
+                        ("hidden".to_owned(), Json::Bool(r.hidden)),
+                        (
+                            "classification".to_owned(),
+                            Json::Str(r.classification.name().to_owned()),
+                        ),
+                    ])
+                })
+                .collect();
+            let mut fields = vec![
+                ("workload".to_owned(), Json::Str(w.name.to_owned())),
+                ("seed".to_owned(), Json::Num(seed as f64)),
+                (
+                    "recorded_races".to_owned(),
+                    Json::Num(run.record.races as f64),
+                ),
+                (
+                    "candidates".to_owned(),
+                    Json::Num(run.predictions.races.len() as f64),
+                ),
+                ("confirmed".to_owned(), Json::Num(confirmed as f64)),
+                ("unconfirmed".to_owned(), Json::Num(unconfirmed as f64)),
+                ("infeasible".to_owned(), Json::Num(infeasible as f64)),
+                (
+                    "hidden".to_owned(),
+                    Json::Num(run.predictions.hidden_count() as f64),
+                ),
+                (
+                    "confirmation_rate".to_owned(),
+                    match run.predictions.confirmation_rate() {
+                        Some(r) => Json::Num(r),
+                        None => Json::Null,
+                    },
+                ),
+                ("races".to_owned(), Json::Arr(races)),
+            ];
+            if plan_report.is_some() {
+                fields.push((
+                    "pruned".to_owned(),
+                    Json::Num(run.predictions.pruned as f64),
+                ));
+                fields.push((
+                    "plan_filtered_events".to_owned(),
+                    Json::Num(run.record.plan.filtered_events as f64),
+                ));
+                fields.push((
+                    "static_only_cycles".to_owned(),
+                    Json::Arr(
+                        static_only
+                            .iter()
+                            .map(|c| Json::Arr(c.iter().map(|l| Json::Str(l.clone())).collect()))
+                            .collect(),
                     ),
-                    (
-                        "candidates".to_owned(),
-                        Json::Num(run.predictions.races.len() as f64),
-                    ),
-                    ("confirmed".to_owned(), Json::Num(confirmed as f64)),
-                    ("unconfirmed".to_owned(), Json::Num(unconfirmed as f64)),
-                    ("infeasible".to_owned(), Json::Num(infeasible as f64)),
-                    (
-                        "hidden".to_owned(),
-                        Json::Num(run.predictions.hidden_count() as f64),
-                    ),
-                    (
-                        "confirmation_rate".to_owned(),
-                        match run.predictions.confirmation_rate() {
-                            Some(r) => Json::Num(r),
-                            None => Json::Null,
-                        },
-                    ),
-                    ("races".to_owned(), Json::Arr(races)),
-                ]);
-                println!("{}", doc.to_pretty());
-                return Ok(findings_exit(confirmed, "confirmed race"));
+                ));
+            }
+            let doc = Json::Obj(fields);
+            if !emit_json_doc(&doc, args.json, None)? {
+                return Ok(findings_exit(gate, noun));
             }
             println!(
                 "recorded: {:?}, {} tick(s), {} race(s) in the observed schedule",
@@ -911,34 +1088,48 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             println!("--- predictions ---");
             if run.predictions.races.is_empty() {
                 println!("no candidate pairs under the weak partial order");
-                return Ok(EXIT_OK);
-            }
-            for r in &run.predictions.races {
+            } else {
+                for r in &run.predictions.races {
+                    println!(
+                        "[{}] {}: threads {} & {} ({}/{}){}",
+                        r.classification.name(),
+                        r.loc_label,
+                        r.tids.0,
+                        r.tids.1,
+                        if r.writes.0 { "write" } else { "read" },
+                        if r.writes.1 { "write" } else { "read" },
+                        if r.hidden {
+                            " — hidden from the recorded schedule"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                let rate = run
+                    .predictions
+                    .confirmation_rate()
+                    .map_or("n/a".to_owned(), |r| format!("{:.0}%", r * 100.0));
                 println!(
-                    "[{}] {}: threads {} & {} ({}/{}){}",
-                    r.classification.name(),
-                    r.loc_label,
-                    r.tids.0,
-                    r.tids.1,
-                    if r.writes.0 { "write" } else { "read" },
-                    if r.writes.1 { "write" } else { "read" },
-                    if r.hidden {
-                        " — hidden from the recorded schedule"
-                    } else {
-                        ""
-                    }
+                    "{} candidate(s) — {confirmed} confirmed, {unconfirmed} unconfirmed, \
+                     {infeasible} infeasible (confirmation rate {rate})",
+                    run.predictions.races.len()
                 );
             }
-            let rate = run
-                .predictions
-                .confirmation_rate()
-                .map_or("n/a".to_owned(), |r| format!("{:.0}%", r * 100.0));
-            println!(
-                "{} candidate(s) — {confirmed} confirmed, {unconfirmed} unconfirmed, \
-                 {infeasible} infeasible (confirmation rate {rate})",
-                run.predictions.races.len()
-            );
-            Ok(findings_exit(confirmed, "confirmed race"))
+            if plan_report.is_some() {
+                println!(
+                    "plan: pruned {} statically proven candidate(s), filtered {} plain \
+                     event(s) from the trace",
+                    run.predictions.pruned, run.record.plan.filtered_events
+                );
+                for c in &static_only {
+                    println!(
+                        "[static-only lock cycle] {} — never interleaved in the recorded \
+                         schedule",
+                        c.join(" -> ")
+                    );
+                }
+            }
+            Ok(findings_exit(gate, noun))
         }
         "lint-demo" => {
             let dir = args.demo.clone().ok_or("lint-demo needs --demo DIR")?;
@@ -962,34 +1153,9 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                     return Err(format!("vet: no such path `{}`", p.display()));
                 }
             }
-            // Allowlist resolution: --allow none > --allow FILE > the
-            // checked-in default when running from the repo root.
-            let default_allow = Path::new("ci/vet_allow.txt");
-            let (list, origin) = match args.allow.as_deref() {
-                Some("none") => (Allowlist::default(), None),
-                Some(path) => {
-                    let text = std::fs::read_to_string(path)
-                        .map_err(|e| format!("reading allowlist {path}: {e}"))?;
-                    (Allowlist::parse(&text)?, Some(path.to_owned()))
-                }
-                None if default_allow.exists() => {
-                    let text = std::fs::read_to_string(default_allow)
-                        .map_err(|e| format!("reading {}: {e}", default_allow.display()))?;
-                    (
-                        Allowlist::parse(&text)?,
-                        Some(default_allow.display().to_string()),
-                    )
-                }
-                None => (Allowlist::default(), None),
-            };
+            let (list, origin) = resolve_allowlist(args.allow.as_deref())?;
             let report = srr_vet::vet_paths(&paths, &list).map_err(|e| format!("vet: {e}"))?;
-            if let Some(out) = &args.out {
-                std::fs::write(out, report.to_json().to_pretty())
-                    .map_err(|e| format!("writing {}: {e}", out.display()))?;
-            }
-            if args.json {
-                println!("{}", report.to_json().to_pretty());
-            } else {
+            if emit_json_doc(&report.to_json(), args.json, args.out.as_deref())? {
                 if let Some(origin) = &origin {
                     println!("allowlist: {origin} ({} entr(ies))", list.entries.len());
                 }
@@ -1009,6 +1175,61 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
             }
             // Warn findings report but do not gate; deny findings gate.
             Ok(findings_exit(report.deny_count(), "deny finding"))
+        }
+        "plan" => {
+            if args.positional.is_empty() {
+                return Err("plan needs at least one file or directory".to_owned());
+            }
+            let paths: Vec<PathBuf> = args.positional.iter().map(PathBuf::from).collect();
+            for p in &paths {
+                if !p.exists() {
+                    return Err(format!("plan: no such path `{}`", p.display()));
+                }
+            }
+            let (list, origin) = resolve_allowlist(args.allow.as_deref())?;
+            let report = srr_plan::plan_paths(&paths, &list).map_err(|e| format!("plan: {e}"))?;
+            if emit_json_doc(&report.to_json(), args.json, args.out.as_deref())? {
+                if let Some(origin) = &origin {
+                    println!("allowlist: {origin} ({} entr(ies))", list.entries.len());
+                }
+                for s in &report.sites {
+                    let mut line = format!(
+                        "[{}] {} ({}) {}:{}:{}",
+                        s.class.name(),
+                        s.label,
+                        s.kind.name(),
+                        s.span.file,
+                        s.span.line,
+                        s.span.col
+                    );
+                    if let SiteClass::Guarded(locks) = &s.class {
+                        line.push_str(&format!(" under {}", locks.join("+")));
+                    }
+                    if s.severity == srr_analysis::Severity::Allow {
+                        line.push_str(" [allowed]");
+                    }
+                    println!("{line}");
+                }
+                for c in &report.lock_cycles {
+                    println!("[lock-cycle] {}", c.join(" -> "));
+                }
+                println!(
+                    "scanned {} file(s): {} site(s), {} recorded / {} proven label(s), \
+                     {} conflict gate(s), {} lock cycle(s)",
+                    report.scanned_files,
+                    report.sites.len(),
+                    report.recorded_labels().len(),
+                    report.proven_labels().len(),
+                    report.conflict_count(),
+                    report.lock_cycles.len(),
+                );
+            }
+            // Unallowed plain-access conflicts and static lock-order
+            // cycles gate; proven sites and allowed conflicts do not.
+            Ok(findings_exit(
+                report.conflict_count() + report.lock_cycles.len(),
+                "plan finding",
+            ))
         }
         "trace" => {
             let name = args.positional.first().ok_or("trace needs a workload")?;
@@ -1361,6 +1582,13 @@ mod tests {
     }
 
     #[test]
+    fn parse_args_plan_flag() {
+        let a = parse_args(&argv(&["hidden_handoff", "--plan", "/tmp/plan.json"])).unwrap();
+        assert_eq!(a.plan.as_deref(), Some(Path::new("/tmp/plan.json")));
+        assert!(parse_args(&argv(&["--plan"])).is_err(), "needs a value");
+    }
+
+    #[test]
     fn parse_args_rejects_unknown_flag_and_missing_value() {
         assert!(parse_args(&argv(&["--nope"])).is_err());
         assert!(parse_args(&argv(&["--seed"])).is_err());
@@ -1373,7 +1601,9 @@ mod tests {
         // a workload name; it must be rejected as a malformed flag.
         let err = parse_args(&argv(&["client", "-seed", "7"])).unwrap_err();
         assert!(err.contains("unknown flag `-seed`"), "{err}");
-        for valid in ["--tool", "--seed", "--out", "--demo", "--sparse", "--runs"] {
+        for valid in [
+            "--tool", "--seed", "--out", "--demo", "--sparse", "--runs", "--plan",
+        ] {
             assert!(err.contains(valid), "`{valid}` missing from: {err}");
         }
         assert!(parse_args(&argv(&["-x"])).is_err());
@@ -1394,7 +1624,14 @@ mod tests {
     fn workload_registry_is_complete() {
         let names: Vec<&str> = workloads().iter().map(|w| w.name).collect();
         for expected in [
-            "client", "httpd", "pbzip", "game", "netplay", "ptrmap", "ms-queue",
+            "client",
+            "httpd",
+            "pbzip",
+            "game",
+            "netplay",
+            "ptrmap",
+            "ms-queue",
+            "planned_local",
         ] {
             assert!(
                 names.contains(&expected),
@@ -1564,6 +1801,7 @@ mod tests {
         assert_eq!(run_command(&argv(&["help"])), Ok(EXIT_OK));
         assert!(usage().contains("exit codes"));
         assert!(usage().contains("2  clean run with findings"));
+        assert!(usage().contains("srr plan"));
         // Usage travels with the missing-command error too.
         let err = run_command(&[]).unwrap_err();
         assert!(err.contains("exit codes"), "{err}");
@@ -1729,6 +1967,122 @@ mod tests {
         ]))
         .expect("vet runs");
         assert_eq!(code, EXIT_FINDINGS, "escape fixtures must be flagged");
+    }
+
+    #[test]
+    fn plan_command_classifies_hazards_and_roundtrips() {
+        let hazards = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/hazards.rs");
+        let out = std::env::temp_dir().join(format!("srr-plan-cli-{}.json", std::process::id()));
+        let code = run_command(&argv(&[
+            "plan",
+            hazards.to_str().unwrap(),
+            "--allow",
+            "none",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .expect("plan runs");
+        assert_eq!(
+            code, EXIT_FINDINGS,
+            "hazard fixtures have unallowed conflicts"
+        );
+        let doc = Json::parse(&std::fs::read_to_string(&out).unwrap()).expect("valid JSON");
+        let report = srr_plan::plan_from_json(&doc).expect("plan parses back");
+        assert!(
+            report.recorded_labels().contains("cell"),
+            "hidden_handoff's conflict stays recorded: {:?}",
+            report.recorded_labels()
+        );
+        assert!(
+            report.proven_labels().contains("worker-acc"),
+            "planned_local's thread-local accumulator is proven: {:?}",
+            report.proven_labels()
+        );
+        // Usage errors: no paths, missing path.
+        assert!(run_command(&argv(&["plan"])).is_err());
+        assert!(run_command(&argv(&["plan", "/nonexistent/nope.rs"])).is_err());
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn predict_plan_prunes_but_still_confirms() {
+        let hazards = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/hazards.rs");
+        let plan = std::env::temp_dir().join(format!("srr-predplan-{}.json", std::process::id()));
+        run_command(&argv(&[
+            "plan",
+            hazards.to_str().unwrap(),
+            "--allow",
+            "none",
+            "--out",
+            plan.to_str().unwrap(),
+        ]))
+        .expect("plan");
+        let code = run_command(&argv(&[
+            "predict",
+            "hidden_handoff",
+            "--seed",
+            "7",
+            "--plan",
+            plan.to_str().unwrap(),
+            "--json",
+        ]))
+        .expect("predict");
+        assert_eq!(
+            code, EXIT_FINDINGS,
+            "the sparse trace still confirms the race"
+        );
+        // A bogus plan path is a usage error, not a silent full record.
+        assert!(run_command(&argv(&[
+            "predict",
+            "hidden_handoff",
+            "--plan",
+            "/nonexistent/plan.json"
+        ]))
+        .is_err());
+        let _ = std::fs::remove_file(&plan);
+    }
+
+    #[test]
+    fn explore_plan_seeds_directed_shards() {
+        let hazards = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/hazards.rs");
+        let plan = std::env::temp_dir().join(format!("srr-explplan-{}.json", std::process::id()));
+        run_command(&argv(&[
+            "plan",
+            hazards.to_str().unwrap(),
+            "--allow",
+            "none",
+            "--out",
+            plan.to_str().unwrap(),
+        ]))
+        .expect("plan");
+        let out =
+            std::env::temp_dir().join(format!("srr-explplan-doc-{}.json", std::process::id()));
+        run_command(&argv(&[
+            "explore",
+            "hidden_handoff",
+            "--runs",
+            "6",
+            "--strategies",
+            "queue",
+            "--plan",
+            plan.to_str().unwrap(),
+            "--json",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .expect("explore runs");
+        let doc = Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let targeted = doc
+            .get("farm")
+            .and_then(|f| f.get("targeted_runs"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        assert!(
+            targeted > 0.0,
+            "plan conflict sites became directed shards: {doc:?}"
+        );
+        let _ = std::fs::remove_file(&plan);
+        let _ = std::fs::remove_file(&out);
     }
 
     #[test]

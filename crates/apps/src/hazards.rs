@@ -22,6 +22,11 @@
 //!   flag handoff. The weak order flags the pair (it drops reads-from
 //!   edges), but no trace-consistent reorder can break the spin-loop's
 //!   value dependency: the correct verdict is *infeasible*.
+//! * [`planned_local`] — the sparsification showcase for `srr plan`:
+//!   heavy thread-local plain traffic plus one mutex-guarded handoff.
+//!   Every plain site is statically `Local` or `Guarded`, so the
+//!   plan-filtered recording is a fraction of the unplanned one and
+//!   still replays byte-identically.
 //! * [`raw_clock`] / [`raw_spawn`] — **recording-soundness escapes**, the
 //!   true-positive fixtures for `srr vet`: each bypasses the interception
 //!   layer (host wall clock / a real OS thread) and demonstrably
@@ -87,7 +92,9 @@ pub fn ab_ba_locks(params: AbBaParams) -> impl FnOnce() + Send + 'static {
 }
 
 /// One location (`counter`) written through an atomic by one thread and
-/// read as a plain variable by another.
+/// read as a plain variable by another. The main thread also churns a
+/// thread-local `mixed-scratch` variable — traffic `srr plan` proves
+/// `Local` and the plan-filtered recording drops from the trace.
 pub fn mixed_counter() -> impl FnOnce() + Send + 'static {
     move || {
         let atomic = Arc::new(Atomic::labeled(0u64, "counter"));
@@ -97,6 +104,10 @@ pub fn mixed_counter() -> impl FnOnce() + Send + 'static {
             a2.store(1, MemOrder::Release);
             let _ = p2.read();
         });
+        let scratch = Shared::new("mixed-scratch", 0u64);
+        for i in 0..4 {
+            scratch.write(i);
+        }
         atomic.store(2, MemOrder::Release);
         t.join();
         tsan11rec::sys::println("mixed done");
@@ -163,6 +174,13 @@ pub fn hidden_handoff() -> impl FnOnce() + Send + 'static {
 
         let (c1, g1) = (Arc::clone(&cell), Arc::clone(&gate));
         let first = thread::spawn(move || {
+            // Thread-local churn: plain accesses are invisible ops (no
+            // tick), so this perturbs nothing — it only bulks up the
+            // access trace with events `srr plan` proves Local.
+            let scratch = Shared::new("first-scratch", 0u64);
+            for i in 0..4 {
+                scratch.write(i);
+            }
             c1.write(1);
             let g = g1.lock();
             let _ = *g;
@@ -171,6 +189,10 @@ pub fn hidden_handoff() -> impl FnOnce() + Send + 'static {
 
         let (c2, g2, p2) = (Arc::clone(&cell), Arc::clone(&gate), Arc::clone(&pad));
         let second = thread::spawn(move || {
+            let scratch = Shared::new("second-scratch", 0u64);
+            for i in 0..4 {
+                scratch.write(i);
+            }
             // Pad ticks: keep this thread's lock attempt behind the first
             // thread's release under the FCFS queue schedule.
             for i in 0..8 {
@@ -213,6 +235,41 @@ pub fn atomic_guard() -> impl FnOnce() + Send + 'static {
         writer.join();
         reader.join();
         tsan11rec::sys::println("guard done");
+    }
+}
+
+/// The sparsification showcase: both threads churn thread-local
+/// accumulators (`worker-acc`, `main-acc` — statically `Local`), and
+/// the only cross-thread plain location (`result`) is touched under
+/// `result-lock` on every access (statically `Guarded`). `srr plan`
+/// proves every plain site filterable, so a plan-filtered recording
+/// emits **zero** `PlainAccess` events yet replays byte-identically —
+/// plain accesses are invisible operations either way.
+pub fn planned_local() -> impl FnOnce() + Send + 'static {
+    move || {
+        let result = Arc::new(Shared::new("result", 0u64));
+        let gate = Arc::new(Mutex::labeled(0u64, "result-lock"));
+
+        let (r2, g2) = (Arc::clone(&result), Arc::clone(&gate));
+        let worker = thread::spawn(move || {
+            let acc = Shared::new("worker-acc", 0u64);
+            for i in 0..32 {
+                acc.write(acc.read() + i);
+            }
+            let g = g2.lock();
+            r2.write(acc.read());
+            drop(g);
+        });
+
+        let acc = Shared::new("main-acc", 0u64);
+        for i in 0..32 {
+            acc.write(acc.read() + i + 1);
+        }
+        worker.join();
+        let g = gate.lock();
+        let total = result.read() + acc.read();
+        drop(g);
+        tsan11rec::sys::println(&format!("planned_local total={total}"));
     }
 }
 
@@ -390,6 +447,116 @@ mod tests {
         let report = analyzed(atomic_guard());
         assert!(report.outcome.is_ok(), "{:?}", report.outcome);
         assert_eq!(report.races, 0, "{:?}", report.race_reports);
+    }
+
+    fn plain_events(r: &tsan11rec::ExecReport) -> usize {
+        r.sync_trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, srr_analysis::SyncEvent::PlainAccess { .. }))
+            .count()
+    }
+
+    /// The static plan for this very file, lowered to its runtime form.
+    fn hazards_access_plan() -> tsan11rec::AccessPlan {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/hazards.rs");
+        let report = srr_plan::plan_paths(&[path], &srr_vet::allow::Allowlist::default())
+            .expect("hazards.rs is readable");
+        tsan11rec::AccessPlan::new(report.recorded_labels(), report.known_labels())
+    }
+
+    #[test]
+    fn plan_filtered_recording_halves_the_hazard_traces() {
+        fn check<P, F>(name: &str, make: F)
+        where
+            F: Fn() -> P,
+            P: FnOnce() + Send + 'static,
+        {
+            let full = analyzed(make());
+            let filtered = Execution::new(
+                Tool::Queue
+                    .config([7, 11])
+                    .with_access_plan(hazards_access_plan()),
+            )
+            .run(make());
+            let (full_n, filtered_n) = (plain_events(&full), plain_events(&filtered));
+            assert!(
+                filtered_n * 2 <= full_n,
+                "{name}: plan must halve the access trace ({full_n} -> {filtered_n})"
+            );
+            assert!(filtered_n > 0, "{name}: conflict sites must stay recorded");
+            assert!(filtered.plan.sites > 0, "{name}: plan was consulted");
+            assert_eq!(
+                filtered.plan.filtered_events as usize,
+                full_n - filtered_n,
+                "{name}: every missing event is accounted for"
+            );
+            assert!(
+                !filtered.plan.is_stale(),
+                "{name}: the plan covers every label: {:?}",
+                filtered.plan.unplanned
+            );
+        }
+        check("hidden_handoff", hidden_handoff);
+        check("mixed_counter", mixed_counter);
+    }
+
+    #[test]
+    fn planned_local_filters_everything_and_replays_byte_identically() {
+        let full = analyzed(planned_local());
+        assert!(full.outcome.is_ok(), "{:?}", full.outcome);
+        assert_eq!(full.races, 0, "{:?}", full.race_reports);
+
+        let cfg = || {
+            Tool::QueueRec
+                .config([3, 5])
+                .with_access_trace()
+                .with_access_plan(hazards_access_plan())
+        };
+        let (rec, demo) = Execution::new(cfg()).record(planned_local());
+        assert!(rec.outcome.is_ok(), "{:?}", rec.outcome);
+        let filtered_n = plain_events(&rec);
+        let full_n = plain_events(&full);
+        assert!(
+            full_n >= 5 * filtered_n.max(1),
+            "unplanned trace must be >=5x larger ({full_n} vs {filtered_n})"
+        );
+        assert!(!rec.plan.is_stale(), "{:?}", rec.plan.unplanned);
+
+        let rep = Execution::new(cfg()).replay(&demo, planned_local());
+        assert!(rep.outcome.is_ok(), "{:?}", rep.outcome);
+        assert!(
+            !soft_desync(&rec, &rep),
+            "plan-filtered demo must replay byte-identically:\n rec: {:?}\n rep: {:?}",
+            rec.console_text(),
+            rep.console_text()
+        );
+    }
+
+    #[test]
+    fn stale_plan_fails_open_and_records_unplanned_labels() {
+        // A plan that only knows `cell`: every scratch label is
+        // unplanned, must keep recording, and must flag staleness.
+        let plan = tsan11rec::AccessPlan::new(["cell".to_owned()], ["cell".to_owned()]);
+        let report = Execution::new(Tool::Queue.config([7, 11]).with_access_plan(plan))
+            .run(hidden_handoff());
+        assert!(report.outcome.is_ok(), "{:?}", report.outcome);
+        assert!(report.plan.is_stale());
+        assert!(
+            report.plan.unplanned.iter().any(|l| l == "first-scratch"),
+            "{:?}",
+            report.plan.unplanned
+        );
+        assert_eq!(
+            report.plan.filtered_events, 0,
+            "unplanned labels fail open: nothing is dropped"
+        );
+        let full = analyzed(hidden_handoff());
+        assert_eq!(
+            plain_events(&report),
+            plain_events(&full),
+            "fail-open recording matches the unplanned trace"
+        );
     }
 
     /// Record + replay, asserting both runs complete (the escape must

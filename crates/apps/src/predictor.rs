@@ -8,10 +8,10 @@
 //! when its witness replays without hard desync and FastTrack fires at
 //! exactly the predicted location and thread pair.
 
-use srr_predict::{classify_with, predict, PredictReport, ReplayVerdict};
+use srr_predict::{classify_with, predict_with, PredictReport, ReplayVerdict};
 use srr_replay::Demo;
 use tsan11rec::vos::Vos;
-use tsan11rec::{ExecReport, Execution, Outcome};
+use tsan11rec::{AccessPlan, ExecReport, Execution, Outcome};
 
 use crate::harness::Tool;
 
@@ -47,9 +47,33 @@ where
     F: Fn() -> P,
     P: FnOnce() + Send + 'static,
 {
-    let config = Tool::Queue.config(seeds).with_access_trace();
+    run_prediction_in_world_with(seeds, setup, make, None, |_| true)
+}
+
+/// [`run_prediction_in_world`] under an access plan: the recording run
+/// arms `plan` (filtering statically proven `PlainAccess` events from
+/// the trace), and `keep` filters candidate pairs before witness
+/// synthesis (pass a closure rejecting proven labels; see
+/// [`srr_predict::predict_with`]). Witness replays run without the plan:
+/// replay consumes the demo's schedule/syscall streams only, and the
+/// targeted FastTrack check must see every access.
+pub fn run_prediction_in_world_with<P, F>(
+    seeds: [u64; 2],
+    setup: fn(&Vos),
+    make: F,
+    plan: Option<AccessPlan>,
+    keep: impl Fn(&str) -> bool,
+) -> PredictionRun
+where
+    F: Fn() -> P,
+    P: FnOnce() + Send + 'static,
+{
+    let mut config = Tool::Queue.config(seeds).with_access_trace();
+    if let Some(plan) = plan {
+        config = config.with_access_plan(plan);
+    }
     let (record, demo) = Execution::new(config).setup(setup).record(make());
-    let mut predictions = predict(&record.sync_trace, &demo);
+    let mut predictions = predict_with(&record.sync_trace, &demo, keep);
     classify_with(&mut predictions, |race, witness| {
         let cfg =
             Tool::Queue
@@ -101,6 +125,50 @@ mod tests {
         assert_eq!(race.loc_label, "cell");
         assert!(race.hidden, "the observed order hides the pair");
         assert!(race.witness.is_some());
+    }
+
+    #[test]
+    fn plan_pruned_prediction_keeps_the_verdicts() {
+        fn no_setup(_: &Vos) {}
+        fn grades(run: &PredictionRun) -> Vec<(String, srr_predict::Classification)> {
+            let mut v: Vec<_> = run
+                .predictions
+                .races
+                .iter()
+                .map(|r| (r.loc_label.clone(), r.classification))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        }
+        fn check<P, F>(name: &str, make: F)
+        where
+            F: Fn() -> P,
+            P: FnOnce() + Send + 'static,
+        {
+            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/hazards.rs");
+            let report = srr_plan::plan_paths(&[path], &srr_vet::allow::Allowlist::default())
+                .expect("hazards.rs is readable");
+            let proven = report.proven_labels();
+            let plan = AccessPlan::new(report.recorded_labels(), report.known_labels());
+            let base = run_prediction([7, 11], &make);
+            let planned =
+                run_prediction_in_world_with([7, 11], no_setup, &make, Some(plan), |label| {
+                    !proven.contains(label)
+                });
+            assert_eq!(
+                grades(&base),
+                grades(&planned),
+                "{name}: plan-filtered prediction must grade identically"
+            );
+            assert!(
+                !planned.record.plan.is_stale(),
+                "{name}: {:?}",
+                planned.record.plan.unplanned
+            );
+        }
+        check("hidden_handoff", hazards::hidden_handoff);
+        check("atomic_guard", hazards::atomic_guard);
+        check("mixed_counter", hazards::mixed_counter);
     }
 
     #[test]

@@ -209,6 +209,75 @@ impl Default for SparseConfig {
     }
 }
 
+/// How a plan rules on one plain-access label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanDecision {
+    /// A statically proven `Conflict` site (or no plan armed): record.
+    Record,
+    /// Statically proven `Local`/`Guarded`: the access still feeds the
+    /// race detector but is filtered out of the trace ring.
+    Filtered,
+    /// The plan has never heard of this label — the plan is stale or
+    /// the label is built at runtime. Fail open: record, and flag it.
+    Unplanned,
+}
+
+/// Runtime form of an `srr plan` access plan: which plain-access labels
+/// must still be recorded (`Conflict`-classified sites) and which the
+/// analysis has proven race-free. Built from an `srr-plan` report by
+/// the CLI/harness; srr-core stays independent of the analysis crate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessPlan {
+    /// Labels whose accesses stay in the trace ring.
+    record: BTreeSet<String>,
+    /// Every label the plan classified (recorded or filtered).
+    known: BTreeSet<String>,
+}
+
+impl AccessPlan {
+    /// Builds a plan from the set of labels to keep recording and the
+    /// set of all statically known labels (a superset of `record`).
+    #[must_use]
+    pub fn new(
+        record: impl IntoIterator<Item = String>,
+        known: impl IntoIterator<Item = String>,
+    ) -> Self {
+        let record: BTreeSet<String> = record.into_iter().collect();
+        let mut known: BTreeSet<String> = known.into_iter().collect();
+        known.extend(record.iter().cloned());
+        AccessPlan { record, known }
+    }
+
+    /// Rules on a runtime location label. `SharedArray` cells are
+    /// labeled `base[i]`; they inherit the base label's ruling.
+    #[must_use]
+    pub fn decide(&self, label: &str) -> PlanDecision {
+        let base = match label.rfind('[') {
+            Some(at) if label.ends_with(']') => &label[..at],
+            _ => label,
+        };
+        if self.record.contains(label) || self.record.contains(base) {
+            PlanDecision::Record
+        } else if self.known.contains(label) || self.known.contains(base) {
+            PlanDecision::Filtered
+        } else {
+            PlanDecision::Unplanned
+        }
+    }
+
+    /// Number of labels the plan keeps recording.
+    #[must_use]
+    pub fn recorded_len(&self) -> usize {
+        self.record.len()
+    }
+
+    /// Number of labels the plan knows.
+    #[must_use]
+    pub fn known_len(&self) -> usize {
+        self.known.len()
+    }
+}
+
 /// Record/replay selection for an execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum RecordMode {
@@ -271,6 +340,12 @@ pub struct Config {
     /// scheduler, the vOS and the demo-stream accounting publish named
     /// counters here; `None` (the default) skips registration entirely.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Static sparsification plan (`srr plan`): when set (implies
+    /// `trace_access`), only `Conflict`-classified labels emit
+    /// `PlainAccess` trace events — sparse by proof. Unplanned labels
+    /// fail open (recorded + counted as plan staleness). Race
+    /// detection itself is unaffected; the plan filters the *trace*.
+    pub access_plan: Option<Arc<AccessPlan>>,
 }
 
 impl Config {
@@ -293,6 +368,7 @@ impl Config {
             trace_access: false,
             race_target: None,
             metrics: None,
+            access_plan: None,
         }
     }
 
@@ -395,6 +471,18 @@ impl Config {
         self.race_target = Some((label.to_owned(), a, b));
         self
     }
+
+    /// Arms a static access plan (implies [`Config::with_access_trace`]):
+    /// only labels the plan marked `Conflict` keep emitting `PlainAccess`
+    /// events; statically proven sites are filtered, and labels the plan
+    /// has never seen fail open (recorded, flagged as plan staleness).
+    #[must_use]
+    pub fn with_access_plan(mut self, plan: AccessPlan) -> Self {
+        self.trace_sync = true;
+        self.trace_access = true;
+        self.access_plan = Some(Arc::new(plan));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -468,6 +556,38 @@ mod tests {
         let c = SparseConfig::comprehensive();
         assert!(c.records_kind("open"));
         assert!(c.record_file_rw);
+    }
+
+    #[test]
+    fn access_plan_rules_on_labels_and_array_cells() {
+        let plan = AccessPlan::new(
+            ["cell".to_owned()],
+            ["cell".to_owned(), "scratch".to_owned(), "slots".to_owned()],
+        );
+        assert_eq!(plan.decide("cell"), PlanDecision::Record);
+        assert_eq!(plan.decide("scratch"), PlanDecision::Filtered);
+        assert_eq!(plan.decide("slots[3]"), PlanDecision::Filtered);
+        assert_eq!(plan.decide("cell[0]"), PlanDecision::Record);
+        assert_eq!(plan.decide("mystery"), PlanDecision::Unplanned);
+        assert_eq!(plan.recorded_len(), 1);
+        assert_eq!(plan.known_len(), 3);
+    }
+
+    #[test]
+    fn access_plan_known_is_superset_of_record() {
+        let plan = AccessPlan::new(["hot".to_owned()], []);
+        assert_eq!(plan.decide("hot"), PlanDecision::Record);
+        assert_eq!(plan.known_len(), 1);
+    }
+
+    #[test]
+    fn with_access_plan_implies_access_trace() {
+        let c = Config::new(Mode::Tsan11Rec(Strategy::Queue))
+            .with_access_plan(AccessPlan::new(["cell".to_owned()], []));
+        assert!(c.trace_sync);
+        assert!(c.trace_access);
+        let plan = c.access_plan.as_ref().expect("plan armed");
+        assert_eq!(plan.decide("cell"), PlanDecision::Record);
     }
 
     #[test]

@@ -345,11 +345,17 @@ impl Execution {
                 .map(Scheduler::counters)
                 .unwrap_or_default(),
             obs: obs_report,
+            plan: rt.plan_counters(),
         };
         if let Some(reg) = &metrics {
             vos.publish_metrics(reg);
             reg.gauge("run_ticks").set(report.ticks);
             reg.gauge("run_visible_ops").set(report.visible_ops);
+            if report.plan.sites > 0 {
+                reg.counter("plan_sites_total").add(report.plan.sites);
+                reg.counter("plan_filtered_total")
+                    .add(report.plan.filtered_events);
+            }
             for s in &report.obs.streams {
                 reg.gauge(&format!("vos_stream_entries{{stream=\"{}\"}}", s.stream))
                     .set(s.entries);

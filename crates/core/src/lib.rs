@@ -63,11 +63,13 @@ pub mod sys;
 pub mod thread;
 
 pub use atomic::{fence, Atomic, Scalar};
-pub use config::{Config, Mode, RecordMode, SparseConfig, Strategy};
+pub use config::{AccessPlan, Config, Mode, PlanDecision, RecordMode, SparseConfig, Strategy};
 pub use exec::Execution;
 pub use ids::{AtomicId, CondId, MutexId, Tid};
 pub use prng::Prng;
-pub use report::{soft_desync, soft_desync_report, ExecReport, Outcome, SchedCounters, TraceEvent};
+pub use report::{
+    soft_desync, soft_desync_report, ExecReport, Outcome, PlanCounters, SchedCounters, TraceEvent,
+};
 pub use rwlock::{Barrier, RwLock, RwLockReadGuard, RwLockWriteGuard};
 pub use shared::{Shared, SharedArray};
 pub use sync::{Condvar, Mutex, MutexGuard};

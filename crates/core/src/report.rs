@@ -159,6 +159,29 @@ pub struct ExecReport {
     /// `Config::with_trace` was set, stream counters whenever the run
     /// recorded or replayed a demo.
     pub obs: ObsReport,
+    /// Access-plan accounting (`Config::with_access_plan`); all-zero when
+    /// no plan was armed.
+    pub plan: PlanCounters,
+}
+
+/// What the access plan did during one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanCounters {
+    /// Plain-access locations that consulted the plan at construction.
+    pub sites: u64,
+    /// `PlainAccess` events suppressed from the trace ring.
+    pub filtered_events: u64,
+    /// Labels the plan had never seen (recorded fail-open, sorted).
+    /// Nonempty means the plan is stale relative to the workload.
+    pub unplanned: Vec<String>,
+}
+
+impl PlanCounters {
+    /// Whether the run hit labels the plan does not cover.
+    #[must_use]
+    pub fn is_stale(&self) -> bool {
+        !self.unplanned.is_empty()
+    }
 }
 
 impl ExecReport {
@@ -327,6 +350,7 @@ mod tests {
             analysis: Vec::new(),
             sched: SchedCounters::default(),
             obs: ObsReport::default(),
+            plan: PlanCounters::default(),
         }
     }
 

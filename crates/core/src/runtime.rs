@@ -10,7 +10,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering as AOrd};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering as AOrd};
 use std::sync::Arc;
 
 use parking_lot::Mutex as PlMutex;
@@ -134,6 +134,14 @@ pub(crate) struct Runtime {
     /// Observability collector (`Config::trace`); `None` when off, so
     /// every hook below is a single `Option` check.
     pub obs: Option<Arc<Obs>>,
+    /// Plain-access sites that consulted the access plan (plan armed
+    /// and `Shared`/`SharedArray` constructed).
+    pub plan_sites: AtomicU64,
+    /// `PlainAccess` events suppressed from the trace ring by the plan.
+    pub plan_filtered: AtomicU64,
+    /// Labels the plan had never seen (fail-open recording) — nonempty
+    /// means the plan is stale relative to the workload.
+    pub plan_unplanned: PlMutex<std::collections::BTreeSet<String>>,
 }
 
 impl Runtime {
@@ -172,7 +180,19 @@ impl Runtime {
             free_ops: AtomicU32::new(0),
             sync_trace: PlMutex::new(None),
             obs,
+            plan_sites: AtomicU64::new(0),
+            plan_filtered: AtomicU64::new(0),
+            plan_unplanned: PlMutex::new(std::collections::BTreeSet::new()),
         })
+    }
+
+    /// Snapshot of the access-plan counters for the final report.
+    pub fn plan_counters(&self) -> crate::report::PlanCounters {
+        crate::report::PlanCounters {
+            sites: self.plan_sites.load(AOrd::Relaxed),
+            filtered_events: self.plan_filtered.load(AOrd::Relaxed),
+            unplanned: self.plan_unplanned.lock().iter().cloned().collect(),
+        }
     }
 
     pub fn mode(&self) -> Mode {

@@ -17,6 +17,7 @@ use srr_analysis::SyncEvent;
 use srr_racedet::{AccessKind, LocationId};
 
 use crate::atomic::Scalar;
+use crate::config::PlanDecision;
 use crate::runtime::with_ctx;
 
 /// A plain shared variable under race detection.
@@ -26,6 +27,10 @@ pub struct Shared<T: Scalar> {
     /// the label namespace with [`Atomic::labeled`](crate::Atomic), so an
     /// atomic and a `Shared` with one label model one memory location.
     trace_loc: Option<u32>,
+    /// The access plan's ruling on this location, computed once at
+    /// construction. `Record` when no plan is armed, so the hot path
+    /// stays a single enum compare.
+    plan: PlanDecision,
     native: AtomicU64,
     _marker: PhantomData<T>,
 }
@@ -38,19 +43,31 @@ impl<T: Scalar> Shared<T> {
         let reg = with_ctx(|ctx| {
             if ctx.rt.mode().is_instrumented() {
                 let loc = ctx.rt.racedet.lock().register_location(label);
-                Some((loc, ctx.rt.sync_loc(label)))
+                let plan = match &ctx.rt.config.access_plan {
+                    Some(plan) => {
+                        ctx.rt.plan_sites.fetch_add(1, StdOrd::Relaxed);
+                        let decision = plan.decide(label);
+                        if decision == PlanDecision::Unplanned {
+                            ctx.rt.plan_unplanned.lock().insert(label.to_owned());
+                        }
+                        decision
+                    }
+                    None => PlanDecision::Record,
+                };
+                Some((loc, ctx.rt.sync_loc(label), plan))
             } else {
                 None
             }
         })
         .flatten();
-        let (loc, trace_loc) = match reg {
-            Some((loc, t)) => (Some(loc), t),
-            None => (None, None),
+        let (loc, trace_loc, plan) = match reg {
+            Some((loc, t, plan)) => (Some(loc), t, plan),
+            None => (None, None, PlanDecision::Record),
         };
         Shared {
             loc,
             trace_loc,
+            plan,
             native: AtomicU64::new(value.to_bits()),
             _marker: PhantomData,
         }
@@ -83,13 +100,20 @@ impl<T: Scalar> Shared<T> {
                 return;
             }
             if let Some(trace_loc) = self.trace_loc.filter(|_| ctx.rt.config.trace_access) {
-                let tid = ctx.tid.0;
-                ctx.rt.sync_event(|tick| SyncEvent::PlainAccess {
-                    tid,
-                    loc: trace_loc,
-                    tick,
-                    write: kind == AccessKind::Write,
-                });
+                // Sparse-by-proof: statically proven sites are dropped
+                // from the trace ring (the race detector below still sees
+                // every access — the plan filters the *recording* only).
+                if self.plan == PlanDecision::Filtered {
+                    ctx.rt.plan_filtered.fetch_add(1, StdOrd::Relaxed);
+                } else {
+                    let tid = ctx.tid.0;
+                    ctx.rt.sync_event(|tick| SyncEvent::PlainAccess {
+                        tid,
+                        loc: trace_loc,
+                        tick,
+                        write: kind == AccessKind::Write,
+                    });
+                }
             }
             // Plain accesses do not tick the clock; the clock advances at
             // visible operations only, so all plain accesses between two

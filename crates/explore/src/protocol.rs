@@ -35,6 +35,20 @@ pub struct RaceTarget {
     pub b: u32,
 }
 
+impl RaceTarget {
+    /// A target with the thread pair in canonical (low, high) order, so
+    /// targets built from different sources (dynamic predictions, static
+    /// plan sites) dedupe against each other.
+    #[must_use]
+    pub fn normalized(label: &str, a: u32, b: u32) -> RaceTarget {
+        RaceTarget {
+            label: label.to_owned(),
+            a: a.min(b),
+            b: a.max(b),
+        }
+    }
+}
+
 impl fmt::Display for RaceTarget {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}:{}", self.label, self.a, self.b)
@@ -286,6 +300,14 @@ fn parse_num(s: &str) -> Result<u64, String> {
 mod tests {
     use super::*;
     use crate::signature::SignatureKind;
+
+    #[test]
+    fn normalized_targets_use_canonical_pair_order() {
+        let a = RaceTarget::normalized("cell", 2, 1);
+        let b = RaceTarget::normalized("cell", 1, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "cell:1:2");
+    }
 
     #[test]
     fn task_roundtrips_with_and_without_target() {

@@ -1,0 +1,859 @@
+//! The token-level thread-escape + lockset scanner.
+//!
+//! One forward pass over the srr-vet token stream per file, tracking:
+//!
+//! * **bindings** — `let x = Arc::new(Shared::new("label", ..))` and
+//!   the `Arc::clone`/tuple-let aliasing idiom the workloads use, so an
+//!   access through any alias resolves to its construction site;
+//! * **contexts** — the enclosing function body is context 0 and every
+//!   `thread::spawn(move || { .. })` closure opens a fresh context; a
+//!   spawn inside a loop is marked `looped` (it stands for *many*
+//!   threads, so its accesses count double for escape purposes);
+//! * **locksets** — `let g = m.lock()` makes the mutex's label held
+//!   until `drop(g)`, a shadowing rebind, or the end of the enclosing
+//!   block; acquiring one lock while holding another records a static
+//!   lock-order edge.
+//!
+//! The pass is flow-insensitive: both arms of an `if` contribute, and
+//! no path feasibility is considered. That direction is sound for
+//! sparsification — infeasible accesses can only *add* contexts and
+//! *shrink* locksets, pushing sites toward `Conflict` (recorded), never
+//! toward `Local` (filtered).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use srr_vet::lexer::{Lexed, Token, TokenKind};
+use srr_vet::resolve::collect_imports;
+
+/// What kind of instrumented location a site labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SiteKind {
+    /// A `Shared::new` plain location (unsynchronized accesses).
+    Shared,
+    /// A `SharedArray::new` block of plain locations (cells are labeled
+    /// `label[i]` at runtime; the plan matches on the base label).
+    SharedArray,
+    /// An `Atomic::labeled` location.
+    Atomic,
+    /// A `Mutex::labeled` lock.
+    Mutex,
+}
+
+impl SiteKind {
+    /// Stable lowercase name used in the JSON plan.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SiteKind::Shared => "shared",
+            SiteKind::SharedArray => "shared-array",
+            SiteKind::Atomic => "atomic",
+            SiteKind::Mutex => "mutex",
+        }
+    }
+
+    /// Inverse of [`SiteKind::name`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<SiteKind> {
+        Some(match s {
+            "shared" => SiteKind::Shared,
+            "shared-array" => SiteKind::SharedArray,
+            "atomic" => SiteKind::Atomic,
+            "mutex" => SiteKind::Mutex,
+            _ => return None,
+        })
+    }
+
+    /// Whether accesses through this site are recorded as `PlainAccess`
+    /// events (the ones an [`AccessPlan`](crate::PlanReport) filters).
+    #[must_use]
+    pub fn is_plain(self) -> bool {
+        matches!(self, SiteKind::Shared | SiteKind::SharedArray)
+    }
+}
+
+/// One labeled construction site found in the source.
+#[derive(Clone, Debug)]
+pub struct RawSite {
+    /// The location label (first string literal of the constructor).
+    pub label: String,
+    /// What the constructor builds.
+    pub kind: SiteKind,
+    /// 1-based line of the constructor.
+    pub line: u32,
+    /// 1-based column of the constructor.
+    pub col: u32,
+}
+
+/// One access to a site.
+#[derive(Clone, Debug)]
+pub struct RawAccess {
+    /// Index into [`FileScan::sites`].
+    pub site: usize,
+    /// Unique id of the context (fn body or spawn closure) performing
+    /// the access.
+    pub ctx: u32,
+    /// Thread-id hint: 0 for the fn body, k for the k-th spawn in it.
+    pub tid: u32,
+    /// The context is a spawn inside a loop (stands for many threads).
+    pub looped: bool,
+    /// Mutex labels held at the access.
+    pub locks: BTreeSet<String>,
+}
+
+/// Scanner output for one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileScan {
+    /// Construction sites in source order.
+    pub sites: Vec<RawSite>,
+    /// Accesses resolved to their sites.
+    pub accesses: Vec<RawAccess>,
+    /// Static lock-order edges: (held, acquired) label pairs.
+    pub edges: BTreeSet<(String, String)>,
+}
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const PLAIN_METHODS: &[&str] = &["read", "write", "update"];
+
+#[derive(Clone, Debug)]
+struct Ctx {
+    id: u32,
+    tid: u32,
+    looped: bool,
+    open_depth: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Guard {
+    name: String,
+    label: String,
+    depth: u32,
+}
+
+/// What a `let` right-hand side turned out to be.
+enum Rhs {
+    NewSite {
+        kind: SiteKind,
+        label: String,
+        line: u32,
+        col: u32,
+        ctor_tok: usize,
+    },
+    Alias(String),
+    /// `name.lock()`: the guard activates when the main scan reaches
+    /// the `name` token at this index (so lock-order edges see the
+    /// locks held *before* this acquisition).
+    Guard(usize),
+    Other,
+}
+
+struct Scanner<'a> {
+    toks: &'a [Token],
+    lexed: &'a Lexed,
+    out: FileScan,
+    /// Binding name → site index.
+    vars: HashMap<String, usize>,
+    guards: Vec<Guard>,
+    ctx_stack: Vec<Ctx>,
+    loop_depths: Vec<u32>,
+    /// Token index of a `name.lock()` receiver → (guard name, depth).
+    pending_guards: HashMap<usize, (String, u32)>,
+    /// Constructor token indices already claimed by a `let` binding.
+    claimed: BTreeSet<usize>,
+    next_ctx: u32,
+    spawn_ordinal: u32,
+    /// `spawn` aliased to a bare identifier by a `use` declaration.
+    spawn_aliased: bool,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(lexed: &'a Lexed) -> Self {
+        let imports = collect_imports(&lexed.tokens);
+        let spawn_aliased = imports
+            .aliases
+            .get("spawn")
+            .is_some_and(|p| p.ends_with(&["thread".to_owned(), "spawn".to_owned()]));
+        Scanner {
+            toks: &lexed.tokens,
+            lexed,
+            out: FileScan::default(),
+            vars: HashMap::new(),
+            guards: Vec::new(),
+            ctx_stack: Vec::new(),
+            loop_depths: Vec::new(),
+            pending_guards: HashMap::new(),
+            claimed: BTreeSet::new(),
+            next_ctx: 1,
+            spawn_ordinal: 0,
+            spawn_aliased,
+        }
+    }
+
+    fn fresh_ctx(&mut self, tid: u32, looped: bool, open_depth: u32) -> Ctx {
+        let id = self.next_ctx;
+        self.next_ctx += 1;
+        Ctx {
+            id,
+            tid,
+            looped,
+            open_depth,
+        }
+    }
+
+    fn current_ctx(&self) -> (u32, u32, bool) {
+        match self.ctx_stack.last() {
+            Some(c) => (c.id, c.tid, c.looped),
+            None => (0, 0, false),
+        }
+    }
+
+    fn lockset(&self) -> BTreeSet<String> {
+        self.guards.iter().map(|g| g.label.clone()).collect()
+    }
+
+    fn ident(&self, i: usize) -> Option<&str> {
+        self.toks.get(i).and_then(Token::ident)
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.toks.get(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    /// `thread::spawn` (any path prefix) or a bare aliased `spawn`,
+    /// called with `(`.
+    fn is_spawn_call(&self, i: usize) -> bool {
+        if self.ident(i) != Some("spawn") || !self.is_punct(i + 1, '(') {
+            return false;
+        }
+        let qualified = i >= 2
+            && matches!(self.toks[i - 1].kind, TokenKind::PathSep)
+            && self.ident(i - 2) == Some("thread");
+        let bare = self.spawn_aliased
+            && (i == 0
+                || (!matches!(self.toks[i - 1].kind, TokenKind::PathSep)
+                    && !self.toks[i - 1].is_punct('.')));
+        qualified || bare
+    }
+
+    /// A constructor head `Shared::new` / `Atomic::labeled` / ... at
+    /// `i`, returning its kind and the index of the `(` that follows.
+    fn ctor_at(&self, i: usize) -> Option<(SiteKind, usize)> {
+        let kind = match self.ident(i)? {
+            "Shared" => SiteKind::Shared,
+            "SharedArray" => SiteKind::SharedArray,
+            "Atomic" => SiteKind::Atomic,
+            "Mutex" => SiteKind::Mutex,
+            _ => return None,
+        };
+        if !matches!(
+            self.toks.get(i + 1).map(|t| &t.kind),
+            Some(TokenKind::PathSep)
+        ) {
+            return None;
+        }
+        let method = self.ident(i + 2)?;
+        let ok = match kind {
+            SiteKind::Shared | SiteKind::SharedArray => method == "new",
+            SiteKind::Atomic | SiteKind::Mutex => method == "labeled",
+        };
+        if !ok || !self.is_punct(i + 3, '(') {
+            return None;
+        }
+        Some((kind, i + 3))
+    }
+
+    /// The first string literal inside the call opening at `open`
+    /// (index of `(`), scanned to its matching `)`.
+    fn first_string_arg(&self, open: usize) -> Option<String> {
+        let mut depth = 0i32;
+        for t in self.toks.iter().skip(open) {
+            match &t.kind {
+                TokenKind::Punct('(') => depth += 1,
+                TokenKind::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return None;
+                    }
+                }
+                TokenKind::Lit => {
+                    if let Some(s) = self.lexed.string_at(t.line, t.col) {
+                        return Some(s.to_owned());
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Classifies the `let` right-hand side spanning `[lo, hi)`. Only
+    /// tokens at brace-nesting 0 relative to the expression are
+    /// considered: a closure body inside the RHS belongs to inner
+    /// statements the main scan handles on its own.
+    fn classify_rhs(&self, lo: usize, hi: usize) -> Rhs {
+        let mut brace = 0i32;
+        let mut j = lo;
+        while j < hi {
+            match &self.toks[j].kind {
+                TokenKind::Punct('{') => brace += 1,
+                TokenKind::Punct('}') => brace -= 1,
+                _ if brace == 0 => {
+                    if let Some((kind, open)) = self.ctor_at(j) {
+                        if let Some(label) = self.first_string_arg(open) {
+                            return Rhs::NewSite {
+                                kind,
+                                label,
+                                line: self.toks[j].line,
+                                col: self.toks[j].col,
+                                ctor_tok: j,
+                            };
+                        }
+                    }
+                    // `Arc::clone(&name)`
+                    if self.ident(j) == Some("Arc")
+                        && matches!(
+                            self.toks.get(j + 1).map(|t| &t.kind),
+                            Some(TokenKind::PathSep)
+                        )
+                        && self.ident(j + 2) == Some("clone")
+                        && self.is_punct(j + 3, '(')
+                        && self.is_punct(j + 4, '&')
+                    {
+                        if let Some(name) = self.ident(j + 5) {
+                            if self.vars.contains_key(name) {
+                                return Rhs::Alias(name.to_owned());
+                            }
+                        }
+                    }
+                    // `name.clone()` / `name.lock()`
+                    if let Some(name) = self.ident(j) {
+                        if self.is_punct(j + 1, '.') && self.vars.contains_key(name) {
+                            match self.ident(j + 2) {
+                                Some("clone") => return Rhs::Alias(name.to_owned()),
+                                Some("lock")
+                                    if self.vars.get(name).is_some_and(|s| {
+                                        self.out.sites[*s].kind == SiteKind::Mutex
+                                    }) =>
+                                {
+                                    return Rhs::Guard(j)
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        Rhs::Other
+    }
+
+    /// Splits a top-level tuple RHS `( e1, e2, .. )` into expression
+    /// ranges; `None` if the RHS is not a tuple.
+    fn split_tuple(&self, lo: usize, hi: usize) -> Option<Vec<(usize, usize)>> {
+        if !self.is_punct(lo, '(') {
+            return None;
+        }
+        let mut depth = 0i32;
+        let mut parts = Vec::new();
+        let mut start = lo + 1;
+        for j in lo..hi {
+            match &self.toks[j].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if j + 1 != hi {
+                            return None; // `( .. )` is not the whole RHS
+                        }
+                        if start < j {
+                            parts.push((start, j));
+                        }
+                        return if parts.len() > 1 { Some(parts) } else { None };
+                    }
+                }
+                TokenKind::Punct(',') if depth == 1 => {
+                    parts.push((start, j));
+                    start = j + 1;
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    fn bind(&mut self, name: &str, rhs: Rhs) {
+        // Any rebind shadows: the old meaning of the name is gone.
+        self.guards.retain(|g| g.name != name);
+        self.vars.remove(name);
+        if name == "_" {
+            return;
+        }
+        match rhs {
+            Rhs::NewSite {
+                kind,
+                label,
+                line,
+                col,
+                ctor_tok,
+            } => {
+                self.claimed.insert(ctor_tok);
+                self.out.sites.push(RawSite {
+                    label,
+                    kind,
+                    line,
+                    col,
+                });
+                self.vars.insert(name.to_owned(), self.out.sites.len() - 1);
+            }
+            Rhs::Alias(of) => {
+                if let Some(site) = self.vars.get(&of).copied() {
+                    self.vars.insert(name.to_owned(), site);
+                }
+            }
+            Rhs::Guard(recv_tok) => {
+                // Activated when the scan reaches the receiver token.
+                self.pending_guards.insert(recv_tok, (name.to_owned(), 0));
+            }
+            Rhs::Other => {}
+        }
+    }
+
+    /// Handles a `let` statement starting at token `i` (the `let`).
+    /// Pure lookahead: records bindings, never consumes tokens.
+    fn handle_let(&mut self, i: usize) {
+        // LHS: names up to `=`, ignoring `mut` and everything after a
+        // top-level `:` (the type ascription).
+        let mut names = Vec::new();
+        let mut j = i + 1;
+        let mut in_type = false;
+        let mut depth = 0i32;
+        let eq = loop {
+            let Some(t) = self.toks.get(j) else { return };
+            match &t.kind {
+                TokenKind::Punct('=') if depth == 0 => break j,
+                TokenKind::Punct(';') => return, // `let x;`
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('>') => depth -= 1,
+                TokenKind::Punct(':') if depth == 0 => in_type = true,
+                TokenKind::Ident(name) if !in_type && name != "mut" => names.push(name.clone()),
+                _ => {}
+            }
+            j += 1;
+        };
+        // RHS: from after `=` to the `;` at relative nesting 0.
+        let lo = eq + 1;
+        let mut hi = lo;
+        let mut nest = 0i32;
+        while let Some(t) = self.toks.get(hi) {
+            match &t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => nest += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => nest -= 1,
+                TokenKind::Punct(';') if nest == 0 => break,
+                _ => {}
+            }
+            hi += 1;
+        }
+        if names.is_empty() {
+            return;
+        }
+        if names.len() > 1 {
+            if let Some(parts) = self.split_tuple(lo, hi) {
+                if parts.len() == names.len() {
+                    for (name, (plo, phi)) in names.iter().zip(parts) {
+                        let rhs = self.classify_rhs(plo, phi);
+                        self.bind(name, rhs);
+                    }
+                    return;
+                }
+            }
+            // Tuple pattern we cannot line up: drop all the names.
+            for name in &names {
+                self.bind(name, Rhs::Other);
+            }
+            return;
+        }
+        let rhs = self.classify_rhs(lo, hi);
+        self.bind(&names[0], rhs);
+    }
+
+    fn record_access(&mut self, site: usize) {
+        let (ctx, tid, looped) = self.current_ctx();
+        self.out.accesses.push(RawAccess {
+            site,
+            ctx,
+            tid,
+            looped,
+            locks: self.lockset(),
+        });
+    }
+
+    fn scan(mut self) -> FileScan {
+        let mut depth = 0u32;
+        let mut paren = 0i32;
+        let mut pending_fn = false;
+        let mut pending_loop = false;
+        let mut pending_spawn: Option<(i32, bool)> = None; // (paren floor, looped)
+        let mut i = 0usize;
+        while i < self.toks.len() {
+            match &self.toks[i].kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') => {
+                    paren -= 1;
+                    if let Some((floor, _)) = pending_spawn {
+                        if paren <= floor {
+                            pending_spawn = None; // spawn(f) with no closure brace
+                        }
+                    }
+                }
+                TokenKind::Punct('{') => {
+                    depth += 1;
+                    if let Some((_, looped)) = pending_spawn.take() {
+                        self.spawn_ordinal += 1;
+                        let tid = self.spawn_ordinal;
+                        let ctx = self.fresh_ctx(tid, looped, depth);
+                        self.ctx_stack.push(ctx);
+                    } else if pending_loop {
+                        pending_loop = false;
+                        self.loop_depths.push(depth);
+                    } else if pending_fn && paren == 0 {
+                        pending_fn = false;
+                        // New analysis unit: fresh bindings and contexts.
+                        self.vars.clear();
+                        self.guards.clear();
+                        self.loop_depths.clear();
+                        self.ctx_stack.clear();
+                        self.spawn_ordinal = 0;
+                        let ctx = self.fresh_ctx(0, false, depth);
+                        self.ctx_stack.push(ctx);
+                    }
+                }
+                TokenKind::Punct('}') => {
+                    self.guards.retain(|g| g.depth < depth);
+                    while self.ctx_stack.last().is_some_and(|c| c.open_depth >= depth) {
+                        self.ctx_stack.pop();
+                    }
+                    self.loop_depths.retain(|d| *d < depth);
+                    depth = depth.saturating_sub(1);
+                }
+                TokenKind::Punct(';') if pending_fn && paren == 0 => {
+                    pending_fn = false; // trait method signature
+                }
+                TokenKind::Ident(name) => match name.as_str() {
+                    "fn" => pending_fn = true,
+                    "for" | "while" | "loop" => pending_loop = true,
+                    // `if let` / `while let` scrutinees have no `;`
+                    // terminator; the lookahead would misparse them.
+                    "let"
+                        if !matches!(
+                            i.checked_sub(1).and_then(|p| self.ident(p)),
+                            Some("if") | Some("while")
+                        ) =>
+                    {
+                        self.handle_let(i)
+                    }
+                    "drop" if self.is_punct(i + 1, '(') => {
+                        if let Some(g) = self.ident(i + 2) {
+                            let g = g.to_owned();
+                            self.guards.retain(|k| k.name != g);
+                        }
+                    }
+                    _ => {
+                        if self.is_spawn_call(i) {
+                            pending_spawn = Some((paren, !self.loop_depths.is_empty()));
+                        } else if let Some((kind, open)) = self.ctor_at(i) {
+                            // A constructor not claimed by a `let`:
+                            // record the site so the label is known.
+                            if !self.claimed.contains(&i) {
+                                if let Some(label) = self.first_string_arg(open) {
+                                    self.out.sites.push(RawSite {
+                                        label,
+                                        kind,
+                                        line: self.toks[i].line,
+                                        col: self.toks[i].col,
+                                    });
+                                }
+                            }
+                        } else if self.is_punct(i + 1, '.') {
+                            self.method_call(i, depth);
+                        }
+                    }
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+        self.out
+    }
+
+    /// `name.method(..)` where `name` is a tracked binding.
+    fn method_call(&mut self, i: usize, depth: u32) {
+        let Some(name) = self.ident(i) else { return };
+        let Some(site) = self.vars.get(name).copied() else {
+            return;
+        };
+        let Some(method) = self.ident(i + 2) else {
+            return;
+        };
+        if !self.is_punct(i + 3, '(') {
+            return;
+        }
+        let kind = self.out.sites[site].kind;
+        match kind {
+            SiteKind::Shared | SiteKind::SharedArray if PLAIN_METHODS.contains(&method) => {
+                self.record_access(site);
+            }
+            SiteKind::Atomic if ATOMIC_METHODS.contains(&method) => {
+                self.record_access(site);
+            }
+            SiteKind::Mutex if method == "lock" => {
+                let label = self.out.sites[site].label.clone();
+                for g in &self.guards {
+                    if g.label != label {
+                        self.out.edges.insert((g.label.clone(), label.clone()));
+                    }
+                }
+                self.record_access(site);
+                if let Some((gname, _)) = self.pending_guards.remove(&i) {
+                    self.guards.push(Guard {
+                        name: gname,
+                        label,
+                        depth,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Scans one file's lexed source.
+#[must_use]
+pub fn scan_file(lexed: &Lexed) -> FileScan {
+    Scanner::new(lexed).scan()
+}
+
+/// Strongly-connected components with more than one node (or a
+/// self-edge): the static lock-order cycles. Each cycle is the sorted
+/// set of its lock labels; cycles are returned sorted for determinism.
+#[must_use]
+pub fn lock_cycles(edges: &BTreeSet<(String, String)>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for (a, b) in edges {
+        adj.entry(a).or_default().push(b);
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    // Per-pair reachability is plenty at lock-graph sizes: a node set
+    // forms a cycle iff its members are mutually reachable.
+    let reach = |from: &str, to: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            for m in adj.get(n).into_iter().flatten() {
+                if *m == to {
+                    return true;
+                }
+                if seen.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        false
+    };
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for n in &nodes {
+        if !reach(n, n) {
+            continue; // not on any cycle
+        }
+        // The SCC of n: every node mutually reachable with it.
+        let comp: Vec<String> = nodes
+            .iter()
+            .filter(|m| **m == *n || (reach(n, m) && reach(m, n)))
+            .map(|m| (*m).to_owned())
+            .collect();
+        cycles.insert(comp); // already sorted: nodes is a BTreeSet
+    }
+    cycles.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srr_vet::lexer::lex;
+
+    fn scan(src: &str) -> FileScan {
+        scan_file(&lex(src))
+    }
+
+    #[test]
+    fn shared_binding_and_alias_resolve_to_one_site() {
+        let s = scan(
+            r#"
+            fn w() {
+                let cell = Arc::new(Shared::new("cell", 0u64));
+                let c2 = Arc::clone(&cell);
+                let t = thread::spawn(move || {
+                    c2.write(1);
+                });
+                cell.write(2);
+            }
+            "#,
+        );
+        assert_eq!(s.sites.len(), 1);
+        assert_eq!(s.sites[0].label, "cell");
+        assert_eq!(s.accesses.len(), 2);
+        let ctxs: BTreeSet<u32> = s.accesses.iter().map(|a| a.ctx).collect();
+        assert_eq!(ctxs.len(), 2, "spawn closure is its own context");
+        let tids: BTreeSet<u32> = s.accesses.iter().map(|a| a.tid).collect();
+        assert_eq!(tids, BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn tuple_let_aliases_line_up_positionally() {
+        let s = scan(
+            r#"
+            fn w() {
+                let a = Arc::new(Shared::new("a", 0));
+                let b = Arc::new(Mutex::labeled(0u64, "b"));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let g = b2.lock();
+                a2.write(1);
+                drop(g);
+                a2.write(2);
+            }
+            "#,
+        );
+        assert_eq!(s.sites.len(), 2);
+        let locksets: Vec<_> = s
+            .accesses
+            .iter()
+            .filter(|a| s.sites[a.site].kind == SiteKind::Shared)
+            .map(|a| a.locks.clone())
+            .collect();
+        assert_eq!(locksets.len(), 2);
+        assert!(locksets[0].contains("b"), "first write under the lock");
+        assert!(locksets[1].is_empty(), "dropped before the second");
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_close() {
+        let s = scan(
+            r#"
+            fn w() {
+                let m = Arc::new(Mutex::labeled(0u64, "m"));
+                let c = Arc::new(Shared::new("c", 0));
+                {
+                    let g = m.lock();
+                    c.write(1);
+                }
+                c.write(2);
+            }
+            "#,
+        );
+        let locksets: Vec<_> = s
+            .accesses
+            .iter()
+            .filter(|a| s.sites[a.site].kind == SiteKind::Shared)
+            .map(|a| a.locks.clone())
+            .collect();
+        assert!(locksets[0].contains("m"));
+        assert!(locksets[1].is_empty());
+    }
+
+    #[test]
+    fn lock_order_edges_and_cycles() {
+        let s = scan(
+            r#"
+            fn w() {
+                let a = Arc::new(Mutex::labeled(0u64, "lock-a"));
+                let b = Arc::new(Mutex::labeled(0u64, "lock-b"));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t = thread::spawn(move || {
+                    let ga = a2.lock();
+                    let gb = b2.lock();
+                    drop(gb);
+                    drop(ga);
+                });
+                let gb = b.lock();
+                let ga = a.lock();
+                drop(ga);
+                drop(gb);
+            }
+            "#,
+        );
+        assert!(s
+            .edges
+            .contains(&("lock-a".to_owned(), "lock-b".to_owned())));
+        assert!(s
+            .edges
+            .contains(&("lock-b".to_owned(), "lock-a".to_owned())));
+        let cycles = lock_cycles(&s.edges);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0], vec!["lock-a".to_owned(), "lock-b".to_owned()]);
+    }
+
+    #[test]
+    fn spawn_in_loop_is_marked_looped() {
+        let s = scan(
+            r#"
+            fn w() {
+                let c = Arc::new(Shared::new("c", 0));
+                for i in 0..4 {
+                    let c2 = Arc::clone(&c);
+                    thread::spawn(move || {
+                        c2.write(1);
+                    });
+                }
+            }
+            "#,
+        );
+        let access = s
+            .accesses
+            .iter()
+            .find(|a| s.sites[a.site].kind == SiteKind::Shared)
+            .expect("write seen");
+        assert!(access.looped, "spawn under a loop stands for many threads");
+    }
+
+    #[test]
+    fn unclaimed_constructor_still_registers_the_label() {
+        let s = scan(r#"fn w() { register(Shared::new("anon", 0)); }"#);
+        assert_eq!(s.sites.len(), 1);
+        assert_eq!(s.sites[0].label, "anon");
+        assert!(s.accesses.is_empty());
+    }
+
+    #[test]
+    fn shadowing_rebind_forgets_guards_and_sites() {
+        let s = scan(
+            r#"
+            fn w() {
+                let m = Arc::new(Mutex::labeled(0u64, "m"));
+                let c = Arc::new(Shared::new("c", 0));
+                let g = m.lock();
+                let g = other();
+                c.write(1);
+            }
+            "#,
+        );
+        let access = &s.accesses[s.accesses.len() - 1];
+        assert!(
+            access.locks.is_empty(),
+            "rebinding g releases the tracked guard: {access:?}"
+        );
+    }
+}

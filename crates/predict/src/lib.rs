@@ -106,6 +106,11 @@ pub struct ReplayVerdict {
 pub struct PredictReport {
     /// Every candidate, graded.
     pub races: Vec<PredictedRace>,
+    /// Candidate pairs dropped before synthesis because the caller's
+    /// site filter ([`predict_with`]) statically proved their location —
+    /// `srr predict --plan`'s pruning counter. Zero under plain
+    /// [`predict`].
+    pub pruned: usize,
 }
 
 impl PredictReport {
@@ -162,9 +167,24 @@ impl PredictReport {
 /// the report to [`classify_with`] to replay the witnesses.
 #[must_use]
 pub fn predict(trace: &SyncTrace, demo: &Demo) -> PredictReport {
+    predict_with(trace, demo, |_| true)
+}
+
+/// [`predict`] with a site filter: candidate pairs whose location label
+/// fails `keep` are dropped *before* witness synthesis (the expensive
+/// step) and counted in [`PredictReport::pruned`]. `srr predict --plan`
+/// passes a filter that rejects statically proven `Local`/`Guarded`
+/// labels; unknown labels must be kept (fail open).
+#[must_use]
+pub fn predict_with(
+    trace: &SyncTrace,
+    demo: &Demo,
+    mut keep: impl FnMut(&str) -> bool,
+) -> PredictReport {
     let model = TraceModel::build(trace, demo);
     let candidates = weak_candidates(trace);
     let mut races = Vec::with_capacity(candidates.len());
+    let mut pruned = 0;
     for cand in candidates {
         let (Some(a), Some(b)) = (model.accesses.get(cand.a), model.accesses.get(cand.b)) else {
             continue; // trace/model disagree on access count: skip
@@ -179,6 +199,10 @@ pub fn predict(trace: &SyncTrace, demo: &Demo) -> PredictReport {
             .get(a.loc as usize)
             .cloned()
             .unwrap_or_else(|| format!("loc#{}", a.loc));
+        if !keep(&loc_label) {
+            pruned += 1;
+            continue;
+        }
         let (classification, witness) = match synthesize(&model, demo, cand.a, cand.b) {
             Synth::Witness(w) => (Classification::Unconfirmed, Some(*w)),
             Synth::Infeasible => (Classification::Infeasible, None),
@@ -194,7 +218,7 @@ pub fn predict(trace: &SyncTrace, demo: &Demo) -> PredictReport {
             witness,
         });
     }
-    PredictReport { races }
+    PredictReport { races, pruned }
 }
 
 /// Replays every witness in `report` through `replayer` and upgrades the
@@ -273,6 +297,19 @@ mod tests {
         assert!(r.witness.is_some(), "a reorder witness exists");
         assert_eq!(report.count(Classification::Confirmed), 0);
         assert_eq!(report.confirmation_rate(), Some(0.0));
+        assert_eq!(report.pruned, 0, "plain predict prunes nothing");
+    }
+
+    #[test]
+    fn predict_with_prunes_statically_proven_labels_before_synthesis() {
+        let (trace, demo) = unordered_pair();
+        let report = predict_with(&trace, &demo, |label| label != "x");
+        assert_eq!(report.races.len(), 0);
+        assert_eq!(report.pruned, 1);
+        // An unrelated filter keeps the candidate (fail open on unknowns).
+        let report = predict_with(&trace, &demo, |label| label != "y");
+        assert_eq!(report.races.len(), 1);
+        assert_eq!(report.pruned, 0);
     }
 
     #[test]

@@ -102,9 +102,21 @@ impl Allowlist {
     /// Whether any entry suppresses `kind` in `file`.
     #[must_use]
     pub fn matches(&self, kind: &str, file: &str) -> bool {
-        self.entries
-            .iter()
-            .any(|e| (e.kind == "*" || e.kind == kind) && glob_match(&e.file_glob, file))
+        self.entries.iter().any(|e| {
+            (e.kind == "*" || e.kind == kind) && glob_match(&normalize_glob(&e.file_glob), file)
+        })
+    }
+}
+
+/// Normalizes a directory-style glob: a trailing `/` means "everything
+/// under this directory", i.e. `crates/apps/` behaves like
+/// `crates/apps/*`. Without this, a trailing slash silently matched
+/// nothing (no file path ends in `/`).
+fn normalize_glob(glob: &str) -> String {
+    if glob.ends_with('/') {
+        format!("{glob}*")
+    } else {
+        glob.to_owned()
     }
 }
 
@@ -200,6 +212,22 @@ mod tests {
         assert!(!glob_match("examples/*", "crates/x.rs"));
         assert!(glob_match("", ""));
         assert!(!glob_match("", "x"));
+    }
+
+    #[test]
+    fn trailing_slash_globs_cover_the_directory_subtree() {
+        // Regression: `crates/apps/` used to match nothing because no
+        // file path ends in `/`; it must behave like `crates/apps/*`.
+        let list = Allowlist::parse("allow * crates/apps/ host-side tree").unwrap();
+        assert!(list.matches("raw-fs", "crates/apps/src/bin/srr.rs"));
+        assert!(list.matches("raw-net", "crates/apps/tests/cli.rs"));
+        assert!(!list.matches("raw-fs", "crates/core/src/lib.rs"));
+        // A bare `/` covers everything, like `*` does for files.
+        let root = Allowlist::parse("allow * /").unwrap();
+        assert!(!root.matches("raw-fs", "crates/core/src/lib.rs"));
+        assert!(root.matches("raw-fs", "/abs/path.rs"));
+        // Globs without the trailing slash are untouched.
+        assert!(!glob_match("crates/apps/", "crates/apps/src/x.rs"));
     }
 
     #[test]

@@ -60,6 +60,19 @@ pub struct AllowMark {
     pub kinds: Vec<String>,
 }
 
+/// A string literal's text, kept in a side table so [`TokenKind::Lit`]
+/// stays value-free for the lints while the plan analysis can recover
+/// location labels. Keyed by the literal token's span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StrLit {
+    /// Literal body (between the quotes, escapes left verbatim).
+    pub text: String,
+    /// 1-based line of the opening quote (or raw prefix).
+    pub line: u32,
+    /// 1-based column of the opening quote (or raw prefix).
+    pub col: u32,
+}
+
 /// The lexer output: the token stream plus any inline allow markers.
 #[derive(Clone, Debug, Default)]
 pub struct Lexed {
@@ -67,12 +80,29 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// Inline `vet: allow(...)` markers found in comments.
     pub allows: Vec<AllowMark>,
+    /// Inline `plan: allow(...)` markers found in comments.
+    pub plan_allows: Vec<AllowMark>,
+    /// String literal bodies, in source order (see [`StrLit`]).
+    pub strings: Vec<StrLit>,
 }
 
-/// Extracts `vet: allow(a, b)` from a comment's text, if present.
-fn scan_marker(text: &str, line: u32) -> Option<AllowMark> {
-    let at = text.find("vet:")?;
-    let rest = text[at + 4..].trim_start();
+impl Lexed {
+    /// The string literal at the given span, if the `Lit` token there
+    /// was a string.
+    #[must_use]
+    pub fn string_at(&self, line: u32, col: u32) -> Option<&str> {
+        self.strings
+            .iter()
+            .find(|s| s.line == line && s.col == col)
+            .map(|s| s.text.as_str())
+    }
+}
+
+/// Extracts `<ns> allow(a, b)` from a comment's text, if present, where
+/// `ns` is a marker namespace such as `"vet:"` or `"plan:"`.
+fn scan_marker(text: &str, line: u32, ns: &str) -> Option<AllowMark> {
+    let at = text.find(ns)?;
+    let rest = text[at + ns.len()..].trim_start();
     let rest = rest.strip_prefix("allow")?.trim_start();
     let rest = rest.strip_prefix('(')?;
     let close = rest.find(')')?;
@@ -121,23 +151,24 @@ fn is_ident_continue(c: char) -> bool {
 }
 
 /// Consumes a raw string body after the `r`/`br` prefix has been seen:
-/// `#`* `"` ... `"` `#`*. Returns false if it was not a raw string
-/// opener after all.
-fn eat_raw_string(cur: &mut Cursor) -> bool {
+/// `#`* `"` ... `"` `#`*. Returns the body text, or `None` if it was
+/// not a raw string opener after all.
+fn eat_raw_string(cur: &mut Cursor) -> Option<String> {
     let mut hashes = 0usize;
     while cur.peek(hashes) == Some('#') {
         hashes += 1;
     }
     if cur.peek(hashes) != Some('"') {
-        return false;
+        return None;
     }
     for _ in 0..=hashes {
         cur.bump();
     }
     // Body: ends at `"` followed by `hashes` hashes.
+    let mut text = String::new();
     loop {
         match cur.bump() {
-            None => return true, // unterminated: tolerate, EOF ends it
+            None => return Some(text), // unterminated: tolerate, EOF ends it
             Some('"') => {
                 let mut ok = true;
                 for k in 0..hashes {
@@ -150,25 +181,32 @@ fn eat_raw_string(cur: &mut Cursor) -> bool {
                     for _ in 0..hashes {
                         cur.bump();
                     }
-                    return true;
+                    return Some(text);
                 }
+                text.push('"');
             }
-            Some(_) => {}
+            Some(c) => text.push(c),
         }
     }
 }
 
-fn eat_string(cur: &mut Cursor) {
-    // Opening quote already consumed.
+/// Consumes a plain string body (opening quote already eaten) and
+/// returns it, escapes kept verbatim.
+fn eat_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
     while let Some(c) = cur.bump() {
         match c {
             '\\' => {
-                cur.bump();
+                text.push(c);
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
             }
-            '"' => return,
-            _ => {}
+            '"' => return text,
+            _ => text.push(c),
         }
     }
+    text
 }
 
 /// Lexes Rust source. Never fails: malformed input degrades to
@@ -198,8 +236,11 @@ pub fn lex(src: &str) -> Lexed {
                 text.push(ch);
                 cur.bump();
             }
-            if let Some(mark) = scan_marker(&text, line) {
+            if let Some(mark) = scan_marker(&text, line, "vet:") {
                 out.allows.push(mark);
+            }
+            if let Some(mark) = scan_marker(&text, line, "plan:") {
+                out.plan_allows.push(mark);
             }
             continue;
         }
@@ -227,15 +268,19 @@ pub fn lex(src: &str) -> Lexed {
                     (None, _) => break,
                 }
             }
-            if let Some(mark) = scan_marker(&text, line) {
+            if let Some(mark) = scan_marker(&text, line, "vet:") {
                 out.allows.push(mark);
+            }
+            if let Some(mark) = scan_marker(&text, line, "plan:") {
+                out.plan_allows.push(mark);
             }
             continue;
         }
         // String literals.
         if c == '"' {
             cur.bump();
-            eat_string(&mut cur);
+            let text = eat_string(&mut cur);
+            out.strings.push(StrLit { text, line, col });
             out.tokens.push(Token {
                 kind: TokenKind::Lit,
                 line,
@@ -282,7 +327,20 @@ pub fn lex(src: &str) -> Lexed {
             if raw_prefix && (cur.peek(0) == Some('"') || cur.peek(0) == Some('#')) {
                 if cur.peek(0) == Some('"') {
                     cur.bump();
-                    eat_string(&mut cur);
+                    let text = if ident == "b" || ident == "c" {
+                        eat_string(&mut cur)
+                    } else {
+                        // `r"..."` with zero hashes: no escapes.
+                        let mut text = String::new();
+                        while let Some(ch) = cur.bump() {
+                            if ch == '"' {
+                                break;
+                            }
+                            text.push(ch);
+                        }
+                        text
+                    };
+                    out.strings.push(StrLit { text, line, col });
                     out.tokens.push(Token {
                         kind: TokenKind::Lit,
                         line,
@@ -290,7 +348,8 @@ pub fn lex(src: &str) -> Lexed {
                     });
                     continue;
                 }
-                if eat_raw_string(&mut cur) {
+                if let Some(text) = eat_raw_string(&mut cur) {
+                    out.strings.push(StrLit { text, line, col });
                     out.tokens.push(Token {
                         kind: TokenKind::Lit,
                         line,
@@ -414,8 +473,36 @@ mod tests {
         assert_eq!(lexed.allows[0].line, 1);
         assert_eq!(lexed.allows[0].kinds, vec!["raw-clock", "raw-spawn"]);
         assert_eq!(lexed.allows[1].kinds, vec!["*"]);
-        assert!(scan_marker("nothing here", 1).is_none());
-        assert!(scan_marker("vet: allow()", 1).is_none());
+        assert!(scan_marker("nothing here", 1, "vet:").is_none());
+        assert!(scan_marker("vet: allow()", 1, "vet:").is_none());
+    }
+
+    #[test]
+    fn plan_markers_are_lifted_separately() {
+        let lexed = lex(
+            "// plan: allow(conflict) intentional shared scratch\nlet x = 1;\n// vet: allow(*)\n",
+        );
+        assert_eq!(lexed.plan_allows.len(), 1);
+        assert_eq!(lexed.plan_allows[0].line, 1);
+        assert_eq!(lexed.plan_allows[0].kinds, vec!["conflict"]);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].line, 3);
+    }
+
+    #[test]
+    fn string_literals_land_in_the_side_table() {
+        let lexed =
+            lex("let a = Shared::new(\"cell\", 0); let b = r#\"raw body\"#; let c = \"es\\\"c\";");
+        let texts: Vec<&str> = lexed.strings.iter().map(|s| s.text.as_str()).collect();
+        assert_eq!(texts, vec!["cell", "raw body", "es\\\"c"]);
+        // Side table spans line up with the Lit tokens they describe.
+        let cell = &lexed.strings[0];
+        assert_eq!(lexed.string_at(cell.line, cell.col), Some("cell"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lit && t.line == cell.line && t.col == cell.col));
+        assert_eq!(lexed.string_at(99, 99), None);
     }
 
     #[test]

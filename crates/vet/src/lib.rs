@@ -52,6 +52,7 @@ pub use allow::{glob_match, Allowlist};
 pub use crosslink::{
     escape_map_from_json, findings_to_json, implicated_streams, rank_desync_causes, RankedCause,
 };
+pub use lexer::{lex, AllowMark, Lexed, StrLit, Token, TokenKind};
 pub use lints::{scan_tokens, VetFinding, VetKind, ALL_KINDS};
 
 /// The result of vetting a path set.
@@ -132,11 +133,11 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Vets every `.rs` file under the given paths (files are taken as-is,
-/// directories are walked recursively, `target/` and dot-dirs are
-/// skipped). Findings keep the paths as given, so allowlist globs match
-/// what the user typed.
-pub fn vet_paths(paths: &[PathBuf], list: &Allowlist) -> std::io::Result<VetReport> {
+/// Collects every `.rs` file under the given paths, sorted: files are
+/// taken as-is, directories are walked recursively with `target/` and
+/// dot-dirs skipped. Shared by the vet and plan scanners so both see
+/// the same file set.
+pub fn collect_rs_files(paths: &[PathBuf]) -> std::io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
     for p in paths {
         if p.is_dir() {
@@ -146,6 +147,15 @@ pub fn vet_paths(paths: &[PathBuf], list: &Allowlist) -> std::io::Result<VetRepo
         }
     }
     files.sort();
+    Ok(files)
+}
+
+/// Vets every `.rs` file under the given paths (files are taken as-is,
+/// directories are walked recursively, `target/` and dot-dirs are
+/// skipped). Findings keep the paths as given, so allowlist globs match
+/// what the user typed.
+pub fn vet_paths(paths: &[PathBuf], list: &Allowlist) -> std::io::Result<VetReport> {
+    let files = collect_rs_files(paths)?;
     let mut report = VetReport {
         scanned_files: files.len(),
         ..VetReport::default()

@@ -1,0 +1,179 @@
+//! Property tests for the vet lexer's hard cases: raw strings
+//! (`r#"..."#` with arbitrary hash depth), nested block comments, and
+//! lifetime ticks. The plan escape analysis walks this same token
+//! stream and joins `Lit` tokens to the string side table by span, so
+//! the invariants here are load-bearing for `srr plan`, not just vet:
+//!
+//! * content spelled *inside* raw strings and comments never becomes a
+//!   token, no matter how adversarial the body;
+//! * every string literal's side-table entry sits exactly on its `Lit`
+//!   token's span, and the recovered text matches what was written;
+//! * lifetime ticks neither eat following tokens nor emit literals.
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use srr_vet::{lex, TokenKind};
+
+/// Raw-string body alphabet: quotes and hashes included on purpose, so
+/// bodies regularly contain `"#`-like near-terminators.
+const BODY: &[char] = &['a', 'z', '"', '#', '\\', '/', '*', ' ', ':', '\n'];
+
+/// Identifier pool for surrounding code.
+const IDENTS: &[&str] = &["alpha", "beta", "spawn", "lock", "cell", "r", "br"];
+
+fn body_strategy() -> impl Strategy<Value = String> {
+    collection::vec(0usize..BODY.len(), 0..24)
+        .prop_map(|ix| ix.into_iter().map(|i| BODY[i]).collect())
+}
+
+/// Tokens of `src` as (kind-discriminant, line, col) triples.
+fn shape(src: &str) -> Vec<(String, u32, u32)> {
+    lex(src)
+        .tokens
+        .iter()
+        .map(|t| {
+            let k = match &t.kind {
+                TokenKind::Ident(s) => format!("i:{s}"),
+                TokenKind::PathSep => "::".to_owned(),
+                TokenKind::Punct(c) => format!("p:{c}"),
+                TokenKind::Lit => "lit".to_owned(),
+            };
+            (k, t.line, t.col)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn raw_string_bodies_are_opaque_and_recovered_verbatim(
+        body in body_strategy(),
+        hashes in 1usize..4,
+        id in 0usize..IDENTS.len(),
+    ) {
+        // Ensure the body cannot terminate the literal early: the
+        // terminator is `"` + hashes hashes, so cap any run of hashes
+        // after a quote below the chosen depth.
+        let guard = "#".repeat(hashes - 1);
+        let body: String = body.replace('"', &format!("\"{guard}a"));
+        let open = format!("r{}\"", "#".repeat(hashes));
+        let close = format!("\"{}", "#".repeat(hashes));
+        let src = format!(
+            "let {} = {open}{body}{close};\nafter();",
+            IDENTS[id]
+        );
+        let lexed = lex(&src);
+        // Exactly one Lit token for the raw string, and the side table
+        // recovers the body text exactly.
+        let lits: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lit)
+            .collect();
+        prop_assert_eq!(lits.len(), 1, "src: {:?}", src);
+        prop_assert_eq!(
+            lexed.string_at(lits[0].line, lits[0].col),
+            Some(body.as_str())
+        );
+        // Nothing inside the body leaked out as an identifier, and the
+        // code after the literal still lexes.
+        let idents: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident())
+            .collect();
+        prop_assert!(idents.contains(&"after"), "src: {:?}", src);
+        prop_assert_eq!(
+            idents.iter().filter(|i| **i == "after").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_are_invisible(
+        body in body_strategy(),
+        depth in 1usize..4,
+    ) {
+        // Build a balanced nested comment: /* /* ... body ... */ */.
+        // Strip characters that would unbalance it from the body.
+        let clean: String = body
+            .chars()
+            .filter(|c| *c != '/' && *c != '*')
+            .collect();
+        let mut comment = clean.clone();
+        for _ in 0..depth {
+            comment = format!("/* {comment} */");
+        }
+        let src = format!("before();\n{comment}\nafter();");
+        let with = shape(&src);
+        let without = shape("before();\n\nafter();");
+        // The comment occupies whole lines of its own, so the token
+        // stream must be identical except for the lines the comment
+        // body spans (the clean body may contain newlines).
+        let extra = clean.matches('\n').count() as u32;
+        prop_assert_eq!(with.len(), without.len());
+        for (w, wo) in with.iter().zip(&without) {
+            prop_assert_eq!(&w.0, &wo.0);
+            prop_assert!(w.1 == wo.1 || w.1 == wo.1 + extra);
+        }
+    }
+
+    #[test]
+    fn lifetime_ticks_do_not_eat_tokens_or_emit_literals(
+        id in 0usize..IDENTS.len(),
+        n in 1usize..4,
+    ) {
+        let lt = "x".repeat(n);
+        let src = format!(
+            "fn f<'{lt}>(v: &'{lt} {}) -> &'{lt} u8 {{ v }}",
+            IDENTS[id]
+        );
+        let lexed = lex(&src);
+        prop_assert!(
+            lexed.tokens.iter().all(|t| t.kind != TokenKind::Lit),
+            "lifetimes must not lex as literals: {:?}",
+            src
+        );
+        prop_assert!(lexed.strings.is_empty());
+        let idents: Vec<_> = lexed.tokens.iter().filter_map(|t| t.ident()).collect();
+        prop_assert!(idents.contains(&IDENTS[id]));
+        prop_assert!(idents.contains(&"u8"));
+        prop_assert!(!idents.contains(&lt.as_str()), "tick swallowed ident");
+    }
+
+    #[test]
+    fn string_side_table_is_span_aligned(
+        bodies in collection::vec(body_strategy(), 1..5),
+    ) {
+        // Plain strings: escape the troublesome characters so each
+        // literal terminates where intended.
+        let mut src = String::new();
+        let mut want = Vec::new();
+        for b in &bodies {
+            let clean: String = b
+                .chars()
+                .filter(|c| *c != '"' && *c != '\\' && *c != '\n')
+                .collect();
+            src.push_str(&format!("reg(\"{clean}\");\n"));
+            want.push(clean);
+        }
+        let lexed = lex(&src);
+        let lits: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lit)
+            .collect();
+        prop_assert_eq!(lits.len(), want.len());
+        for (tok, body) in lits.iter().zip(&want) {
+            prop_assert_eq!(
+                lexed.string_at(tok.line, tok.col),
+                Some(body.as_str()),
+                "side table missed the Lit at {}:{}",
+                tok.line,
+                tok.col
+            );
+        }
+    }
+}

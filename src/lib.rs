@@ -16,6 +16,10 @@
 //! * [`vet`] — the static recording-soundness analyzer: flags escape
 //!   hatches, Wait/Tick protocol misuse and replay-stability hazards
 //!   in workload source before anything is recorded.
+//! * [`plan`] — the static sparsification planner: thread-escape +
+//!   lockset analysis classifying every plain-access site as
+//!   `Local`/`Guarded`/`Conflict`, yielding an access plan that
+//!   shrinks the recorded trace and prunes predict/explore work.
 //! * [`substrates`] — the underlying vector-clock, memory-model,
 //!   race-detection and demo-format crates.
 //!
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub use srr_apps as apps;
+pub use srr_plan as plan;
 pub use srr_predict as predict;
 pub use srr_rr as rr;
 pub use srr_vet as vet;
