@@ -86,22 +86,53 @@ pub fn lint_demo_map(map: &BTreeMap<String, String>) -> Vec<DemoDiagnostic> {
     diags
 }
 
-/// Lints a demo directory written by [`srr_replay::Demo::save_dir`].
+/// Lints a demo directory written by [`srr_replay::Demo::save_dir`],
+/// auto-detecting the on-disk format per file.
+///
+/// Text streams are linted line by line as before. When any stream is
+/// binary, the demo is decoded through the checksummed codec and its
+/// canonical text rendering is linted — a decode failure (corruption,
+/// truncation, version skew) *is* the diagnostic, since the frame
+/// checksum already localizes the damage to a file.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors other than "file not found" (absent
 /// stream files are empty streams).
 pub fn lint_demo_dir(dir: &Path) -> io::Result<Vec<DemoDiagnostic>> {
-    let mut map = BTreeMap::new();
+    let mut bytes_map = BTreeMap::new();
+    let mut any_binary = false;
     for name in ["HEADER", "QUEUE", "SIGNAL", "SYSCALL", "ASYNC", "ALLOC"] {
-        match std::fs::read_to_string(dir.join(name)) {
-            Ok(text) => {
-                map.insert(name.to_owned(), text);
+        match std::fs::read(dir.join(name)) {
+            Ok(bytes) => {
+                any_binary |= srr_replay::codec::is_binary(&bytes);
+                bytes_map.insert(name.to_owned(), bytes);
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
         }
+    }
+    if any_binary {
+        return Ok(match srr_replay::Demo::from_bytes_map(&bytes_map) {
+            Ok(demo) => lint_demo_map(&demo.to_string_map()),
+            Err(e) => {
+                let mut diags = Vec::new();
+                let (file, line) = match &e {
+                    srr_replay::DemoLoadError::Malformed { file, line, .. } => {
+                        (file.clone(), line.unwrap_or(0))
+                    }
+                    srr_replay::DemoLoadError::Codec { file, .. }
+                    | srr_replay::DemoLoadError::Io { file, .. } => (file.clone(), 0),
+                    srr_replay::DemoLoadError::MissingHeader => ("HEADER".to_owned(), 0),
+                };
+                diag(&mut diags, &file, line, e.to_string());
+                diags
+            }
+        });
+    }
+    let mut map = BTreeMap::new();
+    for (name, bytes) in bytes_map {
+        map.insert(name, String::from_utf8_lossy(&bytes).into_owned());
     }
     Ok(lint_demo_map(&map))
 }
@@ -751,7 +782,7 @@ mod tests {
     fn lint_dir_roundtrip() {
         let dir = std::env::temp_dir().join(format!("srr-lint-test-{}", std::process::id()));
         let d = sample_demo();
-        d.save_dir(&dir).unwrap();
+        d.save_dir_as(&dir, srr_replay::DemoFormat::Text).unwrap();
         assert!(lint_demo_dir(&dir).unwrap().is_empty());
         // Truncate the SYSCALL stream on disk.
         let sys = std::fs::read_to_string(dir.join("SYSCALL")).unwrap();
@@ -759,6 +790,29 @@ mod tests {
         let diags = lint_demo_dir(&dir).unwrap();
         assert_eq!(diags.len(), 1);
         assert!(diags[0].to_string().starts_with("SYSCALL:1: "));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lint_dir_handles_binary_demos() {
+        let dir = std::env::temp_dir().join(format!("srr-lint-bin-test-{}", std::process::id()));
+        let d = sample_demo();
+        d.save_dir(&dir).unwrap(); // binary by default
+        assert!(lint_demo_dir(&dir).unwrap().is_empty());
+        // Flip one payload bit: the frame checksum localizes the damage
+        // and the decode failure becomes the diagnostic.
+        let mut sys = std::fs::read(dir.join("SYSCALL")).unwrap();
+        let mid = sys.len() / 2;
+        sys[mid] ^= 0x01;
+        std::fs::write(dir.join("SYSCALL"), sys).unwrap();
+        let diags = lint_demo_dir(&dir).unwrap();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].file, "SYSCALL");
+        assert!(
+            diags[0].message.contains("cannot decode"),
+            "message: {}",
+            diags[0].message
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -10,6 +10,8 @@
 //!               [--metrics-out DIR]      # parallel race-hunting farm
 //! srr analyze   <workload> [--tool TOOL] [--seed N] [--json]  # offline sync analysis
 //! srr predict   <workload> [--seed N] [--plan FILE] [--json]  # predictive race detection
+//! srr demo      convert --demo DIR --to bin|text [--out DIR]  # transcode formats
+//! srr demo      hash|stats --demo DIR  # per-stream store hashes / summary
 //! srr lint-demo --demo DIR             # validate a serialized demo
 //! srr vet       <path>... [--allow FILE|none] [--json] [--out FILE]  # static soundness scan
 //! srr plan      <path>... [--allow FILE|none] [--json] [--out FILE]  # static sparsification plan
@@ -48,6 +50,7 @@ use srr_explore::{
 use srr_obs::{FarmCounters, MetricsRegistry};
 use srr_plan::SiteClass;
 use srr_predict::Classification;
+use srr_replay::{DemoFormat, StreamHash};
 use srr_vet::Allowlist;
 use tsan11rec::obs::Json;
 use tsan11rec::vos::Vos;
@@ -280,6 +283,7 @@ struct Args {
     plan: Option<PathBuf>,
     folded: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    to: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -343,13 +347,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--plan" => args.plan = Some(PathBuf::from(flag("--plan")?)),
             "--folded" => args.folded = Some(PathBuf::from(flag("--folded")?)),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(flag("--metrics-out")?)),
+            "--to" => args.to = Some(flag("--to")?),
             // Any dash-prefixed token is a (mis)spelled flag, never a
             // workload name — `-seed` must not silently become a
             // positional and mask the user's intent.
             other if other.starts_with('-') => {
                 let valid = "--tool --seed --out --demo --sparse --runs --ring --allow --vet \
                              --json --workers --corpus --strategies --shard --predict --plan \
-                             --folded --metrics-out -o";
+                             --folded --metrics-out --to -o";
                 return Err(format!("unknown flag `{other}` (valid flags: {valid})"));
             }
             other => args.positional.push(other.to_owned()),
@@ -508,6 +513,8 @@ fn usage() -> String {
         "                [--out FILE] [--metrics-out DIR]",
         "  srr analyze   <workload> [--tool TOOL] [--seed N] [--json] [--out FILE]",
         "  srr predict   <workload> [--seed N] [--plan FILE] [--json]",
+        "  srr demo      convert --demo DIR --to bin|text [--out DIR]",
+        "  srr demo      hash|stats --demo DIR",
         "  srr lint-demo --demo DIR",
         "  srr vet       <path>... [--allow FILE|none] [--json] [--out FILE]",
         "  srr plan      <path>... [--allow FILE|none] [--json] [--out FILE]",
@@ -547,6 +554,12 @@ fn usage() -> String {
         "conflict sites as directed shards. Exit 2 on unallowed conflicts or",
         "static lock cycles; `// plan: allow(conflict)` markers or the vet",
         "allowlist-file format waive the gate (never the recording).",
+        "",
+        "demo converts between the binary (default) and text stream formats",
+        "(convert writes in place unless --out names a directory), prints the",
+        "per-stream content hashes DemoStore dedups by (hash), or summarizes a",
+        "recording (stats). Every --demo consumer auto-detects the format per",
+        "file, so mixed directories load fine.",
         "",
         "exit codes:",
         "  0  success",
@@ -1130,6 +1143,51 @@ fn run_command(argv: &[String]) -> Result<u8, String> {
                 }
             }
             Ok(findings_exit(gate, noun))
+        }
+        "demo" => {
+            let sub = args
+                .positional
+                .first()
+                .map(String::as_str)
+                .ok_or("demo needs a subcommand: convert | hash | stats")?;
+            let dir = args.demo.clone().ok_or("demo needs --demo DIR")?;
+            let demo = Demo::load_dir(&dir).map_err(|e| format!("loading demo: {e}"))?;
+            match sub {
+                "convert" => {
+                    let to = args.to.as_deref().ok_or("convert needs --to bin|text")?;
+                    let format = DemoFormat::from_name(to)
+                        .ok_or_else(|| format!("unknown demo format `{to}` (bin or text)"))?;
+                    // No --out means convert in place; `save_dir_as`
+                    // removes the other format's stream files so the
+                    // directory never holds a stale mixed demo.
+                    let dest = args.out.clone().unwrap_or_else(|| dir.clone());
+                    demo.save_dir_as(&dest, format)
+                        .map_err(|e| format!("writing {}: {e}", dest.display()))?;
+                    eprintln!(
+                        "{}: {} format, {} bytes",
+                        dest.display(),
+                        format.name(),
+                        demo.size_bytes_as(format)
+                    );
+                    Ok(EXIT_OK)
+                }
+                "hash" => {
+                    // The same content addresses `DemoStore` uses, so
+                    // two demos dedup in a store iff their hash lines
+                    // match here.
+                    for (file, bytes) in demo.to_bytes_map() {
+                        println!("{}  {file}", StreamHash::of(&bytes));
+                    }
+                    Ok(EXIT_OK)
+                }
+                "stats" => {
+                    println!("{}", demo.stats());
+                    Ok(EXIT_OK)
+                }
+                other => Err(format!(
+                    "unknown demo subcommand `{other}` (convert | hash | stats)"
+                )),
+            }
         }
         "lint-demo" => {
             let dir = args.demo.clone().ok_or("lint-demo needs --demo DIR")?;
@@ -1826,22 +1884,90 @@ mod tests {
             Ok(EXIT_OK),
             "recorded demo lints clean"
         );
-        // Truncate the SYSCALL stream mid-record: the linter must object
-        // with the findings exit code (not a usage error).
+        // Corrupt the binary SYSCALL stream mid-record: the linter must
+        // object with the findings exit code (not a usage error).
         let syscall = dir.join("SYSCALL");
-        let text = std::fs::read_to_string(&syscall).expect("recorded syscalls");
-        if let Some(pos) = text.find("\nbuf ") {
-            std::fs::write(&syscall, &text[..pos + 1]).unwrap();
-            assert_eq!(
-                run_command(&argv(&["lint-demo", "--demo", dir.to_str().unwrap()])),
-                Ok(EXIT_FINDINGS)
-            );
-        }
+        let mut bytes = std::fs::read(&syscall).expect("recorded syscalls");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&syscall, bytes).unwrap();
+        assert_eq!(
+            run_command(&argv(&["lint-demo", "--demo", dir.to_str().unwrap()])),
+            Ok(EXIT_FINDINGS)
+        );
         assert!(
             run_command(&argv(&["lint-demo"])).is_err(),
             "missing --demo"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn demo_command_converts_hashes_and_reports_stats() {
+        let dir = std::env::temp_dir().join(format!("srr-demo-cmd-{}", std::process::id()));
+        let text_dir = std::env::temp_dir().join(format!("srr-demo-cmd-t-{}", std::process::id()));
+        run_command(&argv(&[
+            "record",
+            "client",
+            "--tool",
+            "queue",
+            "--seed",
+            "5",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .expect("record");
+        let d = dir.to_str().unwrap();
+        assert_eq!(
+            run_command(&argv(&["demo", "stats", "--demo", d])),
+            Ok(EXIT_OK)
+        );
+        assert_eq!(
+            run_command(&argv(&["demo", "hash", "--demo", d])),
+            Ok(EXIT_OK)
+        );
+        // Convert to text in a second directory: same demo, different bytes.
+        run_command(&argv(&[
+            "demo",
+            "convert",
+            "--demo",
+            d,
+            "--to",
+            "text",
+            "--out",
+            text_dir.to_str().unwrap(),
+        ]))
+        .expect("convert to text");
+        let orig = Demo::load_dir(&dir).unwrap();
+        let text = Demo::load_dir(&text_dir).unwrap();
+        assert_eq!(orig.to_bytes_map(), text.to_bytes_map(), "lossless convert");
+        assert!(
+            std::fs::read_to_string(text_dir.join("HEADER")).is_ok(),
+            "text HEADER is UTF-8"
+        );
+        // In-place round trip back to binary, then replay the result.
+        run_command(&argv(&[
+            "demo",
+            "convert",
+            "--demo",
+            text_dir.to_str().unwrap(),
+            "--to",
+            "bin",
+        ]))
+        .expect("convert in place");
+        run_command(&argv(&[
+            "replay",
+            "client",
+            "--demo",
+            text_dir.to_str().unwrap(),
+        ]))
+        .expect("converted demo replays");
+        // Usage errors: missing subcommand, unknown subcommand, missing --to.
+        assert!(run_command(&argv(&["demo", "--demo", d])).is_err());
+        assert!(run_command(&argv(&["demo", "bogus", "--demo", d])).is_err());
+        assert!(run_command(&argv(&["demo", "convert", "--demo", d])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&text_dir);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Backward compatibility: every demo fixture committed *before* the
+//! binary codec existed is plain text, and each `--demo DIR` consumer
+//! now auto-detects the format per file. These fixtures are the
+//! contract: they must keep loading, convert losslessly to the binary
+//! form and back, and survive a save/load trip through both on-disk
+//! formats (including a mixed-format directory, which per-file
+//! detection makes legal).
+
+use std::path::PathBuf;
+
+use tsan11rec::Demo;
+
+fn fixture(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel)
+}
+
+/// Every committed pre-codec text fixture, by fixture-relative path.
+/// The sched trio also carries a CONSOLE file, which stream loading
+/// must ignore (it is report context, not a demo stream).
+const TEXT_FIXTURES: [&str; 5] = [
+    "predict/hidden_handoff_witness",
+    "profile/httpd_demo",
+    "sched/pct",
+    "sched/queue",
+    "sched/random",
+];
+
+#[test]
+fn committed_text_fixtures_load_through_autodetect() {
+    for rel in TEXT_FIXTURES {
+        let dir = fixture(rel);
+        let demo = Demo::load_dir(&dir)
+            .unwrap_or_else(|e| panic!("{rel}: committed text fixture stopped loading: {e}"));
+        assert!(
+            !demo.header.strategy.is_empty(),
+            "{rel}: header parsed with a strategy"
+        );
+        // The fixtures were recorded from real runs; an empty QUEUE
+        // would mean the loader quietly dropped a stream.
+        assert!(
+            !demo.queue.first_tick.is_empty(),
+            "{rel}: QUEUE stream must survive the load"
+        );
+    }
+}
+
+#[test]
+fn text_fixtures_convert_losslessly_to_binary_and_back() {
+    for rel in TEXT_FIXTURES {
+        let demo = Demo::load_dir(&fixture(rel)).unwrap();
+        let bin = demo.to_bytes_map();
+        let back = Demo::from_bytes_map(&bin).unwrap_or_else(|e| panic!("{rel}: {e}"));
+        assert_eq!(back, demo, "{rel}: text → bin → demo must be lossless");
+        assert_eq!(
+            back.to_string_map(),
+            demo.to_string_map(),
+            "{rel}: canonical text form survives the binary trip"
+        );
+        // And the binary rendering earns its keep on real recordings.
+        let text_bytes: usize = demo.to_string_map().values().map(String::len).sum();
+        let bin_bytes: usize = bin.values().map(Vec::len).sum();
+        assert!(
+            bin_bytes < text_bytes,
+            "{rel}: binary ({bin_bytes}B) beats text ({text_bytes}B)"
+        );
+    }
+}
+
+#[test]
+fn save_load_round_trips_in_both_formats_and_mixed() {
+    use srr_replay::DemoFormat;
+
+    let demo = Demo::load_dir(&fixture("profile/httpd_demo")).unwrap();
+    let root = std::env::temp_dir().join(format!("srr-compat-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    for format in [DemoFormat::Text, DemoFormat::Binary] {
+        let dir = root.join(format.name());
+        demo.save_dir_as(&dir, format).unwrap();
+        let loaded =
+            Demo::load_dir(&dir).unwrap_or_else(|e| panic!("{} round trip: {e}", format.name()));
+        assert_eq!(loaded, demo, "{} round trip", format.name());
+    }
+
+    // Mixed directory: binary body, but the HEADER swapped for its text
+    // rendering — per-file auto-detect must take both in stride.
+    let mixed = root.join("mixed");
+    demo.save_dir_as(&mixed, DemoFormat::Binary).unwrap();
+    std::fs::write(mixed.join("HEADER"), &demo.to_string_map()["HEADER"]).unwrap();
+    let loaded = Demo::load_dir(&mixed).expect("mixed-format demo loads");
+    assert_eq!(loaded, demo, "mixed-format round trip");
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -9,18 +9,25 @@
 //! worker-count invariance.
 //!
 //! On disk, a corpus directory holds an `INDEX` file (one protocol-style
-//! line per entry) and one subdirectory per entry that has a demo:
+//! line per entry), a content-addressed [`DemoStore`] deduplicating the
+//! stream blobs across entries, and one subdirectory per entry that has
+//! a demo (stream files hard-linked out of the store, so entries stay
+//! directly replayable with `srr replay --demo`):
 //!
 //! ```text
 //! corpus/
 //!   INDEX
+//!   store/                          # blobs shared across entries
+//!     INDEX blobs/<hash>
 //!   race_counter_0,1_ww-a1b2c3d4/   # sanitized signature + fnv tag
-//!     DEMO QUEUE SYSCALL ...
+//!     HEADER QUEUE SYSCALL ...      # links into store/blobs
 //! ```
 
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use srr_replay::{Demo, DemoStore};
 
 use crate::protocol::Finding;
 use crate::signature::{escape, unescape, Signature};
@@ -66,6 +73,7 @@ pub enum Offered {
 #[derive(Debug, Default)]
 pub struct Corpus {
     dir: Option<PathBuf>,
+    store: Option<DemoStore>,
     entries: BTreeMap<Signature, CorpusEntry>,
 }
 
@@ -87,6 +95,7 @@ impl Corpus {
         std::fs::create_dir_all(dir)?;
         let mut corpus = Corpus {
             dir: Some(dir.to_owned()),
+            store: Some(DemoStore::open(&dir.join("store"))?),
             entries: BTreeMap::new(),
         };
         let index = dir.join("INDEX");
@@ -127,22 +136,44 @@ impl Corpus {
         let mut winner = candidate;
         if let Some(dir) = self.dir.clone() {
             // Evict the superseded demo before importing the new one.
-            if let Some(old) = self.entries.get(&finding.signature) {
-                if let Some(sub) = &old.demo_subdir {
-                    let _ = std::fs::remove_dir_all(dir.join(sub));
+            let old_sub = self
+                .entries
+                .get(&finding.signature)
+                .and_then(|old| old.demo_subdir.clone());
+            if let Some(sub) = old_sub {
+                let _ = std::fs::remove_dir_all(dir.join(&sub));
+                if let Some(store) = self.store.as_mut() {
+                    let _ = store.remove(&sub);
                 }
             }
             if let Some(spool) = &finding.demo_path {
                 let subdir = entry_dir_name(&finding.signature);
                 let dest = dir.join(&subdir);
                 let _ = std::fs::remove_dir_all(&dest);
-                copy_dir_flat(Path::new(spool), &dest)?;
+                // Loadable demos go through the content-addressed store
+                // (streams shared byte-identically across entries) and
+                // are materialized back as a replayable directory.
+                // Spools that are not demo directories import verbatim.
+                match (Demo::load_dir(Path::new(spool)), self.store.as_mut()) {
+                    (Ok(demo), Some(store)) => {
+                        store.insert(&subdir, &demo)?;
+                        store.materialize(&subdir, &dest)?;
+                    }
+                    _ => copy_dir_flat(Path::new(spool), &dest)?,
+                }
                 winner.demo_subdir = Some(subdir);
             }
         }
         self.entries.insert(finding.signature.clone(), winner);
         self.save()?;
         Ok(verdict)
+    }
+
+    /// The content-addressed demo store backing an on-disk corpus
+    /// (`None` for in-memory corpora).
+    #[must_use]
+    pub fn store(&self) -> Option<&DemoStore> {
+        self.store.as_ref()
     }
 
     /// All signatures, sorted.
@@ -395,6 +426,73 @@ mod tests {
         let reopened = Corpus::open(&dir).unwrap();
         assert_eq!(reopened.signatures(), c.signatures());
         assert_eq!(reopened.entry(&sig("x|0,1|ww")), Some(&e));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn identical_spooled_demos_share_store_blobs() {
+        use srr_replay::DemoHeader;
+        let root = std::env::temp_dir().join(format!("srr-corpus-dedup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+
+        // Two shards record byte-identical demos into separate spools.
+        let mut demo = Demo::new(DemoHeader::new("tsan11rec", "queue", [3, 5]));
+        demo.queue.first_tick = vec![1, 2];
+        demo.queue.next_ticks = vec![3, 4, 0, 0];
+        let spool_a = root.join("t0_s3");
+        let spool_b = root.join("t1_s3");
+        demo.save_dir(&spool_a).unwrap();
+        demo.save_dir(&spool_b).unwrap();
+
+        let dir = root.join("corpus");
+        let mut c = Corpus::open(&dir).unwrap();
+        c.offer("w", &finding("x|0,1|ww", 3, Some(17), spool_a.to_str()))
+            .unwrap();
+        c.offer("w", &finding("y|1,2|rw", 3, Some(17), spool_b.to_str()))
+            .unwrap();
+        assert_eq!(c.len(), 2);
+
+        // Two entries, one set of blobs: every stream hash is shared.
+        let hb = {
+            let store = c.store().expect("on-disk corpus has a store");
+            assert_eq!(store.len(), 2);
+            let ids: Vec<String> = store.ids().map(str::to_owned).collect();
+            let ha = store.streams(&ids[0]).unwrap().clone();
+            let hb = store.streams(&ids[1]).unwrap().clone();
+            assert_eq!(ha, hb, "identical streams must share hashes");
+            assert_eq!(store.blob_count().unwrap(), ha.len());
+            for hash in ha.values() {
+                assert_eq!(store.refcount(*hash), 2);
+            }
+            hb
+        };
+
+        // Both materialized entries still load as the original demo.
+        for (sig_detail, _) in [("x|0,1|ww", ()), ("y|1,2|rw", ())] {
+            let sub = c
+                .entry(&sig(sig_detail))
+                .unwrap()
+                .demo_subdir
+                .clone()
+                .unwrap();
+            assert_eq!(Demo::load_dir(&dir.join(sub)).unwrap(), demo);
+        }
+
+        // Evicting one entry keeps the shared blobs alive for the other.
+        let spool_c = root.join("t2_s1");
+        let mut smaller = demo.clone();
+        smaller.queue = Default::default();
+        smaller.save_dir(&spool_c).unwrap();
+        c.offer("w", &finding("x|0,1|ww", 1, Some(5), spool_c.to_str()))
+            .unwrap();
+        let store = c.store().unwrap();
+        let sub_b = c.entry(&sig("y|1,2|rw")).unwrap().demo_subdir.clone();
+        assert_eq!(store.refcount(hb["QUEUE"]), 1, "y still references QUEUE");
+        assert_eq!(
+            Demo::load_dir(&dir.join(sub_b.unwrap())).unwrap(),
+            demo,
+            "surviving entry is intact after the shared-blob eviction"
+        );
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -168,3 +168,66 @@ fn more_workers_than_tasks_is_fine() {
     let (wide, _) = session(&plan, 64, 42);
     assert_eq!(serial, wide);
 }
+
+/// End-to-end corpus dedup: two parallel shards spool byte-identical
+/// demos under distinct signatures; the on-disk corpus must store every
+/// shared stream as one blob, with both store INDEX entries pointing at
+/// the same hashes.
+#[test]
+fn parallel_shards_with_identical_demos_share_store_blobs() {
+    use srr_replay::{Demo, DemoHeader};
+
+    let root = std::env::temp_dir().join(format!("srr-farm-dedup-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let spool = root.join("spool");
+
+    // Each shard records the same deterministic demo (as real shards do
+    // when the workload's schedule does not depend on the seed range)
+    // but reports a shard-specific signature.
+    let spool_for_runner = spool.clone();
+    let runner: Arc<ShardRunner> = Arc::new(move |task| {
+        let mut demo = Demo::new(DemoHeader::new("tsan11rec", "queue", [3, 5]));
+        demo.queue.first_tick = vec![1, 2];
+        demo.queue.next_ticks = vec![3, 4, 0, 0];
+        let dir = spool_for_runner.join(format!("t{}_s{}", task.id, task.seed_lo));
+        demo.save_dir(&dir).expect("spool demo");
+        let mut out = ShardOutput {
+            runs: task.seed_hi - task.seed_lo,
+            ..Default::default()
+        };
+        out.findings.push(Finding {
+            task_id: task.id,
+            signature: Signature::race(&RaceSignature {
+                label: format!("cell{}", task.seed_lo),
+                tids: (0, 1),
+                kinds: (AccessKind::Read, AccessKind::Write),
+            }),
+            strategy: task.strategy.clone(),
+            seed: task.seed_lo,
+            demo_bytes: Some(demo.size_bytes() as u64),
+            demo_path: Some(dir.to_string_lossy().into_owned()),
+        });
+        Ok(out)
+    });
+
+    let plan = ShardPlan::build("w", &["queue".to_owned()], 0, 2, 1, &[]);
+    assert_eq!(plan.tasks.len(), 2, "two shards");
+    let mut corpus = Corpus::open(&root.join("corpus")).expect("open corpus");
+    let spawner = ThreadSpawner { runner };
+    let outcome = run_farm(&plan, 2, &spawner, &mut corpus, None).expect("farm runs");
+    assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+    assert_eq!(corpus.len(), 2, "two distinct signatures");
+
+    let store = corpus.store().expect("on-disk corpus has a store");
+    assert_eq!(store.len(), 2, "both demos stored");
+    let ids: Vec<String> = store.ids().map(str::to_owned).collect();
+    let ha = store.streams(&ids[0]).unwrap();
+    let hb = store.streams(&ids[1]).unwrap();
+    assert_eq!(ha, hb, "byte-identical streams must share hashes");
+    assert_eq!(
+        store.blob_count().unwrap(),
+        ha.len(),
+        "one stored blob per distinct stream, not per demo"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -2,7 +2,7 @@
 //!
 //! A *demo* (§4 of the paper) is the recording of one execution: a set of
 //! constraints the replay must satisfy. It is stored as a directory of
-//! line-oriented text files mirroring the paper's streams:
+//! stream files mirroring the paper's streams:
 //!
 //! | File      | Contents |
 //! |-----------|----------|
@@ -13,10 +13,18 @@
 //! | `ASYNC`   | reschedule / signal-wakeup events floated to their tick |
 //! | `ALLOC`   | (comprehensive tools only) the allocator's address stream |
 //!
+//! Each stream file exists in two formats ([`DemoFormat`]): a framed,
+//! checksummed binary form ([`codec`] — varint + RLE payloads, decoded
+//! zero-copy; the default), and the original line-oriented text form
+//! kept for fixtures and diffing. Loading auto-detects per file, so
+//! either (or a mix) loads transparently. [`DemoStore`] layers
+//! content-addressed, stream-deduplicated storage on top for corpora
+//! and archives.
+//!
 //! The crate provides the typed event model ([`SignalEvent`],
 //! [`SyscallRecord`], [`AsyncEvent`], [`QueueStream`]), the run-length
 //! codecs ([`rle`]), serialization ([`Demo::save_dir`] / [`Demo::load_dir`]
-//! and an in-memory string form), and the desynchronisation taxonomy
+//! and in-memory string/byte forms), and the desynchronisation taxonomy
 //! ([`HardDesync`], [`SoftDesync`]).
 //!
 //! # Example
@@ -35,11 +43,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 mod demo;
 mod desync;
 pub mod rle;
+mod store;
 mod streams;
 
-pub use demo::{Demo, DemoHeader, DemoLoadError, DemoStats, FORMAT_VERSION};
+pub use codec::{CodecError, StreamId};
+pub use demo::{Demo, DemoFormat, DemoHeader, DemoLoadError, DemoStats, FORMAT_VERSION};
 pub use desync::{DesyncKind, HardDesync, SoftDesync};
+pub use store::{DemoStore, StreamHash, StreamHashes};
 pub use streams::{AsyncEvent, QueueStream, SignalEvent, SyscallRecord};

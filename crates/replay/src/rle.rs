@@ -16,15 +16,38 @@
 
 use std::fmt::Write as _;
 
-/// Encodes an integer sequence into the token text form.
+/// One RLE token of the integer codec. The token model is shared by the
+/// text form (this module) and the binary form ([`crate::codec`]), so
+/// the two formats compress identically and text→bin→text is lossless.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum U64Token {
+    /// A single literal value (`N` in text form).
+    Literal(u64),
+    /// The arithmetic run `base, base+1, …, base+extra` with `extra ≥ 1`
+    /// (`N+K` in text form).
+    IncRun {
+        /// First value of the run.
+        base: u64,
+        /// Number of increments after the base (run length − 1).
+        extra: u64,
+    },
+    /// The value repeated `count ≥ 2` times (`N*K` in text form).
+    Repeat {
+        /// The repeated value.
+        value: u64,
+        /// How many copies.
+        count: u64,
+    },
+}
+
+/// Tokenizes an integer sequence with the run-detection heuristic shared
+/// by both codecs: prefer the longest arithmetic(+1) run, else the
+/// longest constant run, else a literal.
 #[must_use]
-pub fn encode_u64s(values: &[u64]) -> String {
-    let mut out = String::new();
+pub fn u64_tokens(values: &[u64]) -> Vec<U64Token> {
+    let mut out = Vec::new();
     let mut i = 0;
     while i < values.len() {
-        if !out.is_empty() {
-            out.push(' ');
-        }
         let v = values[i];
         // Longest arithmetic(+1) run from i.
         let mut inc = 1;
@@ -37,14 +60,43 @@ pub fn encode_u64s(values: &[u64]) -> String {
             rep += 1;
         }
         if inc >= rep && inc > 1 {
-            let _ = write!(out, "{v}+{}", inc - 1);
+            out.push(U64Token::IncRun {
+                base: v,
+                extra: (inc - 1) as u64,
+            });
             i += inc;
         } else if rep > 1 {
-            let _ = write!(out, "{v}*{rep}");
+            out.push(U64Token::Repeat {
+                value: v,
+                count: rep as u64,
+            });
             i += rep;
         } else {
-            let _ = write!(out, "{v}");
+            out.push(U64Token::Literal(v));
             i += 1;
+        }
+    }
+    out
+}
+
+/// Encodes an integer sequence into the token text form.
+#[must_use]
+pub fn encode_u64s(values: &[u64]) -> String {
+    let mut out = String::new();
+    for tok in u64_tokens(values) {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match tok {
+            U64Token::Literal(v) => {
+                let _ = write!(out, "{v}");
+            }
+            U64Token::IncRun { base, extra } => {
+                let _ = write!(out, "{base}+{extra}");
+            }
+            U64Token::Repeat { value, count } => {
+                let _ = write!(out, "{value}*{count}");
+            }
         }
     }
     out
@@ -87,12 +139,13 @@ pub fn decode_u64s(text: &str) -> Result<Vec<u64>, String> {
 /// Minimum run length worth a run chunk in the byte codec.
 const BYTE_RUN_MIN: usize = 4;
 
-/// Encodes a byte buffer: RLE chunks serialized as hex.
+/// Encodes a byte buffer into the raw RLE chunk stream.
 ///
-/// Chunk grammar (binary, before hexing): `0x00 len byte` is a run of
-/// `len` (1–255) copies of `byte`; `0x01 len b…` is `len` literal bytes.
+/// Chunk grammar: `0x00 len byte` is a run of `len` (1–255) copies of
+/// `byte`; `0x01 len b…` is `len` literal bytes. The text codec hexes
+/// this stream ([`encode_bytes`]); the binary codec stores it as-is.
 #[must_use]
-pub fn encode_bytes(data: &[u8]) -> String {
+pub fn byte_chunks(data: &[u8]) -> Vec<u8> {
     let mut chunks: Vec<u8> = Vec::new();
     let mut i = 0;
     let mut lit_start = 0;
@@ -126,16 +179,22 @@ pub fn encode_bytes(data: &[u8]) -> String {
         }
     }
     flush_literal(&mut chunks, &data[lit_start..]);
-    to_hex(&chunks)
+    chunks
 }
 
-/// Decodes the output of [`encode_bytes`].
+/// Encodes a byte buffer: RLE chunks ([`byte_chunks`]) serialized as
+/// lowercase hex.
+#[must_use]
+pub fn encode_bytes(data: &[u8]) -> String {
+    to_hex(&byte_chunks(data))
+}
+
+/// Decodes a raw RLE chunk stream back into the original bytes.
 ///
 /// # Errors
 ///
 /// Returns a description of the first malformed chunk.
-pub fn decode_bytes(text: &str) -> Result<Vec<u8>, String> {
-    let chunks = from_hex(text)?;
+pub fn decode_byte_chunks(chunks: &[u8]) -> Result<Vec<u8>, String> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < chunks.len() {
@@ -160,6 +219,15 @@ pub fn decode_bytes(text: &str) -> Result<Vec<u8>, String> {
         }
     }
     Ok(out)
+}
+
+/// Decodes the output of [`encode_bytes`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed digit pair or chunk.
+pub fn decode_bytes(text: &str) -> Result<Vec<u8>, String> {
+    decode_byte_chunks(&from_hex(text)?)
 }
 
 /// Lowercase hex of `data`.

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::demo::DemoLoadError;
 use crate::rle;
 
 /// An asynchronous signal pinned to logical time (§4.3).
@@ -257,14 +258,26 @@ impl QueueStream {
     }
 }
 
-pub(crate) fn parse_syscalls(text: &str) -> Result<Vec<SyscallRecord>, String> {
+/// Parses the text `SYSCALL` stream. Failures carry the 1-based line
+/// number of the offending line in [`DemoLoadError::Malformed`].
+pub(crate) fn parse_syscalls(text: &str) -> Result<Vec<SyscallRecord>, DemoLoadError> {
+    let mut last_line = 0usize;
+    parse_syscalls_inner(text, &mut last_line).map_err(|err| DemoLoadError::Malformed {
+        file: "SYSCALL".into(),
+        line: Some(last_line.max(1)),
+        err,
+    })
+}
+
+fn parse_syscalls_inner(text: &str, last_line: &mut usize) -> Result<Vec<SyscallRecord>, String> {
     let mut out: Vec<SyscallRecord> = Vec::new();
     let mut expected_bufs = 0usize;
-    for line in text.lines() {
+    for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
+        *last_line = lineno + 1;
         if let Some(rest) = line.strip_prefix("syscall ") {
             if expected_bufs != 0 {
                 return Err(format!(
@@ -495,6 +508,26 @@ mod tests {
         );
         let bad_len = "syscall 0 1 2 recv ret=0 errno=0 nbufs=1\nbuf 5 0101aa\n";
         assert!(parse_syscalls(bad_len).is_err(), "length mismatch");
+    }
+
+    #[test]
+    fn syscall_parse_errors_carry_line_numbers() {
+        // Line 3 (the second record, after a blank line) is malformed.
+        let text = "syscall 0 1 2 recv ret=0 errno=0 nbufs=0\n\nsyscall zero 1 2 recv ret=0 errno=0 nbufs=0\n";
+        match parse_syscalls(text) {
+            Err(DemoLoadError::Malformed { file, line, err }) => {
+                assert_eq!(file, "SYSCALL");
+                assert_eq!(line, Some(3));
+                assert!(err.contains("bad seq"), "err: {err}");
+            }
+            other => panic!("expected malformed line 3, got {other:?}"),
+        }
+        // A bad buf line is reported at the buf line, not the record.
+        let text = "syscall 0 1 2 recv ret=0 errno=0 nbufs=1\nbuf 5 0101aa\n";
+        match parse_syscalls(text) {
+            Err(DemoLoadError::Malformed { line, .. }) => assert_eq!(line, Some(2)),
+            other => panic!("expected malformed line 2, got {other:?}"),
+        }
     }
 
     #[test]
